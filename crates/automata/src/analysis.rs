@@ -1,0 +1,345 @@
+//! Analyses over DTTAs: emptiness, minimal witnesses, language-equivalence
+//! classes, trimming, and language enumeration.
+//!
+//! These are the automata-theoretic workhorses behind the learning
+//! algorithm: mergeability (Definition 30) needs *residual-language
+//! equality* `u₁⁻¹(D) = u₂⁻¹(D)`; characteristic-sample generation
+//! (Proposition 34) needs *minimal trees* of residual languages and
+//! size-ordered *enumeration* to find distinguishing inputs.
+
+use std::collections::HashMap;
+
+use xtt_trees::{Symbol, Tree};
+
+use crate::dtta::{Dtta, StateId};
+
+/// Per-state emptiness: `nonempty[q] ⇔ L(q) ≠ ∅`. Least fixpoint.
+pub fn nonempty_states(a: &Dtta) -> Vec<bool> {
+    let mut nonempty = vec![false; a.state_count()];
+    let transitions = a.transitions();
+    loop {
+        let mut changed = false;
+        for &(q, _, children) in &transitions {
+            if !nonempty[q.index()] && children.iter().all(|c| nonempty[c.index()]) {
+                nonempty[q.index()] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return nonempty;
+        }
+    }
+}
+
+/// True if `L(A) = ∅`.
+pub fn is_empty(a: &Dtta) -> bool {
+    !nonempty_states(a)[a.initial().index()]
+}
+
+/// For every state, a smallest tree of its language (`None` if empty).
+/// Witnesses share subtrees, so the whole table is small in memory.
+pub fn minimal_witnesses(a: &Dtta) -> Vec<Option<Tree>> {
+    let mut best_size: Vec<u64> = vec![u64::MAX; a.state_count()];
+    let mut witness: Vec<Option<Tree>> = vec![None; a.state_count()];
+    let transitions = a.transitions();
+    // Bellman-Ford-style relaxation; terminates because sizes strictly
+    // decrease and are bounded below by 1.
+    loop {
+        let mut changed = false;
+        for &(q, f, children) in &transitions {
+            let mut total: u64 = 1;
+            let mut kids: Vec<Tree> = Vec::with_capacity(children.len());
+            let mut ok = true;
+            for c in children {
+                match &witness[c.index()] {
+                    Some(w) => {
+                        total += w.size();
+                        kids.push(w.clone());
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && total < best_size[q.index()] {
+                best_size[q.index()] = total;
+                witness[q.index()] = Some(Tree::new(f, kids));
+                changed = true;
+            }
+        }
+        if !changed {
+            return witness;
+        }
+    }
+}
+
+/// Language-equivalence classes of states: `class[q₁] == class[q₂] ⇔
+/// L(q₁) = L(q₂)`.
+///
+/// Works by Moore-style partition refinement on the *trimmed* automaton:
+/// empty-language states form their own class; the signature of a state is
+/// the set of (symbol, children classes) over transitions whose children
+/// are all nonempty. For deterministic top-down automata over path-closed
+/// languages this coincides with language equality.
+pub fn language_classes(a: &Dtta) -> Vec<usize> {
+    let nonempty = nonempty_states(a);
+    let n = a.state_count();
+    // class 0 = empty language
+    let mut class: Vec<usize> = nonempty.iter().map(|&ne| usize::from(ne)).collect();
+    let transitions = a.transitions();
+    /// A state's behaviour under the current partition: (old class, sorted
+    /// live transitions as (symbol id, child classes)).
+    type Signature = (usize, Vec<(u32, Vec<usize>)>);
+    loop {
+        // signature of each nonempty state under the current classes
+        let mut signatures: Vec<Vec<(Symbol, Vec<usize>)>> = vec![Vec::new(); n];
+        for &(q, f, children) in &transitions {
+            if !nonempty[q.index()] || children.iter().any(|c| !nonempty[c.index()]) {
+                continue; // dead transition: contributes nothing to L(q)
+            }
+            signatures[q.index()].push((f, children.iter().map(|c| class[c.index()]).collect()));
+        }
+        let mut sig_to_class: HashMap<Signature, usize> = HashMap::new();
+        let mut next: Vec<usize> = vec![0; n];
+        let mut counter = 1usize;
+        for q in 0..n {
+            if !nonempty[q] {
+                next[q] = 0;
+                continue;
+            }
+            let mut sig: Vec<(u32, Vec<usize>)> = signatures[q]
+                .iter()
+                .map(|(f, cs)| (f.id(), cs.clone()))
+                .collect();
+            sig.sort();
+            // Include the current class so refinement only splits.
+            let key = (class[q], sig);
+            let c = *sig_to_class.entry(key).or_insert_with(|| {
+                let c = counter;
+                counter += 1;
+                c
+            });
+            next[q] = c;
+        }
+        if next == class {
+            return class;
+        }
+        class = next;
+    }
+}
+
+/// True iff `L(q₁) = L(q₂)`.
+pub fn same_language(a: &Dtta, q1: StateId, q2: StateId) -> bool {
+    let classes = language_classes(a);
+    classes[q1.index()] == classes[q2.index()]
+}
+
+/// Enumerates up to `max_count` trees of `L(q)`, by increasing size, up to
+/// `max_size` nodes. Deterministic: symbol declaration order, then child
+/// splits. Used by the characteristic-sample generator to find minimal
+/// distinguishing inputs.
+pub fn enumerate_language(
+    a: &Dtta,
+    q: StateId,
+    max_count: usize,
+    max_size: usize,
+) -> Vec<Tree> {
+    let n = a.state_count();
+    // by_size[q][s] = trees of L(q) with exactly s nodes (built lazily per size)
+    let mut by_size: Vec<Vec<Vec<Tree>>> = vec![vec![Vec::new(); max_size + 1]; n];
+    let mut out = Vec::new();
+    for size in 1..=max_size {
+        for state in a.states() {
+            let mut bucket: Vec<Tree> = Vec::new();
+            for &f in a.alphabet().symbols() {
+                let Some(children) = a.transition(state, f) else {
+                    continue;
+                };
+                if children.is_empty() {
+                    if size == 1 {
+                        bucket.push(Tree::leaf(f));
+                    }
+                    continue;
+                }
+                if size < children.len() + 1 {
+                    continue;
+                }
+                let mut combos: Vec<Vec<Tree>> = Vec::new();
+                distribute_states(
+                    size - 1,
+                    children,
+                    &by_size,
+                    &mut Vec::new(),
+                    &mut combos,
+                    max_count,
+                );
+                for kids in combos {
+                    bucket.push(Tree::new(f, kids));
+                }
+            }
+            by_size[state.index()][size] = bucket;
+        }
+        for t in &by_size[q.index()][size] {
+            out.push(t.clone());
+            if out.len() >= max_count {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+fn distribute_states(
+    total: usize,
+    slots: &[StateId],
+    by_size: &[Vec<Vec<Tree>>],
+    prefix: &mut Vec<Tree>,
+    out: &mut Vec<Vec<Tree>>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    match slots.split_first() {
+        None => {
+            if total == 0 {
+                out.push(prefix.clone());
+            }
+        }
+        Some((&first, rest)) => {
+            let min_rest = rest.len();
+            for take in 1..=total.saturating_sub(min_rest) {
+                for t in &by_size[first.index()][take] {
+                    prefix.push(t.clone());
+                    distribute_states(total - take, rest, by_size, prefix, out, cap);
+                    prefix.pop();
+                    if out.len() >= cap {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtta::DttaBuilder;
+    use xtt_trees::{FPath, RankedAlphabet};
+
+    fn flip_domain() -> Dtta {
+        let alpha = RankedAlphabet::from_pairs([("root", 2), ("a", 2), ("b", 2), ("#", 0)]);
+        let mut b = DttaBuilder::new(alpha);
+        let p0 = b.add_state("start");
+        let pa = b.add_state("alist");
+        let pb = b.add_state("blist");
+        let ph = b.add_state("nil");
+        b.add_transition(p0, Symbol::new("root"), vec![pa, pb]).unwrap();
+        b.add_transition(pa, Symbol::new("a"), vec![ph, pa]).unwrap();
+        b.add_transition(pa, Symbol::new("#"), vec![]).unwrap();
+        b.add_transition(pb, Symbol::new("b"), vec![ph, pb]).unwrap();
+        b.add_transition(pb, Symbol::new("#"), vec![]).unwrap();
+        b.add_transition(ph, Symbol::new("#"), vec![]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn nonempty_detects_productive_states() {
+        let a = flip_domain();
+        assert_eq!(nonempty_states(&a), vec![true; 4]);
+        assert!(!is_empty(&a));
+    }
+
+    #[test]
+    fn empty_state_detected() {
+        let alpha = RankedAlphabet::from_pairs([("f", 1), ("a", 0)]);
+        let mut b = DttaBuilder::new(alpha);
+        let q = b.add_state("loop");
+        // q(f(x)) -> f(<q,x>), no leaf rule: L(q) = ∅
+        b.add_transition(q, Symbol::new("f"), vec![q]).unwrap();
+        let a = b.build().unwrap();
+        assert!(is_empty(&a));
+        assert_eq!(minimal_witnesses(&a), vec![None]);
+    }
+
+    #[test]
+    fn minimal_witnesses_are_minimal() {
+        let a = flip_domain();
+        let w = minimal_witnesses(&a);
+        assert_eq!(w[0].as_ref().unwrap().to_string(), "root(#,#)");
+        assert_eq!(w[1].as_ref().unwrap().to_string(), "#");
+        assert_eq!(w[3].as_ref().unwrap().to_string(), "#");
+    }
+
+    #[test]
+    fn language_classes_separate_and_merge() {
+        let alpha = RankedAlphabet::from_pairs([("a", 2), ("b", 2), ("#", 0)]);
+        let mut b = DttaBuilder::new(alpha);
+        let pa1 = b.add_state("alist1");
+        let pa2 = b.add_state("alist2");
+        let pb = b.add_state("blist");
+        let ph = b.add_state("nil");
+        for (q, sym) in [(pa1, "a"), (pa2, "a"), (pb, "b")] {
+            b.add_transition(q, Symbol::new(sym), vec![ph, q]).unwrap();
+            b.add_transition(q, Symbol::new("#"), vec![]).unwrap();
+        }
+        b.add_transition(ph, Symbol::new("#"), vec![]).unwrap();
+        let a = b.build().unwrap();
+        let classes = language_classes(&a);
+        assert_eq!(classes[pa1.index()], classes[pa2.index()]); // same language
+        assert_ne!(classes[pa1.index()], classes[pb.index()]); // a-lists vs b-lists
+        assert_ne!(classes[pa1.index()], classes[ph.index()]);
+        assert!(same_language(&a, pa1, pa2));
+        assert!(!same_language(&a, pa1, pb));
+    }
+
+    #[test]
+    fn dead_transitions_do_not_split_classes() {
+        let alpha = RankedAlphabet::from_pairs([("f", 1), ("a", 0)]);
+        let mut b = DttaBuilder::new(alpha);
+        let q1 = b.add_state("q1");
+        let q2 = b.add_state("q2");
+        let dead = b.add_state("dead");
+        b.add_transition(q1, Symbol::new("a"), vec![]).unwrap();
+        b.add_transition(q2, Symbol::new("a"), vec![]).unwrap();
+        // q2 also has a transition into a dead state: contributes nothing.
+        b.add_transition(q2, Symbol::new("f"), vec![dead]).unwrap();
+        let a = b.build().unwrap();
+        assert!(same_language(&a, q1, q2));
+    }
+
+    #[test]
+    fn enumerate_language_in_size_order() {
+        let a = flip_domain();
+        let trees = enumerate_language(&a, a.initial(), 10, 20);
+        assert_eq!(trees[0].to_string(), "root(#,#)");
+        for w in trees.windows(2) {
+            assert!(w[0].size() <= w[1].size());
+        }
+        for t in &trees {
+            assert!(a.accepts(t), "enumerated tree not in language: {t}");
+        }
+        // the two size-5 trees: one a, or one b (smaller first child first)
+        let size5: Vec<String> = trees
+            .iter()
+            .filter(|t| t.size() == 5)
+            .map(|t| t.to_string())
+            .collect();
+        assert_eq!(size5, vec!["root(#,b(#,#))", "root(a(#,#),#)"]);
+    }
+
+    #[test]
+    fn residual_language_equality_via_classes() {
+        let a = flip_domain();
+        let classes = language_classes(&a);
+        let u_alist = a.residual(&FPath::parse_pairs(&[("root", 1)])).unwrap();
+        let u_blist = a.residual(&FPath::parse_pairs(&[("root", 2)])).unwrap();
+        let deeper = a
+            .residual(&FPath::parse_pairs(&[("root", 1), ("a", 2)]))
+            .unwrap();
+        assert_eq!(classes[u_alist.index()], classes[deeper.index()]);
+        assert_ne!(classes[u_alist.index()], classes[u_blist.index()]);
+    }
+}

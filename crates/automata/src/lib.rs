@@ -1,0 +1,28 @@
+//! # xtt-automata
+//!
+//! Deterministic top-down tree automata (DTTAs) — the domain-inspection
+//! device of *"A Learning Algorithm for Top-Down XML Transformations"*
+//! (PODS 2010).
+//!
+//! Domains of deterministic top-down tree transducers are *path-closed*
+//! (Proposition 2 of the paper), and path-closed regular tree languages are
+//! exactly those accepted by DTTAs. The learning algorithm `RPNIdtop`
+//! receives such an automaton `A` with `L(A) = dom(τ)` and uses it for:
+//!
+//! * residual-language equality `u₁⁻¹(D) = u₂⁻¹(D)` in the mergeability
+//!   test (Definition 30) — [`analysis::language_classes`];
+//! * minimal trees of residual languages when building characteristic
+//!   samples — [`analysis::minimal_witnesses`];
+//! * size-ordered enumeration of residual languages to find distinguishing
+//!   inputs — [`analysis::enumerate_language`].
+
+pub mod analysis;
+pub mod dtta;
+pub mod ops;
+
+pub use analysis::{
+    enumerate_language, is_empty, language_classes, minimal_witnesses, nonempty_states,
+    same_language,
+};
+pub use dtta::{Dtta, DttaBuilder, DttaError, StateId};
+pub use ops::{intersect, language_equal, trim};

@@ -1,0 +1,214 @@
+//! Operations on DTTAs: product (intersection) and trimming.
+
+use std::collections::HashMap;
+
+use crate::analysis::nonempty_states;
+use crate::dtta::{Dtta, DttaBuilder, StateId};
+
+/// The product automaton: `L(result) = L(a) ∩ L(b)`.
+///
+/// Path-closed languages are closed under intersection, so the product of
+/// two DTTAs is again a DTTA. Only pairs reachable from the initial pair
+/// are materialized.
+pub fn intersect(a: &Dtta, b: &Dtta) -> Dtta {
+    let mut alphabet = a.alphabet().clone();
+    alphabet.union_with(b.alphabet());
+    let mut builder = DttaBuilder::new(alphabet.clone());
+    let mut ids: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut queue: Vec<(StateId, StateId)> = Vec::new();
+
+    let start = (a.initial(), b.initial());
+    let s0 = builder.add_state(format!(
+        "{}*{}",
+        a.state_name(a.initial()),
+        b.state_name(b.initial())
+    ));
+    ids.insert(start, s0);
+    queue.push(start);
+
+    while let Some((qa, qb)) = queue.pop() {
+        let id = ids[&(qa, qb)];
+        for &f in alphabet.symbols() {
+            let (Some(ca), Some(cb)) = (a.transition(qa, f), b.transition(qb, f)) else {
+                continue;
+            };
+            let mut children = Vec::with_capacity(ca.len());
+            for (&x, &y) in ca.iter().zip(cb) {
+                let child = *ids.entry((x, y)).or_insert_with(|| {
+                    queue.push((x, y));
+                    builder.add_state(format!("{}*{}", a.state_name(x), b.state_name(y)))
+                });
+                children.push(child);
+            }
+            builder.add_transition(id, f, children).expect("ranks agree");
+        }
+    }
+    builder.build().expect("product has an initial state")
+}
+
+/// Removes transitions into empty-language states and drops states that are
+/// unreachable afterwards. The language is unchanged; every remaining
+/// transition is *live* (usable in some accepting run).
+pub fn trim(a: &Dtta) -> Dtta {
+    let nonempty = nonempty_states(a);
+    let mut builder = DttaBuilder::new(a.alphabet().clone());
+    let mut ids: HashMap<StateId, StateId> = HashMap::new();
+    let mut queue = vec![a.initial()];
+    let new_initial = builder.add_state(a.state_name(a.initial()));
+    ids.insert(a.initial(), new_initial);
+
+    while let Some(q) = queue.pop() {
+        let id = ids[&q];
+        for &f in a.alphabet().symbols() {
+            let Some(children) = a.transition(q, f) else {
+                continue;
+            };
+            if children.iter().any(|c| !nonempty[c.index()]) {
+                continue; // dead transition
+            }
+            let mut new_children = Vec::with_capacity(children.len());
+            for &c in children {
+                let child = *ids.entry(c).or_insert_with(|| {
+                    queue.push(c);
+                    builder.add_state(a.state_name(c))
+                });
+                new_children.push(child);
+            }
+            builder.add_transition(id, f, new_children).expect("ranks agree");
+        }
+    }
+    builder.build().expect("trim keeps the initial state")
+}
+
+/// True iff `L(a) = L(b)`.
+///
+/// Both automata are trimmed first; afterwards, two states are
+/// language-equal iff they enable the same symbols and their children are
+/// pairwise language-equal (coinductively) — checked by a BFS over state
+/// pairs. Sound and complete for deterministic top-down automata, whose
+/// languages are path-closed.
+pub fn language_equal(a: &Dtta, b: &Dtta) -> bool {
+    let a = trim(a);
+    let b = trim(b);
+    let a_nonempty = nonempty_states(&a)[a.initial().index()];
+    let b_nonempty = nonempty_states(&b)[b.initial().index()];
+    if a_nonempty != b_nonempty {
+        return false;
+    }
+    if !a_nonempty {
+        return true; // both empty
+    }
+    let mut seen: std::collections::HashSet<(StateId, StateId)> = std::collections::HashSet::new();
+    let mut queue = vec![(a.initial(), b.initial())];
+    let mut symbols = a.alphabet().clone();
+    symbols.union_with(b.alphabet());
+    while let Some((pa, pb)) = queue.pop() {
+        if !seen.insert((pa, pb)) {
+            continue;
+        }
+        for &f in symbols.symbols() {
+            match (a.transition(pa, f), b.transition(pb, f)) {
+                (None, None) => {}
+                (Some(ca), Some(cb)) => {
+                    queue.extend(ca.iter().copied().zip(cb.iter().copied()));
+                }
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{enumerate_language, is_empty};
+    use xtt_trees::{parse_tree, RankedAlphabet, Symbol};
+
+    fn list_automaton(letter: &str) -> Dtta {
+        // lists letter(#, letter(#, ... #)) in fc/ns style, plus bare "#"
+        let alpha = RankedAlphabet::from_pairs([("a", 2), ("b", 2), ("#", 0)]);
+        let mut b = DttaBuilder::new(alpha);
+        let p = b.add_state("list");
+        let nil = b.add_state("nil");
+        b.add_transition(p, Symbol::new(letter), vec![nil, p]).unwrap();
+        b.add_transition(p, Symbol::new("#"), vec![]).unwrap();
+        b.add_transition(nil, Symbol::new("#"), vec![]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn intersection_of_disjoint_lists_is_nil_only() {
+        let a = list_automaton("a");
+        let b = list_automaton("b");
+        let prod = intersect(&a, &b);
+        assert!(prod.accepts(&parse_tree("#").unwrap()));
+        assert!(!prod.accepts(&parse_tree("a(#,#)").unwrap()));
+        assert!(!prod.accepts(&parse_tree("b(#,#)").unwrap()));
+        let all = enumerate_language(&prod, prod.initial(), 10, 10);
+        assert_eq!(all.len(), 1); // only "#"
+    }
+
+    #[test]
+    fn intersection_with_self_preserves_language() {
+        let a = list_automaton("a");
+        let prod = intersect(&a, &a);
+        for t in enumerate_language(&a, a.initial(), 20, 15) {
+            assert!(prod.accepts(&t));
+        }
+    }
+
+    #[test]
+    fn language_equal_basic() {
+        let a1 = list_automaton("a");
+        let a2 = list_automaton("a");
+        let b = list_automaton("b");
+        assert!(language_equal(&a1, &a2));
+        assert!(!language_equal(&a1, &b));
+        // different automata, same language: add an unreachable state
+        let alpha = RankedAlphabet::from_pairs([("a", 2), ("b", 2), ("#", 0)]);
+        let mut builder = DttaBuilder::new(alpha);
+        let p = builder.add_state("list");
+        let nil = builder.add_state("nil");
+        let junk = builder.add_state("junk");
+        builder.add_transition(p, Symbol::new("a"), vec![nil, p]).unwrap();
+        builder.add_transition(p, Symbol::new("#"), vec![]).unwrap();
+        builder.add_transition(nil, Symbol::new("#"), vec![]).unwrap();
+        builder.add_transition(junk, Symbol::new("b"), vec![junk, junk]).unwrap();
+        let padded = builder.build().unwrap();
+        assert!(language_equal(&a1, &padded));
+    }
+
+    #[test]
+    fn language_equal_handles_empty() {
+        let alpha = RankedAlphabet::from_pairs([("f", 1), ("a", 0)]);
+        let mut b1 = DttaBuilder::new(alpha.clone());
+        let q = b1.add_state("loop");
+        b1.add_transition(q, Symbol::new("f"), vec![q]).unwrap();
+        let empty1 = b1.build().unwrap();
+        let mut b2 = DttaBuilder::new(alpha.clone());
+        b2.add_state("dead");
+        let empty2 = b2.build().unwrap();
+        assert!(language_equal(&empty1, &empty2));
+        let univ = Dtta::universal(alpha);
+        assert!(!language_equal(&empty1, &univ));
+    }
+
+    #[test]
+    fn trim_removes_dead_transitions() {
+        let alpha = RankedAlphabet::from_pairs([("f", 1), ("a", 0)]);
+        let mut b = DttaBuilder::new(alpha);
+        let q = b.add_state("q");
+        let dead = b.add_state("dead");
+        b.add_transition(q, Symbol::new("a"), vec![]).unwrap();
+        b.add_transition(q, Symbol::new("f"), vec![dead]).unwrap();
+        b.add_transition(dead, Symbol::new("f"), vec![dead]).unwrap();
+        let a = b.build().unwrap();
+        let trimmed = trim(&a);
+        assert_eq!(trimmed.state_count(), 1);
+        assert_eq!(trimmed.transition_count(), 1);
+        assert!(trimmed.accepts(&parse_tree("a").unwrap()));
+        assert!(!trimmed.accepts(&parse_tree("f(a)").unwrap()));
+        assert!(!is_empty(&trimmed));
+    }
+}

@@ -1,0 +1,32 @@
+//! E4 timing: characteristic-sample generation (Proposition 34's
+//! constructive side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtt_bench::families::{chain_target, flip_k_target, flip_target};
+use xtt_core::characteristic_sample;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("charsample");
+    group.sample_size(10);
+    let flip = flip_target();
+    group.bench_function("flip", |b| {
+        b.iter(|| black_box(characteristic_sample(&flip).unwrap().len()))
+    });
+    for k in [1usize, 2, 3] {
+        let target = flip_k_target(k);
+        group.bench_with_input(BenchmarkId::new("flip_k", k), &k, |b, _| {
+            b.iter(|| black_box(characteristic_sample(&target).unwrap().len()))
+        });
+    }
+    for n in [2usize, 4] {
+        let target = chain_target(n);
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| black_box(characteristic_sample(&target).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

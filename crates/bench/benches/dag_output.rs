@@ -1,0 +1,53 @@
+//! E6 timing: minimal-DAG construction for exponential outputs (the §1
+//! remark that characteristic samples stay small as DAGs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtt_transducer::{eval, examples};
+use xtt_trees::{Tree, TreeDag};
+
+fn bench(c: &mut Criterion) {
+    let copier = examples::monadic_to_binary();
+    let mut group = c.benchmark_group("dag_insert");
+    for n in [12u32, 16, 20] {
+        let mut input = Tree::leaf_named("e");
+        for _ in 0..n {
+            input = Tree::node("f", vec![input]);
+        }
+        let output = eval(&copier.dtop, &input).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut dag = TreeDag::new();
+                let id = dag.insert(&output);
+                black_box(dag.reachable_count(id))
+            })
+        });
+    }
+    group.finish();
+
+    // baseline: DAG of an incompressible (all-distinct-labels) tree
+    let mut group = c.benchmark_group("dag_insert_incompressible");
+    for size in [1000usize, 10_000] {
+        let tree = comb(size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let mut dag = TreeDag::new();
+                let id = dag.insert(&tree);
+                black_box(dag.reachable_count(id))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A comb-shaped tree whose subtrees are pairwise distinct.
+fn comb(n: usize) -> Tree {
+    let mut t = Tree::leaf_named("z");
+    for i in 0..n {
+        t = Tree::node("c", vec![Tree::leaf_named(&format!("l{}", i % 17)), t]);
+    }
+    t
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E8 timing: earliest-normal-form construction and minimization
+//! ([EMS 2009] via Section 3/7 of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtt_bench::families::raw_flip_k;
+use xtt_transducer::{examples, minimize, to_earliest};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("earliest");
+    for k in [2usize, 4, 8] {
+        let (dtop, domain) = raw_flip_k(k);
+        group.bench_with_input(BenchmarkId::new("flip_k", k), &k, |b, _| {
+            b.iter(|| black_box(to_earliest(&dtop, Some(&domain)).unwrap().dtop.state_count()))
+        });
+    }
+    // non-earliest inputs that require pushing output upward
+    let m3 = examples::constant_m3();
+    group.bench_function("constant_m3", |b| {
+        b.iter(|| black_box(to_earliest(&m3.dtop, Some(&m3.domain)).unwrap().dtop.state_count()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("minimize");
+    for k in [2usize, 4, 8] {
+        let (dtop, domain) = raw_flip_k(k);
+        let canon = to_earliest(&dtop, Some(&domain)).unwrap();
+        group.bench_with_input(BenchmarkId::new("flip_k", k), &k, |b, _| {
+            b.iter(|| black_box(minimize(&canon).unwrap().dtop.state_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E8 timing: deciding equivalence via canonical forms (the polynomial
+//! decision procedure behind Theorem 28 / [EMS 2009]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtt_bench::families::raw_flip_k;
+use xtt_transducer::{equivalent, examples};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equivalence");
+    // equivalent pair (different presentations of the same constant map)
+    let m2 = examples::constant_m2();
+    let m3 = examples::constant_m3();
+    group.bench_function("constant_m2_vs_m3", |b| {
+        b.iter(|| {
+            black_box(
+                equivalent(&m2.dtop, Some(&m2.domain), &m3.dtop, Some(&m3.domain)).unwrap(),
+            )
+        })
+    });
+    for k in [2usize, 4, 6] {
+        let (a_dtop, a_dom) = raw_flip_k(k);
+        let (b_dtop, b_dom) = raw_flip_k(k);
+        group.bench_with_input(BenchmarkId::new("flip_k_self", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(
+                    equivalent(&a_dtop, Some(&a_dom), &b_dtop, Some(&b_dom)).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation: evaluation throughput of `⟦M⟧` — the memoized evaluator on
+//! linear-size and exponential-output workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xtt_transducer::{eval, examples};
+use xtt_trees::Tree;
+
+fn bench(c: &mut Criterion) {
+    let flip = examples::flip();
+    let mut group = c.benchmark_group("eval/flip");
+    for n in [10u64, 100, 1000] {
+        let input = examples::flip_input(n as usize, n as usize);
+        group.throughput(Throughput::Elements(input.size()));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(eval(&flip.dtop, &input).unwrap().size()))
+        });
+    }
+    group.finish();
+
+    let lib = examples::library();
+    let mut group = c.benchmark_group("eval/library");
+    for n in [10usize, 100] {
+        let input = examples::library_input(n);
+        group.throughput(Throughput::Elements(input.size()));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(eval(&lib.dtop, &input).unwrap().size()))
+        });
+    }
+    group.finish();
+
+    // Copying: output is 2^n nodes, but memoization + sharing keep the
+    // evaluation linear in n.
+    let copier = examples::monadic_to_binary();
+    let mut group = c.benchmark_group("eval/copying");
+    for n in [16u32, 24, 32] {
+        let mut input = Tree::leaf_named("e");
+        for _ in 0..n {
+            input = Tree::node("f", vec![input]);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(eval(&copier.dtop, &input).unwrap().height()))
+        });
+    }
+    group.finish();
+
+    // Ablation: the naive (memo-free) evaluator is exponential on the same
+    // workload — keep n small.
+    let mut group = c.benchmark_group("eval/copying_naive_ablation");
+    for n in [8u32, 12, 16] {
+        let mut input = Tree::leaf_named("e");
+        for _ in 0..n {
+            input = Tree::node("f", vec![input]);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(xtt_transducer::eval_naive(&copier.dtop, &input).unwrap().height()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

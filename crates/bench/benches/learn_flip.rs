@@ -1,0 +1,22 @@
+//! E1 timing: RPNIdtop on the τflip characteristic sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xtt_bench::families::flip_target;
+use xtt_bench::sample_for;
+use xtt_core::rpni_dtop;
+
+fn bench(c: &mut Criterion) {
+    let target = flip_target();
+    let sample = sample_for(&target);
+    c.bench_function("learn/flip", |b| {
+        b.iter(|| {
+            let learned =
+                rpni_dtop(black_box(&sample), &target.domain, target.dtop.output()).unwrap();
+            black_box(learned.dtop.state_count())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E2 timing: RPNIdtop on the §10 library characteristic sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xtt_bench::families::library_target;
+use xtt_bench::sample_for;
+use xtt_core::rpni_dtop;
+
+fn bench(c: &mut Criterion) {
+    let target = library_target();
+    let sample = sample_for(&target);
+    let mut group = c.benchmark_group("learn");
+    group.sample_size(40);
+    group.bench_function("library", |b| {
+        b.iter(|| {
+            let learned =
+                rpni_dtop(black_box(&sample), &target.domain, target.dtop.output()).unwrap();
+            black_box(learned.dtop.state_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

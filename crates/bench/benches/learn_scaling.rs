@@ -1,0 +1,35 @@
+//! E5 timing: learning time vs transducer size over the flip_k and
+//! relabel-chain families (Theorem 38's polynomial bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtt_bench::families::{chain_target, flip_k_target};
+use xtt_bench::sample_for;
+use xtt_core::rpni_dtop;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learn_scaling");
+    group.sample_size(20);
+    for k in [1usize, 2, 4, 6] {
+        let target = flip_k_target(k);
+        let sample = sample_for(&target);
+        group.bench_with_input(BenchmarkId::new("flip_k", k), &k, |b, _| {
+            b.iter(|| {
+                rpni_dtop(black_box(&sample), &target.domain, target.dtop.output()).unwrap()
+            })
+        });
+    }
+    for n in [2usize, 4, 8, 16] {
+        let target = chain_target(n);
+        let sample = sample_for(&target);
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| {
+                rpni_dtop(black_box(&sample), &target.domain, target.dtop.output()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

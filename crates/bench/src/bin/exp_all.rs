@@ -1,0 +1,5 @@
+//! Runs every experiment E1–E9 and prints the paper-vs-measured tables
+//! recorded in EXPERIMENTS.md.
+fn main() {
+    xtt_bench::exps::run_all();
+}

@@ -1,0 +1,4 @@
+//! Experiment E5 — see DESIGN.md §4 and EXPERIMENTS.md.
+fn main() {
+    xtt_bench::exps::run_e5();
+}

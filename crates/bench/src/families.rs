@@ -1,0 +1,77 @@
+//! Scalable transducer families for the E4/E5 scaling experiments, plus
+//! the canonical targets of the fixed-size experiments.
+
+use xtt_automata::Dtta;
+use xtt_transducer::{canonical_form, examples, Canonical, Dtop};
+use xtt_xml::xmlflip;
+
+/// The canonical τflip target (E1).
+pub fn flip_target() -> Canonical {
+    let fix = examples::flip();
+    canonical_form(&fix.dtop, Some(&fix.domain)).expect("flip canonicalizes")
+}
+
+/// The canonical library target (E2).
+pub fn library_target() -> Canonical {
+    let fix = examples::library();
+    canonical_form(&fix.dtop, None).expect("library canonicalizes")
+}
+
+/// The canonical xmlflip target over paper-style DTD encodings (E3).
+pub fn xmlflip_target() -> Canonical {
+    let dtop = xmlflip::target_dtop();
+    let domain = xmlflip::input_encoding().domain();
+    canonical_form(&dtop, Some(&domain)).expect("xmlflip canonicalizes")
+}
+
+/// The canonical xmlflip target over path-closed encodings.
+pub fn xmlflip_target_pc() -> Canonical {
+    let dtop = xmlflip::target_dtop_pc();
+    let domain = xmlflip::input_encoding_pc().domain();
+    canonical_form(&dtop, Some(&domain)).expect("xmlflip-pc canonicalizes")
+}
+
+/// The `flip_k` family (k sibling groups, reversed): `min(τ)` has `2k`
+/// states; used for sample-size and learning-time scaling.
+pub fn flip_k_target(k: usize) -> Canonical {
+    let fix = examples::flip_k(k);
+    canonical_form(&fix.dtop, Some(&fix.domain)).expect("flip_k canonicalizes")
+}
+
+/// The `relabel_chain` family (n states in a monadic cycle).
+pub fn chain_target(n: usize) -> Canonical {
+    let fix = examples::relabel_chain(n);
+    canonical_form(&fix.dtop, None).expect("chain canonicalizes")
+}
+
+/// Raw fixtures for benches that need the original (non-canonical)
+/// transducer, e.g. the earliest-construction benchmark.
+pub fn raw_flip_k(k: usize) -> (Dtop, Dtta) {
+    let fix = examples::flip_k(k);
+    (fix.dtop, fix.domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_have_expected_sizes() {
+        assert_eq!(flip_target().dtop.state_count(), 4);
+        assert_eq!(library_target().dtop.state_count(), 15);
+        for k in 1..=4 {
+            assert_eq!(flip_k_target(k).dtop.state_count(), 2 * k);
+        }
+        for n in 1..=4 {
+            assert_eq!(chain_target(n).dtop.state_count(), n);
+        }
+    }
+
+    #[test]
+    fn xmlflip_targets_canonicalize() {
+        let paper = xmlflip_target();
+        let pc = xmlflip_target_pc();
+        assert!(paper.dtop.state_count() >= 8);
+        assert!(pc.dtop.state_count() >= 6);
+    }
+}

@@ -1,0 +1,107 @@
+//! The fc/ns impossibility evidence for `xmlflip` (experiment E3, negative
+//! half).
+//!
+//! Over first-child/next-sibling encodings, the `b`-block of
+//! `root(aⁿ bᵐ)` is a descendant of every `a`. Consider the io-path
+//! family `p_n = (u_n, v)` with `u_n = (root,1)(a,2)ⁿ` (input: after `n`
+//! leading `a`s) and `v = (root,1)` (output: the first child of the
+//! output root, where the first `b` — or, with no `b`s, the first `a` —
+//! appears). The residual `p_n⁻¹ τ` must replay the `n` skipped `a`s
+//! *after* the `b`s, so the residuals are pairwise distinct: the
+//! Myhill–Nerode index is unbounded, hence `xmlflip∘fcns` is realized by
+//! no dtop (Theorem 28).
+//!
+//! [`fcns_residual_index`] demonstrates this constructively from data: it
+//! builds a sample of the fc/ns transduction and counts the pairwise
+//! distinct residuals among `p_0..p_{depth}`.
+
+use xtt_core::Sample;
+use xtt_trees::{FPath, Step, Symbol, Tree};
+use xtt_xml::xmlflip;
+
+/// Builds a sample of the fc/ns version of `xmlflip` with all
+/// `n ≤ max_a`, `m ≤ max_b`.
+pub fn fcns_sample(max_a: usize, max_b: usize) -> Sample {
+    let mut sample = Sample::new();
+    for n in 0..=max_a {
+        for m in 0..=max_b {
+            sample
+                .add(xmlflip::fcns_flip_input(n, m), xmlflip::fcns_flip_output(n, m))
+                .expect("fc/ns flip is functional");
+        }
+    }
+    sample
+}
+
+/// The io-path `p_n = ((root,1)(a,2)ⁿ, (root,1))`.
+pub fn p_n(n: usize) -> (FPath, FPath) {
+    let mut u = FPath::parse_pairs(&[("root", 1)]);
+    for _ in 0..n {
+        u = u.push(Step::new(Symbol::new("a"), 1));
+    }
+    (u, FPath::parse_pairs(&[("root", 1)]))
+}
+
+/// Counts pairwise-distinct residuals among `p_0..p_depth` as witnessed by
+/// the sample: two residuals are *provably distinct* if they map a common
+/// input to different outputs. Returns the number of equivalence classes
+/// under "not provably distinct" (a lower bound on the true index).
+pub fn fcns_residual_index(sample: &Sample, depth: usize) -> usize {
+    let residuals: Vec<std::collections::HashMap<Tree, Tree>> = (0..=depth)
+        .map(|n| {
+            let (u, v) = p_n(n);
+            sample
+                .residual_function(&u, &v)
+                .expect("τ residuals are functional")
+        })
+        .collect();
+    // union-find-free: count classes greedily
+    let mut class_reps: Vec<usize> = Vec::new();
+    for i in 0..residuals.len() {
+        let mut found = false;
+        for &rep in &class_reps {
+            if !provably_distinct(&residuals[i], &residuals[rep]) {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            class_reps.push(i);
+        }
+    }
+    class_reps.len()
+}
+
+fn provably_distinct(
+    a: &std::collections::HashMap<Tree, Tree>,
+    b: &std::collections::HashMap<Tree, Tree>,
+) -> bool {
+    a.iter()
+        .any(|(k, va)| matches!(b.get(k), Some(vb) if vb != va))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residual_index_grows_with_depth() {
+        // with enough data, p_0..p_5 are pairwise provably distinct
+        let sample = fcns_sample(7, 3);
+        for depth in 1..=5 {
+            let index = fcns_residual_index(&sample, depth);
+            assert_eq!(
+                index,
+                depth + 1,
+                "p_0..p_{depth} should be pairwise distinct"
+            );
+        }
+    }
+
+    #[test]
+    fn p_n_belongs_to_big_inputs() {
+        let (u, _) = p_n(3);
+        assert!(u.belongs_to(&xmlflip::fcns_flip_input(5, 2)));
+        assert!(!u.belongs_to(&xmlflip::fcns_flip_input(2, 2)));
+    }
+}

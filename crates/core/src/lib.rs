@@ -1,0 +1,32 @@
+//! # xtt-core
+//!
+//! The learning algorithm of *"A Learning Algorithm for Top-Down XML
+//! Transformations"* (Lemay, Maneth, Niehren; PODS 2010) — the paper's
+//! primary contribution:
+//!
+//! * [`sample::Sample`] — finite functional sub-relations of a target
+//!   transduction, with residuals `p⁻¹S` and maximal outputs `out_S`;
+//! * [`rpni::rpni_dtop`] — the `RPNIdtop` algorithm of Figure 1: given a
+//!   characteristic sample and a DTTA for the domain, identifies the
+//!   unique minimal earliest compatible dtop `min(τ)` in polynomial time
+//!   (Theorem 38);
+//! * [`charsample::characteristic_sample`] — the constructive side of
+//!   Proposition 34: builds a characteristic sample of polynomial
+//!   cardinality from `min(τ)`;
+//! * [`verify`] — decision procedures for the sample conditions (A), (T),
+//!   (O) of Definition 31;
+//! * [`strings`] — the paper's remark that the same machinery, over
+//!   monadic trees, infers minimal subsequential string transducers.
+
+pub mod charsample;
+pub mod rpni;
+pub mod sample;
+pub mod strings;
+pub mod verify;
+
+pub use charsample::{
+    characteristic_sample, characteristic_sample_with, CharSampleError, CharSampleOptions,
+};
+pub use rpni::{rpni_dtop, rpni_dtop_with, LearnError, Learned, Options};
+pub use sample::{NotFunctional, Sample};
+pub use verify::{check_characteristic_conditions, ConditionReport};

@@ -1,0 +1,658 @@
+//! The learning algorithm `RPNIdtop` (Figure 1 of the paper).
+//!
+//! Input: a sample `S` that is characteristic (Definition 31) for some
+//! top-down partial function `τ` with finite index, and a DTTA `A` with
+//! `L(A) = dom(τ)`. Output: the unique minimal earliest compatible dtop
+//! `min(τ)` (Theorem 38).
+//!
+//! The implementation follows the paper's dtop-with-border-states view
+//! (Definition 35) operationally:
+//!
+//! * *ok-states* are io-paths of `S` that have been promoted to states;
+//! * *border-states* are io-paths discovered in the axiom or in rule
+//!   right-hand sides but not yet processed;
+//! * the least border-state (w.r.t. the order `<` of Section 8) is either
+//!   **merged** with a mergeable ok-state (Definition 30: same residual
+//!   domain w.r.t. `A` and no conflicting residual pair in `S`) — this
+//!   updates `µ` — or **promoted** to a new ok-state, at which point its
+//!   rules are read off `out_S(u·f)` (property (T)) with variables aligned
+//!   by the unique functional residual (property (O)).
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+use xtt_automata::{language_classes, Dtta};
+use xtt_trees::{FPath, PLabel, PTree, PathOrder, RankedAlphabet, Step, Symbol};
+use xtt_transducer::{Dtop, DtopBuilder, IoPath, QId, Rhs};
+
+use crate::sample::Sample;
+
+/// Errors of the learner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearnError {
+    /// The sample is empty — `out_S(ε)` is undefined.
+    EmptySample,
+    /// A sample input is not accepted by the domain automaton.
+    InputOutsideDomain(String),
+    /// The sample violates a property every characteristic sample has; the
+    /// message names the failed inference step.
+    InsufficientSample(String),
+    /// Assembling the final transducer failed (alphabet/rank conflicts).
+    BadSample(String),
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::EmptySample => write!(f, "cannot learn from an empty sample"),
+            LearnError::InputOutsideDomain(m) => {
+                write!(f, "sample input outside the domain automaton: {m}")
+            }
+            LearnError::InsufficientSample(m) => {
+                write!(f, "sample is not characteristic: {m}")
+            }
+            LearnError::BadSample(m) => write!(f, "malformed sample: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+/// The result of a successful run: the inferred transducer plus the
+/// learner's trace (useful for the worked examples and for debugging).
+#[derive(Debug, Clone)]
+pub struct Learned {
+    /// The inferred dtop, states named `q0, q1, …` in promotion order.
+    pub dtop: Dtop,
+    /// The io-path that became state `i`.
+    pub states: Vec<IoPath>,
+    /// Merges performed: `(border io-path, ok-state index it merged with)`.
+    pub merges: Vec<(IoPath, usize)>,
+}
+
+/// Options for the learner.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Upper bound on promoted states; exceeding it aborts with
+    /// `InsufficientSample` (a characteristic sample can never need more
+    /// states than `min(τ)` has).
+    pub max_states: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { max_states: 10_000 }
+    }
+}
+
+/// Runs `RPNIdtop(S, A)` with the given output alphabet.
+///
+/// The output alphabet fixes the letter order used by `<` on output paths;
+/// it must list every output symbol with its rank (the characteristic
+/// sample generator and the learner must agree on this order, as the
+/// paper's Definitions 29–31 are order-relative).
+pub fn rpni_dtop(
+    sample: &Sample,
+    domain: &Dtta,
+    output: &RankedAlphabet,
+) -> Result<Learned, LearnError> {
+    rpni_dtop_with(sample, domain, output, &Options::default())
+}
+
+struct Learner<'a> {
+    sample: &'a Sample,
+    domain: &'a Dtta,
+    input: &'a RankedAlphabet,
+    output: &'a RankedAlphabet,
+    /// Language-equivalence classes of the domain automaton's states.
+    dclasses: Vec<usize>,
+    ok: Vec<IoPath>,
+    merges: Vec<(IoPath, usize)>,
+    /// For each promoted state, its pending rules (symbol, rhs over
+    /// io-path call targets).
+    rules: Vec<Vec<(Symbol, RhsIo)>>,
+    /// Border io-paths not yet processed.
+    border: Vec<IoPath>,
+}
+
+/// An rhs whose calls target io-paths (resolved to state ids at the end).
+#[derive(Clone, Debug)]
+enum RhsIo {
+    Out(Symbol, Vec<RhsIo>),
+    Call(IoPath, usize),
+}
+
+/// `RPNIdtop` with explicit options.
+pub fn rpni_dtop_with(
+    sample: &Sample,
+    domain: &Dtta,
+    output: &RankedAlphabet,
+    options: &Options,
+) -> Result<Learned, LearnError> {
+    if sample.is_empty() {
+        return Err(LearnError::EmptySample);
+    }
+    for (s, _) in sample.pairs() {
+        if !domain.accepts(s) {
+            return Err(LearnError::InputOutsideDomain(s.to_string()));
+        }
+    }
+    let mut learner = Learner {
+        sample,
+        domain,
+        input: domain.alphabet(),
+        output,
+        dclasses: language_classes(domain),
+        ok: Vec::new(),
+        merges: Vec::new(),
+        rules: Vec::new(),
+        border: Vec::new(),
+    };
+
+    // Axiom: out_S(ε) with a border io-path per hole (property (A)).
+    let out_root = sample.out_root().ok_or(LearnError::EmptySample)?;
+    let axiom_io = holes_with_fpaths(&out_root);
+    for (v, _) in &axiom_io {
+        learner.push_border(IoPath {
+            input: FPath::empty(),
+            output: v.clone(),
+        });
+    }
+
+    // Main loop of Figure 1.
+    while let Some(p) = learner.pop_least_border() {
+        if let Some(ok_idx) = learner.find_merge(&p)? {
+            learner.merges.push((p, ok_idx));
+            continue;
+        }
+        if learner.ok.len() >= options.max_states {
+            return Err(LearnError::InsufficientSample(format!(
+                "exceeded {} states; the sample likely is not characteristic",
+                options.max_states
+            )));
+        }
+        learner.promote(p)?;
+    }
+
+    learner.assemble(&out_root, &axiom_io)
+}
+
+/// All `⊥`-holes of a prefix tree with their labeled paths.
+fn holes_with_fpaths(t: &PTree) -> Vec<(FPath, PTree)> {
+    let mut out = Vec::new();
+    collect_holes(t, &FPath::empty(), &mut out);
+    out
+}
+
+fn collect_holes(t: &PTree, at: &FPath, out: &mut Vec<(FPath, PTree)>) {
+    match t.label() {
+        PLabel::Bottom => out.push((at.clone(), t.clone())),
+        PLabel::Top => unreachable!("⊤ cannot occur in out_S"),
+        PLabel::Sym(sym) => {
+            for (i, c) in t.children().iter().enumerate() {
+                collect_holes(c, &at.push(Step::new(sym, i as u32)), out);
+            }
+        }
+    }
+}
+
+impl<'a> Learner<'a> {
+    fn push_border(&mut self, p: IoPath) {
+        if self.border.contains(&p) || self.ok.contains(&p) {
+            return;
+        }
+        self.border.push(p);
+    }
+
+    /// Removes and returns the `<`-least border io-path.
+    fn pop_least_border(&mut self) -> Option<IoPath> {
+        if self.border.is_empty() {
+            return None;
+        }
+        let ord = PathOrder::new(self.input, self.output);
+        let mut best = 0;
+        for i in 1..self.border.len() {
+            let cmp = ord
+                .cmp_input(&self.border[i].input, &self.border[best].input)
+                .then_with(|| ord.cmp_output(&self.border[i].output, &self.border[best].output));
+            if cmp == Ordering::Less {
+                best = i;
+            }
+        }
+        Some(self.border.swap_remove(best))
+    }
+
+    /// Definition 30: `p` and ok-state `i` are mergeable iff their residual
+    /// domains w.r.t. `A` coincide and their sample residuals agree
+    /// wherever both are defined.
+    fn mergeable(&self, p: &IoPath, i: usize) -> Result<bool, LearnError> {
+        let q = &self.ok[i];
+        let dp = self.domain.residual(&p.input).ok_or_else(|| {
+            LearnError::InsufficientSample(format!("io-path {p} leaves the domain"))
+        })?;
+        let dq = self.domain.residual(&q.input).ok_or_else(|| {
+            LearnError::InsufficientSample(format!("io-path {q} leaves the domain"))
+        })?;
+        if self.dclasses[dp.index()] != self.dclasses[dq.index()] {
+            return Ok(false);
+        }
+        let rp = self
+            .sample
+            .residual_function(&p.input, &p.output)
+            .ok_or_else(|| {
+                LearnError::InsufficientSample(format!("border io-path {p} is not functional"))
+            })?;
+        let rq = self
+            .sample
+            .residual_function(&q.input, &q.output)
+            .ok_or_else(|| {
+                LearnError::InsufficientSample(format!("ok io-path {q} is not functional"))
+            })?;
+        for (input, output) in &rp {
+            if let Some(other) = rq.get(input) {
+                if other != output {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// First (and, for characteristic samples, only) mergeable ok-state.
+    fn find_merge(&self, p: &IoPath) -> Result<Option<usize>, LearnError> {
+        for i in 0..self.ok.len() {
+            if self.mergeable(p, i)? {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Turns `p` into an ok-state and reads its rules off the sample.
+    fn promote(&mut self, p: IoPath) -> Result<(), LearnError> {
+        let d = self.domain.residual(&p.input).ok_or_else(|| {
+            LearnError::InsufficientSample(format!("io-path {p} leaves the domain"))
+        })?;
+        let mut rules: Vec<(Symbol, RhsIo)> = Vec::new();
+        for &f in self.input.symbols() {
+            // (C2)-conformance: only symbols the domain allows here.
+            if self.domain.transition(d, f).is_none() {
+                continue;
+            }
+            let npath = p.input.with_label(f);
+            let Some(out) = self.sample.out_at_npath(&npath) else {
+                // No sample witnesses u·f — for characteristic samples this
+                // means... it must not happen for live transitions.
+                return Err(LearnError::InsufficientSample(format!(
+                    "no sample input contains {npath} (needed for the rules of {p})"
+                )));
+            };
+            // rhs = v⁻¹(out_S(u·f)) — v must belong to the maximal output.
+            let Some(sub) = out.resolve_fpath(&p.output) else {
+                return Err(LearnError::InsufficientSample(format!(
+                    "out_S({npath}) does not extend along {} (condition (T) violated)",
+                    p.output
+                )));
+            };
+            let rank = self.input.rank(f).expect("symbol in alphabet");
+            let rhs = self.build_rhs(&p, f, rank, &sub)?;
+            rules.push((f, rhs));
+        }
+        // register the new state, queue its call targets
+        let mut targets: Vec<IoPath> = Vec::new();
+        for (_, rhs) in &rules {
+            collect_call_targets(rhs, &mut targets);
+        }
+        self.ok.push(p);
+        self.rules.push(rules);
+        for t in targets {
+            self.push_border(t);
+        }
+        Ok(())
+    }
+
+    /// Converts `v⁻¹(out_S(u·f))` into an rhs, aligning each hole with the
+    /// unique child index whose residual is functional (property (O)).
+    fn build_rhs(
+        &self,
+        p: &IoPath,
+        f: Symbol,
+        rank: usize,
+        sub: &PTree,
+    ) -> Result<RhsIo, LearnError> {
+        self.build_rhs_at(p, f, rank, sub, &FPath::empty())
+    }
+
+    fn build_rhs_at(
+        &self,
+        p: &IoPath,
+        f: Symbol,
+        rank: usize,
+        t: &PTree,
+        v2: &FPath,
+    ) -> Result<RhsIo, LearnError> {
+        match t.label() {
+            PLabel::Top => unreachable!("⊤ cannot occur in out_S"),
+            PLabel::Sym(sym) => {
+                let mut kids = Vec::with_capacity(t.children().len());
+                for (i, c) in t.children().iter().enumerate() {
+                    kids.push(self.build_rhs_at(
+                        p,
+                        f,
+                        rank,
+                        c,
+                        &v2.push(Step::new(sym, i as u32)),
+                    )?);
+                }
+                Ok(RhsIo::Out(sym, kids))
+            }
+            PLabel::Bottom => {
+                let out_path = p.output.concat(v2);
+                let mut candidates: Vec<usize> = Vec::new();
+                for i in 0..rank {
+                    let in_path = p.input.push(Step::new(f, i as u32));
+                    if self.sample.residual_is_functional(&in_path, &out_path) {
+                        candidates.push(i);
+                    }
+                }
+                match candidates.as_slice() {
+                    [i] => {
+                        let target = IoPath {
+                            input: p.input.push(Step::new(f, *i as u32)),
+                            output: out_path,
+                        };
+                        Ok(RhsIo::Call(target, *i))
+                    }
+                    [] => Err(LearnError::InsufficientSample(format!(
+                        "no functional alignment for hole {out_path} in rule ({p}, {f})"
+                    ))),
+                    many => Err(LearnError::InsufficientSample(format!(
+                        "ambiguous alignment ({} candidates) for hole {out_path} in rule \
+                         ({p}, {f}) — condition (O) violated",
+                        many.len()
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Builds the final dtop: resolve io-path call targets through µ.
+    fn assemble(
+        self,
+        out_root: &PTree,
+        axiom_io: &[(FPath, PTree)],
+    ) -> Result<Learned, LearnError> {
+        let mut mu: HashMap<&IoPath, usize> = HashMap::new();
+        for (i, p) in self.ok.iter().enumerate() {
+            mu.insert(p, i);
+        }
+        for (p, i) in &self.merges {
+            mu.insert(p, *i);
+        }
+        let resolve = |p: &IoPath| -> Result<QId, LearnError> {
+            mu.get(p).map(|&i| QId(i as u32)).ok_or_else(|| {
+                LearnError::InsufficientSample(format!("unresolved io-path {p}"))
+            })
+        };
+
+        let mut builder = DtopBuilder::new(self.input.clone(), self.output.clone());
+        for i in 0..self.ok.len() {
+            builder.add_state(format!("q{i}"));
+        }
+        // axiom: out_S(ε) with holes replaced by resolved state calls
+        let mut hole_iter = axiom_io.iter();
+        let axiom = ptree_to_axiom(out_root, &mut |_| {
+            let (v, _) = hole_iter.next().expect("hole count matches");
+            resolve(&IoPath {
+                input: FPath::empty(),
+                output: v.clone(),
+            })
+        })?;
+        builder.set_axiom(axiom);
+        for (i, rules) in self.rules.iter().enumerate() {
+            for (f, rhs) in rules {
+                let resolved = resolve_rhs(rhs, &resolve)?;
+                builder
+                    .add_rule(QId(i as u32), *f, resolved)
+                    .map_err(|e| LearnError::BadSample(e.to_string()))?;
+            }
+        }
+        let dtop = builder
+            .build()
+            .map_err(|e| LearnError::BadSample(e.to_string()))?;
+        Ok(Learned {
+            dtop,
+            states: self.ok,
+            merges: self.merges,
+        })
+    }
+}
+
+fn collect_call_targets(rhs: &RhsIo, out: &mut Vec<IoPath>) {
+    match rhs {
+        RhsIo::Call(p, _) => out.push(p.clone()),
+        RhsIo::Out(_, kids) => {
+            for k in kids {
+                collect_call_targets(k, out);
+            }
+        }
+    }
+}
+
+fn resolve_rhs(
+    rhs: &RhsIo,
+    resolve: &impl Fn(&IoPath) -> Result<QId, LearnError>,
+) -> Result<Rhs, LearnError> {
+    match rhs {
+        RhsIo::Call(p, child) => Ok(Rhs::Call {
+            state: resolve(p)?,
+            child: *child,
+        }),
+        RhsIo::Out(sym, kids) => {
+            let mut out = Vec::with_capacity(kids.len());
+            for k in kids {
+                out.push(resolve_rhs(k, resolve)?);
+            }
+            Ok(Rhs::Out(*sym, out))
+        }
+    }
+}
+
+fn ptree_to_axiom(
+    t: &PTree,
+    next_hole: &mut impl FnMut(&PTree) -> Result<QId, LearnError>,
+) -> Result<Rhs, LearnError> {
+    match t.label() {
+        PLabel::Top => unreachable!("⊤ cannot occur in out_S"),
+        PLabel::Bottom => Ok(Rhs::Call {
+            state: next_hole(t)?,
+            child: 0,
+        }),
+        PLabel::Sym(sym) => {
+            let mut kids = Vec::with_capacity(t.children().len());
+            for c in t.children() {
+                kids.push(ptree_to_axiom(c, next_hole)?);
+            }
+            Ok(Rhs::Out(sym, kids))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtt_transducer::{canonical_form, examples, same_canonical};
+    use xtt_trees::parse_tree;
+
+    fn flip_sample() -> Sample {
+        let pairs = [
+            ("root(#,#)", "root(#,#)"),
+            ("root(a(#,#),#)", "root(#,a(#,#))"),
+            ("root(#,b(#,#))", "root(b(#,#),#)"),
+            (
+                "root(a(#,a(#,#)),b(#,b(#,#)))",
+                "root(b(#,b(#,#)),a(#,a(#,#)))",
+            ),
+        ];
+        Sample::from_pairs(
+            pairs
+                .iter()
+                .map(|(s, t)| (parse_tree(s).unwrap(), parse_tree(t).unwrap())),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn learns_flip_from_paper_sample() {
+        // Example 7, end to end: 4 pairs suffice to infer Mflip.
+        let fix = examples::flip();
+        let learned = rpni_dtop(&flip_sample(), &fix.domain, fix.dtop.output()).unwrap();
+        assert_eq!(learned.dtop.state_count(), 4);
+        assert_eq!(learned.dtop.rule_count(), 6);
+        // compare canonically against the target
+        let target = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let got = canonical_form(&learned.dtop, Some(&fix.domain)).unwrap();
+        assert!(same_canonical(&target, &got));
+    }
+
+    #[test]
+    fn flip_merge_trace_matches_example_7() {
+        // Example 7: p5 merges with p4 (ours: the a-copier), p6 with p3.
+        let fix = examples::flip();
+        let learned = rpni_dtop(&flip_sample(), &fix.domain, fix.dtop.output()).unwrap();
+        assert_eq!(learned.merges.len(), 2);
+        let shown: Vec<(String, String)> = learned
+            .merges
+            .iter()
+            .map(|(p, i)| (p.to_string(), learned.states[*i].to_string()))
+            .collect();
+        // deeper a-list io-path merges into the a-copier state, b into b
+        assert!(shown.contains(&(
+            "((root,1)(a,2); (root,2)(a,2))".to_owned(),
+            "((root,1); (root,2))".to_owned()
+        )));
+        assert!(shown.contains(&(
+            "((root,2)(b,2); (root,1)(b,2))".to_owned(),
+            "((root,2); (root,1))".to_owned()
+        )));
+    }
+
+    #[test]
+    fn promotion_order_follows_example_7() {
+        // Example 7 discovers p1=(ε,(root,1)), p2=(ε,(root,2)),
+        // then p4=((root,1),(root,2)) before p3=((root,2),(root,1)).
+        let fix = examples::flip();
+        let learned = rpni_dtop(&flip_sample(), &fix.domain, fix.dtop.output()).unwrap();
+        let order: Vec<String> = learned.states.iter().map(|p| p.to_string()).collect();
+        assert_eq!(
+            order,
+            vec![
+                "(ε; (root,1))",
+                "(ε; (root,2))",
+                "((root,1); (root,2))",
+                "((root,2); (root,1))",
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_sample_rejected() {
+        let fix = examples::flip();
+        let err = rpni_dtop(&Sample::new(), &fix.domain, fix.dtop.output());
+        assert_eq!(err.unwrap_err(), LearnError::EmptySample);
+    }
+
+    #[test]
+    fn out_of_domain_input_rejected() {
+        let fix = examples::flip();
+        let mut s = flip_sample();
+        s.add(
+            parse_tree("root(b(#,#),#)").unwrap(),
+            parse_tree("root(#,#)").unwrap(),
+        )
+        .unwrap();
+        let err = rpni_dtop(&s, &fix.domain, fix.dtop.output()).unwrap_err();
+        assert!(matches!(err, LearnError::InputOutsideDomain(_)));
+    }
+
+    #[test]
+    fn undersized_sample_overgeneralizes_gold_style() {
+        // Gold-style identification: on a non-characteristic sample the
+        // learner may return a wrong guess (here: the constant transducer,
+        // because out_S(ε) has no holes) — but it must not crash, and the
+        // guess is consistent with the sample it saw.
+        let fix = examples::flip();
+        let s = Sample::from_pairs([(
+            parse_tree("root(#,#)").unwrap(),
+            parse_tree("root(#,#)").unwrap(),
+        )])
+        .unwrap();
+        let learned = rpni_dtop(&s, &fix.domain, fix.dtop.output()).unwrap();
+        assert_eq!(learned.dtop.state_count(), 0);
+        assert_eq!(
+            xtt_transducer::eval(&learned.dtop, &parse_tree("root(#,#)").unwrap()).unwrap(),
+            parse_tree("root(#,#)").unwrap()
+        );
+        // ...and it is NOT the target: a larger input exposes the guess.
+        let big = examples::flip_input(1, 0);
+        assert_ne!(
+            xtt_transducer::eval(&learned.dtop, &big),
+            xtt_transducer::eval(&fix.dtop, &big)
+        );
+    }
+
+    #[test]
+    fn ambiguous_alignment_is_reported() {
+        // With only these two pairs, both children of the input root are
+        // functional alignments for the hole at (root,1) of out_S(ε), so
+        // condition (O) fails and the learner reports the ambiguity.
+        let fix = examples::flip();
+        let s = Sample::from_pairs([
+            (
+                parse_tree("root(#,#)").unwrap(),
+                parse_tree("root(#,#)").unwrap(),
+            ),
+            (
+                parse_tree("root(a(#,#),b(#,#))").unwrap(),
+                parse_tree("root(b(#,#),a(#,#))").unwrap(),
+            ),
+        ])
+        .unwrap();
+        let err = rpni_dtop(&s, &fix.domain, fix.dtop.output()).unwrap_err();
+        assert!(matches!(err, LearnError::InsufficientSample(_)), "{err}");
+    }
+
+    #[test]
+    fn learning_is_monotone_under_supersets() {
+        // adding more correct pairs must not change the result
+        let fix = examples::flip();
+        let mut s = flip_sample();
+        for (n, m) in [(2usize, 2usize), (3, 1), (0, 3), (2, 0)] {
+            let input = examples::flip_input(n, m);
+            let output = xtt_transducer::eval(&fix.dtop, &input).unwrap();
+            s.add(input, output).unwrap();
+        }
+        let learned = rpni_dtop(&s, &fix.domain, fix.dtop.output()).unwrap();
+        let target = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let got = canonical_form(&learned.dtop, Some(&fix.domain)).unwrap();
+        assert!(same_canonical(&target, &got));
+    }
+
+    #[test]
+    fn constant_transduction_learned_without_states() {
+        // Example 1: the constant-b transduction needs no states at all.
+        let fix = examples::constant_m1();
+        let s = Sample::from_pairs([
+            (parse_tree("a").unwrap(), parse_tree("b").unwrap()),
+            (parse_tree("f(a,a)").unwrap(), parse_tree("b").unwrap()),
+        ])
+        .unwrap();
+        let learned = rpni_dtop(&s, &fix.domain, fix.dtop.output()).unwrap();
+        assert_eq!(learned.dtop.state_count(), 0);
+        assert_eq!(
+            learned.dtop.show_rhs(learned.dtop.axiom(), true),
+            "b"
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Subsequential string transducers as dtops over monadic trees.
+//!
+//! The paper notes (Related Work) that its result, applied to monadic
+//! trees, also allows to infer minimal (subsequential) string transducers
+//! in the style of Oncina–García–Vidal (OSTIA). A string `abc` over an
+//! alphabet `Σ` is encoded as the monadic tree `a(b(c($)))` with a fresh
+//! end marker `$`; string functions become tree transductions, and the
+//! generic pipeline (canonical form, characteristic samples, `RPNIdtop`)
+//! applies unchanged.
+
+use std::fmt;
+
+use xtt_automata::Dtta;
+use xtt_trees::{RankedAlphabet, Symbol, Tree};
+use xtt_transducer::{canonical_form, eval, Canonical, Dtop, NormError};
+
+use crate::charsample::{characteristic_sample, CharSampleError};
+use crate::rpni::{rpni_dtop, LearnError};
+use crate::sample::Sample;
+
+/// The end-of-string marker.
+pub const END: &str = "$";
+
+/// A string alphabet together with its monadic tree encoding.
+#[derive(Clone, Debug)]
+pub struct StringAlphabet {
+    letters: Vec<char>,
+    ranked: RankedAlphabet,
+}
+
+impl StringAlphabet {
+    /// Builds an alphabet from the given letters, in order.
+    pub fn new(letters: &[char]) -> StringAlphabet {
+        let mut ranked = RankedAlphabet::new();
+        for &c in letters {
+            ranked.add_named(&c.to_string(), 1);
+        }
+        ranked.add_named(END, 0);
+        StringAlphabet {
+            letters: letters.to_vec(),
+            ranked,
+        }
+    }
+
+    pub fn letters(&self) -> &[char] {
+        &self.letters
+    }
+
+    pub fn ranked(&self) -> &RankedAlphabet {
+        &self.ranked
+    }
+
+    /// Encodes a string as a monadic tree (`"ab"` → `a(b($))`).
+    pub fn encode(&self, s: &str) -> Tree {
+        let mut t = Tree::leaf_named(END);
+        for c in s.chars().rev() {
+            assert!(self.letters.contains(&c), "letter {c:?} not in alphabet");
+            t = Tree::new(Symbol::new(&c.to_string()), vec![t]);
+        }
+        t
+    }
+
+    /// Decodes a monadic tree back into a string.
+    pub fn decode(&self, t: &Tree) -> Option<String> {
+        let mut out = String::new();
+        let mut cur = t.clone();
+        loop {
+            if cur.symbol().name() == END {
+                return cur.is_leaf().then_some(out);
+            }
+            if cur.arity() != 1 {
+                return None;
+            }
+            out.push_str(cur.symbol().name());
+            cur = cur.child(0).unwrap().clone();
+        }
+    }
+
+    /// The universal domain: all strings over the alphabet.
+    pub fn universal_domain(&self) -> Dtta {
+        Dtta::universal(self.ranked.clone())
+    }
+}
+
+/// A learned string transducer: a dtop over monadic encodings.
+#[derive(Clone, Debug)]
+pub struct StringTransducer {
+    pub input: StringAlphabet,
+    pub output: StringAlphabet,
+    pub dtop: Dtop,
+}
+
+impl StringTransducer {
+    /// Applies the transducer to a string.
+    pub fn apply(&self, s: &str) -> Option<String> {
+        let t = eval(&self.dtop, &self.input.encode(s))?;
+        self.output.decode(&t)
+    }
+
+    /// Number of states — for subsequential transducers this matches the
+    /// state count of the minimal sequential machine.
+    pub fn state_count(&self) -> usize {
+        self.dtop.state_count()
+    }
+}
+
+/// Errors of string-transducer learning.
+#[derive(Debug)]
+pub enum StringLearnError {
+    Learn(LearnError),
+    NotFunctional,
+}
+
+impl fmt::Display for StringLearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StringLearnError::Learn(e) => write!(f, "{e}"),
+            StringLearnError::NotFunctional => write!(f, "samples are not functional"),
+        }
+    }
+}
+
+impl std::error::Error for StringLearnError {}
+
+/// Learns a string transducer from example pairs. The sample must be
+/// characteristic for the target (e.g. produced by
+/// [`string_characteristic_sample`] or a superset of it).
+pub fn learn_string_transducer(
+    input: &StringAlphabet,
+    output: &StringAlphabet,
+    examples: &[(&str, &str)],
+) -> Result<StringTransducer, StringLearnError> {
+    let sample = Sample::from_pairs(
+        examples
+            .iter()
+            .map(|(s, t)| (input.encode(s), output.encode(t))),
+    )
+    .map_err(|_| StringLearnError::NotFunctional)?;
+    let domain = input.universal_domain();
+    let learned = rpni_dtop(&sample, &domain, output.ranked())
+        .map_err(StringLearnError::Learn)?;
+    Ok(StringTransducer {
+        input: input.clone(),
+        output: output.clone(),
+        dtop: learned.dtop,
+    })
+}
+
+/// Characteristic sample (as string pairs) for a target string transducer
+/// given as a dtop over monadic encodings.
+pub fn string_characteristic_sample(
+    target: &Canonical,
+    input: &StringAlphabet,
+    output: &StringAlphabet,
+) -> Result<Vec<(String, String)>, CharSampleError> {
+    let sample = characteristic_sample(target)?;
+    let mut out = Vec::with_capacity(sample.len());
+    for (s, t) in sample.pairs() {
+        let si = input
+            .decode(s)
+            .ok_or_else(|| CharSampleError::Internal("non-monadic input".into()))?;
+        let ti = output
+            .decode(t)
+            .ok_or_else(|| CharSampleError::Internal("non-monadic output".into()))?;
+        out.push((si, ti));
+    }
+    Ok(out)
+}
+
+/// A sequential-transducer transition: `(state, letter) ↦ (next state,
+/// output word)`.
+pub type SeqTransition = ((usize, char), (usize, String));
+
+/// Builds the canonical form of a string transducer described by
+/// sequential rules: `delta[(state, letter)] = (next_state, output_word)`
+/// plus a final-output word per state. State 0 is initial.
+///
+/// This is the classical subsequential-transducer format; it is compiled
+/// into a dtop over monadic encodings.
+pub fn sequential_to_dtop(
+    input: &StringAlphabet,
+    output: &StringAlphabet,
+    n_states: usize,
+    delta: &[SeqTransition],
+    final_out: &[(usize, String)],
+) -> Result<Canonical, NormError> {
+    let mut b = Dtop::builder(input.ranked().clone(), output.ranked().clone());
+    for i in 0..n_states {
+        b.add_state(format!("s{i}"));
+    }
+    b.set_axiom_str("<s0,x0>").unwrap();
+    for &((q, letter), (q2, ref word)) in delta {
+        // rule: s_q(letter(x1)) -> w1(w2(...(<s_q2, x1>)))
+        let mut rhs = xtt_transducer::Rhs::Call {
+            state: QIdOf(q2),
+            child: 0,
+        };
+        for ch in word.chars().rev() {
+            rhs = xtt_transducer::Rhs::Out(Symbol::new(&ch.to_string()), vec![rhs]);
+        }
+        b.add_rule(QIdOf(q), Symbol::new(&letter.to_string()), rhs)
+            .map_err(|e| NormError::Internal(e.to_string()))?;
+    }
+    for &(q, ref word) in final_out {
+        let mut rhs = xtt_transducer::Rhs::Out(Symbol::new(END), Vec::new());
+        for ch in word.chars().rev() {
+            rhs = xtt_transducer::Rhs::Out(Symbol::new(&ch.to_string()), vec![rhs]);
+        }
+        b.add_rule(QIdOf(q), Symbol::new(END), rhs)
+            .map_err(|e| NormError::Internal(e.to_string()))?;
+    }
+    let dtop = b.build().map_err(|e| NormError::Internal(e.to_string()))?;
+    canonical_form(&dtop, None)
+}
+
+#[allow(non_snake_case)]
+fn QIdOf(i: usize) -> xtt_transducer::QId {
+    xtt_transducer::QId(i as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let alpha = StringAlphabet::new(&['a', 'b']);
+        let t = alpha.encode("abba");
+        assert_eq!(t.to_string(), "a(b(b(a($))))");
+        assert_eq!(alpha.decode(&t).unwrap(), "abba");
+        assert_eq!(alpha.decode(&alpha.encode("")).unwrap(), "");
+    }
+
+    /// The "replace a by x, b by y, but swap behaviour after the first b"
+    /// machine: a 2-state subsequential transducer.
+    fn target() -> (StringAlphabet, StringAlphabet, Canonical) {
+        let input = StringAlphabet::new(&['a', 'b']);
+        let output = StringAlphabet::new(&['x', 'y', 'z']);
+        let delta = vec![
+            ((0, 'a'), (0, "x".to_owned())),
+            ((0, 'b'), (1, "y".to_owned())),
+            ((1, 'a'), (1, "z".to_owned())),
+            ((1, 'b'), (1, "y".to_owned())),
+        ];
+        let finals = vec![(0, String::new()), (1, String::new())];
+        let canon = sequential_to_dtop(&input, &output, 2, &delta, &finals).unwrap();
+        (input, output, canon)
+    }
+
+    #[test]
+    fn sequential_machine_translates() {
+        let (input, output, canon) = target();
+        let t = StringTransducer {
+            input,
+            output,
+            dtop: canon.dtop.clone(),
+        };
+        assert_eq!(t.apply("aab").unwrap(), "xxy");
+        assert_eq!(t.apply("aba").unwrap(), "xyz");
+        assert_eq!(t.apply("").unwrap(), "");
+    }
+
+    #[test]
+    fn learn_string_transducer_from_characteristic_sample() {
+        let (input, output, canon) = target();
+        let pairs = string_characteristic_sample(&canon, &input, &output).unwrap();
+        let borrowed: Vec<(&str, &str)> =
+            pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let learned = learn_string_transducer(&input, &output, &borrowed).unwrap();
+        assert_eq!(learned.state_count(), canon.dtop.state_count());
+        for s in ["", "a", "b", "ab", "ba", "aababa", "bbbb"] {
+            let expected = {
+                let t = eval(&canon.dtop, &input.encode(s)).unwrap();
+                output.decode(&t).unwrap()
+            };
+            assert_eq!(learned.apply(s).unwrap(), expected, "on {s:?}");
+        }
+    }
+
+    #[test]
+    fn learned_machine_is_minimal() {
+        // the 2-state target cannot be represented with 1 state; the
+        // learner must find exactly 2 (minimal subsequential machine).
+        let (input, output, canon) = target();
+        let pairs = string_characteristic_sample(&canon, &input, &output).unwrap();
+        let borrowed: Vec<(&str, &str)> =
+            pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let learned = learn_string_transducer(&input, &output, &borrowed).unwrap();
+        assert_eq!(learned.state_count(), 2);
+    }
+}

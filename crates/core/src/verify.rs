@@ -1,0 +1,216 @@
+//! Decision procedures for the characteristic-sample conditions of
+//! Definition 31.
+//!
+//! Conditions (C), (A), (T), (O) are directly checkable against the target
+//! `min(τ)`; condition (N) quantifies over semantic non-mergeability and is
+//! validated indirectly (the learner recovering `min(τ)` — exercised
+//! throughout the test suite — is the behavioural check).
+
+use std::fmt;
+
+use xtt_trees::FPath;
+use xtt_transducer::{eval, out_at, state_io_paths, Canonical};
+
+use crate::sample::Sample;
+
+/// Outcome of checking a sample against a target.
+#[derive(Debug, Clone, Default)]
+pub struct ConditionReport {
+    /// Violations of (C): pairs not in `τ`.
+    pub c_violations: Vec<String>,
+    /// Violation of (A): `out_S(ε) ≠ out_τ(ε)`.
+    pub a_violation: Option<String>,
+    /// Violations of (T): state-io-path/symbol combinations where
+    /// `out_S(u·f) ≠ out_τ(u·f)`.
+    pub t_violations: Vec<String>,
+    /// Violations of (O): holes without a unique functional alignment.
+    pub o_violations: Vec<String>,
+}
+
+impl ConditionReport {
+    pub fn ok(&self) -> bool {
+        self.c_violations.is_empty()
+            && self.a_violation.is_none()
+            && self.t_violations.is_empty()
+            && self.o_violations.is_empty()
+    }
+}
+
+impl fmt::Display for ConditionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ok() {
+            return write!(f, "all checked conditions hold");
+        }
+        for v in &self.c_violations {
+            writeln!(f, "(C) {v}")?;
+        }
+        if let Some(v) = &self.a_violation {
+            writeln!(f, "(A) {v}")?;
+        }
+        for v in &self.t_violations {
+            writeln!(f, "(T) {v}")?;
+        }
+        for v in &self.o_violations {
+            writeln!(f, "(O) {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks conditions (C), (A), (T), (O) of Definition 31 for `sample`
+/// against the target `min(τ)`.
+pub fn check_characteristic_conditions(target: &Canonical, sample: &Sample) -> ConditionReport {
+    let mut report = ConditionReport::default();
+
+    // (C): S ⊆ τ.
+    for (s, t) in sample.pairs() {
+        match eval(&target.dtop, s) {
+            Some(expected) if expected == *t => {}
+            Some(expected) => report.c_violations.push(format!(
+                "{s} maps to {t}, but τ({s}) = {expected}"
+            )),
+            None => report
+                .c_violations
+                .push(format!("{s} is outside dom(τ)")),
+        }
+    }
+
+    // (A): out_S(ε) = out_τ(ε).
+    let out_tau_root = out_at(target, &FPath::empty(), None);
+    match (sample.out_root(), out_tau_root) {
+        (Some(out_s), Some(out_tau)) => {
+            if out_s != out_tau.ptree {
+                report.a_violation =
+                    Some(format!("out_S(ε) = {out_s} but out_τ(ε) = {}", out_tau.ptree));
+            }
+        }
+        (None, _) => report.a_violation = Some("sample is empty".into()),
+        (_, None) => report.a_violation = Some("out_τ(ε) undefined".into()),
+    }
+
+    // (T) and (O), per state-io-path and enabled symbol.
+    let paths = state_io_paths(target);
+    for q in target.dtop.states() {
+        let u = &paths[q.index()].input;
+        let v = &paths[q.index()].output;
+        let d = target.state_domain[q.index()];
+        for &f in target.domain.alphabet().symbols() {
+            if target.domain.transition(d, f).is_none() {
+                continue;
+            }
+            let Some(out_tau) = out_at(target, u, Some(f)) else {
+                continue;
+            };
+            let npath = u.with_label(f);
+            match sample.out_at_npath(&npath) {
+                None => report
+                    .t_violations
+                    .push(format!("out_S({npath}) undefined but out_τ({npath}) is not")),
+                Some(out_s) => {
+                    if out_s != out_tau.ptree {
+                        report.t_violations.push(format!(
+                            "out_S({npath}) = {out_s} ≠ out_τ({npath}) = {}",
+                            out_tau.ptree
+                        ));
+                        continue;
+                    }
+                    // (O): unique functional alignment per hole below v.
+                    let rank = target
+                        .domain
+                        .alphabet()
+                        .rank(f)
+                        .expect("symbol in alphabet");
+                    for hole in &out_tau.holes {
+                        let Some(rel) = hole.output.strip_prefix(v) else {
+                            continue; // hole outside this state's scope
+                        };
+                        let _ = rel;
+                        let candidates: Vec<usize> = (0..rank)
+                            .filter(|&i| {
+                                let in_path =
+                                    u.push(xtt_trees::Step::new(f, i as u32));
+                                sample.residual_is_functional(&in_path, &hole.output)
+                            })
+                            .collect();
+                        if candidates.len() != 1 {
+                            report.o_violations.push(format!(
+                                "hole {} of out_τ({npath}) has {} functional alignments",
+                                hole.output,
+                                candidates.len()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charsample::characteristic_sample;
+    use xtt_transducer::{canonical_form, examples};
+    use xtt_trees::parse_tree;
+
+    #[test]
+    fn generated_samples_pass_all_conditions() {
+        for fix in [examples::flip(), examples::example6_m1(), examples::flip_k(3)] {
+            let target = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+            let sample = characteristic_sample(&target).unwrap();
+            let report = check_characteristic_conditions(&target, &sample);
+            assert!(report.ok(), "violations:\n{report}");
+        }
+    }
+
+    #[test]
+    fn paper_flip_sample_passes() {
+        let fix = examples::flip();
+        let target = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let pairs = [
+            ("root(#,#)", "root(#,#)"),
+            ("root(a(#,#),#)", "root(#,a(#,#))"),
+            ("root(#,b(#,#))", "root(b(#,#),#)"),
+            (
+                "root(a(#,a(#,#)),b(#,b(#,#)))",
+                "root(b(#,b(#,#)),a(#,a(#,#)))",
+            ),
+        ];
+        let sample = Sample::from_pairs(
+            pairs
+                .iter()
+                .map(|(s, t)| (parse_tree(s).unwrap(), parse_tree(t).unwrap())),
+        )
+        .unwrap();
+        let report = check_characteristic_conditions(&target, &sample);
+        assert!(report.ok(), "violations:\n{report}");
+    }
+
+    #[test]
+    fn bad_pair_caught_by_c() {
+        let fix = examples::flip();
+        let target = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let sample = Sample::from_pairs([(
+            parse_tree("root(#,#)").unwrap(),
+            parse_tree("root(#,a(#,#))").unwrap(), // wrong output
+        )])
+        .unwrap();
+        let report = check_characteristic_conditions(&target, &sample);
+        assert!(!report.c_violations.is_empty());
+    }
+
+    #[test]
+    fn undersized_sample_fails_t() {
+        let fix = examples::flip();
+        let target = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        // only the trivial pair: no witnesses for a/b rules
+        let sample = Sample::from_pairs([(
+            parse_tree("root(#,#)").unwrap(),
+            parse_tree("root(#,#)").unwrap(),
+        )])
+        .unwrap();
+        let report = check_characteristic_conditions(&target, &sample);
+        assert!(!report.ok());
+    }
+}

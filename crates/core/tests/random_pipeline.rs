@@ -1,0 +1,104 @@
+//! The acid test of the whole reproduction: random total dtops pushed
+//! through canonicalize → characteristic sample → RPNIdtop must come back
+//! as exactly the same canonical transducer (Theorems 28 + 38), and
+//! behave identically on enumerated inputs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xtt_core::{characteristic_sample, rpni_dtop};
+use xtt_transducer::random::{random_total_dtop, RandomDtopConfig};
+use xtt_transducer::{canonical_form, eval, same_canonical};
+use xtt_trees::gen::enumerate_trees;
+use xtt_trees::RankedAlphabet;
+
+fn alphabets() -> (RankedAlphabet, RankedAlphabet) {
+    (
+        RankedAlphabet::from_pairs([("f", 2), ("g", 1), ("a", 0), ("b", 0)]),
+        RankedAlphabet::from_pairs([("h", 2), ("u", 1), ("c", 0), ("d", 0)]),
+    )
+}
+
+fn run_seed(seed: u64, config: &RandomDtopConfig) {
+    let (input, output) = alphabets();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = random_total_dtop(&mut rng, &input, &output, config);
+
+    let target = match canonical_form(&m, None) {
+        Ok(c) => c,
+        Err(e) => panic!("seed {seed}: canonicalization failed: {e}\n{m}"),
+    };
+    // semantic preservation of canonicalization
+    for t in enumerate_trees(&input, 60, 7) {
+        assert_eq!(
+            eval(&m, &t),
+            eval(&target.dtop, &t),
+            "seed {seed}: canonical form changed behaviour on {t}"
+        );
+    }
+
+    let sample = match characteristic_sample(&target) {
+        Ok(s) => s,
+        Err(e) => panic!("seed {seed}: sample generation failed: {e}\n{}", target.dtop),
+    };
+    let learned = match rpni_dtop(&sample, &target.domain, target.dtop.output()) {
+        Ok(l) => l,
+        Err(e) => panic!("seed {seed}: learning failed: {e}\n{}", target.dtop),
+    };
+    let got = canonical_form(&learned.dtop, Some(&target.domain)).unwrap();
+    assert!(
+        same_canonical(&target, &got),
+        "seed {seed}: learned ≠ target\n== target ==\n{}\n== learned ==\n{}",
+        target.dtop,
+        got.dtop
+    );
+}
+
+#[test]
+fn random_small_machines_roundtrip() {
+    let config = RandomDtopConfig {
+        n_states: 2,
+        max_rhs_depth: 2,
+        call_percent: 50,
+    };
+    for seed in 0..40 {
+        run_seed(seed, &config);
+    }
+}
+
+#[test]
+fn random_medium_machines_roundtrip() {
+    let config = RandomDtopConfig {
+        n_states: 3,
+        max_rhs_depth: 3,
+        call_percent: 45,
+    };
+    for seed in 100..125 {
+        run_seed(seed, &config);
+    }
+}
+
+#[test]
+fn random_copy_heavy_machines_roundtrip() {
+    // high call probability ⇒ lots of copying/permutation
+    let config = RandomDtopConfig {
+        n_states: 3,
+        max_rhs_depth: 2,
+        call_percent: 75,
+    };
+    for seed in 200..220 {
+        run_seed(seed, &config);
+    }
+}
+
+#[test]
+fn random_delete_heavy_machines_roundtrip() {
+    // low call probability ⇒ most subtrees are deleted
+    let config = RandomDtopConfig {
+        n_states: 4,
+        max_rhs_depth: 2,
+        call_percent: 20,
+    };
+    for seed in 300..320 {
+        run_seed(seed, &config);
+    }
+}

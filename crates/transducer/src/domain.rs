@@ -1,0 +1,193 @@
+//! The domain automaton of a dtop.
+//!
+//! The domain of a dtop is accepted by a deterministic top-down tree
+//! automaton (Proposition 2 via [Engelfriet, Maneth & Seidl 2009,
+//! Prop. 2(1)]). The classic construction is a *subset construction*: the
+//! automaton state at a node is the **set** of transducer states that
+//! process the node (the "state sequence" of Definition 3), optionally
+//! paired with the state of an external inspection DTTA.
+//!
+//! `s ∈ dom(⟦M⟧|_{L(A)})` iff at every node of `s`, every transducer state
+//! in the node's set has a rule for the node's symbol, and `A` accepts `s`.
+//! The returned automaton is trimmed: every state has a nonempty language
+//! and every transition is live.
+
+use std::collections::{BTreeSet, HashMap};
+
+use xtt_automata::{trim, Dtta, DttaBuilder, StateId};
+
+use crate::dtop::Dtop;
+use crate::rhs::QId;
+
+/// One subset-construction state: the set of transducer states processing
+/// the node, plus the inspection state (if any).
+type SubsetState = (BTreeSet<QId>, Option<StateId>);
+
+/// Builds a trimmed DTTA recognizing `dom(⟦M⟧) ∩ L(inspection)`
+/// (or `dom(⟦M⟧)` if no inspection automaton is given).
+pub fn domain_dtta(m: &Dtop, inspection: Option<&Dtta>) -> Dtta {
+    let alphabet = m.input().clone();
+    let mut builder = DttaBuilder::new(alphabet.clone());
+    let mut ids: HashMap<SubsetState, StateId> = HashMap::new();
+    let mut queue: Vec<SubsetState> = Vec::new();
+
+    let initial_set: BTreeSet<QId> = m.axiom().called_states().into_iter().collect();
+    let initial: SubsetState = (initial_set, inspection.map(Dtta::initial));
+    let id0 = builder.add_state(subset_name(m, inspection, &initial));
+    ids.insert(initial.clone(), id0);
+    queue.push(initial);
+
+    while let Some(state) = queue.pop() {
+        let id = ids[&state];
+        let (ref qset, insp) = state;
+        'symbols: for &f in alphabet.symbols() {
+            let rank = alphabet.rank(f).unwrap();
+            // Inspection must allow f here.
+            let insp_children: Option<&[StateId]> = match (inspection, insp) {
+                (Some(a), Some(p)) => match a.transition(p, f) {
+                    Some(cs) => Some(cs),
+                    None => continue 'symbols,
+                },
+                _ => None,
+            };
+            // Every transducer state in the set needs an f-rule.
+            let mut child_sets: Vec<BTreeSet<QId>> = vec![BTreeSet::new(); rank];
+            for &q in qset {
+                let Some(rhs) = m.rule(q, f) else {
+                    continue 'symbols;
+                };
+                for (_, q2, child) in rhs.calls() {
+                    child_sets[child].insert(q2);
+                }
+            }
+            let mut children = Vec::with_capacity(rank);
+            for (i, set) in child_sets.into_iter().enumerate() {
+                let child_insp = insp_children.map(|cs| cs[i]);
+                let child_state: SubsetState = (set, child_insp);
+                let child_id = *ids.entry(child_state.clone()).or_insert_with(|| {
+                    queue.push(child_state.clone());
+                    builder.add_state(subset_name(m, inspection, &child_state))
+                });
+                children.push(child_id);
+            }
+            builder
+                .add_transition(id, f, children)
+                .expect("ranks agree by construction");
+        }
+        assert!(
+            ids.len() <= 1_000_000,
+            "domain subset construction exceeded 1e6 states"
+        );
+    }
+    trim(&builder.build().expect("has initial state"))
+}
+
+fn subset_name(m: &Dtop, inspection: Option<&Dtta>, s: &SubsetState) -> String {
+    let mut name = String::from("{");
+    for (i, q) in s.0.iter().enumerate() {
+        if i > 0 {
+            name.push(',');
+        }
+        name.push_str(m.state_name(*q));
+    }
+    name.push('}');
+    if let (Some(a), Some(p)) = (inspection, s.1) {
+        name.push('@');
+        name.push_str(a.state_name(p));
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::examples;
+    use xtt_automata::enumerate_language;
+    use xtt_trees::parse_tree;
+
+    #[test]
+    fn flip_domain_without_inspection_is_larger() {
+        // (q4, a) deletes its first subtree, so without inspection the
+        // domain accepts junk in deleted positions (paper's remark on Mflip).
+        let fix = examples::flip();
+        let d = domain_dtta(&fix.dtop, None);
+        let junk = parse_tree("root(a(b(#,#),#),#)").unwrap();
+        assert!(d.accepts(&junk));
+        assert!(!fix.domain.accepts(&junk));
+        // with inspection, the domain is the intended one
+        let di = domain_dtta(&fix.dtop, Some(&fix.domain));
+        assert!(!di.accepts(&junk));
+        assert!(di.accepts(&parse_tree("root(a(#,#),b(#,#))").unwrap()));
+    }
+
+    #[test]
+    fn domain_matches_evaluation_on_enumerated_trees() {
+        let fix = examples::flip();
+        let d = domain_dtta(&fix.dtop, None);
+        // dom(⟦M⟧) membership must coincide with eval success
+        let all = xtt_trees::gen::enumerate_trees(fix.dtop.input(), 400, 9);
+        for t in all {
+            assert_eq!(
+                d.accepts(&t),
+                eval(&fix.dtop, &t).is_some(),
+                "domain mismatch on {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_with_inspection_matches_restricted_evaluation() {
+        let fix = examples::flip();
+        let d = domain_dtta(&fix.dtop, Some(&fix.domain));
+        let all = xtt_trees::gen::enumerate_trees(fix.dtop.input(), 400, 9);
+        for t in all {
+            let expected = fix.domain.accepts(&t) && eval(&fix.dtop, &t).is_some();
+            assert_eq!(d.accepts(&t), expected, "restricted domain mismatch on {t}");
+        }
+    }
+
+    #[test]
+    fn copying_transducer_intersects_child_constraints() {
+        // q(f(x1)) -> g(<qa,x1>,<qb,x1>) where qa wants a, qb wants b:
+        // the child is processed by both states, so the domain is empty
+        // beyond... actually the child must satisfy both: only trees where
+        // both rules exist. qa accepts only "a", qb only "b" ⇒ dom = ∅.
+        let input = xtt_trees::RankedAlphabet::from_pairs([("f", 1), ("a", 0), ("b", 0)]);
+        let output = xtt_trees::RankedAlphabet::from_pairs([("g", 2), ("a", 0), ("b", 0)]);
+        let mut b = crate::dtop::DtopBuilder::new(input, output);
+        b.add_state("q");
+        b.add_state("qa");
+        b.add_state("qb");
+        b.set_axiom_str("<q,x0>").unwrap();
+        b.add_rule_str("q", "f", "g(<qa,x1>,<qb,x1>)").unwrap();
+        b.add_rule_str("qa", "a", "a").unwrap();
+        b.add_rule_str("qb", "b", "b").unwrap();
+        let m = b.build().unwrap();
+        let d = domain_dtta(&m, None);
+        assert!(xtt_automata::is_empty(&d));
+    }
+
+    #[test]
+    fn library_domain_accepts_encodings() {
+        let fix = examples::library();
+        for n in 0..4 {
+            assert!(fix.domain.accepts(&examples::library_input(n)));
+        }
+        // path-closure member that is not an encoding is still in dom(⟦M⟧):
+        // B*(#, B*(#,#)) — junk tail after empty head
+        let odd = parse_tree("L(\"B*\"(#,\"B*\"(#,#)))").unwrap();
+        assert!(fix.domain.accepts(&odd));
+        assert!(eval(&fix.dtop, &odd).is_some());
+    }
+
+    #[test]
+    fn enumerated_domain_trees_all_evaluate() {
+        let fix = examples::library();
+        let trees = enumerate_language(&fix.domain, fix.domain.initial(), 60, 24);
+        assert!(!trees.is_empty());
+        for t in trees {
+            assert!(eval(&fix.dtop, &t).is_some(), "in-domain tree failed: {t}");
+        }
+    }
+}

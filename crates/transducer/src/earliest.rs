@@ -1,0 +1,465 @@
+//! The earliest normal form (Section 3, after [Engelfriet, Maneth & Seidl
+//! 2009]).
+//!
+//! A productive dtop is *earliest* if `out_{⟦M⟧_q}(ε) = ⊥` for every state:
+//! no common output prefix is withheld inside any state. Every dtop (with
+//! inspection) can be transformed into an equivalent earliest *uniform*
+//! one, which is the normal form on which the Myhill–Nerode theorem and the
+//! learner operate.
+//!
+//! Construction implemented here:
+//!
+//! 1. Build the trimmed subset-construction domain automaton `D`
+//!    ([`crate::domain::domain_dtta`]); uniform states are pairs `(q, d)`
+//!    of a transducer state and the domain state of the node it reads —
+//!    this is what makes (C0)/(C2) of Definition 27 enforceable.
+//! 2. Compute `c_{(q,d)} = ⨆ { ⟦M⟧_q(s) | s ∈ L(d) }` — the maximal output
+//!    of each pair — by a Kleene iteration downward from `⊤`:
+//!    `c⁰ = ⊤`, `cⁱ⁺¹_{(q,d)} = ⨆_f rhs(q,f)[⟨q',x_i⟩ ← cⁱ_{(q',d_i)}]`.
+//!    The iteration is monotone decreasing and bounded below by the true
+//!    (finite) common prefix, so it terminates; a generous iteration cap
+//!    turns any bug into an error instead of a hang.
+//! 3. States of the earliest transducer are pairs `((q,d), v)` with `v` a
+//!    `⊥`-hole of `c_{(q,d)}`; the rule for input `f` is the subtree at `v`
+//!    of `rhs(q,f)` with every call `⟨q',x_i⟩` replaced by `c_{(q',d_i)}`
+//!    whose holes `w` become calls `⟨((q',d_i),w), x_i⟩` (Lemma 9's shape).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use xtt_automata::{Dtta, StateId};
+use xtt_trees::{NodePath, PTree};
+
+use crate::domain::domain_dtta;
+use crate::dtop::{Dtop, DtopBuilder};
+use crate::rhs::{QId, Rhs};
+
+/// An earliest uniform transducer together with its (trimmed) domain
+/// automaton and the domain state attached to each transducer state.
+///
+/// Produced by [`to_earliest`] and refined by
+/// [`crate::minimize::minimize`]; the final minimized + canonically
+/// numbered form is the paper's `min(τ)` (Definition 24 / Theorem 28).
+#[derive(Clone, Debug)]
+pub struct Canonical {
+    pub dtop: Dtop,
+    pub domain: Dtta,
+    /// `state_domain[q]` = the domain-automaton state of the input node
+    /// that state `q` reads. Well-defined by uniformity.
+    pub state_domain: Vec<StateId>,
+}
+
+/// Errors from normal-form construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormError {
+    /// The (restricted) domain is empty — `out_τ(ε)` is undefined and no
+    /// canonical transducer exists.
+    EmptyDomain,
+    /// The `c_q` fixpoint failed to converge within the iteration cap
+    /// (indicates a bug or a pathological input).
+    FixpointDiverged,
+    /// An internal invariant failed; the message names it.
+    Internal(String),
+}
+
+impl fmt::Display for NormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormError::EmptyDomain => write!(f, "the transduction has an empty domain"),
+            NormError::FixpointDiverged => {
+                write!(f, "maximal-output fixpoint did not converge")
+            }
+            NormError::Internal(m) => write!(f, "internal invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NormError {}
+
+const MAX_FIXPOINT_ITERATIONS: usize = 100_000;
+
+/// Transforms `M` (restricted to `inspection` if given) into an equivalent
+/// earliest uniform transducer.
+pub fn to_earliest(m: &Dtop, inspection: Option<&Dtta>) -> Result<Canonical, NormError> {
+    let domain = domain_dtta(m, inspection);
+    if xtt_automata::is_empty(&domain) {
+        return Err(NormError::EmptyDomain);
+    }
+    let pairs = reachable_pairs(m, &domain);
+    let c = maximal_outputs(m, &domain, &pairs)?;
+    build_earliest(m, domain, &pairs, &c)
+}
+
+/// One uniform pair `(q, d)`.
+#[derive(Clone, Debug)]
+struct Pairs {
+    list: Vec<(QId, StateId)>,
+    index: HashMap<(QId, StateId), usize>,
+}
+
+impl Pairs {
+    fn get(&self, q: QId, d: StateId) -> usize {
+        self.index[&(q, d)]
+    }
+}
+
+fn reachable_pairs(m: &Dtop, domain: &Dtta) -> Pairs {
+    let mut pairs = Pairs {
+        list: Vec::new(),
+        index: HashMap::new(),
+    };
+    let mut queue: Vec<usize> = Vec::new();
+    for (_, q, _) in m.axiom().calls() {
+        push_pair(&mut pairs, &mut queue, q, domain.initial());
+    }
+    while let Some(i) = queue.pop() {
+        let (q, d) = pairs.list[i];
+        for &f in m.input().symbols() {
+            let Some(children) = domain.transition(d, f) else {
+                continue;
+            };
+            let children = children.to_vec();
+            let rhs = m
+                .rule(q, f)
+                .expect("domain transition implies rule exists")
+                .clone();
+            for (_, q2, child) in rhs.calls() {
+                push_pair(&mut pairs, &mut queue, q2, children[child]);
+            }
+        }
+    }
+    pairs
+}
+
+fn push_pair(pairs: &mut Pairs, queue: &mut Vec<usize>, q: QId, d: StateId) {
+    if pairs.index.contains_key(&(q, d)) {
+        return;
+    }
+    let i = pairs.list.len();
+    pairs.index.insert((q, d), i);
+    pairs.list.push((q, d));
+    queue.push(i);
+}
+
+/// Computes `c_{(q,d)}` for every reachable pair.
+fn maximal_outputs(
+    m: &Dtop,
+    domain: &Dtta,
+    pairs: &Pairs,
+) -> Result<Vec<PTree>, NormError> {
+    let mut vals: Vec<PTree> = vec![PTree::top(); pairs.list.len()];
+    for _ in 0..MAX_FIXPOINT_ITERATIONS {
+        let mut changed = false;
+        for i in 0..pairs.list.len() {
+            let (q, d) = pairs.list[i];
+            let mut acc = PTree::top();
+            for &f in m.input().symbols() {
+                let Some(children) = domain.transition(d, f) else {
+                    continue;
+                };
+                let children = children.to_vec();
+                let rhs = m.rule(q, f).expect("rule exists on live transition");
+                let contribution = rhs_to_ptree(rhs, &children, pairs, &vals);
+                acc = acc.lcp(&contribution);
+                if acc.is_bottom() {
+                    break;
+                }
+            }
+            if acc != vals[i] {
+                vals[i] = acc;
+                changed = true;
+            }
+        }
+        if !changed {
+            // Productive pairs must have no ⊤ left.
+            for (i, v) in vals.iter().enumerate() {
+                if v.contains_top() {
+                    return Err(NormError::Internal(format!(
+                        "⊤ remains in maximal output of pair {:?}",
+                        pairs.list[i]
+                    )));
+                }
+            }
+            return Ok(vals);
+        }
+    }
+    Err(NormError::FixpointDiverged)
+}
+
+fn rhs_to_ptree(rhs: &Rhs, dchildren: &[StateId], pairs: &Pairs, vals: &[PTree]) -> PTree {
+    match rhs {
+        Rhs::Call { state, child } => vals[pairs.get(*state, dchildren[*child])].clone(),
+        Rhs::Out(sym, kids) => PTree::sym(
+            *sym,
+            kids.iter()
+                .map(|k| rhs_to_ptree(k, dchildren, pairs, vals))
+                .collect(),
+        ),
+    }
+}
+
+fn build_earliest(
+    m: &Dtop,
+    domain: Dtta,
+    pairs: &Pairs,
+    c: &[PTree],
+) -> Result<Canonical, NormError> {
+    // Earliest states: one per (pair, hole of c[pair]).
+    let mut state_ids: HashMap<(usize, NodePath), QId> = HashMap::new();
+    let mut state_domain: Vec<StateId> = Vec::new();
+    let mut builder = DtopBuilder::new(m.input().clone(), m.output().clone());
+    for (i, &(q, d)) in pairs.list.iter().enumerate() {
+        for hole in c[i].holes() {
+            let id = builder.add_state(format!("{}@{}/{}", m.state_name(q), d, hole));
+            state_ids.insert((i, hole), id);
+            state_domain.push(d);
+        }
+    }
+
+    // Axiom: expand the original axiom with c's, holes become calls.
+    let axiom = expand_rhs(m.axiom(), &|_child| domain.initial(), pairs, c, &state_ids)?;
+    builder.set_axiom(axiom);
+
+    // Rules.
+    let mut rules: Vec<(QId, xtt_trees::Symbol, Rhs)> = Vec::new();
+    for (i, &(q, d)) in pairs.list.iter().enumerate() {
+        let holes = c[i].holes();
+        if holes.is_empty() {
+            continue;
+        }
+        for &f in m.input().symbols() {
+            let Some(dchildren) = domain.transition(d, f) else {
+                continue;
+            };
+            let dchildren = dchildren.to_vec();
+            let rhs = m.rule(q, f).expect("rule exists on live transition");
+            let expanded = expand_rhs(rhs, &|child| dchildren[child], pairs, c, &state_ids)?;
+            for hole in &holes {
+                let sub = rhs_subtree_at(&expanded, hole).ok_or_else(|| {
+                    NormError::Internal(format!(
+                        "hole {hole} of c missing in expanded rhs of ({}, {f})",
+                        m.state_name(q)
+                    ))
+                })?;
+                let state = state_ids[&(i, hole.clone())];
+                rules.push((state, f, sub));
+            }
+        }
+    }
+    for (q, f, rhs) in rules {
+        builder
+            .add_rule(q, f, rhs)
+            .map_err(|e| NormError::Internal(e.to_string()))?;
+    }
+    let dtop = builder
+        .build()
+        .map_err(|e| NormError::Internal(e.to_string()))?;
+    Ok(Canonical {
+        dtop,
+        domain,
+        state_domain,
+    })
+}
+
+/// Replaces every call `⟨q', x_i⟩` in `rhs` by `c_{(q', dom(i))}` with holes
+/// turned into calls to the corresponding earliest states.
+fn expand_rhs(
+    rhs: &Rhs,
+    child_domain: &dyn Fn(usize) -> StateId,
+    pairs: &Pairs,
+    c: &[PTree],
+    state_ids: &HashMap<(usize, NodePath), QId>,
+) -> Result<Rhs, NormError> {
+    match rhs {
+        Rhs::Out(sym, kids) => {
+            let mut out = Vec::with_capacity(kids.len());
+            for k in kids {
+                out.push(expand_rhs(k, child_domain, pairs, c, state_ids)?);
+            }
+            Ok(Rhs::Out(*sym, out))
+        }
+        Rhs::Call { state, child } => {
+            let pair = pairs.get(*state, child_domain(*child));
+            ptree_to_rhs(&c[pair], &NodePath::root(), pair, *child, state_ids)
+        }
+    }
+}
+
+fn ptree_to_rhs(
+    t: &PTree,
+    at: &NodePath,
+    pair: usize,
+    var: usize,
+    state_ids: &HashMap<(usize, NodePath), QId>,
+) -> Result<Rhs, NormError> {
+    if t.is_bottom() {
+        let state = *state_ids
+            .get(&(pair, at.clone()))
+            .ok_or_else(|| NormError::Internal(format!("no state for hole {at}")))?;
+        return Ok(Rhs::Call { state, child: var });
+    }
+    let Some(sym) = t.symbol() else {
+        return Err(NormError::Internal("⊤ in maximal output".into()));
+    };
+    let mut kids = Vec::with_capacity(t.children().len());
+    for (i, child) in t.children().iter().enumerate() {
+        kids.push(ptree_to_rhs(child, &at.child(i as u32), pair, var, state_ids)?);
+    }
+    Ok(Rhs::Out(sym, kids))
+}
+
+/// The subtree of an rhs at a node path; `None` if the path crosses a call.
+fn rhs_subtree_at(rhs: &Rhs, at: &NodePath) -> Option<Rhs> {
+    let mut cur = rhs;
+    for &i in at.indices() {
+        match cur {
+            Rhs::Out(_, kids) => cur = kids.get(i as usize)?,
+            Rhs::Call { .. } => return None,
+        }
+    }
+    Some(cur.clone())
+}
+
+/// True if `out_{⟦M⟧_q restricted to L(d)}(ε) = ⊥` for every state of the
+/// canonical transducer — the defining property of earliest transducers
+/// (Definition 8), checked via the same fixpoint.
+pub fn is_earliest(c: &Canonical) -> Result<bool, NormError> {
+    let pairs = reachable_pairs(&c.dtop, &c.domain);
+    let vals = maximal_outputs(&c.dtop, &c.domain, &pairs)?;
+    Ok(vals.iter().all(PTree::is_bottom))
+}
+
+/// Convenience: earliest form of a transducer using its own (unrestricted)
+/// domain.
+pub fn to_earliest_unrestricted(m: &Dtop) -> Result<Canonical, NormError> {
+    to_earliest(m, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::examples;
+    use xtt_automata::enumerate_language;
+
+    /// earliest(M) must agree with M on the whole (restricted) domain.
+    fn assert_equivalent_on_domain(fix: &examples::Fixture, canon: &Canonical, n: usize) {
+        let trees = enumerate_language(&fix.domain, fix.domain.initial(), n, 30);
+        assert!(!trees.is_empty());
+        for t in trees {
+            let orig = eval(&fix.dtop, &t);
+            let new = eval(&canon.dtop, &t);
+            assert_eq!(orig, new, "disagreement on {t}");
+        }
+    }
+
+    #[test]
+    fn constant_m2_normalizes_to_axiom_only() {
+        let fix = examples::constant_m2();
+        let canon = to_earliest(&fix.dtop, Some(&fix.domain)).unwrap();
+        // Example 2: M2 is not earliest; M1 (axiom `b`, no states) is.
+        assert_eq!(canon.dtop.state_count(), 0);
+        assert_eq!(canon.dtop.show_rhs(canon.dtop.axiom(), true), "b");
+        assert_equivalent_on_domain(&fix, &canon, 50);
+        assert!(is_earliest(&canon).unwrap());
+    }
+
+    #[test]
+    fn constant_m3_normalizes_to_axiom_only() {
+        let fix = examples::constant_m3();
+        let canon = to_earliest(&fix.dtop, Some(&fix.domain)).unwrap();
+        assert_eq!(canon.dtop.state_count(), 0);
+        assert_eq!(canon.dtop.show_rhs(canon.dtop.axiom(), true), "b");
+    }
+
+    #[test]
+    fn flip_is_already_earliest() {
+        let fix = examples::flip();
+        let canon = to_earliest(&fix.dtop, Some(&fix.domain)).unwrap();
+        assert!(is_earliest(&canon).unwrap());
+        assert_eq!(canon.dtop.state_count(), 4);
+        assert_eq!(canon.dtop.rule_count(), 6);
+        assert_equivalent_on_domain(&fix, &canon, 200);
+    }
+
+    #[test]
+    fn example6_m2_gains_the_context() {
+        // M2 withholds f(c,·): the earliest form must produce it in the
+        // axiom, i.e. out_τ(ε) = f(c,⊥).
+        let fix = examples::example6_m2();
+        let canon = to_earliest(&fix.dtop, Some(&fix.domain)).unwrap();
+        let ax = canon.dtop.show_rhs(canon.dtop.axiom(), true);
+        assert!(
+            ax.starts_with("f(c,"),
+            "axiom should expose the common prefix, got {ax}"
+        );
+        assert_equivalent_on_domain(&fix, &canon, 10);
+        assert!(is_earliest(&canon).unwrap());
+    }
+
+    #[test]
+    fn example6_m3_superfluous_rule_removed() {
+        // (C2): the g-rule of M3 is outside the domain and must vanish.
+        let fix = examples::example6_m3();
+        let canon = to_earliest(&fix.dtop, Some(&fix.domain)).unwrap();
+        let g = xtt_trees::Symbol::new("g");
+        for q in canon.dtop.states() {
+            assert!(canon.dtop.rule(q, g).is_none());
+        }
+        assert_equivalent_on_domain(&fix, &canon, 10);
+    }
+
+    #[test]
+    fn library_is_already_earliest() {
+        let fix = examples::library();
+        let canon = to_earliest(&fix.dtop, None).unwrap();
+        assert!(is_earliest(&canon).unwrap());
+        assert_eq!(canon.dtop.state_count(), fix.dtop.state_count());
+        assert_equivalent_on_domain(&fix, &canon, 100);
+    }
+
+    #[test]
+    fn empty_domain_is_an_error() {
+        // The transducer only handles `a`, the inspection only allows `b`:
+        // the restricted domain is empty.
+        let input = xtt_trees::RankedAlphabet::from_pairs([("a", 0), ("b", 0)]);
+        let output = input.clone();
+        let mut b = crate::dtop::DtopBuilder::new(input, output);
+        b.add_state("qa");
+        b.set_axiom_str("<qa,x0>").unwrap();
+        b.add_rule_str("qa", "a", "a").unwrap();
+        let m = b.build().unwrap();
+        let mut d = xtt_automata::DttaBuilder::new(m.input().clone());
+        let p = d.add_state("only-b");
+        d.add_transition(p, xtt_trees::Symbol::new("b"), vec![]).unwrap();
+        let only_b = d.build().unwrap();
+        assert_eq!(
+            to_earliest(&m, Some(&only_b)).unwrap_err(),
+            NormError::EmptyDomain
+        );
+    }
+
+    #[test]
+    fn deep_constant_prefix_is_pushed_up() {
+        // q(f(x1)) -> g(<q,x1>), q(e) -> g(h): every output starts with g;
+        // earliest must move one g into the axiom... in fact out(ε)=g(⊥).
+        let input = xtt_trees::RankedAlphabet::from_pairs([("f", 1), ("e", 0)]);
+        let output = xtt_trees::RankedAlphabet::from_pairs([("g", 1), ("h", 0)]);
+        let mut b = crate::dtop::DtopBuilder::new(input.clone(), output);
+        b.add_state("q");
+        b.set_axiom_str("<q,x0>").unwrap();
+        b.add_rule_str("q", "f", "g(<q,x1>)").unwrap();
+        b.add_rule_str("q", "e", "g(h)").unwrap();
+        let m = b.build().unwrap();
+        let canon = to_earliest(&m, None).unwrap();
+        assert!(is_earliest(&canon).unwrap());
+        let ax = canon.dtop.show_rhs(canon.dtop.axiom(), true);
+        assert!(ax.starts_with("g("), "axiom {ax} should start with g(");
+        // behaviour preserved
+        let t = xtt_trees::parse_tree("f(f(e))").unwrap();
+        assert_eq!(
+            eval(&canon.dtop, &t).unwrap().to_string(),
+            "g(g(g(h)))"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Canonical forms and equivalence of dtops (Theorem 28 + [EMS 2009]).
+//!
+//! `canonical_form` chains domain construction → earliest normal form →
+//! minimization → canonical BFS numbering. By the uniqueness half of the
+//! paper's Myhill–Nerode theorem (Theorem 28(3)), two transducers define
+//! the same partial function on the same domain iff their canonical forms
+//! are byte-identical and their domain automata accept the same language —
+//! which is how [`equivalent`] decides equivalence in polynomial time.
+
+use xtt_automata::{language_equal, Dtta};
+
+use crate::dtop::Dtop;
+use crate::earliest::{to_earliest, Canonical, NormError};
+use crate::minimize::{canonical_number, minimize};
+
+/// Computes the unique minimal earliest compatible transducer `min(τ)` for
+/// `τ = ⟦M⟧` restricted to `inspection` (or to `dom(⟦M⟧)` if `None`), with
+/// canonical state numbering.
+pub fn canonical_form(m: &Dtop, inspection: Option<&Dtta>) -> Result<Canonical, NormError> {
+    let earliest = to_earliest(m, inspection)?;
+    let minimal = minimize(&earliest)?;
+    canonical_number(&minimal)
+}
+
+/// Structural identity of two canonical forms (states must already be
+/// canonically numbered): same axiom, same rules, same domain language.
+pub fn same_canonical(a: &Canonical, b: &Canonical) -> bool {
+    a.dtop.state_count() == b.dtop.state_count()
+        && a.dtop.axiom() == b.dtop.axiom()
+        && a.dtop.rules() == b.dtop.rules()
+        && language_equal(&a.domain, &b.domain)
+}
+
+/// Decides `⟦M₁⟧|_{L(A₁)} = ⟦M₂⟧|_{L(A₂)}`.
+///
+/// Both sides must be nonempty transductions (an [`NormError::EmptyDomain`]
+/// is returned otherwise); emptiness can be checked upfront with
+/// [`crate::domain::domain_dtta`] + [`xtt_automata::is_empty`].
+pub fn equivalent(
+    m1: &Dtop,
+    i1: Option<&Dtta>,
+    m2: &Dtop,
+    i2: Option<&Dtta>,
+) -> Result<bool, NormError> {
+    let c1 = canonical_form(m1, i1)?;
+    let c2 = canonical_form(m2, i2)?;
+    Ok(same_canonical(&c1, &c2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+
+    #[test]
+    fn constant_transducers_all_equivalent() {
+        // Example 1: M1, M2, M3 define the same transduction.
+        let m1 = examples::constant_m1();
+        let m2 = examples::constant_m2();
+        let m3 = examples::constant_m3();
+        assert!(equivalent(&m1.dtop, Some(&m1.domain), &m2.dtop, Some(&m2.domain)).unwrap());
+        assert!(equivalent(&m2.dtop, Some(&m2.domain), &m3.dtop, Some(&m3.domain)).unwrap());
+        assert!(equivalent(&m1.dtop, Some(&m1.domain), &m3.dtop, Some(&m3.domain)).unwrap());
+    }
+
+    #[test]
+    fn example6_variants_equivalent_on_domain() {
+        // M0–M3 all define the restricted identity on D = {f(c,a), f(c,b)};
+        // Theorem 28 says they share one canonical form.
+        let variants = [
+            examples::example6_m0(),
+            examples::example6_m1(),
+            examples::example6_m2(),
+            examples::example6_m3(),
+        ];
+        let canon: Vec<_> = variants
+            .iter()
+            .map(|f| canonical_form(&f.dtop, Some(&f.domain)).unwrap())
+            .collect();
+        for c in &canon[1..] {
+            assert!(same_canonical(&canon[0], c));
+        }
+        // ... and the canonical form is M1, with two states.
+        assert_eq!(canon[0].dtop.state_count(), 2);
+        let ax = canon[0].dtop.show_rhs(canon[0].dtop.axiom(), true);
+        assert_eq!(ax, "f(c,<q0,x0>)");
+    }
+
+    #[test]
+    fn flip_canonical_form_is_mflip() {
+        let fix = examples::flip();
+        let c = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        assert_eq!(c.dtop.state_count(), 4);
+        assert_eq!(c.dtop.rule_count(), 6);
+        assert_eq!(
+            c.dtop.show_rhs(c.dtop.axiom(), true),
+            "root(<q0,x0>,<q1,x0>)"
+        );
+    }
+
+    #[test]
+    fn inequivalent_when_outputs_differ() {
+        let flip = examples::flip();
+        // identity on the same domain: copy both lists without swapping
+        let alpha = flip.dtop.input().clone();
+        let mut b = crate::dtop::DtopBuilder::new(alpha.clone(), alpha);
+        for s in ["l", "r", "ca", "cb"] {
+            b.add_state(s);
+        }
+        b.set_axiom_str("root(<l,x0>,<r,x0>)").unwrap();
+        b.add_rule_str("l", "root", "<ca,x1>").unwrap();
+        b.add_rule_str("r", "root", "<cb,x2>").unwrap();
+        b.add_rule_str("ca", "a", "a(#,<ca,x2>)").unwrap();
+        b.add_rule_str("ca", "#", "#").unwrap();
+        b.add_rule_str("cb", "b", "b(#,<cb,x2>)").unwrap();
+        b.add_rule_str("cb", "#", "#").unwrap();
+        let ident = b.build().unwrap();
+        assert!(!equivalent(&flip.dtop, Some(&flip.domain), &ident, Some(&flip.domain)).unwrap());
+    }
+
+    #[test]
+    fn inequivalent_when_domains_differ() {
+        let m1 = examples::constant_m1();
+        // same constant transduction but restricted to single-node trees
+        let mut d = xtt_automata::DttaBuilder::new(m1.dtop.input().clone());
+        let p = d.add_state("leaf-only");
+        d.add_transition(p, xtt_trees::Symbol::new("a"), vec![]).unwrap();
+        let leaf_only = d.build().unwrap();
+        assert!(!equivalent(
+            &m1.dtop,
+            Some(&m1.domain),
+            &m1.dtop,
+            Some(&leaf_only)
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn library_equivalent_to_itself_restricted() {
+        let fix = examples::library();
+        assert!(equivalent(&fix.dtop, None, &fix.dtop, Some(&fix.domain)).unwrap());
+    }
+}

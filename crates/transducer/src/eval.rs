@@ -1,0 +1,320 @@
+//! Evaluation semantics of dtops.
+//!
+//! `⟦M⟧_q(f(s₁,…,s_k)) = rhs(q,f)[⟨q',x_i⟩ ← ⟦M⟧_{q'}(s_i)]` and
+//! `⟦M⟧(s) = ax[⟨q,x₀⟩ ← ⟦M⟧_q(s)]` (Definition 1). Both are partial:
+//! a missing rule makes the whole translation undefined.
+//!
+//! The evaluator memoizes on `(state, subtree address)`, so copying
+//! transducers run in time proportional to the number of *distinct*
+//! `(q, subtree)` pairs rather than the (possibly exponential) output size,
+//! and the produced outputs share subtrees (which is what makes the
+//! minimal-DAG representation of Section 1 cheap to obtain).
+//!
+//! [`eval_cut`] implements the stopped computation `⟦Mx⟧(s[u ← x])` of
+//! Definition 3/Proposition 4: the run is cut at the node addressed by `u`,
+//! leaving `⟨q, x⟩` leaves that show which states process that node.
+
+use std::collections::HashMap;
+
+use xtt_trees::{FPath, Tree};
+
+use crate::dtop::Dtop;
+use crate::rhs::{QId, Rhs};
+
+/// Evaluates `⟦M⟧(s)`. `None` if `s ∉ dom(⟦M⟧)`.
+pub fn eval(m: &Dtop, s: &Tree) -> Option<Tree> {
+    let mut ev = Evaluator::new(m);
+    ev.eval_axiom(s)
+}
+
+/// Evaluates `⟦M⟧_q(s)`. `None` if undefined.
+pub fn eval_state(m: &Dtop, q: QId, s: &Tree) -> Option<Tree> {
+    let mut ev = Evaluator::new(m);
+    ev.state(q, s)
+}
+
+/// Naive evaluation without memoization — the ablation baseline for the
+/// memoized [`Evaluator`]. On copying transducers this is exponential
+/// where the memoized evaluator is linear (bench `eval_throughput`).
+pub fn eval_naive(m: &Dtop, s: &Tree) -> Option<Tree> {
+    fn state(m: &Dtop, q: QId, s: &Tree) -> Option<Tree> {
+        let rhs = m.rule(q, s.symbol())?;
+        expand(m, rhs, s.children())
+    }
+    fn expand(m: &Dtop, rhs: &Rhs, children: &[Tree]) -> Option<Tree> {
+        match rhs {
+            Rhs::Call { state: q, child } => state(m, *q, children.get(*child)?),
+            Rhs::Out(sym, kids) => {
+                let mut out = Vec::with_capacity(kids.len());
+                for k in kids {
+                    out.push(expand(m, k, children)?);
+                }
+                Some(Tree::new(*sym, out))
+            }
+        }
+    }
+    expand(m, m.axiom(), std::slice::from_ref(s))
+}
+
+/// A reusable evaluator whose memo table persists across calls — useful
+/// when evaluating many states on overlapping subtrees (residual
+/// computations, sample generation).
+pub struct Evaluator<'a> {
+    m: &'a Dtop,
+    memo: HashMap<(QId, usize), Option<Tree>>,
+    /// Keeps the trees whose addresses key the memo alive, so addresses
+    /// cannot be reused by unrelated allocations.
+    pinned: Vec<Tree>,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(m: &'a Dtop) -> Self {
+        Evaluator {
+            m,
+            memo: HashMap::new(),
+            pinned: Vec::new(),
+        }
+    }
+
+    /// `⟦M⟧(s)`.
+    pub fn eval_axiom(&mut self, s: &Tree) -> Option<Tree> {
+        self.expand(&self.m.axiom().clone(), std::slice::from_ref(s))
+    }
+
+    /// `⟦M⟧_q(s)`.
+    pub fn state(&mut self, q: QId, s: &Tree) -> Option<Tree> {
+        let key = (q, s.addr());
+        if let Some(r) = self.memo.get(&key) {
+            return r.clone();
+        }
+        let rhs = self.m.rule(q, s.symbol()).cloned();
+        let result = match rhs {
+            None => None,
+            Some(rhs) => self.expand(&rhs, s.children()),
+        };
+        self.pinned.push(s.clone());
+        self.memo.insert(key, result.clone());
+        result
+    }
+
+    fn expand(&mut self, rhs: &Rhs, children: &[Tree]) -> Option<Tree> {
+        match rhs {
+            Rhs::Call { state, child } => {
+                let sub = children.get(*child)?;
+                self.state(*state, &sub.clone())
+            }
+            Rhs::Out(sym, kids) => {
+                let mut out = Vec::with_capacity(kids.len());
+                for k in kids {
+                    out.push(self.expand(k, children)?);
+                }
+                Some(Tree::new(*sym, out))
+            }
+        }
+    }
+}
+
+/// The result of a stopped computation `⟦Mx⟧(s[u ← x])`: an output tree
+/// whose leaves may be `⟨q, x⟩` markers, represented as [`Rhs`] where every
+/// call refers to the cut node.
+///
+/// Returns `None` when the translation is already undefined above or beside
+/// the cut (some rule is missing on a fully processed part).
+pub fn eval_cut(m: &Dtop, s: &Tree, u: &FPath) -> Option<Rhs> {
+    if !u.belongs_to(s) {
+        return None;
+    }
+    let target = u.node_path();
+    let mut ev = Evaluator::new(m);
+    let axiom = m.axiom().clone();
+    // Every axiom call targets the root (x0) with the whole path to walk.
+    expand_calls(&axiom, &mut |state, _child| {
+        walk_to_cut(m, &mut ev, state, s, target.indices())
+    })
+}
+
+/// Rebuilds an rhs, replacing every call through `on_call`.
+fn expand_calls(
+    rhs: &Rhs,
+    on_call: &mut dyn FnMut(QId, usize) -> Option<Rhs>,
+) -> Option<Rhs> {
+    match rhs {
+        Rhs::Call { state, child } => on_call(*state, *child),
+        Rhs::Out(sym, kids) => {
+            let mut out = Vec::with_capacity(kids.len());
+            for k in kids {
+                out.push(expand_calls(k, on_call)?);
+            }
+            Some(Rhs::Out(*sym, out))
+        }
+    }
+}
+
+/// Runs state `q` on `sub`, cutting at the node addressed by `rest`
+/// (relative child indices). Returns the partial output with `⟨q', x⟩`
+/// leaves for the states that reach the cut node.
+fn walk_to_cut(
+    m: &Dtop,
+    ev: &mut Evaluator<'_>,
+    q: QId,
+    sub: &Tree,
+    rest: &[u32],
+) -> Option<Rhs> {
+    let Some((&next, deeper)) = rest.split_first() else {
+        // The call reaches the cut node: stop, leave ⟨q, x⟩.
+        return Some(Rhs::Call { state: q, child: 0 });
+    };
+    let rule = m.rule(q, sub.symbol())?.clone();
+    expand_calls(&rule, &mut |state, child| {
+        let kid = sub.child(child)?.clone();
+        if child == next as usize {
+            walk_to_cut(m, ev, state, &kid, deeper)
+        } else {
+            // Off the path: run to completion.
+            let t = ev.state(state, &kid)?;
+            Some(tree_to_rhs(&t))
+        }
+    })
+}
+
+fn tree_to_rhs(t: &Tree) -> Rhs {
+    Rhs::Out(
+        t.symbol(),
+        t.children().iter().map(tree_to_rhs).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use xtt_trees::parse_tree;
+
+    #[test]
+    fn flip_translates_example_pairs() {
+        // The characteristic sample of τflip from the paper introduction.
+        // Note: the paper writes the 4th pair as root(a(a(#,#),#), …) with
+        // the nested `a` in the *first* child, which contradicts Mflip's own
+        // rule q4(a(x1,x2)) → a(#,⟨q4,x2⟩) (lists nest in the second child,
+        // "first-child/next-sibling"); we use the rule-consistent form.
+        let m = examples::flip().dtop;
+        let cases = [
+            ("root(#,#)", "root(#,#)"),
+            ("root(a(#,#),#)", "root(#,a(#,#))"),
+            ("root(#,b(#,#))", "root(b(#,#),#)"),
+            (
+                "root(a(#,a(#,#)),b(#,b(#,#)))",
+                "root(b(#,b(#,#)),a(#,a(#,#)))",
+            ),
+        ];
+        for (input, expected) in cases {
+            let s = parse_tree(input).unwrap();
+            let t = eval(&m, &s).unwrap();
+            assert_eq!(t.to_string(), expected, "on input {input}");
+        }
+    }
+
+    #[test]
+    fn partiality_outside_domain() {
+        let m = examples::flip().dtop;
+        // q3 expects b-lists in the second subtree; an `a` there is undefined
+        let s = parse_tree("root(#,a(#,#))").unwrap();
+        assert_eq!(eval(&m, &s), None);
+    }
+
+    #[test]
+    fn flip_deletes_nothing_checked_note() {
+        // (q4,a) deletes its first subtree: without inspection the evaluator
+        // accepts any tree there — the paper's remark after Mflip.
+        let m = examples::flip().dtop;
+        let s = parse_tree("root(a(b(#,#),#),#)").unwrap();
+        // b(#,#) sits where the domain automaton would demand #:
+        let t = eval(&m, &s).unwrap();
+        assert_eq!(t.to_string(), "root(#,a(#,#))");
+        // ...but the fixture's domain automaton rejects it:
+        assert!(!examples::flip().domain.accepts(&s));
+    }
+
+    #[test]
+    fn eval_state_directly() {
+        let m = examples::flip().dtop;
+        let q4 = m.state_by_name("q4").unwrap();
+        let s = parse_tree("a(#,a(#,#))").unwrap();
+        assert_eq!(eval_state(&m, q4, &s).unwrap().to_string(), "a(#,a(#,#))");
+    }
+
+    #[test]
+    fn copying_reuses_memoized_results() {
+        // q(f(x1)) -> g(<q,x1>,<q,x1>): output is a full binary tree but
+        // evaluation is linear thanks to memoization + sharing.
+        let m = examples::monadic_to_binary().dtop;
+        let mut s = parse_tree("e").unwrap();
+        for _ in 0..24 {
+            s = Tree::new(xtt_trees::Symbol::new("f"), vec![s]);
+        }
+        let t = eval(&m, &s).unwrap();
+        assert_eq!(t.size(), (1 << 25) - 1); // 2^(n+1) - 1 nodes
+        assert_eq!(t.height(), 24);
+    }
+
+    #[test]
+    fn eval_cut_shows_state_sequence() {
+        let m = examples::flip().dtop;
+        let s = parse_tree("root(a(#,#),b(#,#))").unwrap();
+        // cut at the root: axiom structure with ⟨q1,x⟩ and ⟨q2,x⟩
+        let z = eval_cut(&m, &s, &FPath::empty()).unwrap();
+        assert_eq!(m.show_rhs(&z, true), "root(<q1,x0>,<q2,x0>)");
+        // cut at the second child: q1 has moved there as q3
+        let u = FPath::parse_pairs(&[("root", 2)]);
+        let z2 = eval_cut(&m, &s, &u).unwrap();
+        assert_eq!(m.show_rhs(&z2, true), "root(<q3,x0>,a(#,#))");
+    }
+
+    #[test]
+    fn eval_cut_agrees_with_proposition_4() {
+        // ⟦M⟧(s) = ⟦Mx⟧(s[u←x])[⟨q,x⟩ ← ⟦M⟧_q(u⁻¹s)]
+        let m = examples::flip().dtop;
+        let s = parse_tree("root(a(a(#,#),#),b(b(#,#),#))").unwrap();
+        for u in [
+            FPath::empty(),
+            FPath::parse_pairs(&[("root", 1)]),
+            FPath::parse_pairs(&[("root", 2)]),
+            FPath::parse_pairs(&[("root", 1), ("a", 2)]),
+        ] {
+            let z = eval_cut(&m, &s, &u).unwrap();
+            let sub = u.resolve(&s).unwrap();
+            let rebuilt = substitute_calls(&m, &z, &sub);
+            assert_eq!(rebuilt.unwrap(), eval(&m, &s).unwrap(), "cut at {u}");
+        }
+    }
+
+    fn substitute_calls(m: &Dtop, z: &Rhs, sub: &Tree) -> Option<Tree> {
+        match z {
+            Rhs::Call { state, .. } => eval_state(m, *state, sub),
+            Rhs::Out(sym, kids) => {
+                let mut out = Vec::with_capacity(kids.len());
+                for k in kids {
+                    out.push(substitute_calls(m, k, sub)?);
+                }
+                Some(Tree::new(*sym, out))
+            }
+        }
+    }
+
+    #[test]
+    fn naive_and_memoized_agree() {
+        for fix in [examples::flip(), examples::library(), examples::monadic_to_binary()] {
+            let trees = xtt_trees::gen::enumerate_trees(fix.dtop.input(), 60, 8);
+            for t in trees {
+                assert_eq!(eval(&fix.dtop, &t), eval_naive(&fix.dtop, &t), "on {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_cut_requires_path_in_tree() {
+        let m = examples::flip().dtop;
+        let s = parse_tree("root(#,#)").unwrap();
+        assert!(eval_cut(&m, &s, &FPath::parse_pairs(&[("root", 1), ("a", 1)])).is_none());
+    }
+}

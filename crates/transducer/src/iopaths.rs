@@ -1,0 +1,258 @@
+//! io-paths of a canonical transducer (Definitions 10 and 29).
+//!
+//! An io-path `p = (u, v)` pairs an input path with an output path such
+//! that `out_τ(u)[v] = ⊥` and `p⁻¹τ` is functional. For earliest dtops,
+//! io-paths are exactly the pairs that *reach* states (Lemmas 6 and 11), so
+//! they can be enumerated by walking the rules. The paper's learner
+//! identifies every state of `min(τ)` with the `<`-least io-path reaching
+//! it ([`state_io_paths`]) and every rule variable with a *trans-io-path*
+//! ([`trans_io_paths`]).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use xtt_trees::{FPath, PathOrder, Step};
+
+use crate::earliest::Canonical;
+use crate::rhs::QId;
+
+/// An io-path: a pair of an input F-path and an output F-path.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct IoPath {
+    pub input: FPath,
+    pub output: FPath,
+}
+
+impl std::fmt::Display for IoPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}; {})", self.input, self.output)
+    }
+}
+
+/// A trans-io-path: the io-path of a rule variable occurrence
+/// (Definition 29), remembering which state/symbol/position it came from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransIoPath {
+    /// The state whose rule this variable occurs in.
+    pub state: QId,
+    /// The input symbol of the rule.
+    pub symbol: xtt_trees::Symbol,
+    /// The labeled output path of the call inside the rhs (`v'`).
+    pub rhs_path: FPath,
+    /// The state the call targets.
+    pub target: QId,
+    /// The io-path `(u·(f,i), v·v')`.
+    pub path: IoPath,
+}
+
+/// Sort key realizing the paper's order `<` on pairs of paths: compare
+/// input paths (shorter first, then letters by alphabet declaration order,
+/// then child index), then output paths.
+fn sort_key(ord: &PathOrder<'_>, p: &IoPath, q: &IoPath) -> Ordering {
+    ord.cmp_input(&p.input, &q.input)
+        .then_with(|| ord.cmp_output(&p.output, &q.output))
+}
+
+struct HeapItem {
+    path: IoPath,
+    state: QId,
+    /// Precomputed comparable key (see `key_of`).
+    key: Vec<u64>,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the least first.
+        other.key.cmp(&self.key)
+    }
+}
+
+fn key_of(c: &Canonical, p: &IoPath) -> Vec<u64> {
+    let mut key = Vec::with_capacity(2 * (p.input.len() + p.output.len()) + 2);
+    let encode = |key: &mut Vec<u64>, alpha: &xtt_trees::RankedAlphabet, path: &FPath| {
+        key.push(path.len() as u64);
+        for s in path.steps() {
+            key.push(alpha.symbol_index(s.symbol).expect("symbol in alphabet") as u64);
+            key.push(u64::from(s.child));
+        }
+    };
+    encode(&mut key, c.dtop.input(), &p.input);
+    encode(&mut key, c.dtop.output(), &p.output);
+    key
+}
+
+/// The `<`-least io-path reaching each state of a canonical transducer
+/// (the paper's `io-path_q`). Index = state id.
+///
+/// Dijkstra-style search: starting from the axiom's call positions
+/// `(ε, v')`, each popped io-path extends through every rule call. The
+/// order is monotone under extension (paths only grow), so the first pop
+/// per state is its least io-path.
+pub fn state_io_paths(c: &Canonical) -> Vec<IoPath> {
+    let n = c.dtop.state_count();
+    let mut result: Vec<Option<IoPath>> = vec![None; n];
+    let mut found = 0usize;
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+
+    for (v, q, _) in c.dtop.axiom().calls_with_fpath() {
+        let path = IoPath {
+            input: FPath::empty(),
+            output: v,
+        };
+        heap.push(HeapItem {
+            key: key_of(c, &path),
+            path,
+            state: q,
+        });
+    }
+
+    while let Some(item) = heap.pop() {
+        if result[item.state.index()].is_some() {
+            continue;
+        }
+        result[item.state.index()] = Some(item.path.clone());
+        found += 1;
+        if found == n {
+            break;
+        }
+        let q = item.state;
+        for f in c.dtop.enabled_symbols(q) {
+            let rhs = c.dtop.rule(q, f).unwrap();
+            for (v2, q2, child) in rhs.calls_with_fpath() {
+                if result[q2.index()].is_some() {
+                    continue;
+                }
+                let path = IoPath {
+                    input: item.path.input.push(Step::new(f, child as u32)),
+                    output: item.path.output.concat(&v2),
+                };
+                heap.push(HeapItem {
+                    key: key_of(c, &path),
+                    path,
+                    state: q2,
+                });
+            }
+        }
+    }
+    result
+        .into_iter()
+        .map(|p| p.expect("every canonical state is reachable"))
+        .collect()
+}
+
+/// All trans-io-paths (Definition 29): for every state `q`, rule `(q,f)`,
+/// and call at rhs position `v'`, the io-path `(u·(f,i), v·v')` where
+/// `(u,v)` is `q`'s state-io-path.
+pub fn trans_io_paths(c: &Canonical, state_paths: &[IoPath]) -> Vec<TransIoPath> {
+    let mut out = Vec::new();
+    for q in c.dtop.states() {
+        let base = &state_paths[q.index()];
+        for f in c.dtop.enabled_symbols(q) {
+            let rhs = c.dtop.rule(q, f).unwrap();
+            for (v2, q2, child) in rhs.calls_with_fpath() {
+                out.push(TransIoPath {
+                    state: q,
+                    symbol: f,
+                    rhs_path: v2.clone(),
+                    target: q2,
+                    path: IoPath {
+                        input: base.input.push(Step::new(f, child as u32)),
+                        output: base.output.concat(&v2),
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Sorts io-paths by the paper's order (useful for deterministic
+/// processing and display).
+pub fn sort_io_paths(c: &Canonical, paths: &mut [IoPath]) {
+    let ord = PathOrder::new(c.dtop.input(), c.dtop.output());
+    paths.sort_by(|a, b| sort_key(&ord, a, b));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::canonical_form;
+    use crate::examples;
+
+    #[test]
+    fn flip_state_io_paths_match_paper() {
+        // Paper §1: the 4 τflip classes have shortest representatives
+        // (ε,(root,1)), (ε,(root,2)), ((root,2),(root,1)), ((root,1),(root,2))
+        let fix = examples::flip();
+        let c = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let paths = state_io_paths(&c);
+        let shown: Vec<String> = paths.iter().map(|p| p.to_string()).collect();
+        assert_eq!(shown.len(), 4);
+        // canonical numbering: q0,q1 from the axiom; q2 = target of q0's
+        // rule (reads (root,2)), q3 = target of q1's rule
+        assert_eq!(shown[0], "(ε; (root,1))");
+        assert_eq!(shown[1], "(ε; (root,2))");
+        assert_eq!(shown[2], "((root,2); (root,1))");
+        assert_eq!(shown[3], "((root,1); (root,2))");
+    }
+
+    #[test]
+    fn trans_io_paths_extend_state_paths() {
+        let fix = examples::flip();
+        let c = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let sp = state_io_paths(&c);
+        let tp = trans_io_paths(&c, &sp);
+        // q0's root rule calls q2 at rhs position ε with x2:
+        let t = tp
+            .iter()
+            .find(|t| t.state == QId(0) && t.symbol.name() == "root")
+            .unwrap();
+        assert_eq!(t.target, QId(2));
+        assert_eq!(t.path.to_string(), "((root,2); (root,1))");
+        // q2's b-rule calls q2 at (b,2):
+        let t2 = tp
+            .iter()
+            .find(|t| t.state == QId(2) && t.symbol.name() == "b")
+            .unwrap();
+        assert_eq!(t2.target, QId(2));
+        assert_eq!(t2.path.to_string(), "((root,2)(b,2); (root,1)(b,2))");
+    }
+
+    #[test]
+    fn library_has_fifteen_io_paths() {
+        let fix = examples::library();
+        let c = canonical_form(&fix.dtop, None).unwrap();
+        let paths = state_io_paths(&c);
+        assert_eq!(paths.len(), 15);
+        let shown: Vec<String> = paths.iter().map(|p| p.to_string()).collect();
+        // the axiom's four holes (paper's qL1..qL4 io-paths)
+        assert!(shown.contains(&"(ε; (L,1)(S,1)(T*,1))".to_owned()));
+        assert!(shown.contains(&"(ε; (L,1)(S,1)(T*,2))".to_owned()));
+        assert!(shown.contains(&"(ε; (L,2)(B*,1))".to_owned()));
+        assert!(shown.contains(&"(ε; (L,2)(B*,2))".to_owned()));
+        // the paper's qA io-path
+        assert!(shown.contains(&"((L,1)(B*,1)(B,1); (L,2)(B*,1)(B,2)(A,1))".to_owned()));
+        // the paper's qP io-path
+        assert!(shown.contains(&"((L,1)(B*,1)(B,1)(A,1); (L,2)(B*,1)(B,2)(A,1))".to_owned()));
+    }
+
+    #[test]
+    fn monadic_copier_single_state() {
+        let fix = examples::monadic_to_binary();
+        let c = canonical_form(&fix.dtop, None).unwrap();
+        let paths = state_io_paths(&c);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].to_string(), "(ε; ε)");
+    }
+}

@@ -1,0 +1,256 @@
+//! Minimization of earliest uniform transducers, and canonical numbering.
+//!
+//! For an earliest uniform transducer, two states are semantically
+//! equivalent iff they have the same domain language and, for every input
+//! symbol, structurally identical right-hand sides with calls to
+//! equivalent states at the same variables — Lemma 9 pins the shape of
+//! rules to `out`, and Lemmas 22/23 pin the variable alignment, so
+//! syntactic bisimulation coincides with equality of residual functions.
+//! Minimization is therefore a Moore-style partition refinement seeded with
+//! the domain-language classes (this seeding is exactly condition (C0) of
+//! Definition 27).
+//!
+//! The result, after [`canonical_number`], is the paper's `min(τ)`
+//! (Definition 24): *the* unique minimal earliest compatible dtop
+//! (Theorem 28), with states numbered by a deterministic BFS so that two
+//! equivalent transductions yield byte-identical transducers.
+
+use std::collections::HashMap;
+
+use xtt_automata::language_classes;
+use xtt_trees::Symbol;
+
+use crate::dtop::DtopBuilder;
+use crate::earliest::{Canonical, NormError};
+use crate::rhs::{QId, Rhs};
+
+/// Merges equivalent states of an earliest uniform transducer.
+pub fn minimize(c: &Canonical) -> Result<Canonical, NormError> {
+    let n = c.dtop.state_count();
+    if n == 0 {
+        return Ok(c.clone());
+    }
+    let dclasses = language_classes(&c.domain);
+
+    // Initial partition: by domain-language class (condition C0).
+    let mut class: Vec<usize> = (0..n)
+        .map(|q| dclasses[c.state_domain[q].index()])
+        .collect();
+    normalize_classes(&mut class);
+
+    loop {
+        let mut key_to_class: HashMap<(usize, Vec<(Symbol, Rhs)>), usize> = HashMap::new();
+        let mut next = vec![0usize; n];
+        for q in 0..n {
+            let qid = QId(q as u32);
+            let mut signature: Vec<(Symbol, Rhs)> = Vec::new();
+            for f in c.dtop.enabled_symbols(qid) {
+                let rhs = c.dtop.rule(qid, f).expect("enabled symbol has rule");
+                signature.push((f, rhs.map_states(&mut |q2| QId(class[q2.index()] as u32))));
+            }
+            let key = (class[q], signature);
+            let fresh = key_to_class.len();
+            next[q] = *key_to_class.entry(key).or_insert(fresh);
+        }
+        if next == class {
+            break;
+        }
+        class = next;
+    }
+
+    // Representative = least state of each class; new ids in order of
+    // class first occurrence.
+    let mut rep_of_class: HashMap<usize, QId> = HashMap::new();
+    let mut new_id: HashMap<usize, QId> = HashMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    for (q, &cls) in class.iter().enumerate() {
+        rep_of_class.entry(cls).or_insert(QId(q as u32));
+        new_id.entry(cls).or_insert_with(|| {
+            order.push(cls);
+            QId((order.len() - 1) as u32)
+        });
+    }
+
+    let mut rename = |q: QId| new_id[&class[q.index()]];
+    let mut builder = DtopBuilder::new(c.dtop.input().clone(), c.dtop.output().clone());
+    let mut state_domain = Vec::with_capacity(order.len());
+    for &cls in &order {
+        let rep = rep_of_class[&cls];
+        builder.add_state(c.dtop.state_name(rep).to_owned());
+        state_domain.push(c.state_domain[rep.index()]);
+    }
+    builder.set_axiom(c.dtop.axiom().map_states(&mut rename));
+    for &cls in &order {
+        let rep = rep_of_class[&cls];
+        for f in c.dtop.enabled_symbols(rep) {
+            let rhs = c.dtop.rule(rep, f).unwrap().map_states(&mut rename);
+            builder
+                .add_rule(new_id[&cls], f, rhs)
+                .map_err(|e| NormError::Internal(e.to_string()))?;
+        }
+    }
+    Ok(Canonical {
+        dtop: builder
+            .build()
+            .map_err(|e| NormError::Internal(e.to_string()))?,
+        domain: c.domain.clone(),
+        state_domain,
+    })
+}
+
+fn normalize_classes(class: &mut [usize]) {
+    let mut seen: HashMap<usize, usize> = HashMap::new();
+    for v in class.iter_mut() {
+        let fresh = seen.len();
+        *v = *seen.entry(*v).or_insert(fresh);
+    }
+}
+
+/// Renumbers states by a deterministic BFS from the axiom (axiom calls in
+/// pre-order, then rules in symbol-declaration order, their calls in
+/// pre-order) and names them `q0, q1, …`. Unreachable states are dropped.
+///
+/// Two isomorphic transducers become byte-identical under this numbering,
+/// which is what makes canonical-form comparison a sound equivalence check.
+pub fn canonical_number(c: &Canonical) -> Result<Canonical, NormError> {
+    let mut new_of_old: HashMap<QId, QId> = HashMap::new();
+    let mut bfs: Vec<QId> = Vec::new();
+    let visit = |q: QId, new_of_old: &mut HashMap<QId, QId>, bfs: &mut Vec<QId>| {
+        if let std::collections::hash_map::Entry::Vacant(slot) = new_of_old.entry(q) {
+            slot.insert(QId(bfs.len() as u32));
+            bfs.push(q);
+        }
+    };
+    for (_, q, _) in c.dtop.axiom().calls() {
+        visit(q, &mut new_of_old, &mut bfs);
+    }
+    let mut i = 0;
+    while i < bfs.len() {
+        let q = bfs[i];
+        i += 1;
+        for f in c.dtop.enabled_symbols(q) {
+            for (_, q2, _) in c.dtop.rule(q, f).unwrap().calls() {
+                visit(q2, &mut new_of_old, &mut bfs);
+            }
+        }
+    }
+
+    let mut builder = DtopBuilder::new(c.dtop.input().clone(), c.dtop.output().clone());
+    let mut state_domain = Vec::with_capacity(bfs.len());
+    for (new_idx, &old) in bfs.iter().enumerate() {
+        builder.add_state(format!("q{new_idx}"));
+        state_domain.push(c.state_domain[old.index()]);
+    }
+    let mut rename = |q: QId| new_of_old[&q];
+    builder.set_axiom(c.dtop.axiom().map_states(&mut rename));
+    for &old in &bfs {
+        for f in c.dtop.enabled_symbols(old) {
+            let rhs = c.dtop.rule(old, f).unwrap().map_states(&mut rename);
+            builder
+                .add_rule(new_of_old[&old], f, rhs)
+                .map_err(|e| NormError::Internal(e.to_string()))?;
+        }
+    }
+    Ok(Canonical {
+        dtop: builder
+            .build()
+            .map_err(|e| NormError::Internal(e.to_string()))?,
+        domain: c.domain.clone(),
+        state_domain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::earliest::to_earliest;
+    use crate::eval::eval;
+    use crate::examples;
+    use xtt_automata::enumerate_language;
+
+    #[test]
+    fn flip_is_already_minimal() {
+        let fix = examples::flip();
+        let canon = to_earliest(&fix.dtop, Some(&fix.domain)).unwrap();
+        let min = minimize(&canon).unwrap();
+        assert_eq!(min.dtop.state_count(), 4);
+        assert_eq!(min.dtop.rule_count(), 6);
+    }
+
+    #[test]
+    fn duplicate_states_are_merged() {
+        // two copies of the same list-copier state must merge
+        let alpha = xtt_trees::RankedAlphabet::from_pairs([("root", 2), ("a", 2), ("#", 0)]);
+        let mut b = crate::dtop::DtopBuilder::new(alpha.clone(), alpha);
+        for s in ["l", "r", "cl", "cr"] {
+            b.add_state(s);
+        }
+        b.set_axiom_str("root(<l,x0>,<r,x0>)").unwrap();
+        b.add_rule_str("l", "root", "<cl,x1>").unwrap();
+        b.add_rule_str("r", "root", "<cr,x2>").unwrap();
+        for c in ["cl", "cr"] {
+            b.add_rule_str(c, "a", &format!("a(#,<{c},x2>)")).unwrap();
+            b.add_rule_str(c, "#", "#").unwrap();
+        }
+        let m = b.build().unwrap();
+        // domain: root of two a-lists — both children same language
+        let mut d = xtt_automata::DttaBuilder::new(m.input().clone());
+        let p0 = d.add_state("start");
+        let pl = d.add_state("alist");
+        let nil = d.add_state("nil");
+        d.add_transition(p0, xtt_trees::Symbol::new("root"), vec![pl, pl]).unwrap();
+        d.add_transition(pl, xtt_trees::Symbol::new("a"), vec![nil, pl]).unwrap();
+        d.add_transition(pl, xtt_trees::Symbol::new("#"), vec![]).unwrap();
+        d.add_transition(nil, xtt_trees::Symbol::new("#"), vec![]).unwrap();
+        let domain = d.build().unwrap();
+
+        let canon = to_earliest(&m, Some(&domain)).unwrap();
+        let min = minimize(&canon).unwrap();
+        // cl/cr merge; l/r do not (they pick different children).
+        assert_eq!(min.dtop.state_count(), 3);
+        // behaviour preserved
+        for t in enumerate_language(&domain, domain.initial(), 50, 15) {
+            assert_eq!(eval(&m, &t), eval(&min.dtop, &t));
+        }
+    }
+
+    #[test]
+    fn different_domains_not_merged() {
+        // Example 6 M1: q0 (reads f-nodes) and q1 (reads a/b) both realize
+        // partial identities, but (C0) keeps them apart; minimization of
+        // the already-minimal M1 must stay at 2 states.
+        let fix = examples::example6_m1();
+        let canon = to_earliest(&fix.dtop, Some(&fix.domain)).unwrap();
+        let min = minimize(&canon).unwrap();
+        assert_eq!(min.dtop.state_count(), 2);
+    }
+
+    #[test]
+    fn canonical_numbering_is_bfs() {
+        let fix = examples::flip();
+        let canon = to_earliest(&fix.dtop, Some(&fix.domain)).unwrap();
+        let numbered = canonical_number(&minimize(&canon).unwrap()).unwrap();
+        assert_eq!(numbered.dtop.state_name(QId(0)), "q0");
+        let ax = numbered.dtop.show_rhs(numbered.dtop.axiom(), true);
+        assert_eq!(ax, "root(<q0,x0>,<q1,x0>)");
+    }
+
+    #[test]
+    fn canonical_number_drops_unreachable() {
+        let alpha = xtt_trees::RankedAlphabet::from_pairs([("a", 0)]);
+        let mut b = crate::dtop::DtopBuilder::new(alpha.clone(), alpha);
+        b.add_state("used");
+        b.add_state("orphan");
+        b.set_axiom_str("<used,x0>").unwrap();
+        b.add_rule_str("used", "a", "a").unwrap();
+        b.add_rule_str("orphan", "a", "a").unwrap();
+        let m = b.build().unwrap();
+        let canon = Canonical {
+            domain: crate::domain::domain_dtta(&m, None),
+            state_domain: vec![xtt_automata::StateId(0), xtt_automata::StateId(0)],
+            dtop: m,
+        };
+        let numbered = canonical_number(&canon).unwrap();
+        assert_eq!(numbered.dtop.state_count(), 1);
+    }
+}

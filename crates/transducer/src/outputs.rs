@@ -1,0 +1,246 @@
+//! Symbolic computation of maximal outputs `out_τ(u)` / `out_τ(u·f)` with
+//! hole provenance.
+//!
+//! For an *earliest uniform* transducer the maximal output at a path can be
+//! read off the rules: walk the path from the axiom, expanding the states
+//! that process each node; a call into an off-path child is a `⊥`-hole of
+//! the maximal output (earliest ⇒ `out` of the called state is `⊥` at its
+//! root), and so is every call left at the end of the path. Each hole
+//! therefore comes with *provenance*: the canonical state that produces
+//! there and the input node whose subtree it depends on — exactly the data
+//! the characteristic-sample generator (conditions (A), (T), (O) of
+//! Definition 31) needs.
+
+use xtt_automata::StateId;
+use xtt_trees::{FPath, PTree, Step, Symbol};
+
+use crate::earliest::Canonical;
+use crate::rhs::{QId, Rhs};
+
+/// One `⊥`-hole of a maximal output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hole {
+    /// Labeled output path `v'` of the hole (relative to the output root).
+    pub output: FPath,
+    /// The canonical state producing output at this hole.
+    pub state: QId,
+    /// Labeled input path of the node whose subtree the hole depends on.
+    pub input: FPath,
+}
+
+/// A maximal output with provenance.
+#[derive(Clone, Debug)]
+pub struct OutAt {
+    /// `out_τ(u)` resp. `out_τ(u·f)`, with `⊥` at the holes.
+    pub ptree: PTree,
+    /// All holes, in pre-order of output position.
+    pub holes: Vec<Hole>,
+}
+
+enum OT {
+    Sym(Symbol, Vec<OT>),
+    /// A state still processing the current path node.
+    Marker(QId),
+    /// A resolved hole.
+    Hole(QId, FPath),
+}
+
+/// Computes `out_τ(u)` (if `label` is `None`) or `out_τ(u·f)` (if `label`
+/// is `Some(f)`) for the transduction of a canonical (earliest uniform)
+/// transducer. Returns `None` when the (n)path belongs to no tree of the
+/// domain.
+pub fn out_at(c: &Canonical, u: &FPath, label: Option<Symbol>) -> Option<OutAt> {
+    // Follow the domain automaton to validate the path.
+    let mut d: StateId = c.domain.initial();
+
+    let mut tree = rhs_to_ot(c.dtop.axiom(), &mut |q, _| OT::Marker(q));
+    let mut prefix = FPath::empty();
+    for step in u.steps() {
+        let children = c.domain.transition(d, step.symbol)?;
+        d = *children.get(step.child as usize)?;
+        let here = prefix.clone();
+        tree = expand_markers(&tree, &mut |q| {
+            let rhs = c
+                .dtop
+                .rule(q, step.symbol)
+                .expect("uniformity: live domain transition implies rule");
+            Some(rhs_to_ot(rhs, &mut |q2, child| {
+                if child == step.child as usize {
+                    OT::Marker(q2)
+                } else {
+                    OT::Hole(q2, here.push(Step::new(step.symbol, child as u32)))
+                }
+            }))
+        })?;
+        prefix = prefix.push(*step);
+    }
+    if let Some(f) = label {
+        c.domain.transition(d, f)?;
+        let here = prefix.clone();
+        tree = expand_markers(&tree, &mut |q| {
+            let rhs = c.dtop.rule(q, f)?;
+            Some(rhs_to_ot(rhs, &mut |q2, child| {
+                OT::Hole(q2, here.push(Step::new(f, child as u32)))
+            }))
+        })?;
+    } else {
+        // Remaining markers depend on the whole subtree at `u`.
+        let here = prefix;
+        tree = expand_markers(&tree, &mut |q| Some(OT::Hole(q, here.clone())))?;
+    }
+
+    let mut holes = Vec::new();
+    let ptree = finish(&tree, &FPath::empty(), &mut holes);
+    Some(OutAt { ptree, holes })
+}
+
+fn rhs_to_ot(rhs: &Rhs, on_call: &mut impl FnMut(QId, usize) -> OT) -> OT {
+    match rhs {
+        Rhs::Call { state, child } => on_call(*state, *child),
+        Rhs::Out(sym, kids) => OT::Sym(
+            *sym,
+            kids.iter().map(|k| rhs_to_ot(k, on_call)).collect(),
+        ),
+    }
+}
+
+/// Replaces every `Marker` through `f`; `None` from `f` aborts (missing
+/// rule ⇒ the path leaves the domain).
+fn expand_markers(t: &OT, f: &mut impl FnMut(QId) -> Option<OT>) -> Option<OT> {
+    match t {
+        OT::Marker(q) => f(*q),
+        OT::Hole(q, input) => Some(OT::Hole(*q, input.clone())),
+        OT::Sym(sym, kids) => {
+            let mut out = Vec::with_capacity(kids.len());
+            for k in kids {
+                out.push(expand_markers(k, f)?);
+            }
+            Some(OT::Sym(*sym, out))
+        }
+    }
+}
+
+fn finish(t: &OT, at: &FPath, holes: &mut Vec<Hole>) -> PTree {
+    match t {
+        OT::Marker(_) => unreachable!("markers were all expanded"),
+        OT::Hole(q, input) => {
+            holes.push(Hole {
+                output: at.clone(),
+                state: *q,
+                input: input.clone(),
+            });
+            PTree::bottom()
+        }
+        OT::Sym(sym, kids) => PTree::sym(
+            *sym,
+            kids.iter()
+                .enumerate()
+                .map(|(i, k)| finish(k, &at.push(Step::new(*sym, i as u32)), holes))
+                .collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::canonical_form;
+    use crate::eval::eval;
+    use crate::examples;
+    use xtt_automata::enumerate_language;
+
+    /// Brute-force out_τ(U) from enumerated domain trees, for validation.
+    fn brute_out(
+        fix: &examples::Fixture,
+        u: &FPath,
+        label: Option<Symbol>,
+        n: usize,
+    ) -> Option<PTree> {
+        let trees = enumerate_language(&fix.domain, fix.domain.initial(), n, 40);
+        let outputs: Vec<PTree> = trees
+            .iter()
+            .filter(|s| match label {
+                Some(f) => u.with_label(f).belongs_to(s),
+                None => u.belongs_to(s),
+            })
+            .filter_map(|s| eval(&fix.dtop, s))
+            .map(|t| PTree::from_tree(&t))
+            .collect();
+        if outputs.is_empty() {
+            return None;
+        }
+        Some(PTree::lcp_many(outputs))
+    }
+
+    #[test]
+    fn flip_out_at_root_matches_brute_force() {
+        let fix = examples::flip();
+        let c = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let got = out_at(&c, &FPath::empty(), None).unwrap();
+        assert_eq!(got.ptree.to_string(), "root(⊥,⊥)");
+        assert_eq!(got.holes.len(), 2);
+        assert_eq!(got.holes[0].input, FPath::empty());
+        let brute = brute_out(&fix, &FPath::empty(), None, 500).unwrap();
+        assert_eq!(got.ptree, brute);
+    }
+
+    #[test]
+    fn flip_out_at_npaths_matches_brute_force() {
+        let fix = examples::flip();
+        let c = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let root = Symbol::new("root");
+        let a = Symbol::new("a");
+        let b = Symbol::new("b");
+        let cases: Vec<(FPath, Symbol)> = vec![
+            (FPath::empty(), root),
+            (FPath::parse_pairs(&[("root", 1)]), a),
+            (FPath::parse_pairs(&[("root", 2)]), b),
+            (FPath::parse_pairs(&[("root", 1)]), Symbol::new("#")),
+            (FPath::parse_pairs(&[("root", 1), ("a", 2)]), a),
+        ];
+        for (u, f) in cases {
+            let got = out_at(&c, &u, Some(f)).unwrap();
+            let brute = brute_out(&fix, &u, Some(f), 2000).unwrap();
+            assert_eq!(got.ptree, brute, "out mismatch at {u}·{f}");
+        }
+    }
+
+    #[test]
+    fn out_at_invalid_path_is_none() {
+        let fix = examples::flip();
+        let c = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        // b's cannot appear under (root,1)
+        let u = FPath::parse_pairs(&[("root", 1)]);
+        assert!(out_at(&c, &u, Some(Symbol::new("b"))).is_none());
+        let bad = FPath::parse_pairs(&[("a", 1)]);
+        assert!(out_at(&c, &bad, None).is_none());
+    }
+
+    #[test]
+    fn holes_carry_provenance() {
+        // For u·f = ε·root, rhs holes come from the axiom's two calls whose
+        // rules consume the root: holes depend on the root's children.
+        let fix = examples::flip();
+        let c = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let got = out_at(&c, &FPath::empty(), Some(Symbol::new("root"))).unwrap();
+        assert_eq!(got.ptree.to_string(), "root(⊥,⊥)");
+        assert_eq!(got.holes.len(), 2);
+        // first hole: output (root,1), produced by the state reading (root,2)
+        assert_eq!(got.holes[0].output, FPath::parse_pairs(&[("root", 1)]));
+        assert_eq!(got.holes[0].input, FPath::parse_pairs(&[("root", 2)]));
+        assert_eq!(got.holes[1].output, FPath::parse_pairs(&[("root", 2)]));
+        assert_eq!(got.holes[1].input, FPath::parse_pairs(&[("root", 1)]));
+    }
+
+    #[test]
+    fn library_out_at_axiom() {
+        let fix = examples::library();
+        let c = canonical_form(&fix.dtop, None).unwrap();
+        let got = out_at(&c, &FPath::empty(), None).unwrap();
+        assert_eq!(got.ptree.to_string(), "L(S(T*(⊥,⊥)),B*(⊥,⊥))");
+        assert_eq!(got.holes.len(), 4);
+        for h in &got.holes {
+            assert_eq!(h.input, FPath::empty());
+        }
+    }
+}

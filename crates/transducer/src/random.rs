@@ -1,0 +1,137 @@
+//! Random generation of total dtops — fuzzing fuel for the
+//! normal-form/learning pipeline.
+//!
+//! A *total* dtop (a rule for every `(state, symbol)` pair) has the
+//! universal domain, so no inspection automaton is needed and every
+//! generated machine can be pushed through `canonical_form` →
+//! `characteristic_sample` → `rpni_dtop` → `same_canonical`. Random
+//! machines freely copy, delete, and permute variables, hitting rule
+//! shapes no hand-written fixture covers.
+
+use rand::Rng;
+
+use xtt_trees::RankedAlphabet;
+
+use crate::dtop::{Dtop, DtopBuilder};
+use crate::rhs::{QId, Rhs};
+
+/// Tuning for [`random_total_dtop`].
+#[derive(Debug, Clone)]
+pub struct RandomDtopConfig {
+    pub n_states: usize,
+    /// Maximum depth of output structure in a right-hand side.
+    pub max_rhs_depth: usize,
+    /// Probability (0..100) of emitting a state call where one is allowed.
+    pub call_percent: u32,
+}
+
+impl Default for RandomDtopConfig {
+    fn default() -> Self {
+        RandomDtopConfig {
+            n_states: 3,
+            max_rhs_depth: 3,
+            call_percent: 45,
+        }
+    }
+}
+
+/// Generates a total dtop: every state has a rule for every input symbol,
+/// and the axiom calls a random subset of states on `x0`.
+///
+/// Panics if the output alphabet has no constant (no ground rhs exists).
+pub fn random_total_dtop<R: Rng + ?Sized>(
+    rng: &mut R,
+    input: &RankedAlphabet,
+    output: &RankedAlphabet,
+    config: &RandomDtopConfig,
+) -> Dtop {
+    assert!(
+        output.constants().next().is_some(),
+        "output alphabet needs a constant"
+    );
+    let mut b = DtopBuilder::new(input.clone(), output.clone());
+    for i in 0..config.n_states {
+        b.add_state(format!("r{i}"));
+    }
+    let axiom = random_rhs(rng, output, config, 1, config.max_rhs_depth, config.n_states);
+    b.set_axiom(axiom);
+    for q in 0..config.n_states {
+        for &f in input.symbols() {
+            let arity = input.rank(f).unwrap();
+            let rhs = random_rhs(rng, output, config, arity, config.max_rhs_depth, config.n_states);
+            b.add_rule(QId(q as u32), f, rhs).expect("valid rule");
+        }
+    }
+    b.build().expect("random dtop is well-formed")
+}
+
+fn random_rhs<R: Rng + ?Sized>(
+    rng: &mut R,
+    output: &RankedAlphabet,
+    config: &RandomDtopConfig,
+    arity: usize,
+    depth: usize,
+    n_states: usize,
+) -> Rhs {
+    let can_call = arity > 0 && n_states > 0;
+    if can_call && rng.gen_range(0..100) < config.call_percent {
+        return Rhs::Call {
+            state: QId(rng.gen_range(0..n_states) as u32),
+            child: rng.gen_range(0..arity),
+        };
+    }
+    // pick an output symbol; at the depth limit, a constant
+    let symbol = if depth == 0 {
+        let constants: Vec<_> = output.constants().collect();
+        constants[rng.gen_range(0..constants.len())]
+    } else {
+        let all = output.symbols();
+        all[rng.gen_range(0..all.len())]
+    };
+    let rank = output.rank(symbol).unwrap();
+    let children = (0..rank)
+        .map(|_| random_rhs(rng, output, config, arity, depth.saturating_sub(1), n_states))
+        .collect();
+    Rhs::Out(symbol, children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xtt_trees::gen::enumerate_trees;
+
+    fn alphabets() -> (RankedAlphabet, RankedAlphabet) {
+        (
+            RankedAlphabet::from_pairs([("f", 2), ("g", 1), ("a", 0), ("b", 0)]),
+            RankedAlphabet::from_pairs([("h", 2), ("u", 1), ("c", 0), ("d", 0)]),
+        )
+    }
+
+    #[test]
+    fn random_dtops_are_total() {
+        let (input, output) = alphabets();
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = random_total_dtop(&mut rng, &input, &output, &RandomDtopConfig::default());
+            for t in enumerate_trees(&input, 40, 7) {
+                assert!(eval(&m, &t).is_some(), "seed {seed}: undefined on {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (input, output) = alphabets();
+        let gen = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_total_dtop(&mut rng, &input, &output, &RandomDtopConfig::default())
+        };
+        let a = gen(7);
+        let b = gen(7);
+        assert_eq!(a.axiom(), b.axiom());
+        assert_eq!(a.rules(), b.rules());
+    }
+}

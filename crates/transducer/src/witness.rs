@@ -1,0 +1,165 @@
+//! Witness inputs for canonical states.
+//!
+//! A state `q` of an earliest transducer has `out_{⟦M⟧_q}(ε) = ⊥`, i.e. it
+//! is *two-valued* (Lemma 21): there exist inputs in its domain whose
+//! outputs differ already at the root symbol. [`root_output_witnesses`]
+//! finds such a pair for every state — the raw material for making sample
+//! outputs disagree at prescribed positions when generating characteristic
+//! samples (conditions (A) and (T) of Definition 31).
+
+use std::collections::HashMap;
+
+use xtt_automata::minimal_witnesses;
+use xtt_trees::{Symbol, Tree};
+
+use crate::earliest::{Canonical, NormError};
+use crate::rhs::Rhs;
+
+/// For every canonical state, a pair of domain trees whose outputs have
+/// distinct root symbols (smallest found, deterministic).
+pub fn root_output_witnesses(c: &Canonical) -> Result<Vec<(Tree, Tree)>, NormError> {
+    let per_state = root_symbol_witnesses(c)?;
+    let mut out = Vec::with_capacity(per_state.len());
+    for (q, table) in per_state.iter().enumerate() {
+        let mut entries: Vec<(&Symbol, &Tree)> = table.iter().collect();
+        entries.sort_by_key(|(sym, t)| {
+            (
+                t.size(),
+                c.dtop.output().symbol_index(**sym).unwrap_or(usize::MAX),
+                sym.id(),
+            )
+        });
+        if entries.len() < 2 {
+            return Err(NormError::Internal(format!(
+                "state q{q} of an earliest transducer has fewer than two root output symbols"
+            )));
+        }
+        out.push((entries[0].1.clone(), entries[1].1.clone()));
+    }
+    Ok(out)
+}
+
+/// For every canonical state, a map from possible root output symbols to a
+/// small input tree (in the state's domain) realizing that root symbol.
+pub fn root_symbol_witnesses(c: &Canonical) -> Result<Vec<HashMap<Symbol, Tree>>, NormError> {
+    let minwit = minimal_witnesses(&c.domain);
+    let n = c.dtop.state_count();
+    let mut table: Vec<HashMap<Symbol, Tree>> = vec![HashMap::new(); n];
+    loop {
+        let mut changed = false;
+        for q in c.dtop.states() {
+            let d = c.state_domain[q.index()];
+            for f in c.dtop.enabled_symbols(q) {
+                let dchildren = c
+                    .domain
+                    .transition(d, f)
+                    .expect("enabled symbol has live domain transition")
+                    .to_vec();
+                // Minimal children for each child position.
+                let base_children: Option<Vec<Tree>> = dchildren
+                    .iter()
+                    .map(|dc| minwit[dc.index()].clone())
+                    .collect();
+                let Some(base_children) = base_children else {
+                    return Err(NormError::Internal(
+                        "untrimmed domain state in canonical transducer".into(),
+                    ));
+                };
+                match c.dtop.rule(q, f).unwrap() {
+                    Rhs::Out(sym, _) => {
+                        let candidate = Tree::new(f, base_children);
+                        changed |= improve(&mut table[q.index()], *sym, candidate);
+                    }
+                    Rhs::Call { state, child } => {
+                        // Inherit: each known (sym, w) of the called state
+                        // lifts to f(..., w at `child`, ...).
+                        let inner = table[state.index()].clone();
+                        for (sym, w) in inner {
+                            let mut children = base_children.clone();
+                            children[*child] = w;
+                            let candidate = Tree::new(f, children);
+                            changed |= improve(&mut table[q.index()], sym, candidate);
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return Ok(table);
+        }
+    }
+}
+
+fn improve(table: &mut HashMap<Symbol, Tree>, sym: Symbol, candidate: Tree) -> bool {
+    match table.get(&sym) {
+        Some(existing) if existing.size() <= candidate.size() => false,
+        _ => {
+            table.insert(sym, candidate);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::canonical_form;
+    use crate::eval::eval_state;
+    use crate::examples;
+    use crate::rhs::QId;
+
+    #[test]
+    fn flip_witnesses_differ_at_root() {
+        let fix = examples::flip();
+        let c = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let pairs = root_output_witnesses(&c).unwrap();
+        assert_eq!(pairs.len(), 4);
+        for (q, (w1, w2)) in pairs.iter().enumerate() {
+            let qid = QId(q as u32);
+            let t1 = eval_state(&c.dtop, qid, w1).expect("witness in domain");
+            let t2 = eval_state(&c.dtop, qid, w2).expect("witness in domain");
+            assert_ne!(
+                t1.symbol(),
+                t2.symbol(),
+                "witnesses of q{q} must differ at the root"
+            );
+        }
+    }
+
+    #[test]
+    fn witnesses_are_small() {
+        let fix = examples::flip();
+        let c = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let pairs = root_output_witnesses(&c).unwrap();
+        for (w1, w2) in &pairs {
+            assert!(w1.size() <= 5, "{w1}");
+            assert!(w2.size() <= 7, "{w2}");
+        }
+    }
+
+    #[test]
+    fn library_witnesses_exist_for_all_states() {
+        let fix = examples::library();
+        let c = canonical_form(&fix.dtop, None).unwrap();
+        let pairs = root_output_witnesses(&c).unwrap();
+        assert_eq!(pairs.len(), c.dtop.state_count());
+        for (q, (w1, w2)) in pairs.iter().enumerate() {
+            let qid = QId(q as u32);
+            let t1 = eval_state(&c.dtop, qid, w1).unwrap();
+            let t2 = eval_state(&c.dtop, qid, w2).unwrap();
+            assert_ne!(t1.symbol(), t2.symbol(), "state q{q}");
+        }
+    }
+
+    #[test]
+    fn witness_inputs_lie_in_state_domains() {
+        let fix = examples::flip();
+        let c = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let pairs = root_output_witnesses(&c).unwrap();
+        for (q, (w1, w2)) in pairs.iter().enumerate() {
+            let d = c.state_domain[q];
+            assert!(c.domain.accepts_from(d, w1));
+            assert!(c.domain.accepts_from(d, w2));
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Prefix trees over `G ∪ {⊥, ⊤}` and the largest-common-prefix operation `⊔`.
+//!
+//! Section 3 of the paper defines, for trees `t, t' ∈ T_G`, the largest common
+//! prefix `t ⊔ t' ∈ T_G({⊥})`, and the *maximal output* of a transduction at a
+//! path, `out_τ(u) = ⊔ {τ(s) | u ⊨ s}`. [`PTree`] represents such trees:
+//! ordinary `G`-labeled nodes plus `⊥` leaves ("outputs disagree here /
+//! unknown below") — and, additionally, `⊤` leaves, which are the *identity*
+//! of `⊔`. `⊤` never occurs in any `out` value exposed by the library; it
+//! exists so that the earliest-normal-form fixpoint (crate `xtt-transducer`)
+//! can start its Kleene iteration from the top element.
+//!
+//! `⊔` is associative, commutative, and idempotent with identity `⊤` and
+//! absorbing element `⊥` (property-tested below).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+use crate::path::{FPath, NodePath};
+use crate::symbol::Symbol;
+use crate::tree::Tree;
+
+/// The label of a prefix-tree node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PLabel {
+    /// An ordinary output symbol.
+    Sym(Symbol),
+    /// `⊥`: the outputs disagree at (or below) this position.
+    Bottom,
+    /// `⊤`: no information yet; identity of `⊔`. Only used transiently.
+    Top,
+}
+
+#[derive(Debug)]
+struct PInner {
+    label: PLabel,
+    children: Vec<PTree>,
+    hash: u64,
+    size: u64,
+}
+
+/// An immutable prefix tree (tree over `G ∪ {⊥, ⊤}`).
+#[derive(Clone)]
+pub struct PTree(Rc<PInner>);
+
+impl Drop for PInner {
+    fn drop(&mut self) {
+        // Iterative drop; see `Tree`'s drop for rationale.
+        let mut stack = std::mem::take(&mut self.children);
+        while let Some(PTree(rc)) = stack.pop() {
+            if let Ok(mut inner) = Rc::try_unwrap(rc) {
+                stack.append(&mut inner.children);
+            }
+        }
+    }
+}
+
+fn mix(mut h: u64, v: u64) -> u64 {
+    h ^= v;
+    h = h.wrapping_mul(0x100_0000_01b3);
+    h ^ (h >> 29)
+}
+
+impl PTree {
+    /// The `⊥` leaf.
+    pub fn bottom() -> PTree {
+        PTree::build(PLabel::Bottom, Vec::new())
+    }
+
+    /// The `⊤` leaf.
+    pub fn top() -> PTree {
+        PTree::build(PLabel::Top, Vec::new())
+    }
+
+    /// A symbol-labeled node.
+    pub fn sym(symbol: Symbol, children: Vec<PTree>) -> PTree {
+        PTree::build(PLabel::Sym(symbol), children)
+    }
+
+    fn build(label: PLabel, children: Vec<PTree>) -> PTree {
+        debug_assert!(
+            matches!(label, PLabel::Sym(_)) || children.is_empty(),
+            "⊥/⊤ must be leaves"
+        );
+        let seed = match label {
+            PLabel::Sym(s) => u64::from(s.id()).wrapping_add(0x9e37_79b9_7f4a_7c15),
+            PLabel::Bottom => 0x0b07_70a1,
+            PLabel::Top => 0x7072_70b2,
+        };
+        let mut hash = mix(0xcbf2_9ce4_8422_2325, seed);
+        let mut size = 1u64;
+        for c in &children {
+            hash = mix(hash, c.0.hash);
+            size += c.0.size;
+        }
+        PTree(Rc::new(PInner {
+            label,
+            children,
+            hash,
+            size,
+        }))
+    }
+
+    /// Embeds a complete tree (no `⊥`, no `⊤`).
+    pub fn from_tree(t: &Tree) -> PTree {
+        let children = t.children().iter().map(PTree::from_tree).collect();
+        PTree::sym(t.symbol(), children)
+    }
+
+    /// The node label.
+    pub fn label(&self) -> PLabel {
+        self.0.label
+    }
+
+    /// The symbol, if this node is symbol-labeled.
+    pub fn symbol(&self) -> Option<Symbol> {
+        match self.0.label {
+            PLabel::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn children(&self) -> &[PTree] {
+        &self.0.children
+    }
+
+    pub fn is_bottom(&self) -> bool {
+        self.0.label == PLabel::Bottom
+    }
+
+    pub fn is_top(&self) -> bool {
+        self.0.label == PLabel::Top
+    }
+
+    pub fn size(&self) -> u64 {
+        self.0.size
+    }
+
+    pub fn ptr_eq(&self, other: &PTree) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// A stable address for memoization.
+    pub fn addr(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+
+    /// The largest common prefix `self ⊔ other` (Section 3). `⊤` is the
+    /// identity, `⊥` is absorbing, distinct symbols yield `⊥`.
+    pub fn lcp(&self, other: &PTree) -> PTree {
+        if self.ptr_eq(other) {
+            return self.clone();
+        }
+        match (self.0.label, other.0.label) {
+            (PLabel::Top, _) => other.clone(),
+            (_, PLabel::Top) => self.clone(),
+            (PLabel::Bottom, _) | (_, PLabel::Bottom) => PTree::bottom(),
+            (PLabel::Sym(a), PLabel::Sym(b)) => {
+                if a != b || self.0.children.len() != other.0.children.len() {
+                    return PTree::bottom();
+                }
+                if self == other {
+                    return self.clone();
+                }
+                let children = self
+                    .0
+                    .children
+                    .iter()
+                    .zip(&other.0.children)
+                    .map(|(x, y)| x.lcp(y))
+                    .collect();
+                PTree::sym(a, children)
+            }
+        }
+    }
+
+    /// `⊔` over a set of trees; `⊤` for the empty set (undefined in the
+    /// paper; callers that need "undefined" check emptiness first).
+    pub fn lcp_many<I: IntoIterator<Item = PTree>>(items: I) -> PTree {
+        let mut acc = PTree::top();
+        for t in items {
+            if acc.is_bottom() {
+                return acc; // absorbing: no need to look further
+            }
+            acc = acc.lcp(&t);
+        }
+        acc
+    }
+
+    /// Positions of all `⊥` leaves, in pre-order.
+    pub fn holes(&self) -> Vec<NodePath> {
+        let mut out = Vec::new();
+        self.collect_label_positions(PLabel::Bottom, &NodePath::root(), &mut out);
+        out
+    }
+
+    /// Positions of all `⊤` leaves, in pre-order.
+    pub fn top_positions(&self) -> Vec<NodePath> {
+        let mut out = Vec::new();
+        self.collect_label_positions(PLabel::Top, &NodePath::root(), &mut out);
+        out
+    }
+
+    fn collect_label_positions(&self, want: PLabel, at: &NodePath, out: &mut Vec<NodePath>) {
+        if self.0.label == want {
+            out.push(at.clone());
+        }
+        for (i, c) in self.0.children.iter().enumerate() {
+            c.collect_label_positions(want, &at.child(i as u32), out);
+        }
+    }
+
+    pub fn contains_bottom(&self) -> bool {
+        self.contains_label(PLabel::Bottom)
+    }
+
+    pub fn contains_top(&self) -> bool {
+        self.contains_label(PLabel::Top)
+    }
+
+    fn contains_label(&self, want: PLabel) -> bool {
+        self.0.label == want || self.0.children.iter().any(|c| c.contains_label(want))
+    }
+
+    /// The sub-prefix-tree at a node path, if it exists.
+    pub fn at(&self, path: &NodePath) -> Option<PTree> {
+        let mut cur = self;
+        for &i in path.indices() {
+            cur = cur.0.children.get(i as usize)?;
+        }
+        Some(cur.clone())
+    }
+
+    /// Resolves a labeled output path `v` (the paper's `v ⊨ out`): each step
+    /// must pass through a node carrying the step's symbol. Returns the
+    /// subtree after the path.
+    pub fn resolve_fpath(&self, v: &FPath) -> Option<PTree> {
+        let mut cur = self.clone();
+        for step in v.steps() {
+            if cur.symbol() != Some(step.symbol) {
+                return None;
+            }
+            cur = cur.0.children.get(step.child as usize)?.clone();
+        }
+        Some(cur)
+    }
+
+    /// The paper's `out[v] = ⊥` test: the path `v` belongs to the tree and
+    /// ends in a `⊥` node.
+    pub fn is_hole_at(&self, v: &FPath) -> bool {
+        matches!(self.resolve_fpath(v), Some(t) if t.is_bottom())
+    }
+
+    /// Converts to a complete tree if there is no `⊥`/`⊤`.
+    pub fn to_tree(&self) -> Option<Tree> {
+        match self.0.label {
+            PLabel::Sym(s) => {
+                let mut children = Vec::with_capacity(self.0.children.len());
+                for c in &self.0.children {
+                    children.push(c.to_tree()?);
+                }
+                Some(Tree::new(s, children))
+            }
+            _ => None,
+        }
+    }
+
+    /// The prefix order `self ⊑ t`: `self` is obtained from `t` by replacing
+    /// some subtrees with `⊥`. (`⊤` is never ⊑ anything except via equality
+    /// of the whole subtree, since `⊤` carries *more* information than any
+    /// tree; a `⊤` node makes this return `false`.)
+    pub fn is_prefix_of_tree(&self, t: &Tree) -> bool {
+        match self.0.label {
+            PLabel::Bottom => true,
+            PLabel::Top => false,
+            PLabel::Sym(s) => {
+                s == t.symbol()
+                    && self.0.children.len() == t.children().len()
+                    && self
+                        .0
+                        .children
+                        .iter()
+                        .zip(t.children())
+                        .all(|(p, c)| p.is_prefix_of_tree(c))
+            }
+        }
+    }
+
+    /// Replaces each `⊥` leaf with `f(position)`. Used to build axioms and
+    /// right-hand sides (the substitutions `Ψ` of Definition 24).
+    pub fn map_holes(&self, f: &mut impl FnMut(&NodePath) -> PTree) -> PTree {
+        fn go(t: &PTree, at: &NodePath, f: &mut impl FnMut(&NodePath) -> PTree) -> PTree {
+            match t.label() {
+                PLabel::Bottom => f(at),
+                PLabel::Top => t.clone(),
+                PLabel::Sym(s) => {
+                    if !t.contains_bottom() {
+                        return t.clone();
+                    }
+                    let children = t
+                        .children()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| go(c, &at.child(i as u32), f))
+                        .collect();
+                    PTree::sym(s, children)
+                }
+            }
+        }
+        go(self, &NodePath::root(), f)
+    }
+}
+
+impl PartialEq for PTree {
+    fn eq(&self, other: &PTree) -> bool {
+        if self.ptr_eq(other) {
+            return true;
+        }
+        if self.0.hash != other.0.hash || self.0.size != other.0.size {
+            return false;
+        }
+        self.0.label == other.0.label && self.0.children == other.0.children
+    }
+}
+
+impl Eq for PTree {}
+
+impl Hash for PTree {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl fmt::Display for PTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.label {
+            PLabel::Bottom => write!(f, "⊥"),
+            PLabel::Top => write!(f, "⊤"),
+            PLabel::Sym(s) => {
+                write!(f, "{s}")?;
+                if !self.0.children.is_empty() {
+                    write!(f, "(")?;
+                    for (i, c) in self.0.children.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{c}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for PTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<&Tree> for PTree {
+    fn from(t: &Tree) -> PTree {
+        PTree::from_tree(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Tree {
+        crate::parse::parse_tree(s).unwrap()
+    }
+
+    fn p(s: &str) -> PTree {
+        PTree::from_tree(&t(s))
+    }
+
+    #[test]
+    fn lcp_of_equal_trees_is_the_tree() {
+        let a = p("f(a,b)");
+        assert_eq!(a.lcp(&p("f(a,b)")), a);
+    }
+
+    #[test]
+    fn lcp_mismatched_roots_is_bottom() {
+        assert!(p("a").lcp(&p("b")).is_bottom());
+    }
+
+    #[test]
+    fn lcp_recurses_per_child() {
+        // paper: g(t1,…) ⊔ g(t1',…) = g(t1⊔t1', …)
+        let r = p("f(a,b)").lcp(&p("f(a,c)"));
+        assert_eq!(r.to_string(), "f(a,⊥)");
+        assert_eq!(r.holes(), vec![NodePath::from_indices(&[1])]);
+    }
+
+    #[test]
+    fn top_is_identity_bottom_absorbing() {
+        let a = p("f(a,b)");
+        assert_eq!(PTree::top().lcp(&a), a);
+        assert_eq!(a.lcp(&PTree::top()), a);
+        assert!(PTree::bottom().lcp(&a).is_bottom());
+        assert!(a.lcp(&PTree::bottom()).is_bottom());
+    }
+
+    #[test]
+    fn lcp_many_over_outputs() {
+        // out_τ(ε) for the constant-to-b example: all outputs b ⇒ prefix b.
+        let r = PTree::lcp_many([p("b"), p("b"), p("b")]);
+        assert_eq!(r.to_string(), "b");
+        let r2 = PTree::lcp_many([p("f(a,b)"), p("f(c,b)"), p("f(a,b)")]);
+        assert_eq!(r2.to_string(), "f(⊥,b)");
+        assert!(PTree::lcp_many(std::iter::empty()).is_top());
+    }
+
+    #[test]
+    fn resolve_fpath_checks_labels() {
+        let r = p("f(a,g(b))");
+        let v = FPath::parse_pairs(&[("f", 2), ("g", 1)]);
+        assert_eq!(r.resolve_fpath(&v).unwrap().to_string(), "b");
+        let bad = FPath::parse_pairs(&[("g", 1)]);
+        assert!(r.resolve_fpath(&bad).is_none());
+    }
+
+    #[test]
+    fn hole_test_matches_paper_notation() {
+        // out[v] = ⊥ with v = (f,1)
+        let out = p("f(a,b)").lcp(&p("f(c,b)"));
+        assert!(out.is_hole_at(&FPath::parse_pairs(&[("f", 1)])));
+        assert!(!out.is_hole_at(&FPath::parse_pairs(&[("f", 2)])));
+        assert!(!out.is_hole_at(&FPath::empty()));
+    }
+
+    #[test]
+    fn to_tree_requires_completeness() {
+        assert_eq!(p("f(a,b)").to_tree().unwrap(), t("f(a,b)"));
+        assert!(p("f(a,b)").lcp(&p("f(a,c)")).to_tree().is_none());
+        assert!(PTree::top().to_tree().is_none());
+    }
+
+    #[test]
+    fn prefix_order() {
+        let pre = p("f(a,b)").lcp(&p("f(a,c)")); // f(a,⊥)
+        assert!(pre.is_prefix_of_tree(&t("f(a,b)")));
+        assert!(pre.is_prefix_of_tree(&t("f(a,g(c))")));
+        assert!(!pre.is_prefix_of_tree(&t("g(a,b)")));
+        assert!(!PTree::top().is_prefix_of_tree(&t("a")));
+    }
+
+    #[test]
+    fn map_holes_substitutes_by_position() {
+        let pre = p("f(a,b)").lcp(&p("f(c,b)")); // f(⊥,b)
+        let mapped = pre.map_holes(&mut |path| {
+            assert_eq!(*path, NodePath::from_indices(&[0]));
+            p("z")
+        });
+        assert_eq!(mapped.to_string(), "f(z,b)");
+    }
+
+    #[test]
+    fn holes_are_preorder() {
+        let pre = p("f(f(a,b),b)").lcp(&p("f(f(c,b),c)"));
+        assert_eq!(
+            pre.holes(),
+            vec![NodePath::from_indices(&[0, 0]), NodePath::from_indices(&[1])]
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! The classical first-child/next-sibling encoding of unranked trees.
+//!
+//! Every label becomes a binary symbol: `fcns(f(w), rest) =
+//! f(fcns(w), fcns(rest))` with `#` for the empty forest. The paper uses
+//! this encoding to show the *limits* of ranked dtops on XML: a dtop
+//! cannot exchange a node with a descendant, so `xmlflip` (swap the block
+//! of `a`-children with the block of `b`-children) is not realizable over
+//! fc/ns encodings, while it is over the DTD-based encoding of
+//! [`crate::encode`]. Experiment E3 measures exactly this gap.
+
+use xtt_trees::{RankedAlphabet, Symbol, Tree};
+
+use crate::encode::EncodeError;
+use crate::utree::UTree;
+
+/// The symbol used for text nodes under fc/ns (text has no children, so
+/// its first-child slot is always `#`).
+pub const PCDATA: &str = "pcdata";
+
+/// Builds the fc/ns ranked alphabet for the given element labels: every
+/// label (and `pcdata`) has rank 2; `#` has rank 0.
+pub fn fcns_alphabet(labels: &[&str]) -> RankedAlphabet {
+    let mut alpha = RankedAlphabet::new();
+    for l in labels {
+        alpha.add_named(l, 2);
+    }
+    alpha.add_named(PCDATA, 2);
+    alpha.add_named("#", 0);
+    alpha
+}
+
+/// Encodes a document.
+pub fn fcns_encode(doc: &UTree) -> Tree {
+    fcns_forest(std::slice::from_ref(doc))
+}
+
+fn fcns_forest(forest: &[UTree]) -> Tree {
+    match forest.split_first() {
+        None => Tree::leaf_named("#"),
+        Some((first, rest)) => {
+            let (label, children) = match first {
+                UTree::Text(_) => (Symbol::new(PCDATA), &[][..]),
+                UTree::Elem { label, children } => (Symbol::new(label), children.as_slice()),
+            };
+            Tree::new(label, vec![fcns_forest(children), fcns_forest(rest)])
+        }
+    }
+}
+
+/// Decodes an fc/ns encoding. Text values are lost (all text decodes to a
+/// `pcdata` text node), matching the paper's abstraction.
+pub fn fcns_decode(t: &Tree) -> Result<UTree, EncodeError> {
+    let mut forest = fcns_decode_forest(t)?;
+    if forest.len() != 1 {
+        return Err(EncodeError::Malformed(format!(
+            "top level decodes to {} trees, expected 1",
+            forest.len()
+        )));
+    }
+    Ok(forest.remove(0))
+}
+
+fn fcns_decode_forest(t: &Tree) -> Result<Vec<UTree>, EncodeError> {
+    if t.symbol().name() == "#" {
+        if !t.is_leaf() {
+            return Err(EncodeError::Malformed("# with children".into()));
+        }
+        return Ok(Vec::new());
+    }
+    if t.arity() != 2 {
+        return Err(EncodeError::Malformed(format!(
+            "fc/ns node {} must be binary",
+            t.symbol()
+        )));
+    }
+    let children = fcns_decode_forest(t.child(0).unwrap())?;
+    let mut rest = fcns_decode_forest(t.child(1).unwrap())?;
+    let head = if t.symbol().name() == PCDATA {
+        if !children.is_empty() {
+            return Err(EncodeError::Malformed("text node with children".into()));
+        }
+        UTree::text(PCDATA)
+    } else {
+        UTree::Elem {
+            label: t.symbol().name().to_owned(),
+            children,
+        }
+    };
+    let mut out = vec![head];
+    out.append(&mut rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmlparse::parse_xml;
+
+    #[test]
+    fn encodes_sibling_lists() {
+        let doc = parse_xml("<root><a/><a/><b/></root>").unwrap();
+        let t = fcns_encode(&doc);
+        assert_eq!(t.to_string(), "root(a(#,a(#,b(#,#))),#)");
+    }
+
+    #[test]
+    fn roundtrip_without_text() {
+        for doc_text in [
+            "<root/>",
+            "<root><a/><b/><a/></root>",
+            "<x><y><z/></y><y/></x>",
+        ] {
+            let doc = parse_xml(doc_text).unwrap();
+            assert_eq!(fcns_decode(&fcns_encode(&doc)).unwrap(), doc, "{doc_text}");
+        }
+    }
+
+    #[test]
+    fn text_nodes_become_pcdata() {
+        let doc = parse_xml("<t>hello</t>").unwrap();
+        let t = fcns_encode(&doc);
+        assert_eq!(t.to_string(), "t(pcdata(#,#),#)");
+        let back = fcns_decode(&t).unwrap();
+        assert_eq!(back.to_string(), "t(\"pcdata\")");
+    }
+
+    #[test]
+    fn malformed_encodings_rejected() {
+        let bad = xtt_trees::parse_tree("#(a)").unwrap();
+        assert!(fcns_decode(&bad).is_err());
+        let bad2 = xtt_trees::parse_tree("a(#)").unwrap();
+        assert!(fcns_decode(&bad2).is_err());
+    }
+
+    #[test]
+    fn alphabet_is_uniformly_binary() {
+        let alpha = fcns_alphabet(&["root", "a", "b"]);
+        assert_eq!(alpha.rank(Symbol::new("a")), Some(2));
+        assert_eq!(alpha.rank(Symbol::new("#")), Some(0));
+        assert_eq!(alpha.max_rank(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! # xtt-xml
+//!
+//! The XML substrate of the workspace — Section 10 of *"A Learning
+//! Algorithm for Top-Down XML Transformations"* (PODS 2010):
+//!
+//! * [`utree::UTree`] — unranked trees, the natural model of XML;
+//! * [`xmlparse`] — a minimal hand-rolled XML reader/writer (elements and
+//!   text);
+//! * [`dtd`] — DTDs with 1-unambiguous (deterministic) content models,
+//!   including the W3C `<!ELEMENT …>` syntax;
+//! * [`encode`] — the paper's DTD-based ranked encoding: group siblings by
+//!   the regular subexpressions of the content model, so that dtops can
+//!   swap/copy/delete whole groups; includes the path-closure domain
+//!   automaton handed to the learner;
+//! * [`fcns`] — the classical first-child/next-sibling encoding, kept as
+//!   the baseline that *cannot* express `xmlflip` (experiment E3);
+//! * [`xslt`] — rendering learned transducers as XSLT-like stylesheets
+//!   (one template per rule, modes = states).
+
+pub mod dtd;
+pub mod infer;
+pub mod encode;
+pub mod fcns;
+pub mod utree;
+pub mod xmlparse;
+pub mod xmlflip;
+pub mod xslt;
+
+pub use dtd::{Content, Dtd, DtdError, Regex, Tok};
+pub use infer::{XmlLearnError, XmlLearner, XmlTransformation};
+pub use encode::{EncodeError, Encoding, PcDataMode};
+pub use fcns::{fcns_alphabet, fcns_decode, fcns_encode};
+pub use utree::UTree;
+pub use xmlparse::{parse_xml, write_xml, write_xml_pretty, XmlError};
+pub use xslt::to_xslt;

@@ -1,0 +1,259 @@
+//! A minimal XML reader/writer for the subset the paper needs: elements
+//! and text content. No attributes, namespaces, comments, or processing
+//! instructions — documents are data-centric trees, exactly what the
+//! DTD-based encoding consumes. Built by hand: the workspace policy is to
+//! implement substrates rather than pull dependencies.
+
+use std::fmt;
+
+use crate::utree::UTree;
+
+/// XML syntax error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), XmlError> {
+        if self.input.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(&c) = self.input.get(self.pos) {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in name"))?
+            .to_owned())
+    }
+
+    fn element(&mut self) -> Result<UTree, XmlError> {
+        self.expect(b'<')?;
+        let label = self.name()?;
+        self.skip_ws();
+        if self.input.get(self.pos) == Some(&b'/') {
+            self.pos += 1;
+            self.expect(b'>')?;
+            return Ok(UTree::elem(&label, Vec::new()));
+        }
+        self.expect(b'>')?;
+        let mut children = Vec::new();
+        loop {
+            // text run until '<'
+            let start = self.pos;
+            while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let text = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in text"))?;
+                let unescaped = unescape(text);
+                if !unescaped.trim().is_empty() {
+                    children.push(UTree::Text(unescaped.trim().to_owned()));
+                }
+            }
+            if self.input.get(self.pos).is_none() {
+                return Err(self.err(format!("unterminated element <{label}>")));
+            }
+            if self.input.get(self.pos + 1) == Some(&b'/') {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != label {
+                    return Err(self.err(format!("mismatched </{close}>, expected </{label}>")));
+                }
+                self.skip_ws();
+                self.expect(b'>')?;
+                return Ok(UTree::Elem { label, children });
+            }
+            children.push(self.element()?);
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Parses a document (a single root element; leading/trailing whitespace
+/// and an optional `<?xml …?>` prolog are allowed).
+pub fn parse_xml(input: &str) -> Result<UTree, XmlError> {
+    let mut r = Reader {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    r.skip_ws();
+    if input[r.pos..].starts_with("<?xml") {
+        match input[r.pos..].find("?>") {
+            Some(end) => r.pos += end + 2,
+            None => return Err(r.err("unterminated XML prolog")),
+        }
+        r.skip_ws();
+    }
+    let tree = r.element()?;
+    r.skip_ws();
+    if r.pos != r.input.len() {
+        return Err(r.err("trailing content after the root element"));
+    }
+    Ok(tree)
+}
+
+/// Serializes a tree to XML text (self-closing tags for empty elements).
+pub fn write_xml(t: &UTree) -> String {
+    let mut out = String::new();
+    write_node(t, &mut out);
+    out
+}
+
+/// Serializes with two-space indentation.
+pub fn write_xml_pretty(t: &UTree) -> String {
+    let mut out = String::new();
+    write_pretty(t, 0, &mut out);
+    out
+}
+
+fn write_node(t: &UTree, out: &mut String) {
+    match t {
+        UTree::Text(s) => out.push_str(&escape(s)),
+        UTree::Elem { label, children } => {
+            if children.is_empty() {
+                out.push_str(&format!("<{label}/>"));
+            } else {
+                out.push_str(&format!("<{label}>"));
+                for c in children {
+                    write_node(c, out);
+                }
+                out.push_str(&format!("</{label}>"));
+            }
+        }
+    }
+}
+
+fn write_pretty(t: &UTree, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match t {
+        UTree::Text(s) => {
+            out.push_str(&pad);
+            out.push_str(&escape(s));
+            out.push('\n');
+        }
+        UTree::Elem { label, children } => {
+            if children.is_empty() {
+                out.push_str(&format!("{pad}<{label}/>\n"));
+            } else if children.len() == 1 && children[0].is_text() {
+                if let UTree::Text(s) = &children[0] {
+                    out.push_str(&format!("{pad}<{label}>{}</{label}>\n", escape(s)));
+                }
+            } else {
+                out.push_str(&format!("{pad}<{label}>\n"));
+                for c in children {
+                    write_pretty(c, indent + 1, out);
+                }
+                out.push_str(&format!("{pad}</{label}>\n"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements() {
+        let t = parse_xml("<root><a/><a/><b/></root>").unwrap();
+        assert_eq!(t.to_string(), "root(a,a,b)");
+    }
+
+    #[test]
+    fn parses_text_content() {
+        let t = parse_xml("<BOOK><AUTHOR>Herbert</AUTHOR><TITLE>Dune</TITLE></BOOK>").unwrap();
+        assert_eq!(t.to_string(), "BOOK(AUTHOR(\"Herbert\"),TITLE(\"Dune\"))");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = "<L><B><A>x</A><T>y</T></B><B><A>z</A><T>w</T></B></L>";
+        let t = parse_xml(doc).unwrap();
+        assert_eq!(write_xml(&t), doc);
+        assert_eq!(parse_xml(&write_xml(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn tolerates_prolog_and_whitespace() {
+        let t = parse_xml("  <?xml version=\"1.0\"?>\n <root>\n  <a/>\n </root>\n").unwrap();
+        assert_eq!(t.to_string(), "root(a)");
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let t = UTree::elem("x", vec![UTree::text("a<b&c>d")]);
+        let xml = write_xml(&t);
+        assert_eq!(parse_xml(&xml).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_xml("<a><b></a></b>").is_err());
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("<a/><b/>").is_err());
+        assert!(parse_xml("plain text").is_err());
+    }
+
+    #[test]
+    fn pretty_printer_is_reparsable() {
+        let t = parse_xml("<L><B><T>x</T></B><B/></L>").unwrap();
+        let pretty = write_xml_pretty(&t);
+        assert_eq!(parse_xml(&pretty).unwrap(), t);
+    }
+}

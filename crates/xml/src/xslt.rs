@@ -1,0 +1,106 @@
+//! Rendering learned dtops as XSLT-like stylesheets.
+//!
+//! The paper (Section 1/10): "The transducer we obtain can, modulo syntax,
+//! be seen as an xslt program for unranked trees: rules correspond to
+//! apply-templates with the mode corresponding to the state." This module
+//! performs that rendering — one `<xsl:template>` per rule, with the state
+//! as the template mode and state calls as `<xsl:apply-templates>` on the
+//! matched child. The output is for human consumption (the point of the
+//! paper is to *free the web programmer from writing this by hand*), not a
+//! conforming executable stylesheet: it operates on the ranked encoding.
+
+use std::fmt::Write as _;
+
+use xtt_transducer::{Dtop, QId, Rhs};
+
+/// Renders the transducer as an XSLT-like stylesheet.
+pub fn to_xslt(m: &Dtop) -> String {
+    let mut out = String::new();
+    out.push_str("<xsl:stylesheet version=\"1.0\" xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">\n");
+    out.push_str("  <!-- generated from a learned deterministic top-down tree transducer -->\n");
+    out.push_str("  <xsl:template match=\"/\">\n");
+    render_rhs(m, m.axiom(), true, 2, &mut out);
+    out.push_str("  </xsl:template>\n");
+    for (q, f, rhs) in m.rules() {
+        let _ = writeln!(
+            out,
+            "  <xsl:template match=\"{}\" mode=\"{}\">",
+            escape_sym(f.name()),
+            m.state_name(q)
+        );
+        render_rhs(m, rhs, false, 2, &mut out);
+        out.push_str("  </xsl:template>\n");
+    }
+    out.push_str("</xsl:stylesheet>\n");
+    out
+}
+
+fn render_rhs(m: &Dtop, rhs: &Rhs, axiom: bool, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match rhs {
+        Rhs::Call { state, child } => {
+            let select = if axiom {
+                ".".to_owned()
+            } else {
+                format!("*[{}]", child + 1)
+            };
+            let _ = writeln!(
+                out,
+                "{pad}<xsl:apply-templates select=\"{select}\" mode=\"{}\"/>",
+                state_name(m, *state)
+            );
+        }
+        Rhs::Out(sym, children) => {
+            if children.is_empty() {
+                let _ = writeln!(out, "{pad}<{}/>", escape_sym(sym.name()));
+            } else {
+                let _ = writeln!(out, "{pad}<{}>", escape_sym(sym.name()));
+                for c in children {
+                    render_rhs(m, c, axiom, depth + 1, out);
+                }
+                let _ = writeln!(out, "{pad}</{}>", escape_sym(sym.name()));
+            }
+        }
+    }
+}
+
+fn state_name(m: &Dtop, q: QId) -> String {
+    m.state_name(q).to_owned()
+}
+
+fn escape_sym(name: &str) -> String {
+    // encoding symbols like "(a*,b*)" are not XML names; keep them
+    // readable inside the pseudo-stylesheet
+    name.replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtt_transducer::examples;
+
+    #[test]
+    fn flip_stylesheet_mentions_modes_and_templates() {
+        let m = examples::flip().dtop;
+        let xslt = to_xslt(&m);
+        assert!(xslt.contains("<xsl:template match=\"root\" mode=\"q1\">"));
+        assert!(xslt.contains("<xsl:apply-templates select=\"*[2]\" mode=\"q3\"/>"));
+        assert!(xslt.contains("<xsl:template match=\"/\">"));
+        // one template per rule + the axiom template
+        let count = xslt.matches("<xsl:template").count();
+        assert_eq!(count, m.rule_count() + 1);
+    }
+
+    #[test]
+    fn library_stylesheet_renders_all_states() {
+        let fix = examples::library();
+        let xslt = to_xslt(&fix.dtop);
+        for q in fix.dtop.states() {
+            assert!(
+                xslt.contains(&format!("mode=\"{}\"", fix.dtop.state_name(q))),
+                "missing mode for {}",
+                fix.dtop.state_name(q)
+            );
+        }
+    }
+}

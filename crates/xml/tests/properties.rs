@@ -1,0 +1,144 @@
+//! Property-based tests for the XML substrate: encodings, DTD parsing,
+//! and the XML reader/writer.
+
+use proptest::prelude::*;
+use xtt_automata::enumerate_language;
+use xtt_xml::encode::EncodingStyle;
+use xtt_xml::{fcns_decode, fcns_encode, parse_xml, write_xml, Dtd, Encoding, PcDataMode, UTree};
+
+/// Random documents valid for the xmlflip DTD: root(aⁿ bᵐ).
+fn arb_flip_doc() -> impl Strategy<Value = UTree> {
+    (0usize..8, 0usize..8).prop_map(|(n, m)| {
+        let mut children = Vec::new();
+        for _ in 0..n {
+            children.push(UTree::leaf("a"));
+        }
+        for _ in 0..m {
+            children.push(UTree::leaf("b"));
+        }
+        UTree::elem("root", children)
+    })
+}
+
+/// Random library documents: books with author/title(/year), some with
+/// title only, text values drawn from a 2-value universe.
+fn arb_library_doc() -> impl Strategy<Value = UTree> {
+    let value = prop_oneof![Just("v0"), Just("v1")];
+    let book = (value.clone(), value.clone(), proptest::option::of(value.clone()), any::<bool>())
+        .prop_map(|(a, t, y, title_only)| {
+            if title_only {
+                UTree::elem("BOOK", vec![UTree::elem("TITLE", vec![UTree::text(t)])])
+            } else {
+                let mut kids = vec![
+                    UTree::elem("AUTHOR", vec![UTree::text(a)]),
+                    UTree::elem("TITLE", vec![UTree::text(t)]),
+                ];
+                if let Some(y) = y {
+                    kids.push(UTree::elem("YEAR", vec![UTree::text(y)]));
+                }
+                UTree::elem("BOOK", kids)
+            }
+        });
+    proptest::collection::vec(book, 0..5)
+        .prop_map(|books| UTree::elem("LIBRARY", books))
+}
+
+fn flip_dtd() -> Dtd {
+    Dtd::parse("<!ELEMENT root (a*,b*) >\n<!ELEMENT a EMPTY >\n<!ELEMENT b EMPTY >").unwrap()
+}
+
+fn library_dtd() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT LIBRARY (BOOK*) >\n\
+         <!ELEMENT BOOK ((AUTHOR, TITLE, YEAR?) | TITLE) >\n\
+         <!ELEMENT AUTHOR #PCDATA >\n\
+         <!ELEMENT TITLE #PCDATA >\n\
+         <!ELEMENT YEAR #PCDATA >",
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flip_encoding_roundtrips_both_styles(doc in arb_flip_doc()) {
+        for style in [EncodingStyle::Paper, EncodingStyle::PathClosed] {
+            let enc = Encoding::with_style(flip_dtd(), PcDataMode::Abstract, style);
+            let t = enc.encode(&doc).unwrap();
+            prop_assert_eq!(enc.decode(&t).unwrap(), doc.clone());
+            prop_assert!(enc.domain().accepts(&t), "domain rejects its own encoding");
+        }
+    }
+
+    #[test]
+    fn library_encoding_roundtrips(doc in arb_library_doc()) {
+        let enc = Encoding::with_style(
+            library_dtd(),
+            PcDataMode::Valued(vec!["v0".into(), "v1".into()]),
+            EncodingStyle::PathClosed,
+        );
+        let t = enc.encode(&doc).unwrap();
+        prop_assert_eq!(enc.decode(&t).unwrap(), doc.clone());
+        prop_assert!(enc.domain().accepts(&t));
+    }
+
+    #[test]
+    fn fcns_roundtrips(doc in arb_library_doc()) {
+        // fc/ns abstracts text; compare after the same abstraction
+        let t = fcns_encode(&doc);
+        let back = fcns_decode(&t).unwrap();
+        prop_assert_eq!(abstract_text(&doc), back);
+    }
+
+    #[test]
+    fn xml_write_parse_roundtrips(doc in arb_library_doc()) {
+        let text = write_xml(&doc);
+        prop_assert_eq!(parse_xml(&text).unwrap(), doc.clone());
+        let pretty = xtt_xml::write_xml_pretty(&doc);
+        prop_assert_eq!(parse_xml(&pretty).unwrap(), doc);
+    }
+}
+
+fn abstract_text(doc: &UTree) -> UTree {
+    match doc {
+        UTree::Text(_) => UTree::text("pcdata"),
+        UTree::Elem { label, children } => UTree::Elem {
+            label: label.clone(),
+            children: children.iter().map(abstract_text).collect(),
+        },
+    }
+}
+
+/// The decisive property of the path-closed style: every tree of the
+/// domain automaton decodes to a document (language = closure).
+#[test]
+fn path_closed_domain_equals_encoding_language() {
+    for dtd in [flip_dtd(), library_dtd()] {
+        let enc = Encoding::with_style(dtd, PcDataMode::Abstract, EncodingStyle::PathClosed);
+        let domain = enc.domain();
+        let trees = enumerate_language(&domain, domain.initial(), 200, 24);
+        assert!(!trees.is_empty());
+        for t in trees {
+            let doc = enc
+                .decode(&t)
+                .unwrap_or_else(|e| panic!("closure tree fails to decode: {t}: {e}"));
+            // and encoding the decoded document gives back the same tree
+            assert_eq!(enc.encode(&doc).unwrap(), t);
+        }
+    }
+}
+
+/// The paper style is genuinely not path-closed: some accepted trees do
+/// not decode.
+#[test]
+fn paper_style_domain_strictly_larger() {
+    let enc = Encoding::new(flip_dtd(), PcDataMode::Abstract);
+    let domain = enc.domain();
+    let trees = enumerate_language(&domain, domain.initial(), 400, 16);
+    let undecodable = trees.iter().filter(|t| enc.decode(t).is_err()).count();
+    assert!(
+        undecodable > 0,
+        "expected path-closure junk in the paper-style domain"
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: learn the paper's τflip from its four-example
+//! characteristic sample and print the inferred transducer.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use xtt::prelude::*;
+
+fn main() {
+    // τflip (paper, introduction): exchange a list of a-nodes with a list
+    // of b-nodes, both in first-child/next-sibling encoding.
+    //
+    // We play the teacher: the four input/output pairs below are exactly
+    // the characteristic sample the paper exhibits (with the 4th pair in
+    // rule-consistent child order).
+    let pairs = [
+        ("root(#,#)", "root(#,#)"),
+        ("root(a(#,#),#)", "root(#,a(#,#))"),
+        ("root(#,b(#,#))", "root(b(#,#),#)"),
+        (
+            "root(a(#,a(#,#)),b(#,b(#,#)))",
+            "root(b(#,b(#,#)),a(#,a(#,#)))",
+        ),
+    ];
+    let sample = Sample::from_pairs(
+        pairs
+            .iter()
+            .map(|(s, t)| (parse_tree(s).unwrap(), parse_tree(t).unwrap())),
+    )
+    .expect("sample is functional");
+
+    println!("== sample ==\n{sample}");
+
+    // The learner also needs the domain: root(a-list, b-list).
+    let fixture = xtt::transducer::examples::flip();
+    let domain = &fixture.domain;
+    println!("== domain automaton ==\n{domain}");
+
+    // Run RPNIdtop.
+    let learned = rpni_dtop(&sample, domain, fixture.dtop.output()).expect("sample is characteristic");
+
+    println!("== learned transducer ({} states, {} rules) ==", learned.dtop.state_count(), learned.dtop.rule_count());
+    println!("{}", learned.dtop);
+
+    println!("== states were identified by these io-paths ==");
+    for (i, p) in learned.states.iter().enumerate() {
+        println!("  q{i} <- {p}");
+    }
+    println!("== merges performed ==");
+    for (p, i) in &learned.merges {
+        println!("  {p} merged into q{i}");
+    }
+
+    // Apply the learned transducer to a fresh input.
+    let input = parse_tree("root(a(#,a(#,a(#,#))),b(#,#))").unwrap();
+    let output = eval(&learned.dtop, &input).unwrap();
+    println!("== applying to a fresh input ==\n{input}\n  ->\n{output}");
+
+    // And verify it is *the* canonical minimal earliest transducer.
+    let target = canonical_form(&fixture.dtop, Some(domain)).unwrap();
+    let got = canonical_form(&learned.dtop, Some(domain)).unwrap();
+    assert!(same_canonical(&target, &got));
+    println!("\nlearned transducer == min(τflip)  ✓");
+}

@@ -1,0 +1,45 @@
+//! Minimal subsequential string transducers via monadic trees (paper,
+//! Related Work: "our result, applied to tree translations over monadic
+//! trees, also allows to infer minimal string transducers").
+//!
+//! Run with `cargo run --example string_rewriter`.
+
+use xtt::learn::strings::{
+    learn_string_transducer, sequential_to_dtop, string_characteristic_sample, StringAlphabet,
+};
+
+fn main() {
+    // Target: rewrite a→x and b→y, but after the first b every a becomes z
+    // (a 2-state subsequential function).
+    let input = StringAlphabet::new(&['a', 'b']);
+    let output = StringAlphabet::new(&['x', 'y', 'z']);
+    let delta = vec![
+        ((0, 'a'), (0, "x".to_owned())),
+        ((0, 'b'), (1, "y".to_owned())),
+        ((1, 'a'), (1, "z".to_owned())),
+        ((1, 'b'), (1, "y".to_owned())),
+    ];
+    let finals = vec![(0, String::new()), (1, String::new())];
+    let target = sequential_to_dtop(&input, &output, 2, &delta, &finals).unwrap();
+
+    // Teacher side: generate a characteristic sample, as strings.
+    let pairs = string_characteristic_sample(&target, &input, &output).unwrap();
+    println!("== characteristic sample ({} string pairs) ==", pairs.len());
+    for (s, t) in &pairs {
+        println!("  {s:?} -> {t:?}");
+    }
+
+    // Learner side: infer the machine from the pairs alone.
+    let borrowed: Vec<(&str, &str)> = pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let learned = learn_string_transducer(&input, &output, &borrowed).unwrap();
+    println!(
+        "\nlearned a minimal subsequential transducer with {} states:",
+        learned.state_count()
+    );
+    println!("{}", learned.dtop);
+
+    for s in ["", "aa", "ab", "aba", "baa", "aabab"] {
+        println!("  {:10} -> {}", format!("{s:?}"), learned.apply(s).unwrap());
+    }
+    assert_eq!(learned.apply("aabaa").unwrap(), "xxyzz");
+}

@@ -1,0 +1,61 @@
+//! # xtt — learning top-down XML transformations
+//!
+//! A full reproduction of *"A Learning Algorithm for Top-Down XML
+//! Transformations"* (Aurélien Lemay, Sebastian Maneth, Joachim Niehren;
+//! PODS 2010): deterministic top-down tree transducers (dtops), their
+//! Myhill–Nerode theory (earliest normal form, unique minimal compatible
+//! transducer, io-paths), the Gold-style learner `RPNIdtop` with
+//! polynomial characteristic samples, and the DTD-based encoding that
+//! makes the machinery applicable to XML.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xtt::prelude::*;
+//!
+//! // The paper's τflip: swap an a-list and a b-list (fc/ns encoded).
+//! let fixture = xtt::transducer::examples::flip();
+//!
+//! // 1. canonicalize the target: unique minimal earliest compatible dtop
+//! let target = canonical_form(&fixture.dtop, Some(&fixture.domain)).unwrap();
+//!
+//! // 2. generate a characteristic sample (Proposition 34)
+//! let sample = characteristic_sample(&target).unwrap();
+//!
+//! // 3. learn it back with RPNIdtop (Figure 1)
+//! let learned = rpni_dtop(&sample, &target.domain, target.dtop.output()).unwrap();
+//!
+//! // 4. the result is exactly min(τ) (Theorem 38)
+//! let got = canonical_form(&learned.dtop, Some(&target.domain)).unwrap();
+//! assert!(same_canonical(&target, &got));
+//! assert_eq!(learned.dtop.state_count(), 4);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`trees`] | `xtt-trees` | ranked trees, paths, `⊔`, minimal DAGs |
+//! | [`automata`] | `xtt-automata` | deterministic top-down tree automata |
+//! | [`transducer`] | `xtt-transducer` | dtops, earliest form, `min(τ)`, equivalence |
+//! | [`learn`] | `xtt-core` | samples, `RPNIdtop`, characteristic samples |
+//! | [`xml`] | `xtt-xml` | unranked trees, DTDs, encodings, XSLT export |
+
+pub use xtt_automata as automata;
+pub use xtt_core as learn;
+pub use xtt_trees as trees;
+pub use xtt_transducer as transducer;
+pub use xtt_xml as xml;
+
+/// The most common imports for working with the library.
+pub mod prelude {
+    pub use xtt_automata::{Dtta, DttaBuilder};
+    pub use xtt_core::{
+        characteristic_sample, check_characteristic_conditions, rpni_dtop, Sample,
+    };
+    pub use xtt_transducer::{
+        canonical_form, equivalent, eval, same_canonical, Canonical, Dtop, DtopBuilder,
+    };
+    pub use xtt_trees::{parse_tree, FPath, RankedAlphabet, Symbol, Tree};
+    pub use xtt_xml::{parse_xml, Dtd, Encoding, PcDataMode, UTree};
+}

@@ -1,0 +1,158 @@
+//! End-to-end pipelines through the facade crate: canonicalize →
+//! characteristic sample → learn → compare, plus the XML round trips.
+
+use xtt::prelude::*;
+use xtt::transducer::examples as fixtures;
+use xtt::xml::xmlflip;
+
+/// The full Gold-style loop on every fixture family.
+#[test]
+fn teach_and_learn_all_families() {
+    let cases: Vec<(&str, fixtures::Fixture)> = vec![
+        ("flip", fixtures::flip()),
+        ("constant_m1", fixtures::constant_m1()),
+        ("constant_m2", fixtures::constant_m2()),
+        ("example6_m0", fixtures::example6_m0()),
+        ("example6_m2", fixtures::example6_m2()),
+        ("library", fixtures::library()),
+        ("monadic_to_binary", fixtures::monadic_to_binary()),
+        ("flip_k(2)", fixtures::flip_k(2)),
+        ("flip_k(5)", fixtures::flip_k(5)),
+        ("relabel_chain(4)", fixtures::relabel_chain(4)),
+    ];
+    for (name, fix) in cases {
+        let target = canonical_form(&fix.dtop, Some(&fix.domain))
+            .unwrap_or_else(|e| panic!("{name}: canonicalization failed: {e}"));
+        let sample = characteristic_sample(&target)
+            .unwrap_or_else(|e| panic!("{name}: sample generation failed: {e}"));
+        let report = check_characteristic_conditions(&target, &sample);
+        assert!(report.ok(), "{name}: sample conditions violated:\n{report}");
+        let learned = rpni_dtop(&sample, &target.domain, target.dtop.output())
+            .unwrap_or_else(|e| panic!("{name}: learning failed: {e}"));
+        let got = canonical_form(&learned.dtop, Some(&target.domain)).unwrap();
+        assert!(
+            same_canonical(&target, &got),
+            "{name}: learned transducer differs\n== target ==\n{}\n== learned ==\n{}",
+            target.dtop,
+            got.dtop
+        );
+    }
+}
+
+/// Learned transducers agree with the targets on inputs far larger than
+/// anything in the sample.
+#[test]
+fn learned_transducers_generalize() {
+    let fix = fixtures::flip();
+    let target = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+    let sample = characteristic_sample(&target).unwrap();
+    let learned = rpni_dtop(&sample, &target.domain, target.dtop.output()).unwrap();
+    let max_sample_input = sample
+        .pairs()
+        .iter()
+        .map(|(s, _)| s.size())
+        .max()
+        .unwrap();
+    for (n, m) in [(10usize, 10usize), (25, 3), (0, 40)] {
+        let input = fixtures::flip_input(n, m);
+        assert!(input.size() > max_sample_input);
+        assert_eq!(
+            eval(&learned.dtop, &input),
+            eval(&fix.dtop, &input),
+            "n={n} m={m}"
+        );
+    }
+}
+
+/// Characteristic samples survive arbitrary correct extensions — the
+/// defining property of Gold-style learning from characteristic sets.
+#[test]
+fn supersets_do_not_change_the_result() {
+    let fix = fixtures::flip_k(3);
+    let target = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+    let mut sample = characteristic_sample(&target).unwrap();
+    let baseline = rpni_dtop(&sample, &target.domain, target.dtop.output()).unwrap();
+    // add 30 extra in-domain pairs of growing size
+    let extra = xtt::automata::enumerate_language(&fix.domain, fix.domain.initial(), 30, 40);
+    for s in extra {
+        let t = eval(&fix.dtop, &s).unwrap();
+        sample.add(s, t).unwrap();
+    }
+    let enlarged = rpni_dtop(&sample, &target.domain, target.dtop.output()).unwrap();
+    let a = canonical_form(&baseline.dtop, Some(&target.domain)).unwrap();
+    let b = canonical_form(&enlarged.dtop, Some(&target.domain)).unwrap();
+    assert!(same_canonical(&a, &b));
+}
+
+/// XML in, XML out: the xmlflip pipeline over real documents.
+#[test]
+fn xml_document_pipeline() {
+    let learner = xtt::xml::XmlLearner::new(
+        xmlflip::input_dtd(),
+        xmlflip::output_dtd(),
+        PcDataMode::Abstract,
+    );
+    // teacher: produce characteristic document pairs via the ranked side
+    let enc_in = xmlflip::input_encoding_pc();
+    let enc_out = xmlflip::output_encoding_pc();
+    let domain = enc_in.domain();
+    let target = canonical_form(&xmlflip::target_dtop_pc(), Some(&domain)).unwrap();
+    let pairs: Vec<(UTree, UTree)> = characteristic_sample(&target)
+        .unwrap()
+        .pairs()
+        .iter()
+        .map(|(s, t)| (enc_in.decode(s).unwrap(), enc_out.decode(t).unwrap()))
+        .collect();
+
+    let transformation = learner.learn(&pairs).unwrap();
+    // apply to XML text
+    let doc = parse_xml("<root><a/><a/><a/><b/><b/></root>").unwrap();
+    let result = transformation.apply(&doc).unwrap();
+    assert_eq!(
+        xtt::xml::write_xml(&result),
+        "<root><b/><b/><a/><a/><a/></root>"
+    );
+    // the stylesheet mentions every state as a mode
+    let xslt = transformation.to_xslt();
+    for q in transformation.dtop().states() {
+        assert!(xslt.contains(&format!("mode=\"{}\"", transformation.dtop().state_name(q))));
+    }
+}
+
+/// Equivalence checking distinguishes all pairwise-inequivalent fixtures
+/// and confirms self-equivalence.
+#[test]
+fn equivalence_matrix() {
+    let fixtures_list = [
+        fixtures::flip(),
+        fixtures::constant_m1(),
+        fixtures::example6_m1(),
+    ];
+    for (i, a) in fixtures_list.iter().enumerate() {
+        for (j, b) in fixtures_list.iter().enumerate() {
+            // alphabets differ across some pairs; equivalence is still
+            // well-defined (different domains/outputs ⇒ inequivalent)
+            let result = equivalent(&a.dtop, Some(&a.domain), &b.dtop, Some(&b.domain)).unwrap();
+            assert_eq!(result, i == j, "fixtures {i} vs {j}");
+        }
+    }
+}
+
+/// DAG representation of outputs: exponential outputs stay polynomial as
+/// DAGs (the §1 remark).
+#[test]
+fn sample_outputs_as_dags() {
+    use xtt::trees::TreeDag;
+    let fix = fixtures::monadic_to_binary();
+    let mut input = parse_tree("e").unwrap();
+    for _ in 0..18 {
+        input = Tree::node("f", vec![input]);
+    }
+    let output = eval(&fix.dtop, &input).unwrap();
+    assert_eq!(output.size(), (1 << 19) - 1);
+    let mut dag = TreeDag::new();
+    let id = dag.insert(&output);
+    let stats = dag.stats(id);
+    assert_eq!(stats.dag_size, 19);
+    assert!(stats.compression_ratio() > 20_000.0);
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the whole pipeline: randomized parameters,
+//! randomized sample extensions, randomized inputs.
+
+use proptest::prelude::*;
+use xtt::prelude::*;
+use xtt::transducer::examples as fixtures;
+
+// earliest + minimize preserve the transduction on arbitrary domain trees.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn canonicalization_preserves_semantics(k in 1usize..5, sizes in proptest::collection::vec(0usize..6, 1..6)) {
+        let fix = fixtures::flip_k(k);
+        let canon = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        // build an input with the given list lengths (padded/truncated to k)
+        let mut lists = sizes;
+        lists.resize(k, 0);
+        let input = flip_k_input(k, &lists);
+        prop_assert!(fix.domain.accepts(&input));
+        prop_assert_eq!(eval(&fix.dtop, &input), eval(&canon.dtop, &input));
+    }
+
+    #[test]
+    fn learned_equals_target_on_random_inputs(k in 1usize..4, sizes in proptest::collection::vec(0usize..5, 1..4)) {
+        let fix = fixtures::flip_k(k);
+        let target = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let sample = characteristic_sample(&target).unwrap();
+        let learned = rpni_dtop(&sample, &target.domain, target.dtop.output()).unwrap();
+        let mut lists = sizes;
+        lists.resize(k, 0);
+        let input = flip_k_input(k, &lists);
+        prop_assert_eq!(eval(&learned.dtop, &input), eval(&fix.dtop, &input));
+    }
+
+    #[test]
+    fn random_supersets_keep_the_sample_characteristic(extra in proptest::collection::vec(0usize..30, 0..8)) {
+        let fix = fixtures::flip();
+        let target = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+        let mut sample = characteristic_sample(&target).unwrap();
+        let pool = xtt::automata::enumerate_language(&fix.domain, fix.domain.initial(), 30, 25);
+        for i in extra {
+            let s = pool[i % pool.len()].clone();
+            let t = eval(&fix.dtop, &s).unwrap();
+            sample.add(s, t).unwrap();
+        }
+        let learned = rpni_dtop(&sample, &target.domain, target.dtop.output()).unwrap();
+        let got = canonical_form(&learned.dtop, Some(&target.domain)).unwrap();
+        prop_assert!(same_canonical(&target, &got));
+    }
+
+    #[test]
+    fn chain_lengths_learned_exactly(n in 1usize..7) {
+        let fix = fixtures::relabel_chain(n);
+        let target = canonical_form(&fix.dtop, None).unwrap();
+        prop_assert_eq!(target.dtop.state_count(), n);
+        let sample = characteristic_sample(&target).unwrap();
+        let learned = rpni_dtop(&sample, &target.domain, target.dtop.output()).unwrap();
+        prop_assert_eq!(learned.dtop.state_count(), n);
+    }
+
+    #[test]
+    fn xml_roundtrip_random_flip_documents(n in 0usize..8, m in 0usize..8) {
+        use xtt::xml::xmlflip;
+        let enc = xmlflip::input_encoding();
+        let doc = xmlflip::document(n, m);
+        let t = enc.encode(&doc).unwrap();
+        prop_assert_eq!(enc.decode(&t).unwrap(), doc.clone());
+        // path-closed style too
+        let enc_pc = xmlflip::input_encoding_pc();
+        let t2 = enc_pc.encode(&doc).unwrap();
+        prop_assert_eq!(enc_pc.decode(&t2).unwrap(), doc.clone());
+        // fc/ns as baseline
+        let t3 = xtt::xml::fcns_encode(&doc);
+        prop_assert_eq!(xtt::xml::fcns_decode(&t3).unwrap(), doc);
+    }
+
+    #[test]
+    fn equivalence_agrees_with_behaviour(k1 in 1usize..4, k2 in 1usize..4) {
+        let a = fixtures::flip_k(k1);
+        let b = fixtures::flip_k(k2);
+        let eq = equivalent(&a.dtop, Some(&a.domain), &b.dtop, Some(&b.domain)).unwrap();
+        prop_assert_eq!(eq, k1 == k2);
+    }
+}
+
+fn flip_k_input(k: usize, lists: &[usize]) -> Tree {
+    let mut children = Vec::with_capacity(k);
+    for (i, &len) in lists.iter().enumerate().take(k) {
+        let letter = format!("c{i}");
+        let mut list = Tree::leaf_named("#");
+        for _ in 0..len {
+            list = Tree::node(&letter, vec![Tree::leaf_named("#"), list]);
+        }
+        children.push(list);
+    }
+    Tree::node("root", children)
+}
