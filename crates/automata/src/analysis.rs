@@ -139,12 +139,7 @@ pub fn same_language(a: &Dtta, q1: StateId, q2: StateId) -> bool {
 /// `max_size` nodes. Deterministic: symbol declaration order, then child
 /// splits. Used by the characteristic-sample generator to find minimal
 /// distinguishing inputs.
-pub fn enumerate_language(
-    a: &Dtta,
-    q: StateId,
-    max_count: usize,
-    max_size: usize,
-) -> Vec<Tree> {
+pub fn enumerate_language(a: &Dtta, q: StateId, max_count: usize, max_size: usize) -> Vec<Tree> {
     let n = a.state_count();
     // by_size[q][s] = trees of L(q) with exactly s nodes (built lazily per size)
     let mut by_size: Vec<Vec<Vec<Tree>>> = vec![vec![Vec::new(); max_size + 1]; n];
@@ -236,10 +231,13 @@ mod tests {
         let pa = b.add_state("alist");
         let pb = b.add_state("blist");
         let ph = b.add_state("nil");
-        b.add_transition(p0, Symbol::new("root"), vec![pa, pb]).unwrap();
-        b.add_transition(pa, Symbol::new("a"), vec![ph, pa]).unwrap();
+        b.add_transition(p0, Symbol::new("root"), vec![pa, pb])
+            .unwrap();
+        b.add_transition(pa, Symbol::new("a"), vec![ph, pa])
+            .unwrap();
         b.add_transition(pa, Symbol::new("#"), vec![]).unwrap();
-        b.add_transition(pb, Symbol::new("b"), vec![ph, pb]).unwrap();
+        b.add_transition(pb, Symbol::new("b"), vec![ph, pb])
+            .unwrap();
         b.add_transition(pb, Symbol::new("#"), vec![]).unwrap();
         b.add_transition(ph, Symbol::new("#"), vec![]).unwrap();
         b.build().unwrap()

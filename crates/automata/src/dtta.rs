@@ -113,10 +113,7 @@ impl DttaBuilder {
         f: Symbol,
         children: Vec<StateId>,
     ) -> Result<(), DttaError> {
-        let rank = self
-            .alphabet
-            .rank(f)
-            .ok_or(DttaError::UnknownSymbol(f))?;
+        let rank = self.alphabet.rank(f).ok_or(DttaError::UnknownSymbol(f))?;
         if rank != children.len() {
             return Err(DttaError::RankMismatch {
                 symbol: f,

@@ -40,7 +40,9 @@ pub fn intersect(a: &Dtta, b: &Dtta) -> Dtta {
                 });
                 children.push(child);
             }
-            builder.add_transition(id, f, children).expect("ranks agree");
+            builder
+                .add_transition(id, f, children)
+                .expect("ranks agree");
         }
     }
     builder.build().expect("product has an initial state")
@@ -74,7 +76,9 @@ pub fn trim(a: &Dtta) -> Dtta {
                 });
                 new_children.push(child);
             }
-            builder.add_transition(id, f, new_children).expect("ranks agree");
+            builder
+                .add_transition(id, f, new_children)
+                .expect("ranks agree");
         }
     }
     builder.build().expect("trim keeps the initial state")
@@ -131,7 +135,8 @@ mod tests {
         let mut b = DttaBuilder::new(alpha);
         let p = b.add_state("list");
         let nil = b.add_state("nil");
-        b.add_transition(p, Symbol::new(letter), vec![nil, p]).unwrap();
+        b.add_transition(p, Symbol::new(letter), vec![nil, p])
+            .unwrap();
         b.add_transition(p, Symbol::new("#"), vec![]).unwrap();
         b.add_transition(nil, Symbol::new("#"), vec![]).unwrap();
         b.build().unwrap()
@@ -171,10 +176,16 @@ mod tests {
         let p = builder.add_state("list");
         let nil = builder.add_state("nil");
         let junk = builder.add_state("junk");
-        builder.add_transition(p, Symbol::new("a"), vec![nil, p]).unwrap();
+        builder
+            .add_transition(p, Symbol::new("a"), vec![nil, p])
+            .unwrap();
         builder.add_transition(p, Symbol::new("#"), vec![]).unwrap();
-        builder.add_transition(nil, Symbol::new("#"), vec![]).unwrap();
-        builder.add_transition(junk, Symbol::new("b"), vec![junk, junk]).unwrap();
+        builder
+            .add_transition(nil, Symbol::new("#"), vec![])
+            .unwrap();
+        builder
+            .add_transition(junk, Symbol::new("b"), vec![junk, junk])
+            .unwrap();
         let padded = builder.build().unwrap();
         assert!(language_equal(&a1, &padded));
     }
@@ -202,7 +213,8 @@ mod tests {
         let dead = b.add_state("dead");
         b.add_transition(q, Symbol::new("a"), vec![]).unwrap();
         b.add_transition(q, Symbol::new("f"), vec![dead]).unwrap();
-        b.add_transition(dead, Symbol::new("f"), vec![dead]).unwrap();
+        b.add_transition(dead, Symbol::new("f"), vec![dead])
+            .unwrap();
         let a = b.build().unwrap();
         let trimmed = trim(&a);
         assert_eq!(trimmed.state_count(), 1);

@@ -16,13 +16,16 @@ fn alphabet() -> RankedAlphabet {
 fn build(n_states: usize, table: &[(usize, &str, Vec<usize>)]) -> Dtta {
     let alpha = alphabet();
     let mut b = DttaBuilder::new(alpha.clone());
-    let states: Vec<StateId> = (0..n_states).map(|i| b.add_state(format!("s{i}"))).collect();
+    let states: Vec<StateId> = (0..n_states)
+        .map(|i| b.add_state(format!("s{i}")))
+        .collect();
     for (q, sym, children) in table {
         let kids: Vec<StateId> = children.iter().map(|&c| states[c % n_states]).collect();
         let symbol = Symbol::new(sym);
         let rank = alpha.rank(symbol).unwrap();
         if kids.len() == rank {
-            b.add_transition(states[*q % n_states], symbol, kids).unwrap();
+            b.add_transition(states[*q % n_states], symbol, kids)
+                .unwrap();
         }
     }
     b.build().unwrap()
@@ -33,7 +36,11 @@ type TableRow = (usize, &'static str, Vec<usize>);
 
 /// Strategy producing random transition tables.
 fn arb_table() -> impl Strategy<Value = (usize, Vec<TableRow>)> {
-    let entry = (0usize..4, prop_oneof![Just("f"), Just("g"), Just("a"), Just("b")], proptest::collection::vec(0usize..4, 0..2))
+    let entry = (
+        0usize..4,
+        prop_oneof![Just("f"), Just("g"), Just("a"), Just("b")],
+        proptest::collection::vec(0usize..4, 0..2),
+    )
         .prop_map(|(q, s, mut kids)| {
             let rank = match s {
                 "f" => 2,

@@ -11,13 +11,27 @@ fn bench(c: &mut Criterion) {
     for k in [2usize, 4, 8] {
         let (dtop, domain) = raw_flip_k(k);
         group.bench_with_input(BenchmarkId::new("flip_k", k), &k, |b, _| {
-            b.iter(|| black_box(to_earliest(&dtop, Some(&domain)).unwrap().dtop.state_count()))
+            b.iter(|| {
+                black_box(
+                    to_earliest(&dtop, Some(&domain))
+                        .unwrap()
+                        .dtop
+                        .state_count(),
+                )
+            })
         });
     }
     // non-earliest inputs that require pushing output upward
     let m3 = examples::constant_m3();
     group.bench_function("constant_m3", |b| {
-        b.iter(|| black_box(to_earliest(&m3.dtop, Some(&m3.domain)).unwrap().dtop.state_count()))
+        b.iter(|| {
+            black_box(
+                to_earliest(&m3.dtop, Some(&m3.domain))
+                    .unwrap()
+                    .dtop
+                    .state_count(),
+            )
+        })
     });
     group.finish();
 

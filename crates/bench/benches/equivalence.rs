@@ -13,20 +13,14 @@ fn bench(c: &mut Criterion) {
     let m3 = examples::constant_m3();
     group.bench_function("constant_m2_vs_m3", |b| {
         b.iter(|| {
-            black_box(
-                equivalent(&m2.dtop, Some(&m2.domain), &m3.dtop, Some(&m3.domain)).unwrap(),
-            )
+            black_box(equivalent(&m2.dtop, Some(&m2.domain), &m3.dtop, Some(&m3.domain)).unwrap())
         })
     });
     for k in [2usize, 4, 6] {
         let (a_dtop, a_dom) = raw_flip_k(k);
         let (b_dtop, b_dom) = raw_flip_k(k);
         group.bench_with_input(BenchmarkId::new("flip_k_self", k), &k, |b, _| {
-            b.iter(|| {
-                black_box(
-                    equivalent(&a_dtop, Some(&a_dom), &b_dtop, Some(&b_dom)).unwrap(),
-                )
-            })
+            b.iter(|| black_box(equivalent(&a_dtop, Some(&a_dom), &b_dtop, Some(&b_dom)).unwrap()))
         });
     }
     group.finish();

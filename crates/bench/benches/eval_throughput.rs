@@ -53,7 +53,13 @@ fn bench(c: &mut Criterion) {
             input = Tree::node("f", vec![input]);
         }
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(xtt_transducer::eval_naive(&copier.dtop, &input).unwrap().height()))
+            b.iter(|| {
+                black_box(
+                    xtt_transducer::eval_naive(&copier.dtop, &input)
+                        .unwrap()
+                        .height(),
+                )
+            })
         });
     }
     group.finish();

@@ -14,18 +14,14 @@ fn bench(c: &mut Criterion) {
         let target = flip_k_target(k);
         let sample = sample_for(&target);
         group.bench_with_input(BenchmarkId::new("flip_k", k), &k, |b, _| {
-            b.iter(|| {
-                rpni_dtop(black_box(&sample), &target.domain, target.dtop.output()).unwrap()
-            })
+            b.iter(|| rpni_dtop(black_box(&sample), &target.domain, target.dtop.output()).unwrap())
         });
     }
     for n in [2usize, 4, 8, 16] {
         let target = chain_target(n);
         let sample = sample_for(&target);
         group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
-            b.iter(|| {
-                rpni_dtop(black_box(&sample), &target.domain, target.dtop.output()).unwrap()
-            })
+            b.iter(|| rpni_dtop(black_box(&sample), &target.domain, target.dtop.output()).unwrap())
         });
     }
     group.finish();

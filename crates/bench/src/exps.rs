@@ -8,7 +8,6 @@ use xtt_transducer::{
 };
 use xtt_trees::Tree;
 
-
 use crate::families;
 use crate::fcns_index::{fcns_residual_index, fcns_sample};
 use crate::{dag_row, learn_roundtrip, print_table, time};
@@ -21,7 +20,11 @@ pub fn run_e1() {
     print_table(
         &["quantity", "paper", "measured"],
         &[
-            vec!["states of min(τ)".into(), "4".into(), row.states.to_string()],
+            vec![
+                "states of min(τ)".into(),
+                "4".into(),
+                row.states.to_string(),
+            ],
             vec!["rules".into(), "6".into(), row.rules.to_string()],
             vec![
                 "characteristic sample (pairs)".into(),
@@ -39,7 +42,10 @@ pub fn run_e1() {
     for (i, p) in state_io_paths(&target).iter().enumerate() {
         println!("  q{i}: {p}");
     }
-    println!("\nlearning time: {} µs on a {}-node sample", row.learn_micros, row.sample_nodes);
+    println!(
+        "\nlearning time: {} µs on a {}-node sample",
+        row.learn_micros, row.sample_nodes
+    );
 }
 
 /// E2 — the §10 library transformation.
@@ -50,7 +56,11 @@ pub fn run_e2() {
     print_table(
         &["quantity", "paper", "measured"],
         &[
-            vec!["states of min(τ)".into(), "14".into(), row.states.to_string()],
+            vec![
+                "states of min(τ)".into(),
+                "14".into(),
+                row.states.to_string(),
+            ],
             vec!["rules".into(), "17 listed".into(), row.rules.to_string()],
             vec![
                 "sample pairs".into(),
@@ -85,7 +95,11 @@ pub fn run_e3() {
         &[
             vec!["states".into(), "12".into(), row.states.to_string()],
             vec!["rules".into(), "16".into(), row.rules.to_string()],
-            vec!["sample pairs".into(), "4".into(), row.sample_pairs.to_string()],
+            vec![
+                "sample pairs".into(),
+                "4".into(),
+                row.sample_pairs.to_string(),
+            ],
             vec![
                 "identified?".into(),
                 "yes".into(),
@@ -116,7 +130,10 @@ pub fn run_e3() {
             index.to_string(),
         ]);
     }
-    print_table(&["io-path family", "distinct (theory)", "distinct (measured)"], &rows);
+    print_table(
+        &["io-path family", "distinct (theory)", "distinct (measured)"],
+        &rows,
+    );
     println!("⇒ no finite-state dtop realizes xmlflip over fc/ns encodings (Thm 28).");
 }
 
@@ -151,7 +168,15 @@ pub fn run_e4() {
         ]);
     }
     print_table(
-        &["family", "states", "rules", "|M|", "pairs", "nodes", "identified"],
+        &[
+            "family",
+            "states",
+            "rules",
+            "|M|",
+            "pairs",
+            "nodes",
+            "identified",
+        ],
         &rows,
     );
     println!("shape check: pairs and nodes grow polynomially (≈ linearly) in |M|.");
@@ -207,7 +232,15 @@ pub fn run_e6() {
         ]);
     }
     print_table(
-        &["height n", "|input|", "|output| (tree)", "|output| (DAG)", "ratio", "eval µs", "dag µs"],
+        &[
+            "height n",
+            "|input|",
+            "|output| (tree)",
+            "|output| (DAG)",
+            "ratio",
+            "eval µs",
+            "dag µs",
+        ],
         &rows,
     );
     println!("shape check: tree size 2^(n+1)-1, DAG size n+1 — exponential vs linear.");
@@ -273,7 +306,12 @@ pub fn run_e8() {
         ]);
     }
     print_table(
-        &["transducer", "states before", "states after earliest", "is earliest"],
+        &[
+            "transducer",
+            "states before",
+            "states after earliest",
+            "is earliest",
+        ],
         &rows,
     );
     println!(
@@ -310,9 +348,14 @@ pub fn run_e9() {
         ((1, 'a'), (1, "z".to_owned())),
         ((1, 'b'), (1, "y".to_owned())),
     ];
-    let target =
-        sequential_to_dtop(&input, &output, 2, &delta, &[(0, String::new()), (1, String::new())])
-            .unwrap();
+    let target = sequential_to_dtop(
+        &input,
+        &output,
+        2,
+        &delta,
+        &[(0, String::new()), (1, String::new())],
+    )
+    .unwrap();
     let pairs = string_characteristic_sample(&target, &input, &output).unwrap();
     println!("characteristic string sample ({} pairs):", pairs.len());
     for (s, t) in pairs.iter().take(8) {
@@ -324,8 +367,16 @@ pub fn run_e9() {
     print_table(
         &["quantity", "expected", "measured"],
         &[
-            vec!["states (minimal subsequential)".into(), "2".into(), learned.dtop.state_count().to_string()],
-            vec!["identified?".into(), "yes".into(), same_canonical(&target, &got).to_string()],
+            vec![
+                "states (minimal subsequential)".into(),
+                "2".into(),
+                learned.dtop.state_count().to_string(),
+            ],
+            vec![
+                "identified?".into(),
+                "yes".into(),
+                same_canonical(&target, &got).to_string(),
+            ],
         ],
     );
 }

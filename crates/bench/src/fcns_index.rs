@@ -26,7 +26,10 @@ pub fn fcns_sample(max_a: usize, max_b: usize) -> Sample {
     for n in 0..=max_a {
         for m in 0..=max_b {
             sample
-                .add(xmlflip::fcns_flip_input(n, m), xmlflip::fcns_flip_output(n, m))
+                .add(
+                    xmlflip::fcns_flip_input(n, m),
+                    xmlflip::fcns_flip_output(n, m),
+                )
                 .expect("fc/ns flip is functional");
         }
     }

@@ -26,11 +26,11 @@ use std::collections::HashMap;
 use std::fmt;
 
 use xtt_automata::{enumerate_language, language_classes, minimal_witnesses};
-use xtt_trees::{FPath, Tree};
 use xtt_transducer::{
     eval, eval_state, out_at, root_output_witnesses, state_io_paths, trans_io_paths, Canonical,
     NormError, QId,
 };
+use xtt_trees::{FPath, Tree};
 
 use crate::sample::Sample;
 
@@ -59,7 +59,10 @@ pub enum CharSampleError {
     /// Two states with equal domains could not be told apart within the
     /// search bounds — either raise the bounds or the transducer is not
     /// minimal.
-    NoDistinguisher { q1: QId, q2: QId },
+    NoDistinguisher {
+        q1: QId,
+        q2: QId,
+    },
     Internal(String),
 }
 
@@ -227,7 +230,8 @@ impl<'a> Generator<'a> {
                     }
                 };
                 // embed under p1's and p2's input contexts
-                let s1 = self.context_with_fill(&self.state_paths[q1.index()].input, dist.clone())?;
+                let s1 =
+                    self.context_with_fill(&self.state_paths[q1.index()].input, dist.clone())?;
                 self.add(sample, s1)?;
                 let s2 = self.context_with_fill(u2, dist)?;
                 self.add(sample, s2)?;
@@ -259,12 +263,18 @@ impl<'a> Generator<'a> {
     /// Minimal input containing the labeled path `u`, with `fill` at the
     /// addressed node and minimal witnesses off the path.
     fn context_with_fill(&self, u: &FPath, fill: Tree) -> Result<Tree, CharSampleError> {
-        self.context(u.steps(), self.c.domain.initial(), &mut |_d| Ok(fill.clone()))
+        self.context(u.steps(), self.c.domain.initial(), &mut |_d| {
+            Ok(fill.clone())
+        })
     }
 
     /// Minimal input containing the npath `u·f`: the node at `u` is labeled
     /// `f` with minimal-witness children.
-    fn context_with_symbol(&self, u: &FPath, f: xtt_trees::Symbol) -> Result<Tree, CharSampleError> {
+    fn context_with_symbol(
+        &self,
+        u: &FPath,
+        f: xtt_trees::Symbol,
+    ) -> Result<Tree, CharSampleError> {
         self.context(u.steps(), self.c.domain.initial(), &mut |d| {
             let children = self.c.domain.transition(d, f).ok_or_else(|| {
                 CharSampleError::Internal(format!("symbol {f} not allowed at context end"))

@@ -23,8 +23,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use xtt_automata::{language_classes, Dtta};
-use xtt_trees::{FPath, PLabel, PTree, PathOrder, RankedAlphabet, Step, Symbol};
 use xtt_transducer::{Dtop, DtopBuilder, IoPath, QId, Rhs};
+use xtt_trees::{FPath, PLabel, PTree, PathOrder, RankedAlphabet, Step, Symbol};
 
 use crate::sample::Sample;
 
@@ -391,9 +391,9 @@ impl<'a> Learner<'a> {
             mu.insert(p, *i);
         }
         let resolve = |p: &IoPath| -> Result<QId, LearnError> {
-            mu.get(p).map(|&i| QId(i as u32)).ok_or_else(|| {
-                LearnError::InsufficientSample(format!("unresolved io-path {p}"))
-            })
+            mu.get(p)
+                .map(|&i| QId(i as u32))
+                .ok_or_else(|| LearnError::InsufficientSample(format!("unresolved io-path {p}")))
         };
 
         let mut builder = DtopBuilder::new(self.input.clone(), self.output.clone());
@@ -650,9 +650,6 @@ mod tests {
         .unwrap();
         let learned = rpni_dtop(&s, &fix.domain, fix.dtop.output()).unwrap();
         assert_eq!(learned.dtop.state_count(), 0);
-        assert_eq!(
-            learned.dtop.show_rhs(learned.dtop.axiom(), true),
-            "b"
-        );
+        assert_eq!(learned.dtop.show_rhs(learned.dtop.axiom(), true), "b");
     }
 }

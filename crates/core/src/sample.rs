@@ -95,10 +95,7 @@ impl Sample {
     /// Total number of nodes over all inputs and outputs — the size
     /// measure `|S|` used in the complexity statements (Theorem 38).
     pub fn total_size(&self) -> u64 {
-        self.pairs
-            .iter()
-            .map(|(s, t)| s.size() + t.size())
-            .sum()
+        self.pairs.iter().map(|(s, t)| s.size() + t.size()).sum()
     }
 
     /// `out_S(ε)`: largest common prefix of all outputs. `None` for an
@@ -224,8 +221,10 @@ mod tests {
     #[test]
     fn functionality_is_enforced() {
         let mut s = Sample::new();
-        s.add(parse_tree("a").unwrap(), parse_tree("x").unwrap()).unwrap();
-        s.add(parse_tree("a").unwrap(), parse_tree("x").unwrap()).unwrap(); // dup ok
+        s.add(parse_tree("a").unwrap(), parse_tree("x").unwrap())
+            .unwrap();
+        s.add(parse_tree("a").unwrap(), parse_tree("x").unwrap())
+            .unwrap(); // dup ok
         assert_eq!(s.len(), 1);
         let err = s.add(parse_tree("a").unwrap(), parse_tree("y").unwrap());
         assert!(err.is_err());
@@ -247,10 +246,7 @@ mod tests {
         // out_S((root,2)·b): inputs 3 and 4 → outputs root(b(...),...):
         // common prefix of root(b(#,#),#) and root(b(#,b(#,#)),a(#,a(#,#)))
         let u2 = FPath::parse_pairs(&[("root", 2)]).with_label(Symbol::new("b"));
-        assert_eq!(
-            s.out_at_npath(&u2).unwrap().to_string(),
-            "root(b(#,⊥),⊥)"
-        );
+        assert_eq!(s.out_at_npath(&u2).unwrap().to_string(), "root(b(#,⊥),⊥)");
     }
 
     #[test]
@@ -295,7 +291,10 @@ mod tests {
         let s = flip_sample();
         assert_eq!(
             s.total_size(),
-            s.pairs().iter().map(|(a, b)| a.size() + b.size()).sum::<u64>()
+            s.pairs()
+                .iter()
+                .map(|(a, b)| a.size() + b.size())
+                .sum::<u64>()
         );
     }
 }

@@ -11,8 +11,8 @@
 use std::fmt;
 
 use xtt_automata::Dtta;
-use xtt_trees::{RankedAlphabet, Symbol, Tree};
 use xtt_transducer::{canonical_form, eval, Canonical, Dtop, NormError};
+use xtt_trees::{RankedAlphabet, Symbol, Tree};
 
 use crate::charsample::{characteristic_sample, CharSampleError};
 use crate::rpni::{rpni_dtop, LearnError};
@@ -137,8 +137,7 @@ pub fn learn_string_transducer(
     )
     .map_err(|_| StringLearnError::NotFunctional)?;
     let domain = input.universal_domain();
-    let learned = rpni_dtop(&sample, &domain, output.ranked())
-        .map_err(StringLearnError::Learn)?;
+    let learned = rpni_dtop(&sample, &domain, output.ranked()).map_err(StringLearnError::Learn)?;
     Ok(StringTransducer {
         input: input.clone(),
         output: output.clone(),
@@ -264,8 +263,10 @@ mod tests {
     fn learn_string_transducer_from_characteristic_sample() {
         let (input, output, canon) = target();
         let pairs = string_characteristic_sample(&canon, &input, &output).unwrap();
-        let borrowed: Vec<(&str, &str)> =
-            pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let borrowed: Vec<(&str, &str)> = pairs
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         let learned = learn_string_transducer(&input, &output, &borrowed).unwrap();
         assert_eq!(learned.state_count(), canon.dtop.state_count());
         for s in ["", "a", "b", "ab", "ba", "aababa", "bbbb"] {
@@ -283,8 +284,10 @@ mod tests {
         // learner must find exactly 2 (minimal subsequential machine).
         let (input, output, canon) = target();
         let pairs = string_characteristic_sample(&canon, &input, &output).unwrap();
-        let borrowed: Vec<(&str, &str)> =
-            pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let borrowed: Vec<(&str, &str)> = pairs
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         let learned = learn_string_transducer(&input, &output, &borrowed).unwrap();
         assert_eq!(learned.state_count(), 2);
     }

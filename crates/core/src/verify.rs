@@ -8,8 +8,8 @@
 
 use std::fmt;
 
-use xtt_trees::FPath;
 use xtt_transducer::{eval, out_at, state_io_paths, Canonical};
+use xtt_trees::FPath;
 
 use crate::sample::Sample;
 
@@ -66,12 +66,10 @@ pub fn check_characteristic_conditions(target: &Canonical, sample: &Sample) -> C
     for (s, t) in sample.pairs() {
         match eval(&target.dtop, s) {
             Some(expected) if expected == *t => {}
-            Some(expected) => report.c_violations.push(format!(
-                "{s} maps to {t}, but τ({s}) = {expected}"
-            )),
-            None => report
+            Some(expected) => report
                 .c_violations
-                .push(format!("{s} is outside dom(τ)")),
+                .push(format!("{s} maps to {t}, but τ({s}) = {expected}")),
+            None => report.c_violations.push(format!("{s} is outside dom(τ)")),
         }
     }
 
@@ -80,8 +78,10 @@ pub fn check_characteristic_conditions(target: &Canonical, sample: &Sample) -> C
     match (sample.out_root(), out_tau_root) {
         (Some(out_s), Some(out_tau)) => {
             if out_s != out_tau.ptree {
-                report.a_violation =
-                    Some(format!("out_S(ε) = {out_s} but out_τ(ε) = {}", out_tau.ptree));
+                report.a_violation = Some(format!(
+                    "out_S(ε) = {out_s} but out_τ(ε) = {}",
+                    out_tau.ptree
+                ));
             }
         }
         (None, _) => report.a_violation = Some("sample is empty".into()),
@@ -103,9 +103,9 @@ pub fn check_characteristic_conditions(target: &Canonical, sample: &Sample) -> C
             };
             let npath = u.with_label(f);
             match sample.out_at_npath(&npath) {
-                None => report
-                    .t_violations
-                    .push(format!("out_S({npath}) undefined but out_τ({npath}) is not")),
+                None => report.t_violations.push(format!(
+                    "out_S({npath}) undefined but out_τ({npath}) is not"
+                )),
                 Some(out_s) => {
                     if out_s != out_tau.ptree {
                         report.t_violations.push(format!(
@@ -127,8 +127,7 @@ pub fn check_characteristic_conditions(target: &Canonical, sample: &Sample) -> C
                         let _ = rel;
                         let candidates: Vec<usize> = (0..rank)
                             .filter(|&i| {
-                                let in_path =
-                                    u.push(xtt_trees::Step::new(f, i as u32));
+                                let in_path = u.push(xtt_trees::Step::new(f, i as u32));
                                 sample.residual_is_functional(&in_path, &hole.output)
                             })
                             .collect();
@@ -156,7 +155,11 @@ mod tests {
 
     #[test]
     fn generated_samples_pass_all_conditions() {
-        for fix in [examples::flip(), examples::example6_m1(), examples::flip_k(3)] {
+        for fix in [
+            examples::flip(),
+            examples::example6_m1(),
+            examples::flip_k(3),
+        ] {
             let target = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
             let sample = characteristic_sample(&target).unwrap();
             let report = check_characteristic_conditions(&target, &sample);

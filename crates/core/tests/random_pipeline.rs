@@ -38,7 +38,10 @@ fn run_seed(seed: u64, config: &RandomDtopConfig) {
 
     let sample = match characteristic_sample(&target) {
         Ok(s) => s,
-        Err(e) => panic!("seed {seed}: sample generation failed: {e}\n{}", target.dtop),
+        Err(e) => panic!(
+            "seed {seed}: sample generation failed: {e}\n{}",
+            target.dtop
+        ),
     };
     let learned = match rpni_dtop(&sample, &target.domain, target.dtop.output()) {
         Ok(l) => l,

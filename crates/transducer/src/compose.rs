@@ -18,8 +18,6 @@
 
 use std::collections::HashMap;
 
-
-
 use crate::dtop::{Dtop, DtopBuilder, DtopError};
 use crate::rhs::{QId, Rhs};
 
@@ -78,6 +76,9 @@ pub fn compose(m2: &Dtop, m1: &Dtop) -> Result<Dtop, DtopError> {
     composer.builder.build()
 }
 
+/// Callback expanding one `⟨q2,x0⟩` call while walking an `m2` rhs.
+type OnCall<'a, 'b> = dyn FnMut(&mut Composer<'a>, QId) -> Result<Option<Rhs>, DtopError> + 'b;
+
 struct Composer<'a> {
     m1: &'a Dtop,
     m2: &'a Dtop,
@@ -91,11 +92,7 @@ impl<'a> Composer<'a> {
         if let Some(&id) = self.pairs.get(&(q2, q1)) {
             return id;
         }
-        let name = format!(
-            "{}∘{}",
-            self.m2.state_name(q2),
-            self.m1.state_name(q1)
-        );
+        let name = format!("{}∘{}", self.m2.state_name(q2), self.m1.state_name(q1));
         let id = self.builder.add_state(name);
         self.pairs.insert((q2, q1), id);
         self.order.push((q2, q1));
@@ -153,7 +150,7 @@ impl<'a> Composer<'a> {
     fn expand_m2_rhs(
         &mut self,
         rhs2: &Rhs,
-        on_call: &mut dyn FnMut(&mut Self, QId) -> Result<Option<Rhs>, DtopError>,
+        on_call: &mut OnCall<'a, '_>,
     ) -> Result<Option<Rhs>, DtopError> {
         match rhs2 {
             Rhs::Call { state, .. } => on_call(self, *state),
@@ -178,7 +175,9 @@ pub fn identity(alphabet: &xtt_trees::RankedAlphabet) -> Dtop {
     b.set_axiom(Rhs::Call { state: q, child: 0 });
     for &f in alphabet.symbols() {
         let rank = alphabet.rank(f).unwrap();
-        let kids = (0..rank).map(|i| Rhs::Call { state: q, child: i }).collect();
+        let kids = (0..rank)
+            .map(|i| Rhs::Call { state: q, child: i })
+            .collect();
         b.add_rule(q, f, Rhs::Out(f, kids)).unwrap();
     }
     b.build().unwrap()
@@ -269,7 +268,8 @@ mod tests {
         b.set_axiom_str("<q,x0>").unwrap();
         // m2 copies root(·,·) but its `copy` state has no rule for `root`,
         // so m2 is partial on nested roots (and total elsewhere)
-        b.add_rule_str("q", "root", "root(<copy,x1>,<copy,x2>)").unwrap();
+        b.add_rule_str("q", "root", "root(<copy,x1>,<copy,x2>)")
+            .unwrap();
         for sym in ["a", "b"] {
             b.add_rule_str("copy", sym, &format!("{sym}(<copy,x1>,<copy,x2>)"))
                 .unwrap();

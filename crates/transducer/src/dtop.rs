@@ -99,8 +99,7 @@ impl DtopBuilder {
     /// Parses and sets the axiom from text like `root(<q1,x0>,<q2,x0>)`.
     pub fn set_axiom_str(&mut self, text: &str) -> Result<(), DtopError> {
         let idx = self.name_index.clone();
-        let axiom =
-            parse_rhs(text, &|n| idx.get(n).copied(), true).map_err(DtopError::Parse)?;
+        let axiom = parse_rhs(text, &|n| idx.get(n).copied(), true).map_err(DtopError::Parse)?;
         self.axiom = Some(axiom);
         Ok(())
     }
@@ -138,10 +137,7 @@ impl DtopBuilder {
         });
         axiom.validate(&self.output, 1, self.state_names.len())?;
         for (&(q, f), rhs) in &self.rules {
-            let arity = self
-                .input
-                .rank(f)
-                .ok_or(DtopError::UnknownInputSymbol(f))?;
+            let arity = self.input.rank(f).ok_or(DtopError::UnknownInputSymbol(f))?;
             rhs.validate(&self.output, arity, self.state_names.len())?;
             debug_assert!(q.index() < self.state_names.len());
         }
@@ -162,7 +158,10 @@ impl Dtop {
 
     /// A transducer with a constant axiom and no states (Example 1's `M₁`).
     pub fn constant(input: RankedAlphabet, output: RankedAlphabet, axiom: Rhs) -> Dtop {
-        assert!(axiom.calls().is_empty(), "constant axiom must not call states");
+        assert!(
+            axiom.calls().is_empty(),
+            "constant axiom must not call states"
+        );
         Dtop {
             input,
             output,
@@ -292,9 +291,7 @@ mod tests {
         let mut b = DtopBuilder::new(alpha.clone(), alpha);
         let q = b.add_state("q");
         // unknown input symbol
-        assert!(b
-            .add_rule(q, Symbol::new("zzz"), Rhs::leaf("a"))
-            .is_err());
+        assert!(b.add_rule(q, Symbol::new("zzz"), Rhs::leaf("a")).is_err());
         // rank-mismatched rhs is caught at build time
         b.add_rule(q, Symbol::new("f"), Rhs::out("f", vec![Rhs::leaf("a")]))
             .unwrap();

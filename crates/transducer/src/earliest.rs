@@ -142,11 +142,7 @@ fn push_pair(pairs: &mut Pairs, queue: &mut Vec<usize>, q: QId, d: StateId) {
 }
 
 /// Computes `c_{(q,d)}` for every reachable pair.
-fn maximal_outputs(
-    m: &Dtop,
-    domain: &Dtta,
-    pairs: &Pairs,
-) -> Result<Vec<PTree>, NormError> {
+fn maximal_outputs(m: &Dtop, domain: &Dtta, pairs: &Pairs) -> Result<Vec<PTree>, NormError> {
     let mut vals: Vec<PTree> = vec![PTree::top(); pairs.list.len()];
     for _ in 0..MAX_FIXPOINT_ITERATIONS {
         let mut changed = false;
@@ -303,7 +299,13 @@ fn ptree_to_rhs(
     };
     let mut kids = Vec::with_capacity(t.children().len());
     for (i, child) in t.children().iter().enumerate() {
-        kids.push(ptree_to_rhs(child, &at.child(i as u32), pair, var, state_ids)?);
+        kids.push(ptree_to_rhs(
+            child,
+            &at.child(i as u32),
+            pair,
+            var,
+            state_ids,
+        )?);
     }
     Ok(Rhs::Out(sym, kids))
 }
@@ -431,7 +433,8 @@ mod tests {
         let m = b.build().unwrap();
         let mut d = xtt_automata::DttaBuilder::new(m.input().clone());
         let p = d.add_state("only-b");
-        d.add_transition(p, xtt_trees::Symbol::new("b"), vec![]).unwrap();
+        d.add_transition(p, xtt_trees::Symbol::new("b"), vec![])
+            .unwrap();
         let only_b = d.build().unwrap();
         assert_eq!(
             to_earliest(&m, Some(&only_b)).unwrap_err(),
@@ -457,9 +460,6 @@ mod tests {
         assert!(ax.starts_with("g("), "axiom {ax} should start with g(");
         // behaviour preserved
         let t = xtt_trees::parse_tree("f(f(e))").unwrap();
-        assert_eq!(
-            eval(&canon.dtop, &t).unwrap().to_string(),
-            "g(g(g(h)))"
-        );
+        assert_eq!(eval(&canon.dtop, &t).unwrap().to_string(), "g(g(g(h)))");
     }
 }

@@ -124,15 +124,10 @@ mod tests {
         // same constant transduction but restricted to single-node trees
         let mut d = xtt_automata::DttaBuilder::new(m1.dtop.input().clone());
         let p = d.add_state("leaf-only");
-        d.add_transition(p, xtt_trees::Symbol::new("a"), vec![]).unwrap();
+        d.add_transition(p, xtt_trees::Symbol::new("a"), vec![])
+            .unwrap();
         let leaf_only = d.build().unwrap();
-        assert!(!equivalent(
-            &m1.dtop,
-            Some(&m1.domain),
-            &m1.dtop,
-            Some(&leaf_only)
-        )
-        .unwrap());
+        assert!(!equivalent(&m1.dtop, Some(&m1.domain), &m1.dtop, Some(&leaf_only)).unwrap());
     }
 
     #[test]

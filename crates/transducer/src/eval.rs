@@ -134,10 +134,7 @@ pub fn eval_cut(m: &Dtop, s: &Tree, u: &FPath) -> Option<Rhs> {
 }
 
 /// Rebuilds an rhs, replacing every call through `on_call`.
-fn expand_calls(
-    rhs: &Rhs,
-    on_call: &mut dyn FnMut(QId, usize) -> Option<Rhs>,
-) -> Option<Rhs> {
+fn expand_calls(rhs: &Rhs, on_call: &mut dyn FnMut(QId, usize) -> Option<Rhs>) -> Option<Rhs> {
     match rhs {
         Rhs::Call { state, child } => on_call(*state, *child),
         Rhs::Out(sym, kids) => {
@@ -153,13 +150,7 @@ fn expand_calls(
 /// Runs state `q` on `sub`, cutting at the node addressed by `rest`
 /// (relative child indices). Returns the partial output with `⟨q', x⟩`
 /// leaves for the states that reach the cut node.
-fn walk_to_cut(
-    m: &Dtop,
-    ev: &mut Evaluator<'_>,
-    q: QId,
-    sub: &Tree,
-    rest: &[u32],
-) -> Option<Rhs> {
+fn walk_to_cut(m: &Dtop, ev: &mut Evaluator<'_>, q: QId, sub: &Tree, rest: &[u32]) -> Option<Rhs> {
     let Some((&next, deeper)) = rest.split_first() else {
         // The call reaches the cut node: stop, leave ⟨q, x⟩.
         return Some(Rhs::Call { state: q, child: 0 });
@@ -178,10 +169,7 @@ fn walk_to_cut(
 }
 
 fn tree_to_rhs(t: &Tree) -> Rhs {
-    Rhs::Out(
-        t.symbol(),
-        t.children().iter().map(tree_to_rhs).collect(),
-    )
+    Rhs::Out(t.symbol(), t.children().iter().map(tree_to_rhs).collect())
 }
 
 #[cfg(test)]
@@ -303,7 +291,11 @@ mod tests {
 
     #[test]
     fn naive_and_memoized_agree() {
-        for fix in [examples::flip(), examples::library(), examples::monadic_to_binary()] {
+        for fix in [
+            examples::flip(),
+            examples::library(),
+            examples::monadic_to_binary(),
+        ] {
             let trees = xtt_trees::gen::enumerate_trees(fix.dtop.input(), 60, 8);
             for t in trees {
                 assert_eq!(eval(&fix.dtop, &t), eval_naive(&fix.dtop, &t), "on {t}");

@@ -51,10 +51,13 @@ pub fn flip() -> Fixture {
     let pa = d.add_state("alist");
     let pb = d.add_state("blist");
     let nil = d.add_state("nil");
-    d.add_transition(p0, Symbol::new("root"), vec![pa, pb]).unwrap();
-    d.add_transition(pa, Symbol::new("a"), vec![nil, pa]).unwrap();
+    d.add_transition(p0, Symbol::new("root"), vec![pa, pb])
+        .unwrap();
+    d.add_transition(pa, Symbol::new("a"), vec![nil, pa])
+        .unwrap();
     d.add_transition(pa, Symbol::new("#"), vec![]).unwrap();
-    d.add_transition(pb, Symbol::new("b"), vec![nil, pb]).unwrap();
+    d.add_transition(pb, Symbol::new("b"), vec![nil, pb])
+        .unwrap();
     d.add_transition(pb, Symbol::new("#"), vec![]).unwrap();
     d.add_transition(nil, Symbol::new("#"), vec![]).unwrap();
     Fixture {
@@ -120,7 +123,8 @@ pub fn example6_domain() -> Dtta {
     let p0 = d.add_state("root");
     let pc = d.add_state("c");
     let pab = d.add_state("ab");
-    d.add_transition(p0, Symbol::new("f"), vec![pc, pab]).unwrap();
+    d.add_transition(p0, Symbol::new("f"), vec![pc, pab])
+        .unwrap();
     d.add_transition(pc, Symbol::new("c"), vec![]).unwrap();
     d.add_transition(pab, Symbol::new("a"), vec![]).unwrap();
     d.add_transition(pab, Symbol::new("b"), vec![]).unwrap();
@@ -251,13 +255,16 @@ pub fn library() -> Fixture {
     b.add_rule_str("qL4", "L", "<qB2s,x1>").unwrap();
     b.add_rule_str("qT1s", "B*", "<qTB,x1>").unwrap();
     b.add_rule_str("qT2s", "B*", "<qTs,x2>").unwrap();
-    b.add_rule_str("qTs", "B*", "\"T*\"(<qTB,x1>,<qTs,x2>)").unwrap();
+    b.add_rule_str("qTs", "B*", "\"T*\"(<qTB,x1>,<qTs,x2>)")
+        .unwrap();
     b.add_rule_str("qTs", "#", "#").unwrap();
     b.add_rule_str("qB1s", "B*", "<qB,x1>").unwrap();
     b.add_rule_str("qB2s", "B*", "<qBs,x2>").unwrap();
-    b.add_rule_str("qBs", "B*", "\"B*\"(<qB,x1>,<qBs,x2>)").unwrap();
+    b.add_rule_str("qBs", "B*", "\"B*\"(<qB,x1>,<qBs,x2>)")
+        .unwrap();
     b.add_rule_str("qBs", "#", "#").unwrap();
-    b.add_rule_str("qB", "B", "B(T(<qTT,x2>),A(<qA,x1>))").unwrap();
+    b.add_rule_str("qB", "B", "B(T(<qTT,x2>),A(<qA,x1>))")
+        .unwrap();
     b.add_rule_str("qB", "#", "#").unwrap();
     b.add_rule_str("qTB", "B", "T(<qTT,x2>)").unwrap();
     b.add_rule_str("qTB", "#", "#").unwrap();
@@ -333,12 +340,17 @@ pub fn flip_k(k: usize) -> Fixture {
         b.add_state(format!("copy{i}"));
     }
     let axiom_calls: Vec<String> = (0..k).map(|i| format!("<sel{i},x0>")).collect();
-    b.set_axiom_str(&format!("root({})", axiom_calls.join(","))).unwrap();
+    b.set_axiom_str(&format!("root({})", axiom_calls.join(",")))
+        .unwrap();
     for i in 0..k {
         // selector i outputs list k-1-i of the input
         let src = k - 1 - i;
-        b.add_rule_str(&format!("sel{i}"), "root", &format!("<copy{src},x{}>", src + 1))
-            .unwrap();
+        b.add_rule_str(
+            &format!("sel{i}"),
+            "root",
+            &format!("<copy{src},x{}>", src + 1),
+        )
+        .unwrap();
     }
     for i in 0..k {
         let c = letter(i);
@@ -352,9 +364,11 @@ pub fn flip_k(k: usize) -> Fixture {
     let p0 = d.add_state("start");
     let nil = d.add_state("nil");
     let lists: Vec<_> = (0..k).map(|i| d.add_state(format!("list{i}"))).collect();
-    d.add_transition(p0, Symbol::new("root"), lists.clone()).unwrap();
+    d.add_transition(p0, Symbol::new("root"), lists.clone())
+        .unwrap();
     for (i, &p) in lists.iter().enumerate() {
-        d.add_transition(p, Symbol::new(&letter(i)), vec![nil, p]).unwrap();
+        d.add_transition(p, Symbol::new(&letter(i)), vec![nil, p])
+            .unwrap();
         d.add_transition(p, Symbol::new("#"), vec![]).unwrap();
     }
     d.add_transition(nil, Symbol::new("#"), vec![]).unwrap();
@@ -430,10 +444,7 @@ mod tests {
     fn flip_k3_reverses_lists() {
         let f = flip_k(3);
         // lists of lengths 1, 0, 2
-        let input = xtt_trees::parse_tree(
-            "root(c0(#,#),#,c2(#,c2(#,#)))",
-        )
-        .unwrap();
+        let input = xtt_trees::parse_tree("root(c0(#,#),#,c2(#,c2(#,#)))").unwrap();
         assert!(f.domain.accepts(&input));
         let out = eval(&f.dtop, &input).unwrap();
         assert_eq!(out.to_string(), "root(c2(#,c2(#,#)),#,c0(#,#))");
@@ -445,8 +456,7 @@ mod tests {
         let s2 = library_input(2);
         assert!(f.domain.accepts(&s2));
         let t2 = eval(&f.dtop, &s2).unwrap();
-        let expected =
-            "L(S(T*(T(P),T*(T(P),T*(#,#)))),B*(B(T(P),A(P)),B*(B(T(P),A(P)),B*(#,#))))";
+        let expected = "L(S(T*(T(P),T*(T(P),T*(#,#)))),B*(B(T(P),A(P)),B*(B(T(P),A(P)),B*(#,#))))";
         assert_eq!(t2.to_string(), expected);
     }
 
@@ -469,9 +479,6 @@ mod tests {
     #[test]
     fn flip_input_builder() {
         assert_eq!(flip_input(0, 0).to_string(), "root(#,#)");
-        assert_eq!(
-            flip_input(2, 1).to_string(),
-            "root(a(#,a(#,#)),b(#,#))"
-        );
+        assert_eq!(flip_input(2, 1).to_string(), "root(a(#,a(#,#)),b(#,#))");
     }
 }

@@ -198,10 +198,14 @@ mod tests {
         let p0 = d.add_state("start");
         let pl = d.add_state("alist");
         let nil = d.add_state("nil");
-        d.add_transition(p0, xtt_trees::Symbol::new("root"), vec![pl, pl]).unwrap();
-        d.add_transition(pl, xtt_trees::Symbol::new("a"), vec![nil, pl]).unwrap();
-        d.add_transition(pl, xtt_trees::Symbol::new("#"), vec![]).unwrap();
-        d.add_transition(nil, xtt_trees::Symbol::new("#"), vec![]).unwrap();
+        d.add_transition(p0, xtt_trees::Symbol::new("root"), vec![pl, pl])
+            .unwrap();
+        d.add_transition(pl, xtt_trees::Symbol::new("a"), vec![nil, pl])
+            .unwrap();
+        d.add_transition(pl, xtt_trees::Symbol::new("#"), vec![])
+            .unwrap();
+        d.add_transition(nil, xtt_trees::Symbol::new("#"), vec![])
+            .unwrap();
         let domain = d.build().unwrap();
 
         let canon = to_earliest(&m, Some(&domain)).unwrap();

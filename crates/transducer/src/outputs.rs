@@ -97,10 +97,7 @@ pub fn out_at(c: &Canonical, u: &FPath, label: Option<Symbol>) -> Option<OutAt> 
 fn rhs_to_ot(rhs: &Rhs, on_call: &mut impl FnMut(QId, usize) -> OT) -> OT {
     match rhs {
         Rhs::Call { state, child } => on_call(*state, *child),
-        Rhs::Out(sym, kids) => OT::Sym(
-            *sym,
-            kids.iter().map(|k| rhs_to_ot(k, on_call)).collect(),
-        ),
+        Rhs::Out(sym, kids) => OT::Sym(*sym, kids.iter().map(|k| rhs_to_ot(k, on_call)).collect()),
     }
 }
 

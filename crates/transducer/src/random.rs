@@ -53,12 +53,26 @@ pub fn random_total_dtop<R: Rng + ?Sized>(
     for i in 0..config.n_states {
         b.add_state(format!("r{i}"));
     }
-    let axiom = random_rhs(rng, output, config, 1, config.max_rhs_depth, config.n_states);
+    let axiom = random_rhs(
+        rng,
+        output,
+        config,
+        1,
+        config.max_rhs_depth,
+        config.n_states,
+    );
     b.set_axiom(axiom);
     for q in 0..config.n_states {
         for &f in input.symbols() {
             let arity = input.rank(f).unwrap();
-            let rhs = random_rhs(rng, output, config, arity, config.max_rhs_depth, config.n_states);
+            let rhs = random_rhs(
+                rng,
+                output,
+                config,
+                arity,
+                config.max_rhs_depth,
+                config.n_states,
+            );
             b.add_rule(QId(q as u32), f, rhs).expect("valid rule");
         }
     }
@@ -90,7 +104,16 @@ fn random_rhs<R: Rng + ?Sized>(
     };
     let rank = output.rank(symbol).unwrap();
     let children = (0..rank)
-        .map(|_| random_rhs(rng, output, config, arity, depth.saturating_sub(1), n_states))
+        .map(|_| {
+            random_rhs(
+                rng,
+                output,
+                config,
+                arity,
+                depth.saturating_sub(1),
+                n_states,
+            )
+        })
         .collect();
     Rhs::Out(symbol, children)
 }

@@ -184,7 +184,10 @@ impl fmt::Display for RhsError {
                 symbol,
                 expected,
                 got,
-            } => write!(f, "output symbol {symbol} has rank {expected}, got {got} children"),
+            } => write!(
+                f,
+                "output symbol {symbol} has rank {expected}, got {got} children"
+            ),
             RhsError::VariableOutOfRange { child, arity } => {
                 write!(f, "variable x{} out of range for arity {arity}", child + 1)
             }
@@ -365,11 +368,7 @@ impl<'a> RhsParser<'a> {
         }
         self.pos += 1;
         let num_start = self.pos;
-        while self
-            .input
-            .get(self.pos)
-            .is_some_and(u8::is_ascii_digit)
-        {
+        while self.input.get(self.pos).is_some_and(u8::is_ascii_digit) {
             self.pos += 1;
         }
         let n: usize = std::str::from_utf8(&self.input[num_start..self.pos])

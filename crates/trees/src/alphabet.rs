@@ -187,7 +187,10 @@ mod tests {
         let alpha = sample();
         let names: Vec<&str> = alpha.symbols().iter().map(|s| s.name()).collect();
         assert_eq!(names, vec!["root", "a", "b", "#"]);
-        assert!(alpha.symbol_index(Symbol::new("root")).unwrap() < alpha.symbol_index(Symbol::new("b")).unwrap());
+        assert!(
+            alpha.symbol_index(Symbol::new("root")).unwrap()
+                < alpha.symbol_index(Symbol::new("b")).unwrap()
+        );
     }
 
     #[test]
@@ -226,8 +229,17 @@ mod tests {
     fn cmp_symbols_uses_declaration_order() {
         let alpha = sample();
         use std::cmp::Ordering;
-        assert_eq!(alpha.cmp_symbols(Symbol::new("root"), Symbol::new("a")), Ordering::Less);
-        assert_eq!(alpha.cmp_symbols(Symbol::new("#"), Symbol::new("a")), Ordering::Greater);
-        assert_eq!(alpha.cmp_symbols(Symbol::new("b"), Symbol::new("b")), Ordering::Equal);
+        assert_eq!(
+            alpha.cmp_symbols(Symbol::new("root"), Symbol::new("a")),
+            Ordering::Less
+        );
+        assert_eq!(
+            alpha.cmp_symbols(Symbol::new("#"), Symbol::new("a")),
+            Ordering::Greater
+        );
+        assert_eq!(
+            alpha.cmp_symbols(Symbol::new("b"), Symbol::new("b")),
+            Ordering::Equal
+        );
     }
 }

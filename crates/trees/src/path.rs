@@ -400,7 +400,9 @@ mod tests {
         assert!(u.with_label(Symbol::new("b")).belongs_to(&t));
         assert!(!u.with_label(Symbol::new("a")).belongs_to(&t));
         // root npath
-        assert!(FPath::empty().with_label(Symbol::new("root")).belongs_to(&t));
+        assert!(FPath::empty()
+            .with_label(Symbol::new("root"))
+            .belongs_to(&t));
     }
 
     #[test]

@@ -465,7 +465,10 @@ mod tests {
         let pre = p("f(f(a,b),b)").lcp(&p("f(f(c,b),c)"));
         assert_eq!(
             pre.holes(),
-            vec![NodePath::from_indices(&[0, 0]), NodePath::from_indices(&[1])]
+            vec![
+                NodePath::from_indices(&[0, 0]),
+                NodePath::from_indices(&[1])
+            ]
         );
     }
 }

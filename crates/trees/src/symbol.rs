@@ -14,8 +14,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// An interned string, used for tree node labels and alphabet letters.
 ///
@@ -51,7 +50,7 @@ impl Interner {
 static INTERNER: RwLock<Option<Interner>> = RwLock::new(None);
 
 fn with_interner<R>(f: impl FnOnce(&mut Interner) -> R) -> R {
-    let mut guard = INTERNER.write();
+    let mut guard = INTERNER.write().unwrap_or_else(|e| e.into_inner());
     let interner = guard.get_or_insert_with(|| Interner {
         names: Vec::new(),
         ids: HashMap::new(),
@@ -67,7 +66,7 @@ impl Symbol {
 
     /// The symbol's name. O(1), no allocation.
     pub fn name(self) -> &'static str {
-        let guard = INTERNER.read();
+        let guard = INTERNER.read().unwrap_or_else(|e| e.into_inner());
         let interner = guard.as_ref().expect("symbol not interned");
         interner.names[self.0 as usize]
     }
@@ -161,7 +160,10 @@ mod tests {
     #[test]
     fn hash_set_of_symbols() {
         use std::collections::HashSet;
-        let set: HashSet<Symbol> = ["a", "b", "a", "c"].iter().map(|n| Symbol::new(n)).collect();
+        let set: HashSet<Symbol> = ["a", "b", "a", "c"]
+            .iter()
+            .map(|n| Symbol::new(n))
+            .collect();
         assert_eq!(set.len(), 3);
     }
 }

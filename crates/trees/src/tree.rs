@@ -362,7 +362,9 @@ mod tests {
         assert_eq!(t2.to_string(), "root(a(#,#),b(c,#))");
         // untouched subtree is shared
         assert!(t.child(0).unwrap().ptr_eq(t2.child(0).unwrap()));
-        assert!(t.replace_at(&NodePath::from_indices(&[9]), Tree::leaf_named("x")).is_none());
+        assert!(t
+            .replace_at(&NodePath::from_indices(&[9]), Tree::leaf_named("x"))
+            .is_none());
     }
 
     #[test]

@@ -16,8 +16,7 @@ fn arb_tree() -> impl Strategy<Value = Tree> {
     ];
     leaf.prop_recursive(5, 64, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Tree::node("f", vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Tree::node("f", vec![x, y])),
             inner.clone().prop_map(|x| Tree::node("g", vec![x])),
             (inner.clone(), inner.clone(), inner)
                 .prop_map(|(x, y, z)| Tree::node("h", vec![x, y, z])),

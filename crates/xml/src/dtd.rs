@@ -475,10 +475,7 @@ mod tests {
 
     /// The xmlflip input DTD of the paper's introduction.
     pub(crate) fn flip_dtd() -> Dtd {
-        Dtd::parse(
-            "<!ELEMENT root (a*,b*) >\n<!ELEMENT a EMPTY >\n<!ELEMENT b EMPTY >\n",
-        )
-        .unwrap()
+        Dtd::parse("<!ELEMENT root (a*,b*) >\n<!ELEMENT a EMPTY >\n<!ELEMENT b EMPTY >\n").unwrap()
     }
 
     #[test]
@@ -549,8 +546,7 @@ mod tests {
 
     #[test]
     fn duplicate_declarations_rejected() {
-        let err =
-            Dtd::parse("<!ELEMENT a EMPTY >\n<!ELEMENT a EMPTY >").unwrap_err();
+        let err = Dtd::parse("<!ELEMENT a EMPTY >\n<!ELEMENT a EMPTY >").unwrap_err();
         assert!(matches!(err, DtdError::DuplicateElement(_)));
     }
 }

@@ -75,9 +75,9 @@ impl PcDataMode {
     fn symbol_for(&self, text: &str) -> Option<String> {
         match self {
             PcDataMode::Abstract => Some("pcdata".to_owned()),
-            PcDataMode::Valued(vals) => vals
-                .contains(&text.to_owned())
-                .then(|| format!("'{text}'")),
+            PcDataMode::Valued(vals) => {
+                vals.contains(&text.to_owned()).then(|| format!("'{text}'"))
+            }
         }
     }
 }
@@ -358,12 +358,7 @@ impl Encoding {
         }
     }
 
-    fn decode_model(
-        &self,
-        r: &Regex,
-        t: &Tree,
-        out: &mut Vec<UTree>,
-    ) -> Result<(), EncodeError> {
+    fn decode_model(&self, r: &Regex, t: &Tree, out: &mut Vec<UTree>) -> Result<(), EncodeError> {
         let expect = |want: &str| -> Result<(), EncodeError> {
             if t.symbol().name() == want {
                 Ok(())
@@ -392,8 +387,8 @@ impl Encoding {
                             .strip_prefix('\'')
                             .and_then(|s| s.strip_suffix('\''))
                             .ok_or_else(|| {
-                                EncodeError::Malformed(format!("{name} is not a pcdata value"))
-                            })?;
+                            EncodeError::Malformed(format!("{name} is not a pcdata value"))
+                        })?;
                         out.push(UTree::text(stripped));
                     }
                 }
@@ -649,10 +644,8 @@ mod tests {
     use crate::xmlparse::parse_xml;
 
     fn flip_encoding() -> Encoding {
-        let dtd = Dtd::parse(
-            "<!ELEMENT root (a*,b*) >\n<!ELEMENT a EMPTY >\n<!ELEMENT b EMPTY >",
-        )
-        .unwrap();
+        let dtd = Dtd::parse("<!ELEMENT root (a*,b*) >\n<!ELEMENT a EMPTY >\n<!ELEMENT b EMPTY >")
+            .unwrap();
         Encoding::new(dtd, PcDataMode::Abstract)
     }
 
@@ -715,8 +708,7 @@ mod tests {
             assert!(d.accepts(&t), "{t}");
         }
         // path-closure junk: accepted by the domain, rejected by decode
-        let junk =
-            xtt_trees::parse_tree("root(\"(a*,b*)\"(a*(#,a*(a,a*(#,#))),b*(#,#)))").unwrap();
+        let junk = xtt_trees::parse_tree("root(\"(a*,b*)\"(a*(#,a*(a,a*(#,#))),b*(#,#)))").unwrap();
         assert!(d.accepts(&junk));
         assert!(enc.decode(&junk).is_err());
     }

@@ -171,7 +171,9 @@ mod tests {
             PcDataMode::Abstract,
         );
         let pairs = xmlflip_doc_pairs();
-        let t = learner.learn(&pairs).expect("document pairs are characteristic");
+        let t = learner
+            .learn(&pairs)
+            .expect("document pairs are characteristic");
         for (n, m) in [(0usize, 0usize), (1, 1), (4, 2), (0, 5), (3, 0)] {
             let d = xmlflip::document(n, m);
             assert_eq!(t.apply(&d).unwrap(), xmlflip::flip_document(&d));

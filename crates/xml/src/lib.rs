@@ -18,18 +18,18 @@
 //!   (one template per rule, modes = states).
 
 pub mod dtd;
-pub mod infer;
 pub mod encode;
 pub mod fcns;
+pub mod infer;
 pub mod utree;
-pub mod xmlparse;
 pub mod xmlflip;
+pub mod xmlparse;
 pub mod xslt;
 
 pub use dtd::{Content, Dtd, DtdError, Regex, Tok};
-pub use infer::{XmlLearnError, XmlLearner, XmlTransformation};
 pub use encode::{EncodeError, Encoding, PcDataMode};
 pub use fcns::{fcns_alphabet, fcns_decode, fcns_encode};
+pub use infer::{XmlLearnError, XmlLearner, XmlTransformation};
 pub use utree::UTree;
 pub use xmlparse::{parse_xml, write_xml, write_xml_pretty, XmlError};
 pub use xslt::to_xslt;

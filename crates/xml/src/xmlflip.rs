@@ -12,8 +12,8 @@
 //!   provides the io-path family whose residuals are pairwise distinct
 //!   (unbounded Myhill–Nerode index), which experiment E3 verifies.
 
-use xtt_trees::Tree;
 use xtt_transducer::{Dtop, DtopBuilder};
+use xtt_trees::Tree;
 
 use crate::dtd::Dtd;
 use crate::encode::{Encoding, PcDataMode};
@@ -76,7 +76,8 @@ pub fn target_dtop() -> Dtop {
     for s in ["q1", "q2", "q1g", "q2g", "qbs", "qb", "qas", "qa"] {
         b.add_state(s);
     }
-    b.set_axiom_str("root(\"(b*,a*)\"(<q1,x0>,<q2,x0>))").unwrap();
+    b.set_axiom_str("root(\"(b*,a*)\"(<q1,x0>,<q2,x0>))")
+        .unwrap();
     b.add_rule_str("q1", "root", "<q1g,x1>").unwrap();
     b.add_rule_str("q2", "root", "<q2g,x1>").unwrap();
     b.add_rule_str("q1g", "(a*,b*)", "<qbs,x2>").unwrap();
@@ -120,7 +121,8 @@ pub fn target_dtop_pc() -> Dtop {
     for s in ["q1", "q2", "q1g", "q2g", "qbs", "qb", "qas", "qa"] {
         b.add_state(s);
     }
-    b.set_axiom_str("root(\"(b*,a*)\"(<q1,x0>,<q2,x0>))").unwrap();
+    b.set_axiom_str("root(\"(b*,a*)\"(<q1,x0>,<q2,x0>))")
+        .unwrap();
     b.add_rule_str("q1", "root", "<q1g,x1>").unwrap();
     b.add_rule_str("q2", "root", "<q2g,x1>").unwrap();
     b.add_rule_str("q1g", "(a*,b*)", "<qbs,x2>").unwrap();

@@ -16,7 +16,9 @@ use xtt_transducer::{Dtop, QId, Rhs};
 /// Renders the transducer as an XSLT-like stylesheet.
 pub fn to_xslt(m: &Dtop) -> String {
     let mut out = String::new();
-    out.push_str("<xsl:stylesheet version=\"1.0\" xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">\n");
+    out.push_str(
+        "<xsl:stylesheet version=\"1.0\" xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">\n",
+    );
     out.push_str("  <!-- generated from a learned deterministic top-down tree transducer -->\n");
     out.push_str("  <xsl:template match=\"/\">\n");
     render_rhs(m, m.axiom(), true, 2, &mut out);

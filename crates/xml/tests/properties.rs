@@ -24,7 +24,12 @@ fn arb_flip_doc() -> impl Strategy<Value = UTree> {
 /// title only, text values drawn from a 2-value universe.
 fn arb_library_doc() -> impl Strategy<Value = UTree> {
     let value = prop_oneof![Just("v0"), Just("v1")];
-    let book = (value.clone(), value.clone(), proptest::option::of(value.clone()), any::<bool>())
+    let book = (
+        value.clone(),
+        value.clone(),
+        proptest::option::of(value.clone()),
+        any::<bool>(),
+    )
         .prop_map(|(a, t, y, title_only)| {
             if title_only {
                 UTree::elem("BOOK", vec![UTree::elem("TITLE", vec![UTree::text(t)])])
@@ -39,8 +44,7 @@ fn arb_library_doc() -> impl Strategy<Value = UTree> {
                 UTree::elem("BOOK", kids)
             }
         });
-    proptest::collection::vec(book, 0..5)
-        .prop_map(|books| UTree::elem("LIBRARY", books))
+    proptest::collection::vec(book, 0..5).prop_map(|books| UTree::elem("LIBRARY", books))
 }
 
 fn flip_dtd() -> Dtd {

@@ -36,9 +36,14 @@ fn main() {
     println!("== domain automaton ==\n{domain}");
 
     // Run RPNIdtop.
-    let learned = rpni_dtop(&sample, domain, fixture.dtop.output()).expect("sample is characteristic");
+    let learned =
+        rpni_dtop(&sample, domain, fixture.dtop.output()).expect("sample is characteristic");
 
-    println!("== learned transducer ({} states, {} rules) ==", learned.dtop.state_count(), learned.dtop.rule_count());
+    println!(
+        "== learned transducer ({} states, {} rules) ==",
+        learned.dtop.state_count(),
+        learned.dtop.rule_count()
+    );
     println!("{}", learned.dtop);
 
     println!("== states were identified by these io-paths ==");

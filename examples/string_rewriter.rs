@@ -30,7 +30,10 @@ fn main() {
     }
 
     // Learner side: infer the machine from the pairs alone.
-    let borrowed: Vec<(&str, &str)> = pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let borrowed: Vec<(&str, &str)> = pairs
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     let learned = learn_string_transducer(&input, &output, &borrowed).unwrap();
     println!(
         "\nlearned a minimal subsequential transducer with {} states:",

@@ -43,16 +43,14 @@
 
 pub use xtt_automata as automata;
 pub use xtt_core as learn;
-pub use xtt_trees as trees;
 pub use xtt_transducer as transducer;
+pub use xtt_trees as trees;
 pub use xtt_xml as xml;
 
 /// The most common imports for working with the library.
 pub mod prelude {
     pub use xtt_automata::{Dtta, DttaBuilder};
-    pub use xtt_core::{
-        characteristic_sample, check_characteristic_conditions, rpni_dtop, Sample,
-    };
+    pub use xtt_core::{characteristic_sample, check_characteristic_conditions, rpni_dtop, Sample};
     pub use xtt_transducer::{
         canonical_form, equivalent, eval, same_canonical, Canonical, Dtop, DtopBuilder,
     };

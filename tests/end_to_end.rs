@@ -47,12 +47,7 @@ fn learned_transducers_generalize() {
     let target = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
     let sample = characteristic_sample(&target).unwrap();
     let learned = rpni_dtop(&sample, &target.domain, target.dtop.output()).unwrap();
-    let max_sample_input = sample
-        .pairs()
-        .iter()
-        .map(|(s, _)| s.size())
-        .max()
-        .unwrap();
+    let max_sample_input = sample.pairs().iter().map(|(s, _)| s.size()).max().unwrap();
     for (n, m) in [(10usize, 10usize), (25, 3), (0, 40)] {
         let input = fixtures::flip_input(n, m);
         assert!(input.size() > max_sample_input);

@@ -1,0 +1,100 @@
+//! The public facade, exercised through `xtt::prelude::*` alone.
+//!
+//! Guards the prelude against regressions outside doctests: everything a
+//! first-time user needs for the quickstart pipeline (teach τflip from its
+//! characteristic sample, learn it back, canonically compare) must be
+//! reachable from the prelude — no deep module paths.
+
+use xtt::prelude::*;
+
+/// The paper's τflip domain: root(a-list, b-list), fc/ns encoded.
+fn flip_domain(alpha: &RankedAlphabet) -> Dtta {
+    let mut d = DttaBuilder::new(alpha.clone());
+    let start = d.add_state("start");
+    let alist = d.add_state("alist");
+    let blist = d.add_state("blist");
+    let nil = d.add_state("nil");
+    d.add_transition(start, Symbol::new("root"), vec![alist, blist])
+        .unwrap();
+    d.add_transition(alist, Symbol::new("a"), vec![nil, alist])
+        .unwrap();
+    d.add_transition(alist, Symbol::new("#"), vec![]).unwrap();
+    d.add_transition(blist, Symbol::new("b"), vec![nil, blist])
+        .unwrap();
+    d.add_transition(blist, Symbol::new("#"), vec![]).unwrap();
+    d.add_transition(nil, Symbol::new("#"), vec![]).unwrap();
+    d.build().unwrap()
+}
+
+/// The reference min(τflip) from §1 of the paper, built via the prelude's
+/// `DtopBuilder`.
+fn flip_target(alpha: &RankedAlphabet) -> Dtop {
+    let mut b = DtopBuilder::new(alpha.clone(), alpha.clone());
+    for name in ["q1", "q2", "q3", "q4"] {
+        b.add_state(name);
+    }
+    b.set_axiom_str("root(<q1,x0>,<q2,x0>)").unwrap();
+    b.add_rule_str("q1", "root", "<q3,x2>").unwrap();
+    b.add_rule_str("q2", "root", "<q4,x1>").unwrap();
+    b.add_rule_str("q3", "#", "#").unwrap();
+    b.add_rule_str("q3", "b", "b(#,<q3,x2>)").unwrap();
+    b.add_rule_str("q4", "#", "#").unwrap();
+    b.add_rule_str("q4", "a", "a(#,<q4,x2>)").unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn quickstart_pipeline_via_prelude_only() {
+    let alpha = RankedAlphabet::from_pairs([("root", 2), ("a", 2), ("b", 2), ("#", 0)]);
+    let domain = flip_domain(&alpha);
+    let target_dtop = flip_target(&alpha);
+
+    // Teacher: the characteristic sample exhibited in the paper.
+    let pairs = [
+        ("root(#,#)", "root(#,#)"),
+        ("root(a(#,#),#)", "root(#,a(#,#))"),
+        ("root(#,b(#,#))", "root(b(#,#),#)"),
+        (
+            "root(a(#,a(#,#)),b(#,b(#,#)))",
+            "root(b(#,b(#,#)),a(#,a(#,#)))",
+        ),
+    ];
+    let sample = Sample::from_pairs(
+        pairs
+            .iter()
+            .map(|(s, t)| (parse_tree(s).unwrap(), parse_tree(t).unwrap())),
+    )
+    .expect("sample is functional");
+
+    // Learner: RPNIdtop identifies min(τflip) from the sample.
+    let learned =
+        rpni_dtop(&sample, &domain, target_dtop.output()).expect("sample is characteristic");
+    assert_eq!(learned.dtop.state_count(), 4);
+
+    // The result is canonically *the* minimal earliest compatible dtop.
+    let target: Canonical = canonical_form(&target_dtop, Some(&domain)).unwrap();
+    let got: Canonical = canonical_form(&learned.dtop, Some(&domain)).unwrap();
+    assert!(same_canonical(&target, &got));
+
+    // And it generalizes to fresh inputs.
+    let input = parse_tree("root(a(#,a(#,a(#,#))),b(#,#))").unwrap();
+    let expected = parse_tree("root(b(#,#),a(#,a(#,a(#,#))))").unwrap();
+    assert_eq!(eval(&learned.dtop, &input).unwrap(), expected);
+}
+
+#[test]
+fn characteristic_sample_generation_via_prelude_only() {
+    let alpha = RankedAlphabet::from_pairs([("root", 2), ("a", 2), ("b", 2), ("#", 0)]);
+    let domain = flip_domain(&alpha);
+    let target = canonical_form(&flip_target(&alpha), Some(&domain)).unwrap();
+
+    // Machine teacher: generate the characteristic sample (Prop. 34)…
+    let sample = characteristic_sample(&target).unwrap();
+    let report = check_characteristic_conditions(&target, &sample);
+    assert!(report.ok(), "conditions (C), (A), (T), (O):\n{report}");
+
+    // …and learn it back (Theorem 38).
+    let learned = rpni_dtop(&sample, &target.domain, target.dtop.output()).unwrap();
+    let got = canonical_form(&learned.dtop, Some(&target.domain)).unwrap();
+    assert!(same_canonical(&target, &got));
+}

@@ -108,7 +108,8 @@ fn example_3_not_top_down() {
     let mut d = DttaBuilder::new(alpha.clone());
     let root = d.add_state("root");
     let bit = d.add_state("bit");
-    d.add_transition(root, Symbol::new("f"), vec![bit, bit]).unwrap();
+    d.add_transition(root, Symbol::new("f"), vec![bit, bit])
+        .unwrap();
     d.add_transition(bit, Symbol::new("0"), vec![]).unwrap();
     d.add_transition(bit, Symbol::new("1"), vec![]).unwrap();
     let domain = d.build().unwrap();
@@ -177,10 +178,7 @@ fn section10_library_learned() {
 
     // spot-check the translation of s2 (two books)
     let s2 = fixtures::library_input(2);
-    assert_eq!(
-        eval(&learned.dtop, &s2),
-        eval(&fix.dtop, &s2),
-    );
+    assert_eq!(eval(&learned.dtop, &s2), eval(&fix.dtop, &s2),);
 }
 
 /// §10 intro claim: dtops over DTD encodings realize xmlflip; the encoded
@@ -194,12 +192,7 @@ fn section10_xmlflip_encoding() {
     let input = enc_in.encode(&doc).unwrap();
     let m = xmlflip::target_dtop();
     let out = eval(&m, &input).unwrap();
-    assert_eq!(
-        out,
-        enc_out
-            .encode(&xmlflip::flip_document(&doc))
-            .unwrap()
-    );
+    assert_eq!(out, enc_out.encode(&xmlflip::flip_document(&doc)).unwrap());
 }
 
 /// Related work: minimal subsequential string transducers over monadic

@@ -1,0 +1,27 @@
+//! Option strategies (mirrors `proptest::option`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy for `Option`s; `None` one time in four (the real crate's
+/// default `None` probability is 10%, slightly raised here because the
+/// stub draws far fewer cases by default).
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+/// `of(strategy)` — `Some(sample)` most of the time, `None` sometimes.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

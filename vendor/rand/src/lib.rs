@@ -1,0 +1,185 @@
+//! Vendored subset of the `rand` 0.8 API: `Rng::gen_range` over
+//! half-open ranges, `SeedableRng::seed_from_u64`, and a deterministic
+//! `rngs::StdRng` (xoshiro256++ seeded via splitmix64). API names match
+//! rand 0.8 so the real crate can be swapped back in.
+
+use std::ops::Range;
+
+/// Core entropy source (mirrors `rand::RngCore`).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range. Panics if empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, &range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types uniformly samplable from a range (stands in for
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($ty:ty),* $(,)?) => {
+        $(impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                let span = (range.end - range.start) as u64;
+                // Multiply-shift keeps the modulo bias negligible for the
+                // small spans used in-tree.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                range.start + hi as Self
+            }
+        })*
+    };
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),* $(,)?) => {
+        $(impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                // Widen before subtracting: spans wider than the narrow
+                // type's positive half must not wrap (e.g. -100i8..100i8).
+                let span = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                range.start.wrapping_add(hi as Self)
+            }
+        })*
+    };
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Rngs constructible from seeds (mirrors the slice of `rand::SeedableRng`
+/// the workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stands in for `rand::rngs::StdRng`;
+    /// same trait surface, different — but fixed — stream).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+        }
+    }
+
+    #[test]
+    fn signed_range_spanning_zero() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-100i8..100);
+            assert!((-100..100).contains(&x));
+            lo |= x < -50;
+            hi |= x > 50;
+        }
+        assert!(lo && hi, "both halves of the range should be hit");
+    }
+
+    #[test]
+    fn spread_covers_small_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

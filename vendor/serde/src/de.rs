@@ -1,0 +1,32 @@
+//! Deserialization half of the vendored serde data model.
+//!
+//! Only the string-shaped entry point is modeled: the workspace's manual
+//! `Deserialize` impls (`Symbol`, `Tree` in `xtt-trees`) round-trip
+//! through their `Display`/parse syntax, so a deserializer only needs to
+//! produce a `String`. Derived `Deserialize` impls exist for API parity
+//! but report an error if invoked (nothing in-tree deserializes them).
+
+use std::fmt::Display;
+
+/// Error trait for deserializers (mirrors `serde::de::Error`).
+pub trait Error: Sized {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be deserialized (mirrors `serde::Deserialize`).
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data format that can deserialize strings (mirrors the slice of
+/// `serde::Deserializer` the workspace uses).
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<String, D::Error> {
+        deserializer.deserialize_string()
+    }
+}

@@ -1,0 +1,18 @@
+//! Vendored subset of the `serde` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of serde it actually exercises: the
+//! `Serialize`/`Serializer` data model (enough for `serde_json::to_value`
+//! over derived structs and enums), and a `Deserialize` trait whose only
+//! runtime implementations are the manual string-roundtrip impls in
+//! `xtt-trees`. The trait and method names match real serde so swapping
+//! the real crate back in is a one-line manifest change.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

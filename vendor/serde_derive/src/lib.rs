@@ -1,0 +1,351 @@
+//! Vendored subset of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes the workspace actually declares: non-generic structs (named,
+//! tuple, unit) and non-generic enums (unit, tuple, and struct variants),
+//! honouring `#[serde(skip)]` on named fields. The generated `Serialize`
+//! impls drive the full vendored data model; generated `Deserialize`
+//! impls exist for API parity and error out at runtime (nothing in-tree
+//! deserializes a derived type — only the manual string impls are used).
+//!
+//! Parsing is done directly over `proc_macro::TokenStream` so the stub
+//! needs no `syn`/`quote` (unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("vendored serde_derive generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+
+    Ok(Input { name, body })
+}
+
+/// Skips doc comments, attributes, and a leading visibility modifier,
+/// returning whether any skipped attribute was `#[serde(skip...)]`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    skip |= attr_is_serde_skip(g.stream());
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// True for `serde(skip)` / `serde(skip_serializing)` attribute bodies.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string().starts_with("skip")))
+        }
+        _ => false,
+    }
+}
+
+/// Splits a token stream at top-level commas, treating `<...>` spans as
+/// nested (delimiter groups are already atomic `TokenTree::Group`s, but
+/// generic arguments use bare `<`/`>` puncts). `->` is skipped as a unit.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut iter = stream.into_iter().peekable();
+    while let Some(tok) = iter.next() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '-' => {
+                    if matches!(iter.peek(), Some(TokenTree::Punct(q)) if q.as_char() == '>') {
+                        cur.push(tok);
+                        cur.push(iter.next().unwrap());
+                        continue;
+                    }
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level(stream) {
+        let mut i = 0;
+        let skip = skip_attrs_and_vis(&part, &mut i);
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue, // trailing comma
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match part.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue, // trailing comma
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        // Anything after an optional payload group is a discriminant
+        // (`= expr`); it does not affect serialization shape.
+        let kind = match part.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::UnitStruct => {
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, {name:?})")
+        }
+        Body::TupleStruct(1) => {
+            format!(
+                "::serde::Serializer::serialize_newtype_struct(__serializer, {name:?}, &self.0)"
+            )
+        }
+        Body::TupleStruct(n) => {
+            let mut s = format!(
+                "let mut __seq = ::serde::Serializer::serialize_seq(__serializer, \
+                 ::core::option::Option::Some({n}))?;\n"
+            );
+            for idx in 0..*n {
+                s += &format!(
+                    "::serde::ser::SerializeSeq::serialize_element(&mut __seq, &self.{idx})?;\n"
+                );
+            }
+            s += "::serde::ser::SerializeSeq::end(__seq)";
+            s
+        }
+        Body::NamedStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut s = format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(__serializer, {name:?}, {})?;\n",
+                live.len()
+            );
+            for f in &live {
+                s += &format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, {:?}, &self.{})?;\n",
+                    f.name, f.name
+                );
+            }
+            s += "::serde::ser::SerializeStruct::end(__st)";
+            s
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (vi, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms += &format!(
+                            "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                             __serializer, {name:?}, {vi}, {vname:?}),\n"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms += &format!(
+                            "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(\
+                             __serializer, {name:?}, {vi}, {vname:?}, __f0),\n"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!("{name}::{vname}({}) => {{\n", binders.join(", "));
+                        arm += &format!(
+                            "let mut __tv = ::serde::Serializer::serialize_tuple_variant(\
+                             __serializer, {name:?}, {vi}, {vname:?}, {n})?;\n"
+                        );
+                        for b in &binders {
+                            arm += &format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __tv, {b})?;\n"
+                            );
+                        }
+                        arm += "::serde::ser::SerializeTupleVariant::end(__tv)\n}\n";
+                        arms += &arm;
+                    }
+                    VariantKind::Named(fields) => {
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut arm = format!("{name}::{vname} {{ {} }} => {{\n", names.join(", "));
+                        arm += &format!(
+                            "let mut __sv = ::serde::Serializer::serialize_struct_variant(\
+                             __serializer, {name:?}, {vi}, {vname:?}, {})?;\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm += &format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __sv, {:?}, {})?;\n",
+                                f.name, f.name
+                            );
+                        }
+                        arm += "::serde::ser::SerializeStructVariant::end(__sv)\n}\n";
+                        arms += &arm;
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(_deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                     \"vendored serde stub cannot deserialize `{name}`\"))\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,342 @@
+//! Vendored subset of `serde_json`: a JSON [`Value`], the [`json!`]
+//! macro, and [`to_value`]/[`to_string`] driven by the vendored serde
+//! `Serializer` trait. Enough for the workspace's JSONL experiment
+//! emitters; no parsing (nothing in-tree deserializes JSON).
+
+use std::fmt;
+
+use serde::ser::{
+    self, SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant,
+    SerializeTupleVariant,
+};
+use serde::Serialize;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    UInt128(u128),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object (the real crate preserves order with its
+    /// default feature set too).
+    Object(Vec<(String, Value)>),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::UInt(n) => write!(f, "{n}"),
+            Value::UInt128(n) => write!(f, "{n}"),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    write!(f, "{x}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Serialization error (the `Value` serializer itself never fails; this
+/// exists to satisfy the trait bounds and `ser::Error::custom`).
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Converts any `Serialize` value to a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value
+        .serialize(ValueSerializer)
+        .expect("Value serialization is infallible")
+}
+
+/// Renders any `Serialize` value as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(to_value(value).to_string())
+}
+
+/// JSON keys must be strings; scalars stringify naturally, composites
+/// fall back to their JSON rendering.
+fn key_string(v: Value) -> String {
+    match v {
+        Value::String(s) => s,
+        Value::Bool(_) | Value::Int(_) | Value::UInt(_) | Value::UInt128(_) | Value::Float(_) => {
+            v.to_string()
+        }
+        other => other.to_string(),
+    }
+}
+
+struct ValueSerializer;
+
+pub struct SeqBuilder(Vec<Value>);
+pub struct MapBuilder(Vec<(String, Value)>);
+pub struct VariantSeqBuilder(&'static str, Vec<Value>);
+pub struct VariantMapBuilder(&'static str, Vec<(String, Value)>);
+
+impl serde::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqBuilder;
+    type SerializeMap = MapBuilder;
+    type SerializeStruct = MapBuilder;
+    type SerializeTupleVariant = VariantSeqBuilder;
+    type SerializeStructVariant = VariantMapBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Int(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::UInt(v))
+    }
+    fn serialize_u128(self, v: u128) -> Result<Value, Error> {
+        Ok(Value::UInt128(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Float(v))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_owned()))
+    }
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::String(variant.to_owned()))
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        Ok(Value::Object(vec![(variant.to_owned(), to_value(value))]))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder(Vec::with_capacity(len.unwrap_or(0))))
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder(Vec::with_capacity(len.unwrap_or(0))))
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder(Vec::with_capacity(len)))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<VariantSeqBuilder, Error> {
+        Ok(VariantSeqBuilder(variant, Vec::with_capacity(len)))
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<VariantMapBuilder, Error> {
+        Ok(VariantMapBuilder(variant, Vec::with_capacity(len)))
+    }
+}
+
+impl SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.0.push(to_value(value));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.0))
+    }
+}
+
+impl SerializeMap for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        self.0.push((key_string(to_value(key)), to_value(value)));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.0))
+    }
+}
+
+impl SerializeStruct for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.0.push((key.to_owned(), to_value(value)));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.0))
+    }
+}
+
+impl SerializeTupleVariant for VariantSeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.1.push(to_value(value));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(vec![(
+            self.0.to_owned(),
+            Value::Array(self.1),
+        )]))
+    }
+}
+
+impl SerializeStructVariant for VariantMapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.1.push((key.to_owned(), to_value(value)));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(vec![(
+            self.0.to_owned(),
+            Value::Object(self.1),
+        )]))
+    }
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Supports `null`, `true`,
+/// `false`, arrays, objects with string-literal keys, and arbitrary
+/// `Serialize` expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::json!($val)) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_escapes_and_nests() {
+        let v = json!({
+            "s": "a\"b\\c\nd",
+            "n": 3usize,
+            "arr": [1i64, null, true],
+            "nested": { "k": "v" }
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"s":"a\"b\\c\nd","n":3,"arr":[1,null,true],"nested":{"k":"v"}}"#
+        );
+    }
+
+    #[test]
+    fn to_value_on_std_types() {
+        assert_eq!(to_value(&vec![1u32, 2]), json!([1u32, 2u32]));
+        assert_eq!(to_value(&Option::<u32>::None), Value::Null);
+        assert_eq!(to_value(&"hi"), Value::String("hi".into()));
+    }
+}
