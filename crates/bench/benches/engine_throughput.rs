@@ -1,0 +1,47 @@
+//! Engine throughput: the compiled and streaming evaluators of
+//! `xtt-engine` against the research tree-walk evaluator, per document on
+//! the standard E10 corpora (see `xtt_bench::engine_exp`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xtt_bench::engine_exp::engine_workloads;
+use xtt_engine::{compile, EvalScratch, StreamEvaluator};
+use xtt_transducer::eval as walk_eval;
+use xtt_trees::Tree;
+
+fn bench(c: &mut Criterion) {
+    for w in engine_workloads() {
+        let compiled = compile(&w.dtop).expect("compilable");
+        let mut scratch = EvalScratch::new();
+        let mut stream = StreamEvaluator::new();
+        let nodes: u64 = w.docs.iter().map(Tree::size).sum();
+        let name = format!("engine/{}_{}", w.family, w.param);
+        let mut group = c.benchmark_group(&name);
+        group.throughput(Throughput::Elements(nodes));
+        group.bench_with_input(BenchmarkId::from_parameter("walk"), &w, |b, w| {
+            b.iter(|| {
+                for d in &w.docs {
+                    black_box(walk_eval(&w.dtop, d).map(|t| t.height()));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("compiled"), &w, |b, w| {
+            b.iter(|| {
+                for d in &w.docs {
+                    black_box(compiled.eval(d, &mut scratch).map(|t| t.height()));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("stream"), &w, |b, w| {
+            b.iter(|| {
+                for d in &w.docs {
+                    black_box(stream.eval_tree(&compiled, d).map(|t| t.height()));
+                }
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

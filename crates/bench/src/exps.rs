@@ -398,6 +398,7 @@ pub fn run_all() {
     run_e7();
     run_e8();
     run_e9();
+    let _ = crate::engine_exp::run_e10();
 }
 
 #[cfg(test)]

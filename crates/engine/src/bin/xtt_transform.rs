@@ -1,0 +1,205 @@
+//! `xtt-transform` — transform newline-delimited documents at throughput.
+//!
+//! ```console
+//! $ printf 'root(a(#,#),b(#,#))\n' | xtt-transform --example flip
+//! root(b(#,#),a(#,#))
+//! $ xtt-transform --example flip --demo 100000 --mode compiled --quiet
+//! ... throughput stats on stderr ...
+//! ```
+//!
+//! One document per input line; results (or `!error: …`) one per output
+//! line, in input order. `--demo N` generates a synthetic corpus for the
+//! chosen example instead of reading stdin, which is how the CI smoke
+//! test and quick benchmarking run it.
+
+use std::io::{BufWriter, Read, Write};
+use std::time::Instant;
+
+use xtt_engine::{tree_to_xml, DocFormat, Engine, EngineOptions, EvalMode};
+use xtt_transducer::{examples, Dtop};
+use xtt_trees::Tree;
+
+const USAGE: &str = "\
+xtt-transform: apply a dtop to newline-delimited documents
+
+USAGE: xtt-transform [OPTIONS]
+
+OPTIONS:
+  --example <flip|library|copy>  built-in transducer        [default: flip]
+  --mode <compiled|stream|walk>  evaluator                  [default: compiled]
+  --format <term|xml>            document syntax            [default: term]
+  --jobs <N>                     worker threads (0 = auto)  [default: 0]
+  --demo <N>                     generate N demo documents instead of stdin
+  --quiet                        suppress per-document output
+  --help                         print this help
+";
+
+struct Args {
+    example: String,
+    mode: EvalMode,
+    format: DocFormat,
+    jobs: usize,
+    demo: Option<usize>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        example: "flip".to_owned(),
+        mode: EvalMode::Compiled,
+        format: DocFormat::Term,
+        jobs: 0,
+        demo: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--example" => args.example = value("--example")?,
+            "--mode" => {
+                args.mode = match value("--mode")?.as_str() {
+                    "compiled" => EvalMode::Compiled,
+                    "stream" => EvalMode::Streaming,
+                    "walk" => EvalMode::TreeWalk,
+                    other => return Err(format!("unknown mode '{other}'")),
+                }
+            }
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "term" => DocFormat::Term,
+                    "xml" => DocFormat::Xml,
+                    other => return Err(format!("unknown format '{other}'")),
+                }
+            }
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "bad --jobs value".to_owned())?
+            }
+            "--demo" => {
+                args.demo = Some(
+                    value("--demo")?
+                        .parse()
+                        .map_err(|_| "bad --demo value".to_owned())?,
+                )
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn example_dtop(name: &str) -> Result<Dtop, String> {
+    match name {
+        "flip" => Ok(examples::flip().dtop),
+        "library" => Ok(examples::library().dtop),
+        "copy" => Ok(examples::monadic_to_binary().dtop),
+        other => Err(format!(
+            "unknown example '{other}' (expected flip, library, or copy)"
+        )),
+    }
+}
+
+fn demo_doc(example: &str, i: usize) -> Tree {
+    match example {
+        "library" => examples::library_input(i % 6 + 1),
+        "copy" => {
+            let mut t = Tree::leaf_named("e");
+            for _ in 0..(i % 12 + 1) {
+                t = Tree::node("f", vec![t]);
+            }
+            t
+        }
+        _ => examples::flip_input(i % 8 + 1, i % 5 + 1),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let dtop = match example_dtop(&args.example) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let docs: Vec<String> = match args.demo {
+        Some(n) => (0..n)
+            .map(|i| {
+                let t = demo_doc(&args.example, i);
+                match args.format {
+                    DocFormat::Term => t.to_string(),
+                    DocFormat::Xml => tree_to_xml(&t),
+                }
+            })
+            .collect(),
+        None => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() {
+                eprintln!("error: stdin is not valid UTF-8");
+                std::process::exit(2);
+            }
+            buf.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(str::to_owned)
+                .collect()
+        }
+    };
+
+    let engine = Engine::new(EngineOptions {
+        workers: args.jobs,
+        mode: args.mode,
+        format: args.format,
+        ..EngineOptions::default()
+    });
+
+    let in_bytes: usize = docs.iter().map(String::len).sum();
+    let t0 = Instant::now();
+    let results = engine.transform_batch(&dtop, &docs);
+    let elapsed = t0.elapsed();
+
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    let mut failures = 0usize;
+    for result in &results {
+        match result {
+            Ok(text) => {
+                if !args.quiet {
+                    writeln!(out, "{text}").expect("write stdout");
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                if !args.quiet {
+                    writeln!(out, "!error: {e}").expect("write stdout");
+                }
+            }
+        }
+    }
+    out.flush().expect("flush stdout");
+
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "{} docs ({} ok, {} failed) in {:.3}s — {:.0} docs/s, {:.2} MB/s in",
+        docs.len(),
+        docs.len() - failures,
+        failures,
+        secs,
+        docs.len() as f64 / secs,
+        in_bytes as f64 / secs / 1e6,
+    );
+}

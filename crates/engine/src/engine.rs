@@ -1,0 +1,438 @@
+//! The serving layer: a worker pool over the compiled evaluator with an
+//! LRU cache of compiled transducers.
+//!
+//! [`Engine::transform_batch`] takes documents as *text* (term syntax or
+//! XML) and returns transformed text, which keeps the API `Send`-clean —
+//! the `Rc`-based [`xtt_trees::Tree`] never crosses a thread boundary;
+//! each worker parses, evaluates (with its own warm [`EvalScratch`] /
+//! [`StreamEvaluator`]), and serializes locally. Work is distributed by an
+//! atomic cursor, so skewed document sizes cannot starve workers.
+//!
+//! Compiled transducers are cached by [`crate::fingerprint`] in a small
+//! LRU behind a mutex and shared as `Arc<CompiledDtop>`; repeat traffic
+//! for the same transducer never recompiles.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use xtt_transducer::{eval as walk_eval, Dtop};
+use xtt_trees::parse_tree;
+
+use crate::compile::{compile, fingerprint, CompileError, CompiledDtop};
+use crate::eval::EvalScratch;
+use crate::stream::{ranked_tree_from_xml_bounded, tree_to_xml, StreamEvaluator};
+
+/// Which evaluator the engine runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Flatten the document and run the compiled interpreter (fastest).
+    #[default]
+    Compiled,
+    /// Run over the event stream, keeping only the spine in memory.
+    Streaming,
+    /// The research evaluator `xtt_transducer::eval` (baseline).
+    TreeWalk,
+}
+
+/// How documents are parsed and results serialized.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DocFormat {
+    /// The workspace term syntax, e.g. `root(a(#,#),b(#,#))`.
+    #[default]
+    Term,
+    /// XML (lenient), via [`crate::xml_ranked_events`].
+    Xml,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Worker threads for [`Engine::transform_batch`]; 0 = one per
+    /// available CPU.
+    pub workers: usize,
+    /// Capacity of the compiled-transducer LRU cache.
+    pub cache_capacity: usize,
+    pub mode: EvalMode,
+    pub format: DocFormat,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            workers: 0,
+            cache_capacity: 8,
+            mode: EvalMode::Compiled,
+            format: DocFormat::Term,
+        }
+    }
+}
+
+/// Per-document failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The document is not parseable in the configured [`DocFormat`].
+    Parse(String),
+    /// The document is outside `dom(⟦M⟧)`.
+    Undefined,
+    /// The transducer exceeded a compiled-form capacity limit.
+    Compile(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "parse error: {e}"),
+            EngineError::Undefined => write!(f, "input outside the transduction domain"),
+            EngineError::Compile(e) => write!(f, "compile error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+struct CacheEntry {
+    fp: u64,
+    /// The exact rendering the fingerprint hashed; compared on every hit
+    /// so a 64-bit collision can never serve the wrong transducer.
+    rendering: String,
+    last_used: u64,
+    compiled: Arc<CompiledDtop>,
+}
+
+#[derive(Default)]
+struct Cache {
+    entries: Vec<CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cache observability counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+/// A reusable transformation service; see the module docs.
+pub struct Engine {
+    opts: EngineOptions,
+    cache: Mutex<Cache>,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new(EngineOptions::default())
+    }
+}
+
+impl Engine {
+    pub fn new(opts: EngineOptions) -> Engine {
+        Engine {
+            opts,
+            cache: Mutex::new(Cache::default()),
+        }
+    }
+
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// The compiled form of `dtop`, from the LRU cache when its
+    /// fingerprint was seen before (hits are verified against the exact
+    /// rendered structure, not just the hash).
+    pub fn compiled(&self, dtop: &Dtop) -> Result<Arc<CompiledDtop>, CompileError> {
+        let fp = fingerprint(dtop);
+        let rendering = dtop.to_string();
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(entry) = cache
+            .entries
+            .iter_mut()
+            .find(|e| e.fp == fp && e.rendering == rendering)
+        {
+            entry.last_used = tick;
+            let hit = Arc::clone(&entry.compiled);
+            cache.hits += 1;
+            return Ok(hit);
+        }
+        let compiled = Arc::new(compile(dtop)?);
+        cache.misses += 1;
+        let capacity = self.opts.cache_capacity.max(1);
+        if cache.entries.len() >= capacity {
+            let (evict, _) = cache
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .expect("cache not empty");
+            cache.entries.swap_remove(evict);
+        }
+        cache.entries.push(CacheEntry {
+            fp,
+            rendering,
+            last_used: tick,
+            compiled: Arc::clone(&compiled),
+        });
+        Ok(compiled)
+    }
+
+    /// Cache counters (for observability and tests).
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            entries: cache.entries.len(),
+        }
+    }
+
+    /// Transforms one document (no thread pool; uses a transient scratch).
+    pub fn transform(&self, dtop: &Dtop, doc: &str) -> Result<String, EngineError> {
+        let compiled = self
+            .compiled(dtop)
+            .map_err(|e| EngineError::Compile(e.to_string()))?;
+        let mut scratch = EvalScratch::new();
+        let mut stream = StreamEvaluator::new();
+        transform_doc(&compiled, dtop, doc, self.opts, &mut scratch, &mut stream)
+    }
+
+    /// Transforms a batch of documents, sharded across the worker pool.
+    /// Results are in input order; each document fails independently.
+    pub fn transform_batch(
+        &self,
+        dtop: &Dtop,
+        docs: &[String],
+    ) -> Vec<Result<String, EngineError>> {
+        let compiled = match self.compiled(dtop) {
+            Ok(c) => c,
+            Err(e) => {
+                let err = EngineError::Compile(e.to_string());
+                return docs.iter().map(|_| Err(err.clone())).collect();
+            }
+        };
+        let workers = effective_workers(self.opts.workers, docs.len());
+        if workers <= 1 {
+            let mut scratch = EvalScratch::new();
+            let mut stream = StreamEvaluator::new();
+            return docs
+                .iter()
+                .map(|d| transform_doc(&compiled, dtop, d, self.opts, &mut scratch, &mut stream))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let opts = self.opts;
+        let chunks: Vec<Vec<(usize, Result<String, EngineError>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let compiled = &compiled;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut scratch = EvalScratch::new();
+                        let mut stream = StreamEvaluator::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= docs.len() {
+                                break;
+                            }
+                            out.push((
+                                i,
+                                transform_doc(
+                                    compiled,
+                                    dtop,
+                                    &docs[i],
+                                    opts,
+                                    &mut scratch,
+                                    &mut stream,
+                                ),
+                            ));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        });
+        let mut results = vec![Err(EngineError::Undefined); docs.len()];
+        for chunk in chunks {
+            for (i, r) in chunk {
+                results[i] = r;
+            }
+        }
+        results
+    }
+}
+
+fn effective_workers(configured: usize, docs: usize) -> usize {
+    let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let w = if configured == 0 { auto } else { configured };
+    w.min(docs.max(1))
+}
+
+fn transform_doc(
+    compiled: &CompiledDtop,
+    dtop: &Dtop,
+    doc: &str,
+    opts: EngineOptions,
+    scratch: &mut EvalScratch<xtt_trees::Tree>,
+    stream: &mut StreamEvaluator,
+) -> Result<String, EngineError> {
+    match opts.format {
+        DocFormat::Term => {
+            let input = parse_tree(doc).map_err(|e| EngineError::Parse(e.to_string()))?;
+            let output = match opts.mode {
+                EvalMode::Compiled => compiled.eval(&input, scratch),
+                EvalMode::Streaming => stream.eval_tree(compiled, &input),
+                EvalMode::TreeWalk => walk_eval(dtop, &input),
+            }
+            .ok_or(EngineError::Undefined)?;
+            Ok(output.to_string())
+        }
+        DocFormat::Xml => {
+            let output = match opts.mode {
+                EvalMode::Streaming => stream
+                    .eval_xml(compiled, doc)
+                    .map_err(|e| EngineError::Parse(e.to_string()))?,
+                EvalMode::Compiled | EvalMode::TreeWalk => {
+                    let input = ranked_tree_from_xml_bounded(doc)
+                        .map_err(|e| EngineError::Parse(e.to_string()))?;
+                    match opts.mode {
+                        EvalMode::Compiled => compiled.eval(&input, scratch),
+                        _ => walk_eval(dtop, &input),
+                    }
+                }
+            }
+            .ok_or(EngineError::Undefined)?;
+            if !crate::stream::xml_serializable(&output) {
+                return Err(EngineError::Parse(
+                    "output has inner symbols that are not XML names; use the term format".into(),
+                ));
+            }
+            Ok(tree_to_xml(&output))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtt_transducer::examples;
+
+    fn flip_docs(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| examples::flip_input(i % 5 + 1, (i + 2) % 4 + 1).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_are_in_input_order() {
+        let fix = examples::flip();
+        let engine = Engine::new(EngineOptions {
+            workers: 4,
+            ..EngineOptions::default()
+        });
+        let docs = flip_docs(101);
+        let results = engine.transform_batch(&fix.dtop, &docs);
+        assert_eq!(results.len(), docs.len());
+        let mut scratch = EvalScratch::new();
+        let compiled = engine.compiled(&fix.dtop).unwrap();
+        for (doc, result) in docs.iter().zip(&results) {
+            let expected = compiled
+                .eval(&parse_tree(doc).unwrap(), &mut scratch)
+                .unwrap()
+                .to_string();
+            assert_eq!(result.as_ref().unwrap(), &expected);
+        }
+    }
+
+    #[test]
+    fn documents_fail_independently() {
+        let fix = examples::flip();
+        let engine = Engine::new(EngineOptions {
+            workers: 2,
+            ..EngineOptions::default()
+        });
+        let docs = vec![
+            "root(a(#,#),b(#,#))".to_owned(),
+            "root(b(#,#),#)".to_owned(), // outside the domain
+            "((".to_owned(),             // unparseable
+            "root(#,#)".to_owned(),
+        ];
+        let results = engine.transform_batch(&fix.dtop, &docs);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(EngineError::Undefined));
+        assert!(matches!(results[2], Err(EngineError::Parse(_))));
+        assert_eq!(results[3].as_deref(), Ok("root(#,#)"));
+    }
+
+    #[test]
+    fn all_modes_agree_on_batches() {
+        let fix = examples::flip();
+        let docs = flip_docs(40);
+        let mut outputs: Vec<Vec<Result<String, EngineError>>> = Vec::new();
+        for mode in [EvalMode::Compiled, EvalMode::Streaming, EvalMode::TreeWalk] {
+            let engine = Engine::new(EngineOptions {
+                workers: 3,
+                mode,
+                ..EngineOptions::default()
+            });
+            outputs.push(engine.transform_batch(&fix.dtop, &docs));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn xml_format_roundtrips() {
+        let fix = examples::flip();
+        let engine = Engine::new(EngineOptions {
+            format: DocFormat::Xml,
+            mode: EvalMode::Streaming,
+            workers: 1,
+            ..EngineOptions::default()
+        });
+        let out = engine
+            .transform(&fix.dtop, "<root><a># #</a><b># #</b></root>")
+            .unwrap();
+        assert_eq!(out, "<root><b># #</b><a># #</a></root>");
+    }
+
+    #[test]
+    fn compiled_cache_hits_by_fingerprint() {
+        let fix = examples::flip();
+        let engine = Engine::new(EngineOptions::default());
+        let a = engine.compiled(&fix.dtop).unwrap();
+        let b = engine.compiled(&examples::flip().dtop).unwrap(); // rebuilt, same structure
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let engine = Engine::new(EngineOptions {
+            cache_capacity: 2,
+            ..EngineOptions::default()
+        });
+        let m1 = examples::flip().dtop;
+        let m2 = examples::library().dtop;
+        let m3 = examples::monadic_to_binary().dtop;
+        engine.compiled(&m1).unwrap();
+        engine.compiled(&m2).unwrap();
+        engine.compiled(&m1).unwrap(); // refresh m1
+        engine.compiled(&m3).unwrap(); // evicts m2
+        engine.compiled(&m1).unwrap(); // still cached
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 3);
+        engine.compiled(&m2).unwrap(); // was evicted → miss
+        assert_eq!(engine.cache_stats().misses, 4);
+    }
+}

@@ -1,0 +1,581 @@
+//! The compiled evaluator: an iterative, allocation-free interpreter for
+//! [`CompiledDtop`] instruction sequences.
+//!
+//! Semantics are exactly Definition 1 (`⟦M⟧`, see `xtt_transducer::eval`),
+//! but the execution strategy is engineered for throughput:
+//!
+//! * the input tree is **flattened once** into dense arrays (symbol id,
+//!   child range) — no pointer chasing or `Rc` traffic afterwards;
+//! * memoization uses a **dense table** indexed by `q · n_nodes + node`
+//!   instead of a hash map, so copying transducers stay linear without
+//!   hashing on the hot path;
+//! * the interpreter runs on **explicit stacks** (activation records +
+//!   value/frame stacks), so arbitrarily deep inputs cannot overflow the
+//!   call stack;
+//! * all per-evaluation state lives in a reusable [`EvalScratch`]: after
+//!   warm-up, steady-state evaluation performs no allocations beyond the
+//!   output itself.
+//!
+//! Output construction is pluggable through [`Sink`]: [`TreeSink`] builds
+//! materialized [`Tree`]s, [`DagSink`] interns directly into a
+//! [`TreeDag`] so exponential outputs stay minimal-DAG-sized (the paper's
+//! Section 1 trick).
+
+use xtt_trees::{DagId, Symbol, Tree, TreeDag};
+
+use crate::compile::{CompiledDtop, Instr};
+
+/// Builds output values bottom-up; the machine is generic over this.
+pub trait Sink {
+    type Val: Clone;
+
+    /// Whether values are context-free and may be cached per instruction
+    /// across documents (true for owned trees; false for arena ids, which
+    /// are only meaningful inside one arena).
+    const CACHE_LEAVES: bool;
+
+    /// Whether equal nodes should be interned across documents (the
+    /// paper's minimal-DAG sharing applied as value hash-consing). Only
+    /// sound together with a faithful [`Sink::identity`].
+    const INTERN: bool = false;
+
+    /// A stable identity for a value: `identity(a) == identity(b)` must
+    /// imply structural equality *while both values are alive*.
+    fn identity(_val: &Self::Val) -> u64 {
+        0
+    }
+
+    /// Builds the node `sym(vals[base..])`, consuming `vals[base..]`.
+    fn node(&mut self, sym: Symbol, vals: &mut Vec<Self::Val>, base: usize) -> Self::Val;
+}
+
+/// Builds materialized [`Tree`]s.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TreeSink;
+
+impl Sink for TreeSink {
+    type Val = Tree;
+    const CACHE_LEAVES: bool = true;
+    // `Rc` address identity: equal addresses are the same tree. The
+    // intern table keeps its values alive, so addresses cannot be reused
+    // while they key the table.
+    const INTERN: bool = true;
+
+    fn identity(val: &Tree) -> u64 {
+        val.addr() as u64
+    }
+
+    fn node(&mut self, sym: Symbol, vals: &mut Vec<Tree>, base: usize) -> Tree {
+        Tree::new(sym, vals.split_off(base))
+    }
+}
+
+/// Interns output nodes into a [`TreeDag`] arena: equal subtrees are
+/// stored once, so exponential outputs cost linear space.
+pub struct DagSink<'a>(pub &'a mut TreeDag);
+
+impl Sink for DagSink<'_> {
+    type Val = DagId;
+    // A DagId is only valid inside the arena of one `eval_dag` call chain;
+    // the scratch may later be used with a different arena.
+    const CACHE_LEAVES: bool = false;
+
+    fn node(&mut self, sym: Symbol, vals: &mut Vec<DagId>, base: usize) -> DagId {
+        let id = self.0.intern_node(sym, vals[base..].to_vec());
+        vals.truncate(base);
+        id
+    }
+}
+
+/// A node of the flattened input tree.
+#[derive(Clone, Copy, Debug)]
+struct FlatNode {
+    /// Dense input-symbol id, or [`crate::compile::NO_SYM`].
+    sym: u32,
+    child_start: u32,
+    child_count: u32,
+}
+
+/// Virtual axiom node id (its single "child" is the input root).
+const VIRT: u32 = u32::MAX;
+/// Activation-record state marker for the axiom (not memoized).
+const NO_Q: u16 = u16::MAX;
+
+/// A suspended rule application: instructions `ip..end` of `rhs(q, node)`.
+#[derive(Clone, Copy, Debug)]
+struct Activation {
+    ip: u32,
+    end: u32,
+    node: u32,
+    q: u16,
+    /// Frame-stack depth when the activation started; frames above it
+    /// belong to this rule body.
+    fbase: u32,
+}
+
+/// A pending output node awaiting `arity` children on the value stack.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    sym: Symbol,
+    base: u32,
+    arity: u32,
+}
+
+/// One interned output node: the exact key (symbol + child identities)
+/// plus the shared value. Values are kept alive by the table, which is
+/// what makes identity-based keys sound.
+struct InternEntry<V> {
+    sym: u32,
+    children: Box<[u64]>,
+    val: V,
+}
+
+/// Trivial hasher for pre-mixed `u64` keys.
+#[derive(Default)]
+struct PremixedHasher(u64);
+
+impl std::hash::Hasher for PremixedHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("intern keys are written as u64");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type InternMap<V> = std::collections::HashMap<
+    u64,
+    Vec<InternEntry<V>>,
+    std::hash::BuildHasherDefault<PremixedHasher>,
+>;
+
+/// Intern-table size bound; crossing it clears the table (bulk workloads
+/// re-warm it within a document or two).
+const INTERN_CAP: usize = 1 << 17;
+
+/// Reusable evaluation state. Create once per worker thread and pass to
+/// every [`CompiledDtop::eval`] call; buffers are retained across
+/// documents, so steady-state evaluation allocates nothing.
+#[derive(Default)]
+pub struct EvalScratch<V> {
+    nodes: Vec<FlatNode>,
+    children: Vec<u32>,
+    memo: Vec<Option<V>>,
+    /// Memo slots written during the current document; resetting clears
+    /// exactly these instead of the whole table.
+    dirty: Vec<usize>,
+    /// Per-instruction cache of leaf values (see [`Sink::CACHE_LEAVES`]),
+    /// valid for the compiled transducer identified by `cached_fp`.
+    leaf_cache: Vec<Option<V>>,
+    cached_fp: Option<u64>,
+    /// Cross-document hash-consing of output nodes (see [`Sink::INTERN`]).
+    intern: InternMap<V>,
+    interned: usize,
+    acts: Vec<Activation>,
+    vals: Vec<V>,
+    frames: Vec<Frame>,
+}
+
+impl<V: Clone> EvalScratch<V> {
+    pub fn new() -> EvalScratch<V> {
+        EvalScratch {
+            nodes: Vec::new(),
+            children: Vec::new(),
+            memo: Vec::new(),
+            dirty: Vec::new(),
+            leaf_cache: Vec::new(),
+            cached_fp: None,
+            intern: InternMap::default(),
+            interned: 0,
+            acts: Vec::new(),
+            vals: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+
+    /// Flattens `input` and resets the memo table for `c`.
+    fn prepare(&mut self, c: &CompiledDtop, input: &Tree) {
+        if self.cached_fp != Some(c.fingerprint()) {
+            self.cached_fp = Some(c.fingerprint());
+            self.leaf_cache.clear();
+            self.leaf_cache.resize(c.code_len(), None);
+        }
+        self.nodes.clear();
+        self.children.clear();
+        self.nodes.push(FlatNode {
+            sym: c.dense_sym(input.symbol()),
+            child_start: 0,
+            child_count: input.arity() as u32,
+        });
+        let mut stack: Vec<(&Tree, u32)> = vec![(input, 0)];
+        while let Some((t, id)) = stack.pop() {
+            let cs = self.children.len() as u32;
+            self.nodes[id as usize].child_start = cs;
+            for child in t.children() {
+                let cid = self.nodes.len() as u32;
+                self.nodes.push(FlatNode {
+                    sym: c.dense_sym(child.symbol()),
+                    child_start: 0,
+                    child_count: child.arity() as u32,
+                });
+                self.children.push(cid);
+            }
+            for (i, child) in t.children().iter().enumerate() {
+                stack.push((child, self.children[cs as usize + i]));
+            }
+        }
+        assert!(self.nodes.len() < VIRT as usize, "input too large");
+        for slot in self.dirty.drain(..) {
+            self.memo[slot] = None;
+        }
+        let len = c.state_count() * self.nodes.len();
+        if self.memo.len() < len {
+            self.memo.resize(len, None);
+        }
+    }
+}
+
+impl CompiledDtop {
+    /// Evaluates `⟦M⟧(input)` with reusable scratch state. `None` iff
+    /// `input ∉ dom(⟦M⟧)` — bit-for-bit the partiality of
+    /// `xtt_transducer::eval::eval`.
+    pub fn eval(&self, input: &Tree, scratch: &mut EvalScratch<Tree>) -> Option<Tree> {
+        scratch.prepare(self, input);
+        run(self, scratch, &mut TreeSink)
+    }
+
+    /// One-shot convenience wrapper around [`CompiledDtop::eval`].
+    pub fn eval_once(&self, input: &Tree) -> Option<Tree> {
+        self.eval(input, &mut EvalScratch::new())
+    }
+
+    /// Evaluates into a [`TreeDag`]: the output is returned as a node of
+    /// the arena and shared subtrees are stored once, so exponential
+    /// outputs cost linear time and space.
+    pub fn eval_dag(
+        &self,
+        input: &Tree,
+        scratch: &mut EvalScratch<DagId>,
+        dag: &mut TreeDag,
+    ) -> Option<DagId> {
+        scratch.prepare(self, input);
+        run(self, scratch, &mut DagSink(dag))
+    }
+}
+
+/// The interpreter loop. Executes the axiom's instruction sequence; every
+/// `Call` either hits the memo table or pushes an activation record for
+/// the callee's rule. Returns `None` on the first missing rule or
+/// out-of-range variable (partiality propagates to the top, so aborting
+/// early is exact).
+///
+/// The current activation is kept in locals (only suspended rules touch
+/// the activation stack), leaf instructions hit the per-instruction value
+/// cache when the sink allows it, and memo writes are dirty-tracked so
+/// the next document resets only what this one touched.
+fn run<S: Sink>(c: &CompiledDtop, sc: &mut EvalScratch<S::Val>, sink: &mut S) -> Option<S::Val> {
+    let n_nodes = sc.nodes.len();
+    sc.acts.clear();
+    sc.vals.clear();
+    sc.frames.clear();
+    let code = c.code();
+    let (ax_start, ax_end) = c.axiom_range();
+    let mut act = Activation {
+        ip: ax_start,
+        end: ax_end,
+        node: VIRT,
+        q: NO_Q,
+        fbase: 0,
+    };
+    loop {
+        while act.ip < act.end {
+            let instr = code[act.ip as usize];
+            let at = act.ip as usize;
+            act.ip += 1;
+            match instr {
+                Instr::Out { sym, arity: 0 } => {
+                    let v = if S::CACHE_LEAVES {
+                        match &sc.leaf_cache[at] {
+                            Some(v) => v.clone(),
+                            None => {
+                                let base = sc.vals.len();
+                                let v = sink.node(sym, &mut sc.vals, base);
+                                sc.leaf_cache[at] = Some(v.clone());
+                                v
+                            }
+                        }
+                    } else {
+                        let base = sc.vals.len();
+                        sink.node(sym, &mut sc.vals, base)
+                    };
+                    sc.vals.push(v);
+                    complete_frames(sc, sink, act.fbase);
+                }
+                Instr::Out { sym, arity } => sc.frames.push(Frame {
+                    sym,
+                    base: sc.vals.len() as u32,
+                    arity,
+                }),
+                Instr::Call { q, child } => {
+                    let node = if act.node == VIRT {
+                        0 // axiom calls target the input root (x0)
+                    } else {
+                        let n = sc.nodes[act.node as usize];
+                        if u32::from(child) >= n.child_count {
+                            return None; // variable beyond the node's children
+                        }
+                        sc.children[(n.child_start + u32::from(child)) as usize]
+                    };
+                    let slot = q as usize * n_nodes + node as usize;
+                    if let Some(v) = sc.memo[slot].clone() {
+                        sc.vals.push(v);
+                        complete_frames(sc, sink, act.fbase);
+                    } else {
+                        let sym = sc.nodes[node as usize].sym;
+                        let (start, end) = c.rule_range(q, sym)?;
+                        sc.acts.push(act);
+                        act = Activation {
+                            ip: start,
+                            end,
+                            node,
+                            q,
+                            fbase: sc.frames.len() as u32,
+                        };
+                    }
+                }
+            }
+        }
+        // Rule body finished: its single value is on top of `vals`.
+        debug_assert_eq!(sc.frames.len() as u32, act.fbase);
+        if act.q != NO_Q {
+            let v = sc.vals.last().expect("rule produced a value").clone();
+            let slot = act.q as usize * n_nodes + act.node as usize;
+            sc.memo[slot] = Some(v);
+            sc.dirty.push(slot);
+        }
+        match sc.acts.pop() {
+            None => {
+                debug_assert_eq!(sc.vals.len(), 1);
+                return sc.vals.pop();
+            }
+            Some(parent) => {
+                act = parent;
+                complete_frames(sc, sink, act.fbase);
+            }
+        }
+    }
+}
+
+/// Pops every frame (down to `floor`) whose children are all on the value
+/// stack, building the corresponding output nodes.
+fn complete_frames<S: Sink>(sc: &mut EvalScratch<S::Val>, sink: &mut S, floor: u32) {
+    while sc.frames.len() as u32 > floor {
+        let f = *sc.frames.last().expect("frame");
+        if sc.vals.len() as u32 != f.base + f.arity {
+            break;
+        }
+        sc.frames.pop();
+        let v = make_node(
+            &mut sc.vals,
+            &mut sc.intern,
+            &mut sc.interned,
+            sink,
+            f.sym,
+            f.base as usize,
+        );
+        sc.vals.push(v);
+    }
+}
+
+/// Builds `sym(vals[base..])` through the sink, hash-consing the node
+/// across documents when the sink supports it: if an identical node
+/// (same symbol, same child identities) was built before, the shared
+/// value is reused and no construction happens at all.
+fn make_node<S: Sink>(
+    vals: &mut Vec<S::Val>,
+    intern: &mut InternMap<S::Val>,
+    interned: &mut usize,
+    sink: &mut S,
+    sym: Symbol,
+    base: usize,
+) -> S::Val {
+    if !S::INTERN {
+        return sink.node(sym, vals, base);
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(sym.id());
+    h = h.wrapping_mul(0x100_0000_01b3);
+    for v in &vals[base..] {
+        h ^= S::identity(v);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    if let Some(bucket) = intern.get(&h) {
+        'entry: for entry in bucket {
+            if entry.sym != sym.id() || entry.children.len() != vals.len() - base {
+                continue;
+            }
+            for (&id, v) in entry.children.iter().zip(&vals[base..]) {
+                if id != S::identity(v) {
+                    continue 'entry;
+                }
+            }
+            let val = entry.val.clone();
+            vals.truncate(base);
+            return val;
+        }
+    }
+    let children: Box<[u64]> = vals[base..].iter().map(S::identity).collect();
+    let val = sink.node(sym, vals, base);
+    if *interned >= INTERN_CAP {
+        intern.clear();
+        *interned = 0;
+    }
+    intern.entry(h).or_default().push(InternEntry {
+        sym: sym.id(),
+        children,
+        val: val.clone(),
+    });
+    *interned += 1;
+    val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use xtt_transducer::{eval as walk_eval, examples};
+    use xtt_trees::{gen::enumerate_trees, parse_tree};
+
+    #[test]
+    fn agrees_with_tree_walk_on_fixtures() {
+        for fix in [
+            examples::flip(),
+            examples::library(),
+            examples::monadic_to_binary(),
+            examples::flip_k(3),
+            examples::relabel_chain(4),
+        ] {
+            let c = compile(&fix.dtop).unwrap();
+            let mut scratch = EvalScratch::new();
+            for t in enumerate_trees(fix.dtop.input(), 120, 9) {
+                assert_eq!(c.eval(&t, &mut scratch), walk_eval(&fix.dtop, &t), "on {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_paper_pairs() {
+        let c = compile(&examples::flip().dtop).unwrap();
+        let mut scratch = EvalScratch::new();
+        let cases = [
+            ("root(#,#)", "root(#,#)"),
+            ("root(a(#,#),#)", "root(#,a(#,#))"),
+            ("root(#,b(#,#))", "root(b(#,#),#)"),
+            (
+                "root(a(#,a(#,#)),b(#,b(#,#)))",
+                "root(b(#,b(#,#)),a(#,a(#,#)))",
+            ),
+        ];
+        for (input, expected) in cases {
+            let s = parse_tree(input).unwrap();
+            assert_eq!(
+                c.eval(&s, &mut scratch).unwrap().to_string(),
+                expected,
+                "on {input}"
+            );
+        }
+        // partiality: an a-list where the b-list belongs
+        assert_eq!(
+            c.eval(&parse_tree("root(#,a(#,#))").unwrap(), &mut scratch),
+            None
+        );
+        // out-of-alphabet symbol anywhere reachable is undefined
+        assert_eq!(c.eval(&parse_tree("zzz(#,#)").unwrap(), &mut scratch), None);
+    }
+
+    #[test]
+    fn copying_is_linear_and_shares_output() {
+        let c = compile(&examples::monadic_to_binary().dtop).unwrap();
+        let mut input = Tree::leaf_named("e");
+        for _ in 0..24 {
+            input = Tree::node("f", vec![input]);
+        }
+        let out = c.eval_once(&input).unwrap();
+        assert_eq!(out.size(), (1 << 25) - 1);
+        assert_eq!(out.height(), 24);
+    }
+
+    #[test]
+    fn dag_output_is_minimal_for_copying() {
+        let c = compile(&examples::monadic_to_binary().dtop).unwrap();
+        let mut scratch = EvalScratch::new();
+        let mut dag = TreeDag::new();
+        let mut input = Tree::leaf_named("e");
+        for _ in 0..40 {
+            input = Tree::node("f", vec![input]);
+        }
+        // 2^41 - 1 output nodes as a 41-node DAG, without materializing.
+        let id = c.eval_dag(&input, &mut scratch, &mut dag).unwrap();
+        let stats = dag.stats(id);
+        assert_eq!(stats.tree_size, (1u64 << 41) - 1);
+        assert_eq!(stats.dag_size, 41);
+    }
+
+    #[test]
+    fn dag_output_extracts_to_walk_result() {
+        for fix in [examples::flip(), examples::library()] {
+            let c = compile(&fix.dtop).unwrap();
+            let mut scratch = EvalScratch::new();
+            let mut dag = TreeDag::new();
+            for t in enumerate_trees(fix.dtop.input(), 60, 8) {
+                let via_dag = c
+                    .eval_dag(&t, &mut scratch, &mut dag)
+                    .map(|id| dag.extract(id));
+                assert_eq!(via_dag, walk_eval(&fix.dtop, &t), "on {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_monadic_input_no_stack_overflow() {
+        let c = compile(&examples::relabel_chain(2).dtop).unwrap();
+        let mut t = Tree::leaf_named("e");
+        for _ in 0..200_000 {
+            t = Tree::node("f", vec![t]);
+        }
+        // The relabeling of a 200k-deep monadic chain must not recurse on
+        // input depth (explicit activation stack).
+        let mut scratch = EvalScratch::new();
+        let out = c.eval(&t, &mut scratch).unwrap();
+        assert_eq!(out.size(), t.size());
+    }
+
+    #[test]
+    fn scratch_reuse_is_sound_across_documents() {
+        let c = compile(&examples::flip().dtop).unwrap();
+        let mut scratch = EvalScratch::new();
+        let a = parse_tree("root(a(#,#),b(#,#))").unwrap();
+        let bad = parse_tree("root(b(#,#),#)").unwrap();
+        for _ in 0..3 {
+            assert_eq!(
+                c.eval(&a, &mut scratch).unwrap().to_string(),
+                "root(b(#,#),a(#,#))"
+            );
+            assert_eq!(c.eval(&bad, &mut scratch), None);
+        }
+    }
+
+    #[test]
+    fn constant_axiom_ignores_input() {
+        let c = compile(&examples::constant_m1().dtop).unwrap();
+        let mut scratch = EvalScratch::new();
+        for text in ["a", "f(a,a)", "f(f(a,a),a)"] {
+            let t = parse_tree(text).unwrap();
+            assert_eq!(c.eval(&t, &mut scratch).unwrap().to_string(), "b");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # xtt-engine
+//!
+//! The production runtime for learned top-down tree transducers: where
+//! `xtt-transducer` implements the *theory* of PODS 2010 (normal forms,
+//! learning, characteristic samples), this crate turns a finished
+//! [`Dtop`](xtt_transducer::Dtop) into something you can serve traffic
+//! with. Related work treats the transducer exactly this way — as a
+//! compiled object applied to document streams (Janssen et al. on XSLT's
+//! transformation power; Martens & Neven on typechecking top-down
+//! transformations) — and this crate is that missing layer.
+//!
+//! Three layers:
+//!
+//! * [`compile`] — lowers a `Dtop` into a [`CompiledDtop`]: dense
+//!   `(state, symbol)` jump tables over interned symbol ids and a flat
+//!   instruction arena. No hashing, no `Rc`, no rule cloning on the hot
+//!   path.
+//! * [`eval`] / [`stream`] — two executions of the same instruction set:
+//!   the **compiled evaluator** (flatten the document once, dense memo
+//!   table, reusable [`EvalScratch`], optional [`TreeDag`] output for
+//!   exponentially large results), and the **streaming front end**
+//!   ([`StreamEvaluator`]) which runs directly over SAX-style events and
+//!   keeps only the spine of the input — deleted subtrees are skipped,
+//!   not built.
+//! * [`engine`] — the batch/serving API: [`Engine::transform_batch`]
+//!   shards newline-delimited documents across a worker pool, with an LRU
+//!   cache of compiled transducers keyed by structural [`fingerprint`].
+//!   The `xtt-transform` binary is a thin CLI over it.
+//!
+//! Semantics are bit-for-bit Definition 1: for every input, every layer
+//! returns exactly what `xtt_transducer::eval::eval` returns (including
+//! `None` outside the domain) — enforced by differential property tests.
+//!
+//! [`TreeDag`]: xtt_trees::TreeDag
+
+pub mod compile;
+pub mod engine;
+pub mod eval;
+pub mod stream;
+
+pub use compile::{compile, fingerprint, CompileError, CompiledDtop, Instr};
+pub use engine::{CacheStats, DocFormat, Engine, EngineError, EngineOptions, EvalMode};
+pub use eval::{DagSink, EvalScratch, Sink, TreeSink};
+pub use stream::{
+    ranked_tree_from_xml, ranked_tree_from_xml_bounded, tree_to_xml, unknown_symbol,
+    xml_ranked_events, xml_ranked_events_bounded, xml_serializable, StreamEvaluator,
+};

@@ -1,0 +1,489 @@
+//! The streaming front end: run a compiled dtop directly over a pre-order
+//! event stream, materializing only the spine the top-down run needs.
+//!
+//! A dtop run is determined from the root downwards, and pre-order events
+//! deliver the root first — so the *set of states* processing every node
+//! is known the moment its `Open` event arrives:
+//!
+//! * on `Open`, the live state set of the new node is derived from its
+//!   parent's live states and rules ([`CompiledDtop::states_for_child`]);
+//!   if the set is **empty** the subtree is *deleted* by the run and is
+//!   skipped wholesale — its events are counted, never stored;
+//! * on `Close`, every live state's rule is executed against the already
+//!   computed per-child results, and the input node is discarded.
+//!
+//! Memory is therefore `O(spine · |Q| · |output so far|)` instead of the
+//! whole document, and deleted subtrees cost one integer of bookkeeping.
+//! Combined with [`crate::xml_ranked_events`], an XML document is
+//! transformed while it is being tokenized, without ever building the
+//! input tree.
+//!
+//! Partiality is exact: a live state without a rule for the node's symbol,
+//! or a call to a child the node does not have, aborts with `None` — the
+//! same inputs are undefined as for `xtt_transducer::eval::eval`.
+
+use xtt_trees::{tree_from_events, Symbol, Tree, TreeEvent};
+use xtt_xml::{xml_events, XmlError, XmlEvent};
+
+use crate::compile::{CompiledDtop, Instr};
+
+/// One open input node on the spine.
+struct SFrame {
+    /// Dense input symbol of the node.
+    sym: u32,
+    /// Sorted live states processing this node.
+    states: Vec<u16>,
+    /// For each already-closed child, its `(state, result)` pairs sorted
+    /// by state (exactly the states from [`CompiledDtop::states_for_child`]).
+    child_results: Vec<Vec<(u16, Tree)>>,
+}
+
+/// Reusable streaming evaluator; create once per worker thread.
+#[derive(Default)]
+pub struct StreamEvaluator {
+    frames: Vec<SFrame>,
+    /// Scratch for rule execution (see [`StreamEvaluator::exec_range`]).
+    exec_vals: Vec<Tree>,
+    exec_frames: Vec<(Symbol, u32, u32)>,
+    states_scratch: Vec<u16>,
+}
+
+impl StreamEvaluator {
+    pub fn new() -> StreamEvaluator {
+        StreamEvaluator::default()
+    }
+
+    /// Evaluates `⟦M⟧` over a pre-order event stream. Returns `None` when
+    /// the input is outside the domain **or** the stream is not exactly
+    /// one well-nested tree.
+    pub fn eval<I>(&mut self, c: &CompiledDtop, events: I) -> Option<Tree>
+    where
+        I: IntoIterator<Item = TreeEvent>,
+    {
+        self.frames.clear();
+        let mut skip_depth = 0usize;
+        let mut root_skipped = false;
+        let mut done: Option<Tree> = None;
+        for event in events {
+            if done.is_some() {
+                return None; // events after the root closed
+            }
+            if skip_depth > 0 {
+                match event {
+                    TreeEvent::Open(_) => skip_depth += 1,
+                    TreeEvent::Close => skip_depth -= 1,
+                }
+                continue;
+            }
+            match event {
+                TreeEvent::Open(sym) => {
+                    let states: Vec<u16> = match self.frames.last() {
+                        None => {
+                            if root_skipped {
+                                return None; // more than one root
+                            }
+                            c.axiom_states().to_vec()
+                        }
+                        Some(parent) => {
+                            let child = parent.child_results.len();
+                            c.states_for_child(
+                                &parent.states,
+                                parent.sym,
+                                child,
+                                &mut self.states_scratch,
+                            );
+                            std::mem::take(&mut self.states_scratch)
+                        }
+                    };
+                    if states.is_empty() {
+                        // Deleted subtree (or a constant axiom): no state
+                        // ever inspects it — skip without building it.
+                        match self.frames.last_mut() {
+                            Some(parent) => parent.child_results.push(Vec::new()),
+                            None => root_skipped = true,
+                        }
+                        skip_depth = 1;
+                        continue;
+                    }
+                    let dense = c.dense_sym(sym);
+                    // Undefined as soon as any live state lacks a rule.
+                    if states.iter().any(|&q| c.rule_range(q, dense).is_none()) {
+                        return None;
+                    }
+                    self.frames.push(SFrame {
+                        sym: dense,
+                        states,
+                        child_results: Vec::new(),
+                    });
+                }
+                TreeEvent::Close => {
+                    let frame = self.frames.pop()?; // unbalanced close
+                    let mut results: Vec<(u16, Tree)> = Vec::with_capacity(frame.states.len());
+                    for &q in &frame.states {
+                        let (start, end) = c
+                            .rule_range(q, frame.sym)
+                            .expect("checked when the node opened");
+                        let v = self.exec_range(c, start, end, &|q2, child| {
+                            lookup(frame.child_results.get(child)?, q2)
+                        })?;
+                        results.push((q, v));
+                    }
+                    match self.frames.last_mut() {
+                        Some(parent) => parent.child_results.push(results),
+                        None => {
+                            // Root closed: splice the per-state results
+                            // into the axiom. The stream must end here —
+                            // the loop rejects any further event.
+                            let (start, end) = c.axiom_range();
+                            done = Some(self.exec_range(c, start, end, &|q, child| {
+                                if child == 0 {
+                                    lookup(&results, q)
+                                } else {
+                                    None
+                                }
+                            })?);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(result) = done {
+            return Some(result);
+        }
+        if root_skipped && skip_depth == 0 {
+            // The whole input was deleted: the axiom calls no state.
+            let (start, end) = c.axiom_range();
+            return self.exec_range(c, start, end, &|_, _| None);
+        }
+        None // empty or unterminated stream
+    }
+
+    /// Convenience: stream a materialized tree (used by benches and the
+    /// differential tests to exercise exactly the streaming code path).
+    pub fn eval_tree(&mut self, c: &CompiledDtop, input: &Tree) -> Option<Tree> {
+        self.eval(c, input.events())
+    }
+
+    /// Transforms an XML document without building the input tree: XML
+    /// events are mapped to ranked-tree events
+    /// ([`xml_ranked_events_bounded`] — document text never grows the
+    /// symbol interner) and fed straight into the streaming run.
+    ///
+    /// `Err` is a tokenizer error; `Ok(None)` means the (well-formed)
+    /// document is outside the transduction's domain.
+    pub fn eval_xml(&mut self, c: &CompiledDtop, xml: &str) -> Result<Option<Tree>, XmlError> {
+        let mut failure: Option<XmlError> = None;
+        let result = {
+            let events = xml_ranked_events_bounded(xml).map_while(|r| match r {
+                Ok(ev) => Some(ev),
+                Err(e) => {
+                    failure = Some(e);
+                    None
+                }
+            });
+            self.eval(c, events)
+        };
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(result),
+        }
+    }
+
+    /// Executes the instruction range `[start, end)` with `resolve`
+    /// supplying the value of every `⟨q, x_child⟩` call. Iterative; reuses
+    /// scratch stacks.
+    fn exec_range(
+        &mut self,
+        c: &CompiledDtop,
+        start: u32,
+        end: u32,
+        resolve: &dyn Fn(u16, usize) -> Option<Tree>,
+    ) -> Option<Tree> {
+        self.exec_vals.clear();
+        self.exec_frames.clear();
+        for instr in &c.code()[start as usize..end as usize] {
+            match *instr {
+                Instr::Out { sym, arity: 0 } => self.exec_vals.push(Tree::leaf(sym)),
+                Instr::Out { sym, arity } => {
+                    self.exec_frames
+                        .push((sym, self.exec_vals.len() as u32, arity))
+                }
+                Instr::Call { q, child } => self.exec_vals.push(resolve(q, usize::from(child))?),
+            }
+            while let Some(&(sym, base, arity)) = self.exec_frames.last() {
+                if self.exec_vals.len() as u32 != base + arity {
+                    break;
+                }
+                self.exec_frames.pop();
+                let children = self.exec_vals.split_off(base as usize);
+                self.exec_vals.push(Tree::new(sym, children));
+            }
+        }
+        debug_assert!(self.exec_frames.is_empty());
+        debug_assert_eq!(self.exec_vals.len(), 1);
+        self.exec_vals.pop()
+    }
+}
+
+fn lookup(results: &[(u16, Tree)], q: u16) -> Option<Tree> {
+    results
+        .binary_search_by_key(&q, |&(s, _)| s)
+        .ok()
+        .map(|i| results[i].1.clone())
+}
+
+fn ranked_events_with<R>(
+    xml: &str,
+    resolve: R,
+) -> impl Iterator<Item = Result<TreeEvent, XmlError>> + '_
+where
+    R: Fn(&str) -> Symbol + 'static,
+{
+    xml_events(xml).flat_map(move |event| match event {
+        Ok(XmlEvent::Start(name)) => vec![Ok(TreeEvent::Open(resolve(&name)))],
+        Ok(XmlEvent::Text(text)) => text
+            .split_whitespace()
+            .flat_map(|token| [Ok(TreeEvent::Open(resolve(token))), Ok(TreeEvent::Close)])
+            .collect(),
+        Ok(XmlEvent::End(_)) => vec![Ok(TreeEvent::Close)],
+        Err(e) => vec![Err(e)],
+    })
+}
+
+/// The sentinel every out-of-vocabulary name maps to under the bounded
+/// adapters. Starts with a control character, so no declarable alphabet
+/// symbol can collide with it.
+pub fn unknown_symbol() -> Symbol {
+    Symbol::new("\u{1}xtt:unknown")
+}
+
+/// Maps an XML event stream to ranked-tree events: elements become
+/// symbols of their child count; character data is whitespace-tokenized,
+/// one leaf symbol per token (data-centric documents — the only kind the
+/// paper's encodings produce — have single-token pcdata, and tokenizing
+/// makes adjacent rank-0 symbols like the fc/ns `#` expressible as
+/// `# #`). Attributes/comments/PIs were already skipped by the lenient
+/// tokenizer.
+///
+/// Every name is **interned** into the process-global symbol table; use
+/// this for trusted input only. The serving paths use
+/// [`xml_ranked_events_bounded`], which never grows the table.
+pub fn xml_ranked_events(xml: &str) -> impl Iterator<Item = Result<TreeEvent, XmlError>> + '_ {
+    ranked_events_with(xml, Symbol::new)
+}
+
+/// Like [`xml_ranked_events`], but safe for untrusted traffic: names are
+/// resolved with [`Symbol::lookup`] and anything never interned before
+/// (i.e. not in any transducer alphabet) becomes [`unknown_symbol`].
+/// Evaluation is unaffected — an out-of-vocabulary symbol has no rules
+/// either way — but a long-running server's memory no longer grows with
+/// the input vocabulary.
+pub fn xml_ranked_events_bounded(
+    xml: &str,
+) -> impl Iterator<Item = Result<TreeEvent, XmlError>> + '_ {
+    ranked_events_with(xml, |name| {
+        Symbol::lookup(name).unwrap_or_else(unknown_symbol)
+    })
+}
+
+/// Builds a ranked tree from an XML document via [`xml_ranked_events`]
+/// (faithful symbols; trusted input).
+pub fn ranked_tree_from_xml(xml: &str) -> Result<Tree, XmlError> {
+    collect_tree(xml, xml_ranked_events(xml))
+}
+
+/// Builds a ranked tree via [`xml_ranked_events_bounded`] — what the
+/// engine's non-streaming XML paths use, so serving never interns
+/// document text.
+pub fn ranked_tree_from_xml_bounded(xml: &str) -> Result<Tree, XmlError> {
+    collect_tree(xml, xml_ranked_events_bounded(xml))
+}
+
+fn collect_tree(
+    xml: &str,
+    events: impl Iterator<Item = Result<TreeEvent, XmlError>>,
+) -> Result<Tree, XmlError> {
+    let mut collected = Vec::new();
+    for event in events {
+        collected.push(event?);
+    }
+    tree_from_events(collected).map_err(|e| XmlError {
+        offset: xml.len(),
+        message: e.to_string(),
+    })
+}
+
+/// Serializes a ranked tree as XML: symbols with XML-name labels become
+/// elements, other leaves (like the paper's `#` or pcdata values) become
+/// whitespace-separated text tokens. Inverse of [`ranked_tree_from_xml`]
+/// on its image.
+///
+/// Inner symbols must be XML names (alphabets like the §10 library's
+/// `B*` groups are term-syntax-only; serve those in `DocFormat::Term`).
+pub fn tree_to_xml(t: &Tree) -> String {
+    let mut out = String::new();
+    write_ranked(t, &mut out);
+    out
+}
+
+fn is_text_leaf(t: &Tree) -> bool {
+    t.is_leaf() && !is_xml_name(t.symbol().name())
+}
+
+/// True iff [`tree_to_xml`] produces well-formed XML for this tree:
+/// every inner symbol is a valid XML element name.
+pub fn xml_serializable(t: &Tree) -> bool {
+    t.preorder()
+        .all(|n| n.is_leaf() || is_xml_name(n.symbol().name()))
+}
+
+fn write_ranked(t: &Tree, out: &mut String) {
+    let name = t.symbol().name();
+    if is_text_leaf(t) {
+        out.push_str(&escape_text(name));
+        return;
+    }
+    if t.is_leaf() {
+        out.push('<');
+        out.push_str(name);
+        out.push_str("/>");
+        return;
+    }
+    out.push('<');
+    out.push_str(name);
+    out.push('>');
+    for (i, c) in t.children().iter().enumerate() {
+        if i > 0 && is_text_leaf(c) && is_text_leaf(&t.children()[i - 1]) {
+            out.push(' '); // keep adjacent text leaves distinct tokens
+        }
+        write_ranked(c, out);
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
+
+fn is_xml_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+}
+
+fn escape_text(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use xtt_transducer::{eval as walk_eval, examples};
+    use xtt_trees::{gen::enumerate_trees, parse_tree};
+
+    #[test]
+    fn streaming_agrees_with_tree_walk() {
+        for fix in [
+            examples::flip(),
+            examples::library(),
+            examples::monadic_to_binary(),
+            examples::flip_k(2),
+        ] {
+            let c = compile(&fix.dtop).unwrap();
+            let mut ev = StreamEvaluator::new();
+            for t in enumerate_trees(fix.dtop.input(), 120, 9) {
+                assert_eq!(ev.eval_tree(&c, &t), walk_eval(&fix.dtop, &t), "on {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn deleted_subtrees_are_skipped_not_inspected() {
+        // (q4, a) deletes its first subtree; streaming must accept garbage
+        // there exactly like the tree-walk evaluator does.
+        let fix = examples::flip();
+        let c = compile(&fix.dtop).unwrap();
+        let mut ev = StreamEvaluator::new();
+        let t = parse_tree("root(a(b(zzz(#,#),#),#),#)").unwrap();
+        assert_eq!(
+            ev.eval_tree(&c, &t).unwrap().to_string(),
+            walk_eval(&fix.dtop, &t).unwrap().to_string()
+        );
+    }
+
+    #[test]
+    fn constant_axiom_streams() {
+        let c = compile(&examples::constant_m1().dtop).unwrap();
+        let mut ev = StreamEvaluator::new();
+        let t = parse_tree("f(a,f(a,a))").unwrap();
+        assert_eq!(ev.eval_tree(&c, &t).unwrap().to_string(), "b");
+    }
+
+    #[test]
+    fn malformed_streams_are_undefined() {
+        let c = compile(&examples::flip().dtop).unwrap();
+        let mut ev = StreamEvaluator::new();
+        use TreeEvent::*;
+        let root = Symbol::new("root");
+        let hash = Symbol::new("#");
+        assert_eq!(ev.eval(&c, []), None);
+        assert_eq!(ev.eval(&c, [Open(root)]), None);
+        assert_eq!(ev.eval(&c, [Close]), None);
+        // trailing events after the root closed: not exactly one tree
+        let mut two_roots: Vec<TreeEvent> = parse_tree("root(#,#)").unwrap().events().collect();
+        let base = two_roots.clone();
+        two_roots.extend([Open(hash), Close]);
+        assert_eq!(ev.eval(&c, base), Some(parse_tree("root(#,#)").unwrap()));
+        assert_eq!(ev.eval(&c, two_roots), None);
+    }
+
+    #[test]
+    fn bounded_adapter_never_grows_the_interner() {
+        let fix = examples::flip();
+        let c = compile(&fix.dtop).unwrap();
+        let mut ev = StreamEvaluator::new();
+        unknown_symbol(); // pre-intern the sentinel itself
+                          // Garbage pcdata sits in the first child of an `a` node, which
+                          // (q4, a) deletes; the walk evaluator accepts it, and so must the
+                          // bounded streaming path — via the sentinel, without interning.
+        let xml = "<root><a>never-interned-token-1<a># #</a></a><b># #</b></root>";
+        let out = ev.eval_xml(&c, xml).unwrap().unwrap();
+        assert_eq!(out.to_string(), "root(b(#,#),a(#,a(#,#)))");
+        assert_eq!(Symbol::lookup("never-interned-token-1"), None);
+        // same through the non-streaming bounded tree builder
+        let t = ranked_tree_from_xml_bounded(xml).unwrap();
+        assert_eq!(
+            xtt_transducer::eval(&fix.dtop, &t).unwrap().to_string(),
+            "root(b(#,#),a(#,a(#,#)))"
+        );
+        assert_eq!(Symbol::lookup("never-interned-token-1"), None);
+    }
+
+    #[test]
+    fn xml_roundtrip_through_engine() {
+        let fix = examples::flip();
+        let c = compile(&fix.dtop).unwrap();
+        let mut ev = StreamEvaluator::new();
+        // fc/ns-encoded lists in XML form: '#' leaves are text tokens.
+        let xml = "<root><a># <a># #</a></a><b># <b># #</b></b></root>";
+        let t = ranked_tree_from_xml(xml).unwrap();
+        assert_eq!(t.to_string(), "root(a(#,a(#,#)),b(#,b(#,#)))");
+        let streamed = ev.eval_xml(&c, xml).unwrap().unwrap();
+        assert_eq!(streamed, walk_eval(&fix.dtop, &t).unwrap());
+        // and the output serializes back to parseable XML
+        let xml_out = tree_to_xml(&streamed);
+        assert_eq!(ranked_tree_from_xml(&xml_out).unwrap(), streamed);
+    }
+
+    #[test]
+    fn xml_errors_surface() {
+        let c = compile(&examples::flip().dtop).unwrap();
+        let mut ev = StreamEvaluator::new();
+        assert!(ev.eval_xml(&c, "<root><a></root>").is_err());
+        assert_eq!(ev.eval_xml(&c, "<lone/>").unwrap(), None);
+    }
+}

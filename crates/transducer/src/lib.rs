@@ -46,5 +46,6 @@ pub use eval::{eval, eval_cut, eval_naive, eval_state, Evaluator};
 pub use iopaths::{sort_io_paths, state_io_paths, trans_io_paths, IoPath, TransIoPath};
 pub use minimize::{canonical_number, minimize};
 pub use outputs::{out_at, Hole, OutAt};
+pub use random::{random_partial_dtop, random_total_dtop, RandomDtopConfig};
 pub use rhs::{parse_rhs, QId, Rhs, RhsError};
 pub use witness::{root_output_witnesses, root_symbol_witnesses};

@@ -79,6 +79,55 @@ pub fn random_total_dtop<R: Rng + ?Sized>(
     b.build().expect("random dtop is well-formed")
 }
 
+/// Generates a *partial* dtop: like [`random_total_dtop`] but each
+/// `(state, symbol)` rule is only present with probability
+/// `rule_percent`/100, so random inputs routinely fall outside the domain.
+/// This is the fuzzing fuel for differential tests that must also cover
+/// the `None` (undefined) branch of evaluation.
+pub fn random_partial_dtop<R: Rng + ?Sized>(
+    rng: &mut R,
+    input: &RankedAlphabet,
+    output: &RankedAlphabet,
+    config: &RandomDtopConfig,
+    rule_percent: u32,
+) -> Dtop {
+    assert!(
+        output.constants().next().is_some(),
+        "output alphabet needs a constant"
+    );
+    let mut b = DtopBuilder::new(input.clone(), output.clone());
+    for i in 0..config.n_states {
+        b.add_state(format!("r{i}"));
+    }
+    let axiom = random_rhs(
+        rng,
+        output,
+        config,
+        1,
+        config.max_rhs_depth,
+        config.n_states,
+    );
+    b.set_axiom(axiom);
+    for q in 0..config.n_states {
+        for &f in input.symbols() {
+            if rng.gen_range(0..100) >= rule_percent {
+                continue;
+            }
+            let arity = input.rank(f).unwrap();
+            let rhs = random_rhs(
+                rng,
+                output,
+                config,
+                arity,
+                config.max_rhs_depth,
+                config.n_states,
+            );
+            b.add_rule(QId(q as u32), f, rhs).expect("valid rule");
+        }
+    }
+    b.build().expect("random dtop is well-formed")
+}
+
 fn random_rhs<R: Rng + ?Sized>(
     rng: &mut R,
     output: &RankedAlphabet,
@@ -143,6 +192,27 @@ mod tests {
                 assert!(eval(&m, &t).is_some(), "seed {seed}: undefined on {t}");
             }
         }
+    }
+
+    #[test]
+    fn partial_dtops_hit_both_branches() {
+        // Across seeds, partial machines must produce both defined and
+        // undefined evaluations — the whole point of generating them.
+        let (input, output) = alphabets();
+        let (mut some, mut none) = (0usize, 0usize);
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m =
+                random_partial_dtop(&mut rng, &input, &output, &RandomDtopConfig::default(), 60);
+            for t in enumerate_trees(&input, 30, 6) {
+                match eval(&m, &t) {
+                    Some(_) => some += 1,
+                    None => none += 1,
+                }
+            }
+        }
+        assert!(some > 0, "no defined evaluations at all");
+        assert!(none > 0, "no undefined evaluations at all");
     }
 
     #[test]

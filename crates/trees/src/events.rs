@@ -1,0 +1,168 @@
+//! Pre-order event streams over ranked trees.
+//!
+//! A tree is equivalently a well-nested sequence of `Open(symbol)` /
+//! `Close` events — the ranked-tree analogue of SAX events. The streaming
+//! evaluator in `xtt-engine` consumes these instead of materialized
+//! [`Tree`]s, so a document can be transformed while it is being parsed,
+//! keeping only the spine of the input in memory.
+
+use std::fmt;
+
+use crate::symbol::Symbol;
+use crate::tree::Tree;
+
+/// One event of a pre-order tree traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TreeEvent {
+    /// A node with the given symbol starts; its children follow, then the
+    /// matching [`TreeEvent::Close`].
+    Open(Symbol),
+    /// The most recently opened node ends.
+    Close,
+}
+
+impl Tree {
+    /// Iterates over the pre-order event stream of this tree. A tree with
+    /// `n` nodes yields exactly `2n` events.
+    pub fn events(&self) -> Events<'_> {
+        Events {
+            stack: vec![EvItem::Node(self)],
+        }
+    }
+}
+
+enum EvItem<'a> {
+    Node(&'a Tree),
+    Close,
+}
+
+/// Iterator produced by [`Tree::events`].
+pub struct Events<'a> {
+    stack: Vec<EvItem<'a>>,
+}
+
+impl Iterator for Events<'_> {
+    type Item = TreeEvent;
+
+    fn next(&mut self) -> Option<TreeEvent> {
+        match self.stack.pop()? {
+            EvItem::Close => Some(TreeEvent::Close),
+            EvItem::Node(t) => {
+                self.stack.push(EvItem::Close);
+                for c in t.children().iter().rev() {
+                    self.stack.push(EvItem::Node(c));
+                }
+                Some(TreeEvent::Open(t.symbol()))
+            }
+        }
+    }
+}
+
+/// Errors raised by [`tree_from_events`] on ill-nested streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventError {
+    /// `Close` arrived with no open node.
+    UnbalancedClose,
+    /// The stream ended before the root was closed.
+    UnexpectedEnd,
+    /// Events continued after the root closed (or the stream was empty).
+    NotASingleTree,
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventError::UnbalancedClose => write!(f, "close event without a matching open"),
+            EventError::UnexpectedEnd => write!(f, "event stream ended inside an open node"),
+            EventError::NotASingleTree => write!(f, "event stream is not exactly one tree"),
+        }
+    }
+}
+
+impl std::error::Error for EventError {}
+
+/// Rebuilds a tree from a pre-order event stream (inverse of
+/// [`Tree::events`]).
+pub fn tree_from_events(events: impl IntoIterator<Item = TreeEvent>) -> Result<Tree, EventError> {
+    // Stack of nodes under construction; completed roots fall into `done`.
+    let mut stack: Vec<(Symbol, Vec<Tree>)> = Vec::new();
+    let mut done: Option<Tree> = None;
+    for ev in events {
+        if done.is_some() {
+            return Err(EventError::NotASingleTree);
+        }
+        match ev {
+            TreeEvent::Open(sym) => stack.push((sym, Vec::new())),
+            TreeEvent::Close => {
+                let (sym, children) = stack.pop().ok_or(EventError::UnbalancedClose)?;
+                let t = Tree::new(sym, children);
+                match stack.last_mut() {
+                    Some((_, siblings)) => siblings.push(t),
+                    None => done = Some(t),
+                }
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(EventError::UnexpectedEnd);
+    }
+    done.ok_or(EventError::NotASingleTree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_tree;
+
+    #[test]
+    fn events_roundtrip() {
+        for text in ["#", "root(a(#,#),b(#,b(#,#)))", "f(g(a),g(a))"] {
+            let t = parse_tree(text).unwrap();
+            assert_eq!(t.events().count() as u64, 2 * t.size());
+            assert_eq!(tree_from_events(t.events()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn events_are_preorder() {
+        let t = parse_tree("f(g(a),b)").unwrap();
+        let evs: Vec<TreeEvent> = t.events().collect();
+        use TreeEvent::*;
+        assert_eq!(
+            evs,
+            vec![
+                Open(Symbol::new("f")),
+                Open(Symbol::new("g")),
+                Open(Symbol::new("a")),
+                Close,
+                Close,
+                Open(Symbol::new("b")),
+                Close,
+                Close,
+            ]
+        );
+    }
+
+    #[test]
+    fn deep_tree_events_no_overflow() {
+        let mut t = Tree::leaf_named("z");
+        for _ in 0..100_000 {
+            t = Tree::node("s", vec![t]);
+        }
+        assert_eq!(t.events().count(), 2 * 100_001);
+        assert_eq!(tree_from_events(t.events()).unwrap().size(), t.size());
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        use TreeEvent::*;
+        let f = Symbol::new("f");
+        assert_eq!(tree_from_events([Close]), Err(EventError::UnbalancedClose));
+        assert_eq!(tree_from_events([Open(f)]), Err(EventError::UnexpectedEnd));
+        assert_eq!(tree_from_events([]), Err(EventError::NotASingleTree));
+        assert_eq!(
+            tree_from_events([Open(f), Close, Open(f), Close]),
+            Err(EventError::NotASingleTree)
+        );
+    }
+}

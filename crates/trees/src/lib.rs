@@ -17,11 +17,14 @@
 //!   fixpoints);
 //! * [`dag::TreeDag`] — minimal DAG representation of (possibly
 //!   exponentially large) output trees;
+//! * [`events::TreeEvent`] — pre-order `Open`/`Close` event streams, the
+//!   SAX-style interface consumed by the streaming engine;
 //! * [`parse`] — a term-syntax reader matching the `Display` writer;
 //! * [`gen`] — deterministic enumeration and random generation of trees.
 
 pub mod alphabet;
 pub mod dag;
+pub mod events;
 pub mod gen;
 pub mod parse;
 pub mod path;
@@ -31,6 +34,7 @@ pub mod tree;
 
 pub use alphabet::RankedAlphabet;
 pub use dag::{DagId, DagStats, TreeDag};
+pub use events::{tree_from_events, EventError, TreeEvent};
 pub use parse::{parse_tree, parse_trees, ParseError};
 pub use path::{FPath, NPath, NodePath, PathOrder, Step};
 pub use prefix::{PLabel, PTree};

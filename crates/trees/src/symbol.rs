@@ -64,6 +64,19 @@ impl Symbol {
         Symbol(with_interner(|i| i.intern(name)))
     }
 
+    /// Returns the symbol for `name` only if it was interned before; never
+    /// grows the interner. This is the entry point for *untrusted* input
+    /// (e.g. arbitrary document text in a long-running server): unknown
+    /// names can be mapped to a sentinel instead of leaking interner
+    /// memory per distinct token.
+    pub fn lookup(name: &str) -> Option<Symbol> {
+        let guard = INTERNER.read().unwrap_or_else(|e| e.into_inner());
+        guard
+            .as_ref()
+            .and_then(|i| i.ids.get(name).copied())
+            .map(Symbol)
+    }
+
     /// The symbol's name. O(1), no allocation.
     pub fn name(self) -> &'static str {
         let guard = INTERNER.read().unwrap_or_else(|e| e.into_inner());
@@ -138,6 +151,17 @@ mod tests {
     #[test]
     fn distinct_names_distinct_symbols() {
         assert_ne!(Symbol::new("left"), Symbol::new("right"));
+    }
+
+    #[test]
+    fn lookup_never_interns() {
+        assert_eq!(
+            Symbol::lookup("never-interned-by-any-test-qzx"),
+            None,
+            "lookup must not create symbols"
+        );
+        let s = Symbol::new("lookup-roundtrip");
+        assert_eq!(Symbol::lookup("lookup-roundtrip"), Some(s));
     }
 
     #[test]

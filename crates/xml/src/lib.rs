@@ -4,8 +4,10 @@
 //! Algorithm for Top-Down XML Transformations"* (PODS 2010):
 //!
 //! * [`utree::UTree`] — unranked trees, the natural model of XML;
-//! * [`xmlparse`] — a minimal hand-rolled XML reader/writer (elements and
-//!   text);
+//! * [`xmlparse`] — a hand-rolled XML reader/writer: a pull-based
+//!   SAX-style event tokenizer ([`xmlparse::XmlEventReader`]) with lenient
+//!   (skip comments/PIs/DOCTYPE/attributes) and strict modes, plus the
+//!   tree-building [`parse_xml`] on top;
 //! * [`dtd`] — DTDs with 1-unambiguous (deterministic) content models,
 //!   including the W3C `<!ELEMENT …>` syntax;
 //! * [`encode`] — the paper's DTD-based ranked encoding: group siblings by
@@ -31,5 +33,8 @@ pub use encode::{EncodeError, Encoding, PcDataMode};
 pub use fcns::{fcns_alphabet, fcns_decode, fcns_encode};
 pub use infer::{XmlLearnError, XmlLearner, XmlTransformation};
 pub use utree::UTree;
-pub use xmlparse::{parse_xml, write_xml, write_xml_pretty, XmlError};
+pub use xmlparse::{
+    parse_xml, parse_xml_strict, parse_xml_with, write_xml, write_xml_pretty, xml_events,
+    xml_events_with, XmlError, XmlEvent, XmlEventReader, XmlOptions,
+};
 pub use xslt::to_xslt;

@@ -1,8 +1,23 @@
-//! A minimal XML reader/writer for the subset the paper needs: elements
-//! and text content. No attributes, namespaces, comments, or processing
-//! instructions — documents are data-centric trees, exactly what the
-//! DTD-based encoding consumes. Built by hand: the workspace policy is to
-//! implement substrates rather than pull dependencies.
+//! XML reading and writing.
+//!
+//! The core is [`XmlEventReader`], a pull-based SAX-style tokenizer that
+//! yields [`XmlEvent`]s; [`parse_xml`] builds an [`UTree`] on top of it and
+//! the streaming engine (`xtt-engine`) consumes the events directly. Built
+//! by hand: the workspace policy is to implement substrates rather than
+//! pull dependencies.
+//!
+//! Two modes:
+//!
+//! * **lenient** (default) — accepts and skips XML comments, processing
+//!   instructions, DOCTYPE declarations, and attributes, and reads CDATA
+//!   sections as text, so real-world documents reach the engine;
+//! * **strict** ([`XmlOptions::strict`]) — the paper's minimal subset:
+//!   elements and text only (plus an optional leading `<?xml …?>` prolog);
+//!   anything else is a hard [`XmlError`].
+//!
+//! Documents are data-centric trees in both modes: attributes carry no
+//! content in the paper's DTD encodings, so skipping them is lossless for
+//! every workload in this workspace.
 
 use std::fmt;
 
@@ -23,17 +38,89 @@ impl fmt::Display for XmlError {
 
 impl std::error::Error for XmlError {}
 
-struct Reader<'a> {
-    input: &'a [u8],
-    pos: usize,
+/// Parsing options; see the module docs for the two modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XmlOptions {
+    /// Reject comments, processing instructions, DOCTYPE, CDATA, and
+    /// attributes instead of skipping them.
+    pub strict: bool,
 }
 
-impl<'a> Reader<'a> {
-    fn err(&self, message: impl Into<String>) -> XmlError {
+impl XmlOptions {
+    /// The paper's minimal element/text subset.
+    pub fn strict() -> XmlOptions {
+        XmlOptions { strict: true }
+    }
+}
+
+/// A SAX-style parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name …>` — element start (attributes, if any, were skipped).
+    Start(String),
+    /// Trimmed, unescaped character data (never whitespace-only).
+    Text(String),
+    /// `</name>` or the implicit close of `<name/>`.
+    End(String),
+}
+
+/// Pull parser over a complete input buffer, yielding one event per call.
+///
+/// The iterator ends (`None`) after the root element closes and only
+/// ignorable trailing content remains; every malformation is reported as a
+/// single `Err`, after which the iterator is fused.
+pub struct XmlEventReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+    opts: XmlOptions,
+    /// Names of currently open elements.
+    open: Vec<String>,
+    /// Queued event for self-closing tags (`Start` then `End`).
+    pending: Option<XmlEvent>,
+    started: bool,
+    finished: bool,
+}
+
+/// Lenient event stream over `input` (see [`XmlOptions`]).
+pub fn xml_events(input: &str) -> XmlEventReader<'_> {
+    xml_events_with(input, XmlOptions::default())
+}
+
+/// Event stream with explicit options.
+pub fn xml_events_with(input: &str, opts: XmlOptions) -> XmlEventReader<'_> {
+    XmlEventReader {
+        input: input.as_bytes(),
+        pos: 0,
+        opts,
+        open: Vec::new(),
+        pending: None,
+        started: false,
+        finished: false,
+    }
+}
+
+/// What a `<`-initiated piece of non-element markup amounted to.
+enum Markup {
+    /// An element tag after all — the caller parses it.
+    Element,
+    /// Comment / PI / DOCTYPE / whitespace CDATA: skipped, keep scanning.
+    Skipped,
+    /// An event (CDATA text) or a syntax error to emit.
+    Emit(Result<XmlEvent, XmlError>),
+}
+
+impl<'a> XmlEventReader<'a> {
+    /// Records a syntax error and fuses the iterator.
+    fn fail(&mut self, message: impl Into<String>) -> XmlError {
+        self.finished = true;
         XmlError {
             offset: self.pos,
             message: message.into(),
         }
+    }
+
+    fn err<T>(&mut self, message: impl Into<String>) -> Option<Result<T, XmlError>> {
+        Some(Err(self.fail(message)))
     }
 
     fn skip_ws(&mut self) {
@@ -42,13 +129,22 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), XmlError> {
-        if self.input.get(self.pos) == Some(&c) {
+    fn starts_with(&self, prefix: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(prefix)
+    }
+
+    /// Advances past `terminator`, returning the bytes before it.
+    fn skip_until(&mut self, terminator: &[u8]) -> Option<(usize, usize)> {
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            if self.starts_with(terminator) {
+                let end = self.pos;
+                self.pos += terminator.len();
+                return Some((start, end));
+            }
             self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(format!("expected {:?}", c as char)))
         }
+        None
     }
 
     fn name(&mut self) -> Result<String, XmlError> {
@@ -61,52 +157,246 @@ impl<'a> Reader<'a> {
             }
         }
         if start == self.pos {
-            return Err(self.err("expected a name"));
+            return Err(XmlError {
+                offset: self.pos,
+                message: "expected a name".into(),
+            });
         }
-        Ok(std::str::from_utf8(&self.input[start..self.pos])
-            .map_err(|_| self.err("invalid UTF-8 in name"))?
-            .to_owned())
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map(str::to_owned)
+            .map_err(|_| XmlError {
+                offset: start,
+                message: "invalid UTF-8 in name".into(),
+            })
     }
 
-    fn element(&mut self) -> Result<UTree, XmlError> {
-        self.expect(b'<')?;
-        let label = self.name()?;
-        self.skip_ws();
-        if self.input.get(self.pos) == Some(&b'/') {
-            self.pos += 1;
-            self.expect(b'>')?;
-            return Ok(UTree::elem(&label, Vec::new()));
-        }
-        self.expect(b'>')?;
-        let mut children = Vec::new();
+    /// Skips `name="value"` attributes up to `/>` or `>`.
+    fn skip_attributes(&mut self) -> Result<(), XmlError> {
         loop {
-            // text run until '<'
-            let start = self.pos;
-            while self.pos < self.input.len() && self.input[self.pos] != b'<' {
-                self.pos += 1;
-            }
-            if self.pos > start {
-                let text = std::str::from_utf8(&self.input[start..self.pos])
-                    .map_err(|_| self.err("invalid UTF-8 in text"))?;
-                let unescaped = unescape(text);
-                if !unescaped.trim().is_empty() {
-                    children.push(UTree::Text(unescaped.trim().to_owned()));
+            self.skip_ws();
+            match self.input.get(self.pos) {
+                None => return Err(self.fail("unterminated start tag")),
+                Some(b'>') | Some(b'/') => return Ok(()),
+                Some(_) if self.opts.strict => {
+                    return Err(self.fail("attributes are not allowed in strict mode"))
+                }
+                Some(_) => {
+                    if self.name().is_err() {
+                        return Err(self.fail("malformed attribute name"));
+                    }
+                    self.skip_ws();
+                    if self.input.get(self.pos) != Some(&b'=') {
+                        continue; // bare attribute (HTML-style); tolerate
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    match self.input.get(self.pos) {
+                        Some(&q @ (b'"' | b'\'')) => {
+                            self.pos += 1;
+                            if self.skip_until(&[q]).is_none() {
+                                return Err(self.fail("unterminated attribute value"));
+                            }
+                        }
+                        _ => return Err(self.fail("expected a quoted attribute value")),
+                    }
                 }
             }
-            if self.input.get(self.pos).is_none() {
-                return Err(self.err(format!("unterminated element <{label}>")));
+        }
+    }
+
+    /// Skips `<!DOCTYPE …>` including an internal subset in brackets.
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        let mut brackets = 0usize;
+        while let Some(&c) = self.input.get(self.pos) {
+            self.pos += 1;
+            match c {
+                b'[' => brackets += 1,
+                b']' => brackets = brackets.saturating_sub(1),
+                b'>' if brackets == 0 => return Ok(()),
+                _ => {}
             }
-            if self.input.get(self.pos + 1) == Some(&b'/') {
-                self.pos += 2;
-                let close = self.name()?;
-                if close != label {
-                    return Err(self.err(format!("mismatched </{close}>, expected </{label}>")));
+        }
+        Err(self.fail("unterminated DOCTYPE declaration"))
+    }
+
+    /// Classifies and consumes markup starting with `<` that is not an
+    /// element tag (comment, CDATA, DOCTYPE, PI).
+    fn markup(&mut self) -> Markup {
+        if self.starts_with(b"<!--") {
+            if self.opts.strict {
+                return Markup::Emit(Err(self.fail("comments are not allowed in strict mode")));
+            }
+            self.pos += 4;
+            if self.skip_until(b"-->").is_none() {
+                return Markup::Emit(Err(self.fail("unterminated comment")));
+            }
+            return Markup::Skipped;
+        }
+        if self.starts_with(b"<![CDATA[") {
+            if self.opts.strict {
+                return Markup::Emit(Err(self.fail("CDATA is not allowed in strict mode")));
+            }
+            if self.open.is_empty() {
+                return Markup::Emit(Err(self.fail("CDATA outside the root element")));
+            }
+            self.pos += 9;
+            let Some((s, e)) = self.skip_until(b"]]>") else {
+                return Markup::Emit(Err(self.fail("unterminated CDATA section")));
+            };
+            return match std::str::from_utf8(&self.input[s..e]) {
+                Ok(text) if !text.trim().is_empty() => {
+                    Markup::Emit(Ok(XmlEvent::Text(text.trim().to_owned())))
                 }
+                Ok(_) => Markup::Skipped,
+                Err(_) => Markup::Emit(Err(self.fail("invalid UTF-8 in CDATA"))),
+            };
+        }
+        if self.starts_with(b"<!") {
+            if self.opts.strict {
+                return Markup::Emit(Err(
+                    self.fail("DOCTYPE/markup declarations are not allowed in strict mode")
+                ));
+            }
+            self.pos += 2;
+            return match self.skip_doctype() {
+                Ok(()) => Markup::Skipped,
+                Err(e) => Markup::Emit(Err(e)),
+            };
+        }
+        if self.starts_with(b"<?") {
+            // Strict mode admits only the leading `<?xml …?>` prolog.
+            let is_prolog = !self.started && self.open.is_empty();
+            if self.opts.strict && !(is_prolog && self.starts_with(b"<?xml")) {
+                return Markup::Emit(Err(
+                    self.fail("processing instructions are not allowed in strict mode")
+                ));
+            }
+            self.pos += 2;
+            if self.skip_until(b"?>").is_none() {
+                return Markup::Emit(Err(self.fail("unterminated processing instruction")));
+            }
+            return Markup::Skipped;
+        }
+        Markup::Element
+    }
+}
+
+impl Iterator for XmlEventReader<'_> {
+    type Item = Result<XmlEvent, XmlError>;
+
+    fn next(&mut self) -> Option<Result<XmlEvent, XmlError>> {
+        if self.finished {
+            return None;
+        }
+        if let Some(ev) = self.pending.take() {
+            if let XmlEvent::End(_) = &ev {
+                self.open.pop();
+            }
+            return Some(Ok(ev));
+        }
+        loop {
+            if self.open.is_empty() {
+                // Outside the root: only ignorable content is allowed.
                 self.skip_ws();
-                self.expect(b'>')?;
-                return Ok(UTree::Elem { label, children });
+                if self.pos >= self.input.len() {
+                    self.finished = true;
+                    if !self.started {
+                        self.pos = 0;
+                        return self.err("expected a root element");
+                    }
+                    return None;
+                }
+                if self.input[self.pos] != b'<' {
+                    return self.err(if self.started {
+                        "trailing content after the root element"
+                    } else {
+                        "text outside the root element"
+                    });
+                }
+                if self.started && !self.starts_with(b"<!--") && !self.starts_with(b"<?") {
+                    return self.err("trailing content after the root element");
+                }
+            } else {
+                // Inside an element: gather character data up to '<'.
+                let start = self.pos;
+                while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+                    self.pos += 1;
+                }
+                if self.pos > start {
+                    let Ok(text) = std::str::from_utf8(&self.input[start..self.pos]) else {
+                        return self.err("invalid UTF-8 in text");
+                    };
+                    let unescaped = unescape(text);
+                    let trimmed = unescaped.trim();
+                    if !trimmed.is_empty() {
+                        return Some(Ok(XmlEvent::Text(trimmed.to_owned())));
+                    }
+                }
+                if self.pos >= self.input.len() {
+                    let label = self.open.last().cloned().unwrap_or_default();
+                    return self.err(format!("unterminated element <{label}>"));
+                }
             }
-            children.push(self.element()?);
+
+            // At '<': comment / CDATA / DOCTYPE / PI, or an element tag.
+            match self.markup() {
+                Markup::Emit(result) => return Some(result),
+                Markup::Skipped => continue,
+                Markup::Element => {}
+            }
+            self.pos += 1; // consume '<'
+            if self.input.get(self.pos) == Some(&b'/') {
+                self.pos += 1;
+                let close = match self.name() {
+                    Ok(n) => n,
+                    Err(e) => return self.err(e.message),
+                };
+                self.skip_ws();
+                if self.input.get(self.pos) != Some(&b'>') {
+                    return self.err("expected '>' in end tag");
+                }
+                self.pos += 1;
+                match self.open.last() {
+                    Some(label) if *label == close => {
+                        self.open.pop();
+                        return Some(Ok(XmlEvent::End(close)));
+                    }
+                    Some(label) => {
+                        let label = label.clone();
+                        return self.err(format!("mismatched </{close}>, expected </{label}>"));
+                    }
+                    None => {
+                        return self.err(format!("close tag </{close}> without an open element"))
+                    }
+                }
+            }
+            // Start tag.
+            let label = match self.name() {
+                Ok(n) => n,
+                Err(e) => return self.err(e.message),
+            };
+            if let Err(e) = self.skip_attributes() {
+                return Some(Err(e));
+            }
+            self.started = true;
+            if self.input.get(self.pos) == Some(&b'/') {
+                self.pos += 1;
+                if self.input.get(self.pos) != Some(&b'>') {
+                    return self.err("expected '>' after '/'");
+                }
+                self.pos += 1;
+                // Self-closing: Start now, End queued. `open` tracks the
+                // element until the queued End is delivered.
+                self.open.push(label.clone());
+                self.pending = Some(XmlEvent::End(label.clone()));
+                return Some(Ok(XmlEvent::Start(label)));
+            }
+            if self.input.get(self.pos) != Some(&b'>') {
+                return self.err("expected '>' in start tag");
+            }
+            self.pos += 1;
+            self.open.push(label.clone());
+            return Some(Ok(XmlEvent::Start(label)));
         }
     }
 }
@@ -125,27 +415,46 @@ fn escape(s: &str) -> String {
         .replace('>', "&gt;")
 }
 
-/// Parses a document (a single root element; leading/trailing whitespace
-/// and an optional `<?xml …?>` prolog are allowed).
+/// Parses a document (a single root element) leniently: comments,
+/// processing instructions, DOCTYPE, and attributes are skipped, CDATA is
+/// read as text. Use [`parse_xml_strict`] for the paper's minimal subset.
 pub fn parse_xml(input: &str) -> Result<UTree, XmlError> {
-    let mut r = Reader {
-        input: input.as_bytes(),
-        pos: 0,
-    };
-    r.skip_ws();
-    if input[r.pos..].starts_with("<?xml") {
-        match input[r.pos..].find("?>") {
-            Some(end) => r.pos += end + 2,
-            None => return Err(r.err("unterminated XML prolog")),
+    parse_xml_with(input, XmlOptions::default())
+}
+
+/// Parses in strict mode: elements and text only (plus an optional leading
+/// `<?xml …?>` prolog); comments, PIs, DOCTYPE, CDATA, and attributes are
+/// syntax errors.
+pub fn parse_xml_strict(input: &str) -> Result<UTree, XmlError> {
+    parse_xml_with(input, XmlOptions::strict())
+}
+
+/// Parses with explicit options, building the tree from the event stream.
+pub fn parse_xml_with(input: &str, opts: XmlOptions) -> Result<UTree, XmlError> {
+    let mut stack: Vec<(String, Vec<UTree>)> = Vec::new();
+    let mut root: Option<UTree> = None;
+    for event in xml_events_with(input, opts) {
+        match event? {
+            XmlEvent::Start(label) => stack.push((label, Vec::new())),
+            XmlEvent::Text(text) => {
+                if let Some((_, children)) = stack.last_mut() {
+                    children.push(UTree::Text(text));
+                }
+            }
+            XmlEvent::End(_) => {
+                let (label, children) = stack.pop().expect("reader balances events");
+                let elem = UTree::Elem { label, children };
+                match stack.last_mut() {
+                    Some((_, siblings)) => siblings.push(elem),
+                    None => root = Some(elem),
+                }
+            }
         }
-        r.skip_ws();
     }
-    let tree = r.element()?;
-    r.skip_ws();
-    if r.pos != r.input.len() {
-        return Err(r.err("trailing content after the root element"));
-    }
-    Ok(tree)
+    root.ok_or(XmlError {
+        offset: input.len(),
+        message: "document has no root element".into(),
+    })
 }
 
 /// Serializes a tree to XML text (self-closing tags for empty elements).
@@ -233,6 +542,8 @@ mod tests {
     fn tolerates_prolog_and_whitespace() {
         let t = parse_xml("  <?xml version=\"1.0\"?>\n <root>\n  <a/>\n </root>\n").unwrap();
         assert_eq!(t.to_string(), "root(a)");
+        let t = parse_xml_strict("  <?xml version=\"1.0\"?>\n <root>\n  <a/>\n </root>\n").unwrap();
+        assert_eq!(t.to_string(), "root(a)");
     }
 
     #[test]
@@ -244,10 +555,14 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        assert!(parse_xml("<a><b></a></b>").is_err());
-        assert!(parse_xml("<a>").is_err());
-        assert!(parse_xml("<a/><b/>").is_err());
-        assert!(parse_xml("plain text").is_err());
+        for parse in [parse_xml, parse_xml_strict] {
+            assert!(parse("<a><b></a></b>").is_err());
+            assert!(parse("<a>").is_err());
+            assert!(parse("<a/><b/>").is_err());
+            assert!(parse("plain text").is_err());
+            assert!(parse("").is_err());
+            assert!(parse("</a>").is_err());
+        }
     }
 
     #[test]
@@ -255,5 +570,76 @@ mod tests {
         let t = parse_xml("<L><B><T>x</T></B><B/></L>").unwrap();
         let pretty = write_xml_pretty(&t);
         assert_eq!(parse_xml(&pretty).unwrap(), t);
+    }
+
+    #[test]
+    fn lenient_skips_comments_pis_doctype_attributes() {
+        let doc = "<?xml version=\"1.0\"?>\n\
+                   <!DOCTYPE root [ <!ELEMENT root (a*)> ]>\n\
+                   <!-- a catalog -->\n\
+                   <root id=\"r1\" class='x'>\n\
+                     <?target data?>\n\
+                     <a href=\"https://example.invalid\" disabled/>\n\
+                     <!-- trailing --><a/>\n\
+                   </root>\n\
+                   <!-- after -->";
+        let t = parse_xml(doc).unwrap();
+        assert_eq!(t.to_string(), "root(a,a)");
+    }
+
+    #[test]
+    fn strict_rejects_real_world_markup() {
+        assert!(parse_xml_strict("<root><!-- c --></root>").is_err());
+        assert!(parse_xml_strict("<root><?pi?></root>").is_err());
+        assert!(parse_xml_strict("<root id=\"1\"/>").is_err());
+        assert!(parse_xml_strict("<!DOCTYPE root><root/>").is_err());
+        assert!(parse_xml_strict("<root><![CDATA[x]]></root>").is_err());
+    }
+
+    #[test]
+    fn cdata_reads_as_text() {
+        let t = parse_xml("<x><![CDATA[a <raw> & b]]></x>").unwrap();
+        assert_eq!(t, UTree::elem("x", vec![UTree::text("a <raw> & b")]));
+    }
+
+    #[test]
+    fn event_stream_shape() {
+        use XmlEvent::*;
+        let events: Vec<XmlEvent> = xml_events("<r><a/>hi</r>")
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(
+            events,
+            vec![
+                Start("r".into()),
+                Start("a".into()),
+                End("a".into()),
+                Text("hi".into()),
+                End("r".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn event_reader_is_fused_after_error() {
+        let mut r = xml_events("<a><b></a>");
+        let mut saw_err = false;
+        for ev in &mut r {
+            if ev.is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err);
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(parse_xml("<a><!-- no end").is_err());
+        assert!(parse_xml("<a><?pi no end").is_err());
+        assert!(parse_xml("<a><![CDATA[ no end").is_err());
+        assert!(parse_xml("<!DOCTYPE a [ <!ELEMENT a> ").is_err());
+        assert!(parse_xml("<a b=\"unclosed>").is_err());
     }
 }

@@ -31,18 +31,38 @@
 //! assert_eq!(learned.dtop.state_count(), 4);
 //! ```
 //!
+//! ## Serving at scale
+//!
+//! Once a transducer is learned, [`engine`] (`xtt-engine`) turns it into a
+//! production runtime: [`engine::compile`] lowers it to flat jump tables,
+//! [`engine::Engine::transform_batch`] shards document batches across a
+//! worker pool (with an LRU of compiled transducers), and the streaming
+//! front end applies it directly to SAX-style XML events. The
+//! `xtt-transform` CLI wraps the same API for newline-delimited corpora.
+//!
+//! ```
+//! use xtt::prelude::*;
+//!
+//! let flip = xtt::transducer::examples::flip().dtop;
+//! let engine = Engine::new(EngineOptions::default());
+//! let out = engine.transform(&flip, "root(a(#,#),b(#,#))").unwrap();
+//! assert_eq!(out, "root(b(#,#),a(#,#))");
+//! ```
+//!
 //! ## Crate map
 //!
 //! | re-export | crate | contents |
 //! |---|---|---|
-//! | [`trees`] | `xtt-trees` | ranked trees, paths, `⊔`, minimal DAGs |
+//! | [`trees`] | `xtt-trees` | ranked trees, paths, `⊔`, minimal DAGs, event streams |
 //! | [`automata`] | `xtt-automata` | deterministic top-down tree automata |
 //! | [`transducer`] | `xtt-transducer` | dtops, earliest form, `min(τ)`, equivalence |
 //! | [`learn`] | `xtt-core` | samples, `RPNIdtop`, characteristic samples |
-//! | [`xml`] | `xtt-xml` | unranked trees, DTDs, encodings, XSLT export |
+//! | [`xml`] | `xtt-xml` | unranked trees, DTDs, encodings, SAX reader, XSLT export |
+//! | [`engine`] | `xtt-engine` | compiled + streaming execution, batch serving, CLI |
 
 pub use xtt_automata as automata;
 pub use xtt_core as learn;
+pub use xtt_engine as engine;
 pub use xtt_transducer as transducer;
 pub use xtt_trees as trees;
 pub use xtt_xml as xml;
@@ -51,9 +71,12 @@ pub use xtt_xml as xml;
 pub mod prelude {
     pub use xtt_automata::{Dtta, DttaBuilder};
     pub use xtt_core::{characteristic_sample, check_characteristic_conditions, rpni_dtop, Sample};
+    pub use xtt_engine::{
+        compile, CompiledDtop, Engine, EngineOptions, EvalMode, EvalScratch, StreamEvaluator,
+    };
     pub use xtt_transducer::{
         canonical_form, equivalent, eval, same_canonical, Canonical, Dtop, DtopBuilder,
     };
-    pub use xtt_trees::{parse_tree, FPath, RankedAlphabet, Symbol, Tree};
+    pub use xtt_trees::{parse_tree, FPath, RankedAlphabet, Symbol, Tree, TreeEvent};
     pub use xtt_xml::{parse_xml, Dtd, Encoding, PcDataMode, UTree};
 }
