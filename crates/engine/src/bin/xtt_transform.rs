@@ -26,7 +26,7 @@ USAGE: xtt-transform [OPTIONS]
 
 OPTIONS:
   --example <flip|library|copy>  built-in transducer        [default: flip]
-  --mode <compiled|stream|walk>  evaluator                  [default: compiled]
+  --mode <compiled|stream|dag|walk>  evaluator              [default: compiled]
   --format <term|xml>            document syntax            [default: term]
   --jobs <N>                     worker threads (0 = auto)  [default: 0]
   --demo <N>                     generate N demo documents instead of stdin
@@ -58,19 +58,14 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--example" => args.example = value("--example")?,
             "--mode" => {
-                args.mode = match value("--mode")?.as_str() {
-                    "compiled" => EvalMode::Compiled,
-                    "stream" => EvalMode::Streaming,
-                    "walk" => EvalMode::TreeWalk,
-                    other => return Err(format!("unknown mode '{other}'")),
-                }
+                let name = value("--mode")?;
+                args.mode =
+                    EvalMode::parse(&name).ok_or_else(|| format!("unknown mode '{name}'"))?;
             }
             "--format" => {
-                args.format = match value("--format")?.as_str() {
-                    "term" => DocFormat::Term,
-                    "xml" => DocFormat::Xml,
-                    other => return Err(format!("unknown format '{other}'")),
-                }
+                let name = value("--format")?;
+                args.format =
+                    DocFormat::parse(&name).ok_or_else(|| format!("unknown format '{name}'"))?;
             }
             "--jobs" => {
                 args.jobs = value("--jobs")?

@@ -12,11 +12,12 @@
 //! LRU behind a mutex and shared as `Arc<CompiledDtop>`; repeat traffic
 //! for the same transducer never recompiles.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use xtt_transducer::{eval as walk_eval, Dtop};
-use xtt_trees::parse_tree;
+use xtt_trees::{parse_tree, DagId, TreeDag};
 
 use crate::compile::{compile, fingerprint, CompileError, CompiledDtop};
 use crate::eval::EvalScratch;
@@ -30,8 +31,25 @@ pub enum EvalMode {
     Compiled,
     /// Run over the event stream, keeping only the spine in memory.
     Streaming,
+    /// Evaluate into a [`TreeDag`] arena (shared subtrees built once) and
+    /// extract; worthwhile for copying transducers with large outputs.
+    Dag,
     /// The research evaluator `xtt_transducer::eval` (baseline).
     TreeWalk,
+}
+
+impl EvalMode {
+    /// Parses the names used by the CLI and the HTTP API
+    /// (`tree`/`compiled`, `stream`, `dag`, `walk`).
+    pub fn parse(name: &str) -> Option<EvalMode> {
+        match name {
+            "tree" | "compiled" => Some(EvalMode::Compiled),
+            "stream" | "streaming" => Some(EvalMode::Streaming),
+            "dag" => Some(EvalMode::Dag),
+            "walk" | "treewalk" => Some(EvalMode::TreeWalk),
+            _ => None,
+        }
+    }
 }
 
 /// How documents are parsed and results serialized.
@@ -44,6 +62,17 @@ pub enum DocFormat {
     Xml,
 }
 
+impl DocFormat {
+    /// Parses the names used by the CLI and the HTTP API.
+    pub fn parse(name: &str) -> Option<DocFormat> {
+        match name {
+            "term" => Some(DocFormat::Term),
+            "xml" => Some(DocFormat::Xml),
+            _ => None,
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineOptions {
@@ -54,6 +83,18 @@ pub struct EngineOptions {
     pub cache_capacity: usize,
     pub mode: EvalMode,
     pub format: DocFormat,
+    /// When set, documents whose *output tree* would exceed this many
+    /// nodes fail with [`EngineError::OutputTooLarge`] instead of being
+    /// materialized. The bound is checked with a linear-time DAG
+    /// pre-flight (copying transducers produce exponentially large
+    /// outputs from tiny inputs — a server must not materialize them).
+    /// `None` = unbounded (library/CLI default).
+    ///
+    /// Trade-off: the pre-flight needs the input tree, so with a bound
+    /// configured `EvalMode::Streaming` over XML materializes the input
+    /// (the output was never spine-only — it is built in full in every
+    /// mode) instead of running directly over the tokenizer events.
+    pub max_output_nodes: Option<u64>,
 }
 
 impl Default for EngineOptions {
@@ -63,6 +104,7 @@ impl Default for EngineOptions {
             cache_capacity: 8,
             mode: EvalMode::Compiled,
             format: DocFormat::Term,
+            max_output_nodes: None,
         }
     }
 }
@@ -76,6 +118,12 @@ pub enum EngineError {
     Undefined,
     /// The transducer exceeded a compiled-form capacity limit.
     Compile(String),
+    /// The evaluator panicked on this document; the rest of the batch is
+    /// unaffected (the worker recovers with fresh scratch state).
+    Internal(String),
+    /// The output tree exceeds [`EngineOptions::max_output_nodes`]
+    /// (`.0` is the measured size, saturating at `u64::MAX`).
+    OutputTooLarge(u64),
 }
 
 impl std::fmt::Display for EngineError {
@@ -84,6 +132,10 @@ impl std::fmt::Display for EngineError {
             EngineError::Parse(e) => write!(f, "parse error: {e}"),
             EngineError::Undefined => write!(f, "input outside the transduction domain"),
             EngineError::Compile(e) => write!(f, "compile error: {e}"),
+            EngineError::Internal(e) => write!(f, "internal error: {e}"),
+            EngineError::OutputTooLarge(n) => {
+                write!(f, "output too large: {n} nodes exceed the configured bound")
+            }
         }
     }
 }
@@ -133,6 +185,12 @@ impl Engine {
             opts,
             cache: Mutex::new(Cache::default()),
         }
+    }
+
+    /// A shareable handle, for long-lived services (`xtt-serve`) that hand
+    /// one engine to many connection handlers.
+    pub fn shared(opts: EngineOptions) -> Arc<Engine> {
+        Arc::new(Engine::new(opts))
     }
 
     pub fn options(&self) -> &EngineOptions {
@@ -189,14 +247,26 @@ impl Engine {
         }
     }
 
-    /// Transforms one document (no thread pool; uses a transient scratch).
+    /// Transforms one document with the engine's configured mode/format
+    /// (no thread pool; uses a transient scratch).
     pub fn transform(&self, dtop: &Dtop, doc: &str) -> Result<String, EngineError> {
+        self.transform_with(dtop, doc, self.opts.mode, self.opts.format)
+    }
+
+    /// Transforms one document with an explicit mode/format — the
+    /// per-request override used by `xtt-serve`'s `?mode=`/`?format=`.
+    pub fn transform_with(
+        &self,
+        dtop: &Dtop,
+        doc: &str,
+        mode: EvalMode,
+        format: DocFormat,
+    ) -> Result<String, EngineError> {
         let compiled = self
             .compiled(dtop)
             .map_err(|e| EngineError::Compile(e.to_string()))?;
-        let mut scratch = EvalScratch::new();
-        let mut stream = StreamEvaluator::new();
-        transform_doc(&compiled, dtop, doc, self.opts, &mut scratch, &mut stream)
+        let limit = self.opts.max_output_nodes;
+        Worker::new().transform(&compiled, dtop, doc, mode, format, limit)
     }
 
     /// Transforms a batch of documents, sharded across the worker pool.
@@ -206,6 +276,22 @@ impl Engine {
         dtop: &Dtop,
         docs: &[String],
     ) -> Vec<Result<String, EngineError>> {
+        self.transform_batch_with(dtop, docs, self.opts.mode, self.opts.format)
+    }
+
+    /// [`Engine::transform_batch`] with an explicit mode/format.
+    ///
+    /// Failure is strictly per-document and positional: parse errors,
+    /// out-of-domain inputs, and even evaluator panics surface as
+    /// `Err` at the failing document's index while every other document
+    /// still completes.
+    pub fn transform_batch_with(
+        &self,
+        dtop: &Dtop,
+        docs: &[String],
+        mode: EvalMode,
+        format: DocFormat,
+    ) -> Vec<Result<String, EngineError>> {
         let compiled = match self.compiled(dtop) {
             Ok(c) => c,
             Err(e) => {
@@ -213,17 +299,16 @@ impl Engine {
                 return docs.iter().map(|_| Err(err.clone())).collect();
             }
         };
+        let limit = self.opts.max_output_nodes;
         let workers = effective_workers(self.opts.workers, docs.len());
         if workers <= 1 {
-            let mut scratch = EvalScratch::new();
-            let mut stream = StreamEvaluator::new();
+            let mut worker = Worker::new();
             return docs
                 .iter()
-                .map(|d| transform_doc(&compiled, dtop, d, self.opts, &mut scratch, &mut stream))
+                .map(|d| worker.transform_caught(&compiled, dtop, d, mode, format, limit))
                 .collect();
         }
         let next = AtomicUsize::new(0);
-        let opts = self.opts;
         let chunks: Vec<Vec<(usize, Result<String, EngineError>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -231,8 +316,7 @@ impl Engine {
                     let next = &next;
                     scope.spawn(move || {
                         let mut out = Vec::new();
-                        let mut scratch = EvalScratch::new();
-                        let mut stream = StreamEvaluator::new();
+                        let mut worker = Worker::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= docs.len() {
@@ -240,13 +324,8 @@ impl Engine {
                             }
                             out.push((
                                 i,
-                                transform_doc(
-                                    compiled,
-                                    dtop,
-                                    &docs[i],
-                                    opts,
-                                    &mut scratch,
-                                    &mut stream,
+                                worker.transform_caught(
+                                    compiled, dtop, &docs[i], mode, format, limit,
                                 ),
                             ));
                         }
@@ -259,7 +338,8 @@ impl Engine {
                 .map(|h| h.join().expect("engine worker panicked"))
                 .collect()
         });
-        let mut results = vec![Err(EngineError::Undefined); docs.len()];
+        let mut results =
+            vec![Err(EngineError::Internal("result was never produced".into())); docs.len()];
         for chunk in chunks {
             for (i, r) in chunk {
                 results[i] = r;
@@ -275,47 +355,143 @@ fn effective_workers(configured: usize, docs: usize) -> usize {
     w.min(docs.max(1))
 }
 
-fn transform_doc(
-    compiled: &CompiledDtop,
-    dtop: &Dtop,
-    doc: &str,
-    opts: EngineOptions,
-    scratch: &mut EvalScratch<xtt_trees::Tree>,
-    stream: &mut StreamEvaluator,
-) -> Result<String, EngineError> {
-    match opts.format {
-        DocFormat::Term => {
-            let input = parse_tree(doc).map_err(|e| EngineError::Parse(e.to_string()))?;
-            let output = match opts.mode {
-                EvalMode::Compiled => compiled.eval(&input, scratch),
-                EvalMode::Streaming => stream.eval_tree(compiled, &input),
-                EvalMode::TreeWalk => walk_eval(dtop, &input),
-            }
-            .ok_or(EngineError::Undefined)?;
-            Ok(output.to_string())
+/// Per-thread evaluation state: warm scratches for every mode, plus the
+/// DAG arena for [`EvalMode::Dag`]. One per batch worker, recreated after
+/// a caught panic (a panic can leave the scratches inconsistent).
+struct Worker {
+    scratch: EvalScratch<xtt_trees::Tree>,
+    stream: StreamEvaluator,
+    dag: TreeDag,
+    dag_scratch: EvalScratch<DagId>,
+}
+
+impl Worker {
+    fn new() -> Worker {
+        Worker {
+            scratch: EvalScratch::new(),
+            stream: StreamEvaluator::new(),
+            dag: TreeDag::new(),
+            dag_scratch: EvalScratch::new(),
         }
-        DocFormat::Xml => {
-            let output = match opts.mode {
-                EvalMode::Streaming => stream
-                    .eval_xml(compiled, doc)
-                    .map_err(|e| EngineError::Parse(e.to_string()))?,
-                EvalMode::Compiled | EvalMode::TreeWalk => {
-                    let input = ranked_tree_from_xml_bounded(doc)
-                        .map_err(|e| EngineError::Parse(e.to_string()))?;
-                    match opts.mode {
-                        EvalMode::Compiled => compiled.eval(&input, scratch),
-                        _ => walk_eval(dtop, &input),
+    }
+
+    /// [`Worker::transform`] with panic isolation: a panicking document
+    /// yields `Err(EngineError::Internal)` instead of poisoning the whole
+    /// batch, and the worker continues with fresh scratch state.
+    fn transform_caught(
+        &mut self,
+        compiled: &CompiledDtop,
+        dtop: &Dtop,
+        doc: &str,
+        mode: EvalMode,
+        format: DocFormat,
+        limit: Option<u64>,
+    ) -> Result<String, EngineError> {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.transform(compiled, dtop, doc, mode, format, limit)
+        }));
+        result.unwrap_or_else(|panic| {
+            *self = Worker::new();
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "evaluator panicked".to_owned());
+            Err(EngineError::Internal(msg))
+        })
+    }
+
+    fn transform(
+        &mut self,
+        compiled: &CompiledDtop,
+        dtop: &Dtop,
+        doc: &str,
+        mode: EvalMode,
+        format: DocFormat,
+        limit: Option<u64>,
+    ) -> Result<String, EngineError> {
+        match format {
+            DocFormat::Term => {
+                let input = parse_tree(doc).map_err(|e| EngineError::Parse(e.to_string()))?;
+                let preflight = self.check_output_bound(compiled, &input, limit)?;
+                let output = self.eval_tree(compiled, dtop, &input, mode, preflight)?;
+                Ok(output.to_string())
+            }
+            DocFormat::Xml => {
+                let output = match (mode, limit) {
+                    (EvalMode::Streaming, None) => self
+                        .stream
+                        .eval_xml(compiled, doc)
+                        .map_err(|e| EngineError::Parse(e.to_string()))?
+                        .ok_or(EngineError::Undefined)?,
+                    _ => {
+                        let input = ranked_tree_from_xml_bounded(doc)
+                            .map_err(|e| EngineError::Parse(e.to_string()))?;
+                        let preflight = self.check_output_bound(compiled, &input, limit)?;
+                        match mode {
+                            EvalMode::Streaming => self
+                                .stream
+                                .eval_tree(compiled, &input)
+                                .ok_or(EngineError::Undefined)?,
+                            _ => self.eval_tree(compiled, dtop, &input, mode, preflight)?,
+                        }
                     }
+                };
+                if !crate::stream::xml_serializable(&output) {
+                    return Err(EngineError::Parse(
+                        "output has inner symbols that are not XML names; use the term format"
+                            .into(),
+                    ));
                 }
+                Ok(tree_to_xml(&output))
             }
-            .ok_or(EngineError::Undefined)?;
-            if !crate::stream::xml_serializable(&output) {
-                return Err(EngineError::Parse(
-                    "output has inner symbols that are not XML names; use the term format".into(),
-                ));
-            }
-            Ok(tree_to_xml(&output))
         }
+    }
+
+    /// Enforces [`EngineOptions::max_output_nodes`]: a linear-time DAG
+    /// evaluation measures the output-tree size *without materializing
+    /// it* (the DAG is small even when the tree is exponential), so an
+    /// over-limit document is rejected before any large allocation.
+    /// Returns the DAG root id when a bound was evaluated, so Dag mode
+    /// can reuse it instead of evaluating twice.
+    fn check_output_bound(
+        &mut self,
+        compiled: &CompiledDtop,
+        input: &xtt_trees::Tree,
+        limit: Option<u64>,
+    ) -> Result<Option<DagId>, EngineError> {
+        let Some(limit) = limit else {
+            return Ok(None);
+        };
+        let id = compiled
+            .eval_dag(input, &mut self.dag_scratch, &mut self.dag)
+            .ok_or(EngineError::Undefined)?;
+        let size = self.dag.tree_size(id);
+        if size > limit {
+            return Err(EngineError::OutputTooLarge(size));
+        }
+        Ok(Some(id))
+    }
+
+    fn eval_tree(
+        &mut self,
+        compiled: &CompiledDtop,
+        dtop: &Dtop,
+        input: &xtt_trees::Tree,
+        mode: EvalMode,
+        preflight: Option<DagId>,
+    ) -> Result<xtt_trees::Tree, EngineError> {
+        match mode {
+            EvalMode::Compiled => compiled.eval(input, &mut self.scratch),
+            EvalMode::Streaming => self.stream.eval_tree(compiled, input),
+            // The bound pre-flight (if any) already ran this exact DAG
+            // evaluation; reuse its root instead of evaluating again.
+            EvalMode::Dag => preflight
+                .or_else(|| compiled.eval_dag(input, &mut self.dag_scratch, &mut self.dag))
+                .map(|id| self.dag.extract(id)),
+            EvalMode::TreeWalk => walk_eval(dtop, input),
+        }
+        .ok_or(EngineError::Undefined)
     }
 }
 
@@ -376,7 +552,12 @@ mod tests {
         let fix = examples::flip();
         let docs = flip_docs(40);
         let mut outputs: Vec<Vec<Result<String, EngineError>>> = Vec::new();
-        for mode in [EvalMode::Compiled, EvalMode::Streaming, EvalMode::TreeWalk] {
+        for mode in [
+            EvalMode::Compiled,
+            EvalMode::Streaming,
+            EvalMode::Dag,
+            EvalMode::TreeWalk,
+        ] {
             let engine = Engine::new(EngineOptions {
                 workers: 3,
                 mode,
@@ -386,6 +567,99 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1]);
         assert_eq!(outputs[0], outputs[2]);
+        assert_eq!(outputs[0], outputs[3]);
+    }
+
+    /// Regression test for the serving contract: a large batch with
+    /// malformed and out-of-domain documents sprinkled in reports each
+    /// failure *positionally* — no abort on first error, every other
+    /// document still transformed, in every mode and at any worker count.
+    #[test]
+    fn batch_errors_are_positional_not_aborting() {
+        let fix = examples::flip();
+        let mut docs = flip_docs(100);
+        docs[13] = "root(".to_owned(); // malformed
+        docs[57] = "root(b(#,#),#)".to_owned(); // outside the domain
+        docs[99] = "((".to_owned(); // malformed
+        for mode in [
+            EvalMode::Compiled,
+            EvalMode::Streaming,
+            EvalMode::Dag,
+            EvalMode::TreeWalk,
+        ] {
+            for workers in [1, 4] {
+                let engine = Engine::new(EngineOptions {
+                    workers,
+                    mode,
+                    ..EngineOptions::default()
+                });
+                let results = engine.transform_batch(&fix.dtop, &docs);
+                assert_eq!(results.len(), docs.len());
+                assert!(matches!(results[13], Err(EngineError::Parse(_))));
+                assert_eq!(results[57], Err(EngineError::Undefined));
+                assert!(matches!(results[99], Err(EngineError::Parse(_))));
+                let ok = results.iter().filter(|r| r.is_ok()).count();
+                assert_eq!(ok, 97, "every well-formed document must succeed");
+            }
+        }
+    }
+
+    /// With a bound configured, a copying transducer cannot be used to
+    /// materialize an exponential output — the DAG pre-flight rejects the
+    /// document (in every mode) while small documents still succeed.
+    #[test]
+    fn output_bound_rejects_exponential_outputs_cheaply() {
+        let copier = examples::monadic_to_binary().dtop; // output 2^(depth+1)-1 nodes
+        let engine = Engine::new(EngineOptions {
+            max_output_nodes: Some(10_000),
+            workers: 1,
+            ..EngineOptions::default()
+        });
+        let mut deep = String::from("e");
+        for _ in 0..200 {
+            deep = format!("f({deep})"); // output ~2^201 nodes, saturates u64
+        }
+        let docs = vec!["f(f(e))".to_owned(), deep, "e".to_owned()];
+        for mode in [
+            EvalMode::Compiled,
+            EvalMode::Streaming,
+            EvalMode::Dag,
+            EvalMode::TreeWalk,
+        ] {
+            let results = engine.transform_batch_with(&copier, &docs, mode, DocFormat::Term);
+            assert_eq!(results[0].as_deref(), Ok("g(g(e,e),g(e,e))"), "{mode:?}");
+            assert!(
+                matches!(results[1], Err(EngineError::OutputTooLarge(n)) if n > 10_000),
+                "{mode:?}: {:?}",
+                results[1]
+            );
+            assert_eq!(results[2].as_deref(), Ok("e"), "{mode:?}");
+        }
+        // Unbounded engines are unaffected.
+        let unbounded = Engine::new(EngineOptions::default());
+        assert!(unbounded.transform(&copier, "f(f(f(e)))").is_ok());
+    }
+
+    #[test]
+    fn per_request_mode_and_format_override_engine_defaults() {
+        let fix = examples::flip();
+        let engine = Engine::shared(EngineOptions::default()); // Term + Compiled
+        let out = engine
+            .transform_with(
+                &fix.dtop,
+                "<root><a># #</a><b># #</b></root>",
+                EvalMode::Streaming,
+                DocFormat::Xml,
+            )
+            .unwrap();
+        assert_eq!(out, "<root><b># #</b><a># #</a></root>");
+        let batch = engine.transform_batch_with(
+            &fix.dtop,
+            &["root(a(#,#),b(#,#))".to_owned()],
+            EvalMode::Dag,
+            DocFormat::Term,
+        );
+        assert_eq!(batch[0].as_deref(), Ok("root(b(#,#),a(#,#))"));
     }
 
     #[test]

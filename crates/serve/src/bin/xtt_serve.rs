@@ -1,0 +1,154 @@
+//! `xtt-serve` — the transformation service as a process.
+//!
+//! ```console
+//! $ xtt-serve --addr 127.0.0.1:0 --preload flip
+//! xtt-serve listening on http://127.0.0.1:40123
+//! ```
+//!
+//! `--addr …:0` picks an ephemeral port; the actual address is printed on
+//! stdout (and flushed) so scripts can scrape it. SIGTERM/SIGINT or
+//! `POST /shutdown` drain gracefully; the process exits 0 once the last
+//! in-flight request is answered.
+
+use std::io::Write;
+
+use xtt_engine::{DocFormat, EvalMode};
+use xtt_serve::{signal, ServeOptions, Server};
+use xtt_transducer::examples;
+
+const USAGE: &str = "\
+xtt-serve: HTTP serving front end for learned tree transducers
+
+USAGE: xtt-serve [OPTIONS]
+
+OPTIONS:
+  --addr <ip:port>        bind address (port 0 = ephemeral) [default: 127.0.0.1:7878]
+  --workers <N>           request worker threads (0 = auto)  [default: 0]
+  --queue <N>             backpressure queue capacity        [default: 128]
+  --cache <N>             compiled-transducer LRU capacity   [default: 8]
+  --max-output <N>        per-document output-tree node bound
+                          (0 = unbounded)                    [default: 10000000]
+  --mode <tree|stream|dag|walk>  default evaluator           [default: tree]
+  --format <term|xml>     default document syntax            [default: term]
+  --preload <names>       comma-separated built-ins to register at boot
+                          (flip, library, copy)
+  --help                  print this help
+";
+
+struct Args {
+    addr: String,
+    opts: ServeOptions,
+    preload: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_owned(),
+        opts: ServeOptions::default(),
+        preload: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers value".to_owned())?
+            }
+            "--queue" => {
+                args.opts.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| "bad --queue value".to_owned())?
+            }
+            "--cache" => {
+                args.opts.engine.cache_capacity = value("--cache")?
+                    .parse()
+                    .map_err(|_| "bad --cache value".to_owned())?
+            }
+            "--max-output" => {
+                let n: u64 = value("--max-output")?
+                    .parse()
+                    .map_err(|_| "bad --max-output value".to_owned())?;
+                args.opts.engine.max_output_nodes = (n > 0).then_some(n);
+            }
+            "--mode" => {
+                let name = value("--mode")?;
+                args.opts.engine.mode =
+                    EvalMode::parse(&name).ok_or_else(|| format!("unknown mode '{name}'"))?;
+            }
+            "--format" => {
+                let name = value("--format")?;
+                args.opts.engine.format =
+                    DocFormat::parse(&name).ok_or_else(|| format!("unknown format '{name}'"))?;
+            }
+            "--preload" => {
+                args.preload = value("--preload")?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn preload(server: &Server, names: &[String]) -> Result<(), String> {
+    let handle = server.handle();
+    for name in names {
+        let dtop = match name.as_str() {
+            "flip" => examples::flip().dtop,
+            "library" => examples::library().dtop,
+            "copy" => examples::monadic_to_binary().dtop,
+            other => return Err(format!("unknown preload '{other}'")),
+        };
+        let entry = handle
+            .registry()
+            .upload(name, &dtop.to_string())
+            .map_err(|e| format!("preload {name}: {e}"))?;
+        let _ = handle.engine().compiled(&entry.dtop);
+        eprintln!(
+            "preloaded {name} ({} states, {} rules)",
+            entry.dtop.state_count(),
+            entry.dtop.rule_count()
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::bind(&args.addr, args.opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = preload(&server, &args.preload) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!("xtt-serve listening on http://{addr}");
+    std::io::stdout().flush().expect("flush stdout");
+    signal::install();
+    if let Err(e) = server.run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("xtt-serve: drained, bye");
+}

@@ -1,0 +1,110 @@
+//! `ServeClient` — a minimal blocking HTTP client for driving a running
+//! `xtt-serve` over a real socket. This is first-class test support: the
+//! integration tests, the examples, and the CI smoke script all use it
+//! instead of shelling out to curl.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::http::{read_response, Response};
+
+/// One client bound to a server address; each call is one connection.
+#[derive(Clone, Debug)]
+pub struct ServeClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl ServeClient {
+    pub fn new(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        Ok(ServeClient {
+            addr,
+            timeout: Duration::from_secs(30),
+        })
+    }
+
+    pub fn with_timeout(mut self, timeout: Duration) -> ServeClient {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sends one request; `target` includes the query string.
+    pub fn request(&self, method: &str, target: &str, body: &str) -> io::Result<Response> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        read_response(&mut stream).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// `GET /healthz` → true iff the server answers 200.
+    pub fn healthz(&self) -> bool {
+        self.request("GET", "/healthz", "")
+            .map(|r| r.status == 200)
+            .unwrap_or(false)
+    }
+
+    /// Uploads term-syntax rules under `name`.
+    pub fn put_transducer(&self, name: &str, rules: &str) -> io::Result<Response> {
+        self.request("PUT", &format!("/transducers/{name}"), rules)
+    }
+
+    /// Learns a transducer from `input => output` sample lines.
+    pub fn learn_transducer(&self, name: &str, sample: &str) -> io::Result<Response> {
+        self.request("PUT", &format!("/transducers/{name}?learn=1"), sample)
+    }
+
+    /// Transforms a batch (one document per line); `query` is e.g.
+    /// `"?mode=stream&format=xml"` or `""`. Returns the response and the
+    /// per-document result lines, positionally.
+    pub fn transform(
+        &self,
+        name: &str,
+        query: &str,
+        docs: &[&str],
+    ) -> io::Result<(Response, Vec<String>)> {
+        let mut body = docs.join("\n");
+        body.push('\n');
+        let response = self.request("POST", &format!("/transform/{name}{query}"), &body)?;
+        let lines = response
+            .body_str()
+            .lines()
+            .map(str::to_owned)
+            .collect::<Vec<_>>();
+        Ok((response, lines))
+    }
+
+    /// `GET /stats` (raw JSON).
+    pub fn stats(&self) -> io::Result<Response> {
+        self.request("GET", "/stats", "")
+    }
+
+    /// `POST /shutdown` — asks the server to drain and exit.
+    pub fn shutdown(&self) -> io::Result<Response> {
+        self.request("POST", "/shutdown", "")
+    }
+
+    /// Polls `/healthz` until the server answers or the deadline passes.
+    pub fn wait_ready(&self, deadline: Duration) -> bool {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < deadline {
+            if self.healthz() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        false
+    }
+}

@@ -1,0 +1,512 @@
+//! A hand-rolled HTTP/1.1 layer: exactly what the server needs, nothing
+//! more. Requests carry bodies via `Content-Length` only (chunked request
+//! bodies are rejected with `501`); responses are written either with
+//! `Content-Length` or chunked (the transform endpoint streams one chunk
+//! per document). Every exchange is one request per connection
+//! (`Connection: close`), which keeps the worker pool accounting exact.
+//!
+//! The workspace policy is to implement substrates rather than pull
+//! dependencies — the environment is fully offline, so hyper/tokio are
+//! not an option anyway.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Cap on the request line + headers.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Errors while reading a request or response.
+#[derive(Debug)]
+pub enum HttpError {
+    Io(io::Error),
+    /// Syntactically broken request (maps to `400`).
+    Malformed(String),
+    /// Head or body over the configured limit (maps to `431`/`413`).
+    TooLarge(&'static str),
+    /// A feature this server deliberately does not speak (maps to `501`).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(w) => write!(f, "{w} too large"),
+            HttpError::Unsupported(w) => write!(f, "unsupported: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    /// Percent-decoded path, without the query string.
+    pub path: String,
+    /// Percent-decoded `key=value` pairs, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Malformed("body is not valid UTF-8".into()))
+    }
+}
+
+/// Reads one request from the stream (`Content-Length` bodies only).
+pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, HttpError> {
+    let (head, mut leftover) = read_head(stream)?;
+    let head = String::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("head is not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_owned();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Unsupported("HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line: {line}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if header("transfer-encoding").is_some() {
+        return Err(HttpError::Unsupported(
+            "chunked request bodies (send Content-Length)",
+        ));
+    }
+    let content_length: usize = match header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length: {v}")))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::TooLarge("body"));
+    }
+    let mut body = std::mem::take(&mut leftover);
+    if body.len() > content_length {
+        return Err(HttpError::Malformed(
+            "more body bytes than Content-Length".into(),
+        ));
+    }
+    while body.len() < content_length {
+        let mut buf = [0u8; 8192];
+        let want = (content_length - body.len()).min(buf.len());
+        let n = stream.read(&mut buf[..want])?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+
+    let (path, query) = match target.split_once('?') {
+        None => (percent_decode(target), Vec::new()),
+        Some((p, q)) => (percent_decode(p), parse_query(q)),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Reads up to and including the `\r\n\r\n` head terminator; returns the
+/// head bytes (terminator stripped) and any body bytes read past it.
+fn read_head(stream: &mut dyn Read) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        if let Some(pos) = find_subsequence(&buf, b"\r\n\r\n") {
+            let rest = buf.split_off(pos + 4);
+            buf.truncate(pos);
+            return Ok((buf, rest));
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        let mut chunk = [0u8; 2048];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before the end of the headers".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Minimal percent-decoding (`%XX`; `+`-as-space is *not* applied —
+/// transducer names and modes never contain spaces).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut decoded = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let (Some(hi), Some(lo)) = (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                decoded.push(hi * 16 + lo);
+                i += 3;
+                continue;
+            }
+        }
+        decoded.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&decoded).into_owned()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// The reason phrase for the handful of status codes the server uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        207 => "Multi-Status",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Content-Length` response.
+pub fn write_response(
+    stream: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nConnection: close\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A chunked-transfer response in progress (one [`ChunkedWriter::chunk`]
+/// call per document on the transform endpoint).
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut dyn Write,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and switches the body to chunked framing.
+    pub fn start(
+        stream: &'a mut dyn Write,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(&str, String)],
+    ) -> io::Result<ChunkedWriter<'a>> {
+        let mut head = format!(
+            "HTTP/1.1 {status} {}\r\nConnection: close\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\n",
+            reason(status)
+        );
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(()); // an empty chunk would terminate the body
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")
+    }
+
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// A response as read back by the client: status, headers, decoded body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads a full response (Content-Length, chunked, or read-to-EOF).
+pub fn read_response(stream: &mut dyn Read) -> Result<Response, HttpError> {
+    let (head, leftover) = read_head(stream)?;
+    let head = String::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("head is not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line: {status_line}")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let mut rest = leftover;
+    let body = if find("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+        decode_chunked(stream, &mut rest)?
+    } else if let Some(len) = find("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+        while rest.len() < len {
+            let mut buf = [0u8; 8192];
+            let n = stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(HttpError::Malformed("connection closed mid-body".into()));
+            }
+            rest.extend_from_slice(&buf[..n]);
+        }
+        rest.truncate(len);
+        rest
+    } else {
+        // Read to EOF.
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf)?;
+        rest.extend_from_slice(&buf);
+        rest
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Largest chunk a client will buffer; a bigger size line is treated as
+/// a corrupt peer rather than an allocation request.
+const MAX_CHUNK: usize = 1 << 30;
+
+/// Decodes a chunked body; `rest` holds bytes already read past the head.
+fn decode_chunked(stream: &mut dyn Read, rest: &mut Vec<u8>) -> Result<Vec<u8>, HttpError> {
+    let mut out = Vec::new();
+    loop {
+        let line = read_line(stream, rest)?;
+        let size_str = line.split(';').next().unwrap_or_default().trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| HttpError::Malformed(format!("bad chunk size: {size_str}")))?;
+        if size > MAX_CHUNK {
+            return Err(HttpError::Malformed(format!(
+                "chunk size {size} exceeds the {MAX_CHUNK}-byte cap"
+            )));
+        }
+        while rest.len() < size + 2 {
+            let mut buf = [0u8; 8192];
+            let n = stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(HttpError::Malformed("connection closed mid-chunk".into()));
+            }
+            rest.extend_from_slice(&buf[..n]);
+        }
+        out.extend_from_slice(&rest[..size]);
+        rest.drain(..size + 2); // chunk data + CRLF
+        if size == 0 {
+            return Ok(out);
+        }
+    }
+}
+
+/// Reads one CRLF-terminated line out of `rest`, refilling from the stream.
+fn read_line(stream: &mut dyn Read, rest: &mut Vec<u8>) -> Result<String, HttpError> {
+    loop {
+        if let Some(pos) = find_subsequence(rest, b"\r\n") {
+            let line = String::from_utf8_lossy(&rest[..pos]).into_owned();
+            rest.drain(..pos + 2);
+            return Ok(line);
+        }
+        let mut buf = [0u8; 1024];
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-line".into()));
+        }
+        rest.extend_from_slice(&buf[..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_put_with_body() {
+        let raw =
+            b"PUT /transducers/flip?learn=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut &raw[..], 1024).unwrap();
+        assert_eq!(req.method, "PUT");
+        assert_eq!(req.path, "/transducers/flip");
+        assert_eq!(req.query_param("learn"), Some("1"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn percent_decoding_applies_to_path_and_query() {
+        let raw = b"GET /transducers/my%2dname?mode=tree&x=a%20b HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..], 1024).unwrap();
+        assert_eq!(req.path, "/transducers/my-name");
+        assert_eq!(req.query_param("x"), Some("a b"));
+    }
+
+    #[test]
+    fn rejects_chunked_requests_and_oversized_bodies() {
+        let raw = b"POST /t HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &raw[..], 1024),
+            Err(HttpError::Unsupported(_))
+        ));
+        let raw = b"POST /t HTTP/1.1\r\nContent-Length: 2048\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &raw[..], 1024),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn content_length_response_roundtrips() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            200,
+            "text/plain",
+            &[("X-Extra", "1".into())],
+            b"hi",
+        )
+        .unwrap();
+        let resp = read_response(&mut &wire[..]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-extra"), Some("1"));
+        assert_eq!(resp.body, b"hi");
+    }
+
+    #[test]
+    fn chunked_response_roundtrips() {
+        let mut wire = Vec::new();
+        {
+            let mut w = ChunkedWriter::start(&mut wire, 207, "text/plain", &[]).unwrap();
+            w.chunk(b"line one\n").unwrap();
+            w.chunk(b"").unwrap(); // ignored, must not terminate
+            w.chunk(b"line two\n").unwrap();
+            w.finish().unwrap();
+        }
+        let resp = read_response(&mut &wire[..]).unwrap();
+        assert_eq!(resp.status, 207);
+        assert_eq!(resp.body_str(), "line one\nline two\n");
+    }
+}

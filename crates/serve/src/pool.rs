@@ -1,0 +1,171 @@
+//! The bounded connection queue between the acceptor and the worker pool.
+//!
+//! Backpressure is explicit: the queue has a fixed capacity, a full queue
+//! makes [`WorkQueue::push`] fail (the acceptor answers `503` and closes),
+//! and nothing in the server ever buffers an unbounded number of
+//! connections. Shutdown is cooperative: once [`WorkQueue::shutdown`] is
+//! called, pushes fail, pops drain what is queued, and [`WorkQueue::pop`]
+//! returns `None` when the queue is dry — in-flight requests finish
+//! first, which is what makes shutdown graceful.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    shutdown: bool,
+}
+
+/// A bounded MPMC queue with drain-on-shutdown semantics.
+pub struct WorkQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+    /// Items popped but not yet finished (see [`InFlightGuard`]).
+    in_flight: AtomicUsize,
+}
+
+/// Error returned by [`WorkQueue::push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — shed the load.
+    Full,
+    /// The queue is shutting down — stop accepting.
+    ShuttingDown,
+}
+
+/// Decrements the in-flight count when the worker finishes an item.
+pub struct InFlightGuard<'a, T> {
+    queue: &'a WorkQueue<T>,
+}
+
+impl<T> Drop for InFlightGuard<'_, T> {
+    fn drop(&mut self) {
+        self.queue.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<T> WorkQueue<T> {
+    pub fn new(capacity: usize) -> WorkQueue<T> {
+        WorkQueue {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues an item, failing fast when full or shutting down. On
+    /// failure the item is handed back so the caller can answer `503`.
+    pub fn push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.lock();
+        if inner.shutdown {
+            return Err((item, PushError::ShuttingDown));
+        }
+        if inner.queue.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        inner.queue.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item. Returns `None` only when the queue is
+    /// shutting down *and* fully drained. The returned guard keeps the
+    /// item counted as in-flight until the worker drops it.
+    pub fn pop(&self) -> Option<(T, InFlightGuard<'_, T>)> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                // Count in-flight before releasing the lock so the drain
+                // check (empty && none in flight) can never miss it.
+                self.in_flight.fetch_add(1, Ordering::SeqCst);
+                return Some((item, InFlightGuard { queue: self }));
+            }
+            if inner.shutdown {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(inner, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Flips the shutdown flag and wakes every waiting worker.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.ready.notify_all();
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    /// True once the queue is empty and no popped item is still being
+    /// processed — the graceful-drain condition.
+    pub fn drained(&self) -> bool {
+        let inner = self.lock();
+        inner.queue.is_empty() && self.in_flight.load(Ordering::SeqCst) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_fails_fast_when_full() {
+        let q: WorkQueue<u32> = WorkQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err((3, PushError::Full)));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_items_then_returns_none() {
+        let q: WorkQueue<u32> = WorkQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.shutdown();
+        assert_eq!(q.push(3), Err((3, PushError::ShuttingDown)));
+        let (a, ga) = q.pop().unwrap();
+        assert!(!q.drained(), "item a is in flight");
+        drop(ga);
+        let (b, gb) = q.pop().unwrap();
+        drop(gb);
+        assert_eq!((a, b), (1, 2));
+        assert!(q.pop().is_none());
+        assert!(q.drained());
+    }
+
+    #[test]
+    fn pop_blocks_until_an_item_arrives() {
+        let q = std::sync::Arc::new(WorkQueue::<u32>::new(4));
+        let q2 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop().map(|(v, _g)| v));
+        std::thread::sleep(Duration::from_millis(30));
+        q.push(7).unwrap();
+        assert_eq!(t.join().unwrap(), Some(7));
+    }
+}

@@ -1,0 +1,501 @@
+//! The long-lived server: a bounded thread-pool acceptor around a shared
+//! [`Engine`], routing the handful of endpoints of the transformation
+//! service.
+//!
+//! ```text
+//! PUT    /transducers/{name}[?learn=1]   upload term-syntax rules, or learn
+//!                                        from `input => output` sample lines
+//! GET    /transducers                    list registered transducers
+//! GET    /transducers/{name}             one transducer's summary
+//! DELETE /transducers/{name}             unregister
+//! POST   /transform/{name}?mode=&format= newline-delimited batch transform;
+//!                                        chunked response, one line per doc,
+//!                                        failures positional (`!error: …`)
+//! GET    /healthz                        liveness
+//! GET    /stats                          counters (engine cache, queue, latency)
+//! POST   /shutdown                       graceful shutdown (drain, then exit)
+//! ```
+//!
+//! Concurrency model: one acceptor thread (the caller of [`Server::run`])
+//! accepts connections into a bounded [`WorkQueue`]; `N` worker threads
+//! pop and answer one request per connection. A full queue is answered
+//! `503` immediately — the server never buffers unboundedly. Shutdown
+//! (SIGTERM/SIGINT in the binary, `POST /shutdown` anywhere) stops the
+//! acceptor, drains the queue, finishes in-flight requests, and joins the
+//! workers before [`Server::run`] returns.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xtt_engine::{DocFormat, Engine, EngineOptions, EvalMode};
+
+use crate::http::{read_request, write_response, ChunkedWriter, HttpError, Request};
+use crate::pool::{PushError, WorkQueue};
+use crate::registry::{self, escape_json, Registry, Source};
+use crate::signal;
+use crate::stats::ServerStats;
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Worker threads answering requests; 0 = one per available CPU.
+    pub workers: usize,
+    /// Backpressure bound: connections queued ahead of the workers.
+    pub queue_capacity: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body: usize,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+    /// The wrapped engine (cache capacity, default mode/format, batch
+    /// workers *inside* one transform request).
+    pub engine: EngineOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            workers: 0,
+            queue_capacity: 128,
+            max_body: 64 * 1024 * 1024,
+            io_timeout: Duration::from_secs(30),
+            engine: EngineOptions {
+                // A copying transducer turns a 100-byte document into an
+                // exponential output; a server must bound what it will
+                // materialize (cheap DAG pre-flight, per-document error).
+                max_output_nodes: Some(10_000_000),
+                ..EngineOptions::default()
+            },
+        }
+    }
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    registry: Registry,
+    stats: ServerStats,
+    queue: WorkQueue<TcpStream>,
+    opts: ServeOptions,
+}
+
+/// A cloneable handle for observing and stopping a running server.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Triggers graceful shutdown (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.queue.shutdown();
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.queue.is_shutting_down()
+    }
+
+    /// The `/stats` JSON snapshot.
+    pub fn stats_json(&self) -> String {
+        self.shared.stats_json()
+    }
+
+    /// The engine shared with the server (e.g. to pre-warm transducers).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// The transducer registry (e.g. to preload examples at boot).
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+}
+
+/// The bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener (`port 0` picks an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, opts: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                engine: Engine::shared(opts.engine),
+                registry: Registry::new(),
+                stats: ServerStats::default(),
+                queue: WorkQueue::new(opts.queue_capacity),
+                opts,
+            }),
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until shutdown, then drains and joins the
+    /// workers. Blocking; returns once the last in-flight request is
+    /// answered.
+    pub fn run(self) -> io::Result<()> {
+        let Server { listener, shared } = self;
+        listener.set_nonblocking(true)?;
+        let worker_count = if shared.opts.workers == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            shared.opts.workers
+        };
+        let workers: Vec<_> = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("xtt-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        while !shared.queue.is_shutting_down() {
+            if signal::triggered() {
+                shared.queue.shutdown();
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    match shared.queue.push(stream) {
+                        Ok(()) => {
+                            shared
+                                .stats
+                                .queue_depth
+                                .store(shared.queue.depth(), Ordering::Relaxed);
+                        }
+                        Err((mut stream, why)) => {
+                            // Backpressure: answer 503 inline and close —
+                            // never buffer beyond the bounded queue.
+                            let message = match why {
+                                PushError::Full => "queue full, retry later\n",
+                                PushError::ShuttingDown => "shutting down\n",
+                            };
+                            let _ = stream.set_nonblocking(false);
+                            let _ = write_response(
+                                &mut stream,
+                                503,
+                                "text/plain",
+                                &[("Retry-After", "1".to_owned())],
+                                message.as_bytes(),
+                            );
+                            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+
+        // Graceful drain: queued connections are still answered, then the
+        // workers see (shutdown && empty) and exit.
+        while !shared.queue.drained() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some((mut stream, _guard)) = shared.queue.pop() {
+        shared
+            .stats
+            .queue_depth
+            .store(shared.queue.depth(), Ordering::Relaxed);
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(shared.opts.io_timeout));
+        let _ = stream.set_write_timeout(Some(shared.opts.io_timeout));
+        let result = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, &mut stream)));
+        match result {
+            Ok(_) => {}
+            Err(_) => {
+                shared.stats.handler_panics.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut stream,
+                    500,
+                    "text/plain",
+                    &[],
+                    b"internal error: handler panicked\n",
+                );
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) -> io::Result<()> {
+    let request = match read_request(stream, shared.opts.max_body) {
+        Ok(r) => r,
+        Err(e) => {
+            let (status, message) = match &e {
+                HttpError::Io(_) => return Ok(()), // peer went away
+                HttpError::Malformed(m) => (400, m.clone()),
+                HttpError::TooLarge("request head") => (431, e.to_string()),
+                HttpError::TooLarge(_) => (413, e.to_string()),
+                HttpError::Unsupported(_) => (501, e.to_string()),
+            };
+            return write_response(
+                stream,
+                status,
+                "text/plain",
+                &[],
+                format!("{message}\n").as_bytes(),
+            );
+        }
+    };
+    route(shared, &request, stream)
+}
+
+fn route(shared: &Shared, req: &Request, stream: &mut TcpStream) -> io::Result<()> {
+    let started = Instant::now();
+    let segments: Vec<&str> = req
+        .path
+        .trim_matches('/')
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let r = write_response(stream, 200, "text/plain", &[], b"ok\n");
+            shared.stats.health.record(started, false);
+            r
+        }
+        ("GET", ["stats"]) => {
+            let body = shared.stats_json();
+            let r = write_response(stream, 200, "application/json", &[], body.as_bytes());
+            shared.stats.stats.record(started, false);
+            r
+        }
+        ("GET", ["transducers"]) => {
+            let body = shared.registry.list_json();
+            let r = write_response(stream, 200, "application/json", &[], body.as_bytes());
+            shared.stats.transducers.record(started, false);
+            r
+        }
+        ("GET", ["transducers", name]) => {
+            let (status, body) = match shared.registry.get(name) {
+                Some(entry) => (200, entry.json()),
+                None => (404, error_json("unknown transducer")),
+            };
+            let r = write_response(stream, status, "application/json", &[], body.as_bytes());
+            shared.stats.transducers.record(started, status >= 400);
+            r
+        }
+        ("PUT", ["transducers", name]) => {
+            let (status, body) = put_transducer(shared, req, name);
+            let r = write_response(stream, status, "application/json", &[], body.as_bytes());
+            shared.stats.transducers.record(started, status >= 400);
+            r
+        }
+        ("DELETE", ["transducers", name]) => {
+            let status = if shared.registry.remove(name) {
+                204
+            } else {
+                404
+            };
+            let r = write_response(stream, status, "text/plain", &[], b"");
+            shared.stats.transducers.record(started, status >= 400);
+            r
+        }
+        ("POST", ["transform", name]) => transform(shared, req, name, stream, started),
+        ("POST", ["shutdown"]) => {
+            let r = write_response(stream, 200, "text/plain", &[], b"draining\n");
+            shared.stats.other.record(started, false);
+            shared.queue.shutdown();
+            r
+        }
+        (_, ["healthz" | "stats" | "shutdown"]) | (_, ["transducers" | "transform", ..]) => {
+            let r = write_response(stream, 405, "text/plain", &[], b"method not allowed\n");
+            shared.stats.other.record(started, true);
+            r
+        }
+        _ => {
+            let r = write_response(stream, 404, "text/plain", &[], b"no such endpoint\n");
+            shared.stats.other.record(started, true);
+            r
+        }
+    }
+}
+
+fn put_transducer(shared: &Shared, req: &Request, name: &str) -> (u16, String) {
+    if !Registry::valid_name(name) {
+        return (
+            400,
+            error_json("transducer names are [A-Za-z0-9_.-], at most 64 bytes"),
+        );
+    }
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return (400, error_json(&e.to_string())),
+    };
+    let learn = match req.query_param("learn") {
+        None | Some("0") | Some("false") => false,
+        Some("1") | Some("true") => true,
+        Some(other) => {
+            return (
+                400,
+                error_json(&format!("bad learn value '{other}' (use 1 or true)")),
+            )
+        }
+    };
+    let (dtop, source) = match if learn {
+        registry::learn_dtop(body).map(|d| (d, Source::Learned))
+    } else {
+        registry::parse_rules(body).map(|d| (d, Source::Uploaded))
+    } {
+        Ok(parsed) => parsed,
+        Err(e) => return (422, error_json(&e.to_string())),
+    };
+    // Compile *before* registering: a transducer the engine cannot run is
+    // rejected here instead of poisoning every later transform — and a
+    // successful compile pre-warms the fingerprint LRU, so the first
+    // transform after a hot swap never pays the compile.
+    if let Err(e) = shared.engine.compiled(&dtop) {
+        return (
+            422,
+            error_json(&format!("transducer does not compile: {e}")),
+        );
+    }
+    let entry = shared.registry.register(name, dtop, source);
+    (201, entry.json())
+}
+
+fn transform(
+    shared: &Shared,
+    req: &Request,
+    name: &str,
+    stream: &mut TcpStream,
+    started: Instant,
+) -> io::Result<()> {
+    let Some(entry) = shared.registry.get(name) else {
+        let r = write_response(
+            stream,
+            404,
+            "application/json",
+            &[],
+            error_json("unknown transducer").as_bytes(),
+        );
+        shared.stats.transform.record(started, true);
+        return r;
+    };
+    let mode = match optional(req.query_param("mode"), EvalMode::parse) {
+        Ok(m) => m.unwrap_or(shared.opts.engine.mode),
+        Err(v) => return bad_param(shared, stream, started, "mode", &v),
+    };
+    let format = match optional(req.query_param("format"), DocFormat::parse) {
+        Ok(f) => f.unwrap_or(shared.opts.engine.format),
+        Err(v) => return bad_param(shared, stream, started, "format", &v),
+    };
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => {
+            let r = write_response(
+                stream,
+                400,
+                "application/json",
+                &[],
+                error_json(&e.to_string()).as_bytes(),
+            );
+            shared.stats.transform.record(started, true);
+            return r;
+        }
+    };
+    // One document per line, positions preserved exactly; only the final
+    // newline's empty remainder is dropped.
+    let mut docs: Vec<String> = body.split('\n').map(|l| l.trim().to_owned()).collect();
+    if docs.last().is_some_and(String::is_empty) {
+        docs.pop();
+    }
+    let results = shared
+        .engine
+        .transform_batch_with(&entry.dtop, &docs, mode, format);
+    let failed = results.iter().filter(|r| r.is_err()).count();
+    shared
+        .stats
+        .documents
+        .fetch_add(results.len() as u64, Ordering::Relaxed);
+    shared
+        .stats
+        .document_errors
+        .fetch_add(failed as u64, Ordering::Relaxed);
+    let status = if failed == 0 { 200 } else { 207 };
+    let headers = [
+        ("X-Xtt-Docs", results.len().to_string()),
+        ("X-Xtt-Failed", failed.to_string()),
+    ];
+    let mut writer = ChunkedWriter::start(stream, status, "text/plain", &headers)?;
+    for result in &results {
+        let line = match result {
+            Ok(text) => format!("{text}\n"),
+            Err(e) => format!("!error: {e}\n"),
+        };
+        writer.chunk(line.as_bytes())?;
+    }
+    let r = writer.finish();
+    shared.stats.transform.record(started, status >= 400);
+    r
+}
+
+fn optional<T>(
+    value: Option<&str>,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Option<T>, String> {
+    match value {
+        None => Ok(None),
+        Some(v) => parse(v).map(Some).ok_or_else(|| v.to_owned()),
+    }
+}
+
+fn bad_param(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    started: Instant,
+    param: &str,
+    value: &str,
+) -> io::Result<()> {
+    let r = write_response(
+        stream,
+        400,
+        "application/json",
+        &[],
+        error_json(&format!("bad {param}: {value}")).as_bytes(),
+    );
+    shared.stats.transform.record(started, true);
+    r
+}
+
+impl Shared {
+    fn stats_json(&self) -> String {
+        self.stats.json(
+            self.engine.cache_stats(),
+            self.registry.len(),
+            self.queue.capacity(),
+        )
+    }
+}
+
+fn error_json(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}\n", escape_json(message))
+}

@@ -1,0 +1,53 @@
+//! Dependency-free SIGTERM/SIGINT hooks (the binary's graceful-shutdown
+//! trigger). `std` has no signal API and the workspace vendors no `libc`
+//! crate, but `std` already links the platform libc, so the two symbols
+//! we need are declared here directly. The handler only stores into an
+//! atomic — the strictest async-signal-safety there is.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `signal(2)` from the libc that `std` already links.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (no-op off unix). Call once from
+/// the binary before entering the accept loop.
+pub fn install() {
+    imp::install();
+}
+
+/// True once a hooked signal has fired. The server's accept loop polls
+/// this; `POST /shutdown` and `ServeHandle::shutdown` bypass it and flip
+/// the per-server queue flag directly.
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}

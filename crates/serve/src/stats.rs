@@ -1,0 +1,97 @@
+//! Lock-free observability counters behind `/stats`.
+//!
+//! Everything is a relaxed atomic: the counters are monotone and the
+//! endpoint only needs an eventually-consistent snapshot, so the hot
+//! path pays one `fetch_add` per event and never takes a lock.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Per-endpoint latency/count counters.
+#[derive(Default)]
+pub struct EndpointStats {
+    pub count: AtomicU64,
+    pub errors: AtomicU64,
+    pub total_micros: AtomicU64,
+    pub max_micros: AtomicU64,
+}
+
+impl EndpointStats {
+    /// Records one request; `error` means a non-2xx response.
+    pub fn record(&self, started: Instant, error: bool) {
+        let micros = started.elapsed().as_micros() as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"errors\":{},\"total_us\":{},\"max_us\":{}}}",
+            self.count.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.total_micros.load(Ordering::Relaxed),
+            self.max_micros.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// All server counters; one instance shared by the acceptor and workers.
+#[derive(Default)]
+pub struct ServerStats {
+    /// Connections turned away with `503` because the queue was full.
+    pub rejected: AtomicU64,
+    /// Connections accepted into the queue.
+    pub accepted: AtomicU64,
+    /// Current queue depth (mirrors the queue, for the snapshot).
+    pub queue_depth: AtomicUsize,
+    /// Requests whose handler panicked (answered `500`).
+    pub handler_panics: AtomicU64,
+    /// Documents seen / failed on the transform endpoint.
+    pub documents: AtomicU64,
+    pub document_errors: AtomicU64,
+    pub transform: EndpointStats,
+    pub transducers: EndpointStats,
+    pub health: EndpointStats,
+    pub stats: EndpointStats,
+    pub other: EndpointStats,
+}
+
+impl ServerStats {
+    /// Renders the `/stats` snapshot, splicing in the engine cache
+    /// counters and the live transducer count.
+    pub fn json(
+        &self,
+        cache: xtt_engine::CacheStats,
+        transducers: usize,
+        capacity: usize,
+    ) -> String {
+        format!(
+            "{{\"engine\":{{\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{}}},\
+             \"queue\":{{\"depth\":{},\"capacity\":{},\"accepted\":{},\"rejected\":{}}},\
+             \"documents\":{{\"total\":{},\"errors\":{}}},\
+             \"handler_panics\":{},\
+             \"transducers\":{},\
+             \"endpoints\":{{\"transform\":{},\"transducers\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}",
+            cache.hits,
+            cache.misses,
+            cache.entries,
+            self.queue_depth.load(Ordering::Relaxed),
+            capacity,
+            self.accepted.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.documents.load(Ordering::Relaxed),
+            self.document_errors.load(Ordering::Relaxed),
+            self.handler_panics.load(Ordering::Relaxed),
+            transducers,
+            self.transform.json(),
+            self.transducers.json(),
+            self.health.json(),
+            self.stats.json(),
+            self.other.json(),
+        )
+    }
+}

@@ -1,0 +1,288 @@
+//! Integration tests driving a real `xtt-serve` over a socket with
+//! [`ServeClient`] — including the acceptance scenario: upload a
+//! transducer, send a 100-document batch containing malformed documents,
+//! get per-document positional results plus correct `/stats` counters,
+//! and shut down gracefully with in-flight work drained.
+
+use std::time::Duration;
+
+use xtt_engine::EngineOptions;
+use xtt_serve::{ServeClient, ServeOptions, Server};
+use xtt_transducer::examples;
+
+/// Boots a server on an ephemeral port; returns the client, the run-loop
+/// thread handle, and the serve handle.
+fn boot(
+    opts: ServeOptions,
+) -> (
+    ServeClient,
+    std::thread::JoinHandle<std::io::Result<()>>,
+    xtt_serve::ServeHandle,
+) {
+    let server = Server::bind("127.0.0.1:0", opts).expect("bind ephemeral");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    let client = ServeClient::new(addr)
+        .unwrap()
+        .with_timeout(Duration::from_secs(10));
+    assert!(client.wait_ready(Duration::from_secs(5)), "server not up");
+    (client, runner, handle)
+}
+
+fn small_opts() -> ServeOptions {
+    ServeOptions {
+        workers: 4,
+        queue_capacity: 64,
+        engine: EngineOptions {
+            workers: 2,
+            // Inherit the serve defaults (notably max_output_nodes) —
+            // `EngineOptions::default()` is the *library* default, which
+            // is unbounded.
+            ..ServeOptions::default().engine
+        },
+        ..ServeOptions::default()
+    }
+}
+
+#[test]
+fn acceptance_upload_batch_stats_graceful_shutdown() {
+    let (client, runner, _handle) = boot(small_opts());
+
+    // Upload the flip transducer in term syntax.
+    let resp = client
+        .put_transducer("flip", &examples::flip().dtop.to_string())
+        .unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_str());
+    let body = resp.body_str();
+    assert!(body.contains("\"name\":\"flip\""), "{body}");
+    assert!(body.contains("\"states\":4"), "{body}");
+
+    // A 100-document batch with two malformed documents and one
+    // out-of-domain document at known positions.
+    let mut docs: Vec<String> = (0..100)
+        .map(|i| examples::flip_input(i % 5, i % 3).to_string())
+        .collect();
+    docs[17] = "root((".to_owned(); // malformed
+    docs[42] = "root(b(#,#),#)".to_owned(); // outside the domain
+    docs[93] = "not a term (".to_owned(); // malformed
+    let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let (resp, lines) = client.transform("flip", "", &doc_refs).unwrap();
+    assert_eq!(resp.status, 207, "partial success is multi-status");
+    assert_eq!(resp.header("x-xtt-docs"), Some("100"));
+    assert_eq!(resp.header("x-xtt-failed"), Some("3"));
+    assert_eq!(lines.len(), 100, "one result line per document");
+    for (i, line) in lines.iter().enumerate() {
+        match i {
+            17 | 93 => assert!(line.starts_with("!error: parse error"), "doc {i}: {line}"),
+            42 => assert!(
+                line.contains("outside the transduction domain"),
+                "doc {i}: {line}"
+            ),
+            _ => {
+                let expected = xtt_transducer::eval(
+                    &examples::flip().dtop,
+                    &xtt_trees::parse_tree(&docs[i]).unwrap(),
+                )
+                .unwrap()
+                .to_string();
+                assert_eq!(line, &expected, "doc {i}");
+            }
+        }
+    }
+
+    // Stats reflect the traffic: the upload compiled once (miss), the
+    // transform hit the fingerprint LRU, and the document counters add up.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.status, 200);
+    let json = stats.body_str();
+    assert!(json.contains("\"cache_misses\":1"), "{json}");
+    assert!(json.contains("\"cache_hits\":1"), "{json}");
+    assert!(
+        json.contains("\"documents\":{\"total\":100,\"errors\":3}"),
+        "{json}"
+    );
+    assert!(json.contains("\"transducers\":1"), "{json}");
+
+    // Graceful shutdown: the server drains and the run loop exits Ok.
+    let resp = client.shutdown().unwrap();
+    assert_eq!(resp.status, 200);
+    runner.join().unwrap().unwrap();
+    assert!(!client.healthz(), "server still answering after shutdown");
+}
+
+#[test]
+fn all_modes_agree_over_the_wire() {
+    let (client, runner, _handle) = boot(small_opts());
+    client
+        .put_transducer("flip", &examples::flip().dtop.to_string())
+        .unwrap();
+    let docs: Vec<String> = (0..20)
+        .map(|i| examples::flip_input(i % 4 + 1, i % 3).to_string())
+        .collect();
+    let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let mut outputs = Vec::new();
+    for mode in ["tree", "stream", "dag", "walk"] {
+        let (resp, lines) = client
+            .transform("flip", &format!("?mode={mode}"), &doc_refs)
+            .unwrap();
+        assert_eq!(resp.status, 200, "mode {mode}");
+        outputs.push(lines);
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[0], outputs[2]);
+    assert_eq!(outputs[0], outputs[3]);
+    client.shutdown().unwrap();
+    runner.join().unwrap().unwrap();
+}
+
+#[test]
+fn xml_format_and_learning_over_the_wire() {
+    use xtt_core::characteristic_sample;
+    use xtt_transducer::canonical_form;
+
+    let (client, runner, _handle) = boot(small_opts());
+
+    // Learn the monadic→binary copier from its characteristic sample.
+    let fix = examples::monadic_to_binary();
+    let canonical = canonical_form(&fix.dtop, Some(&fix.domain)).unwrap();
+    let sample: String = characteristic_sample(&canonical)
+        .unwrap()
+        .pairs()
+        .iter()
+        .map(|(i, o)| format!("{i} => {o}\n"))
+        .collect();
+    let resp = client.learn_transducer("copy", &sample).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_str());
+    assert!(resp.body_str().contains("\"source\":\"learned\""));
+    let (_, lines) = client.transform("copy", "", &["f(f(e))"]).unwrap();
+    assert_eq!(lines, vec!["g(g(e,e),g(e,e))"]);
+
+    // The output bound protects the server from copying blow-ups: a
+    // ~120-byte document whose output would be 2^41 nodes is rejected
+    // positionally; its neighbors still transform.
+    let mut deep = String::from("e");
+    for _ in 0..40 {
+        deep = format!("f({deep})");
+    }
+    let (resp, lines) = client.transform("copy", "", &["f(e)", &deep, "e"]).unwrap();
+    assert_eq!(resp.status, 207);
+    assert_eq!(lines[0], "g(e,e)");
+    assert!(
+        lines[1].starts_with("!error: output too large"),
+        "{}",
+        lines[1]
+    );
+    assert_eq!(lines[2], "e");
+
+    // XML round-trip through the flip transducer, streaming mode.
+    client
+        .put_transducer("flip", &examples::flip().dtop.to_string())
+        .unwrap();
+    let (resp, lines) = client
+        .transform(
+            "flip",
+            "?format=xml&mode=stream",
+            &["<root><a># #</a><b># #</b></root>"],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(lines, vec!["<root><b># #</b><a># #</a></root>"]);
+
+    client.shutdown().unwrap();
+    runner.join().unwrap().unwrap();
+}
+
+#[test]
+fn registry_endpoints_and_errors() {
+    let (client, runner, _handle) = boot(small_opts());
+
+    // Unknown transducer → 404.
+    let (resp, _) = client.transform("nope", "", &["e"]).unwrap();
+    assert_eq!(resp.status, 404);
+    // A slash in the name (raw or percent-encoded) is extra path
+    // segments → 405; an invalid character in a single segment → 400;
+    // bad body → 422; bad mode → 400.
+    let resp = client.put_transducer("a/b", "ax = e").unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = client
+        .request("PUT", "/transducers/bad%20name", "ax = e")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = client.put_transducer("x", "not a transducer").unwrap();
+    assert_eq!(resp.status, 422);
+    client
+        .put_transducer("flip", &examples::flip().dtop.to_string())
+        .unwrap();
+    let (resp, _) = client
+        .transform("flip", "?mode=warp", &["root(#,#)"])
+        .unwrap();
+    assert_eq!(resp.status, 400);
+
+    // List + get + delete.
+    let resp = client.request("GET", "/transducers", "").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_str().starts_with('['), "{}", resp.body_str());
+    let resp = client.request("GET", "/transducers/flip", "").unwrap();
+    assert_eq!(resp.status, 200);
+    let resp = client.request("DELETE", "/transducers/flip", "").unwrap();
+    assert_eq!(resp.status, 204);
+    let resp = client.request("GET", "/transducers/flip", "").unwrap();
+    assert_eq!(resp.status, 404);
+    // Method confusion → 405; unknown path → 404.
+    let resp = client.request("POST", "/healthz", "").unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = client.request("GET", "/nonsense", "").unwrap();
+    assert_eq!(resp.status, 404);
+
+    client.shutdown().unwrap();
+    runner.join().unwrap().unwrap();
+}
+
+/// Shutdown with queued work: everything accepted before the shutdown is
+/// still answered (drain), nothing is lost, and the run loop exits 0.
+#[test]
+fn shutdown_drains_concurrent_requests() {
+    let (client, runner, handle) = boot(ServeOptions {
+        workers: 2,
+        ..small_opts()
+    });
+    client
+        .put_transducer("flip", &examples::flip().dtop.to_string())
+        .unwrap();
+    // Big enough batches that the transforms are still running when the
+    // shutdown lands.
+    let docs: Vec<String> = (0..2000)
+        .map(|i| examples::flip_input(i % 6, i % 4).to_string())
+        .collect();
+    let clients: Vec<_> = (0..8).map(|_| client.clone()).collect();
+    let threads: Vec<_> = clients
+        .into_iter()
+        .map(|c| {
+            let docs = docs.clone();
+            std::thread::spawn(move || {
+                let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+                c.transform("flip", "", &doc_refs)
+            })
+        })
+        .collect();
+    // Trigger shutdown while transforms are in flight.
+    std::thread::sleep(Duration::from_millis(30));
+    handle.shutdown();
+    let mut answered = 0;
+    for t in threads {
+        // A request is either fully answered (accepted before shutdown,
+        // drained to completion) or turned away at accept time (503 /
+        // connection refused) — never half-answered.
+        match t.join().unwrap() {
+            Ok((resp, lines)) if resp.status == 200 => {
+                assert_eq!(lines.len(), docs.len(), "drained response is complete");
+                answered += 1;
+            }
+            Ok((resp, _)) => assert_eq!(resp.status, 503, "unexpected partial answer"),
+            Err(_) => {} // connection refused after the acceptor exited
+        }
+    }
+    runner.join().unwrap().unwrap();
+    assert!(answered >= 1, "drain lost every in-flight request");
+}

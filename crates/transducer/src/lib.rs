@@ -33,6 +33,7 @@ pub mod examples;
 pub mod iopaths;
 pub mod minimize;
 pub mod outputs;
+pub mod parse;
 pub mod random;
 pub mod rhs;
 pub mod witness;
@@ -46,6 +47,7 @@ pub use eval::{eval, eval_cut, eval_naive, eval_state, Evaluator};
 pub use iopaths::{sort_io_paths, state_io_paths, trans_io_paths, IoPath, TransIoPath};
 pub use minimize::{canonical_number, minimize};
 pub use outputs::{out_at, Hole, OutAt};
+pub use parse::parse_dtop;
 pub use random::{random_partial_dtop, random_total_dtop, RandomDtopConfig};
 pub use rhs::{parse_rhs, QId, Rhs, RhsError};
 pub use witness::{root_output_witnesses, root_symbol_witnesses};

@@ -43,6 +43,9 @@ pub struct TreeDag {
     intern: HashMap<DagNode, DagId>,
     /// Memo from `Tree::addr()` to id, so shared subtrees are revisited O(1).
     tree_memo: HashMap<usize, DagId>,
+    /// Per-node tree-unfolding size, maintained at intern time so
+    /// [`TreeDag::tree_size`] is O(1) (saturating at `u64::MAX`).
+    sizes: Vec<u64>,
 }
 
 impl TreeDag {
@@ -66,7 +69,12 @@ impl TreeDag {
         }
         let id = DagId(u32::try_from(self.nodes.len()).expect("DAG too large"));
         self.intern.insert(node.clone(), id);
+        let size = node
+            .children
+            .iter()
+            .fold(1u64, |acc, c| acc.saturating_add(self.sizes[c.index()]));
         self.nodes.push(node);
+        self.sizes.push(size);
         id
     }
 
@@ -118,19 +126,12 @@ impl TreeDag {
     }
 
     /// The number of nodes of the *tree* unfolding rooted at `id`
-    /// (may be exponentially larger than the DAG).
+    /// (may be exponentially larger than the DAG). O(1) — maintained at
+    /// intern time — and saturating at `u64::MAX`: a 100-byte monadic
+    /// input to a copying transducer is enough to overflow 64 bits, and
+    /// callers use this to *bound* work.
     pub fn tree_size(&self, id: DagId) -> u64 {
-        // Children always have smaller ids than their parents, so a single
-        // upward sweep over ids computes all sizes without recursion.
-        let mut sizes = vec![0u64; id.index() + 1];
-        for i in 0..=id.index() {
-            sizes[i] = 1 + self.nodes[i]
-                .children
-                .iter()
-                .map(|c| sizes[c.index()])
-                .sum::<u64>();
-        }
-        sizes[id.index()]
+        self.sizes[id.index()]
     }
 
     /// Number of distinct nodes reachable from `id` (the minimal-DAG size of

@@ -4,7 +4,10 @@
 use proptest::prelude::*;
 use xtt_automata::enumerate_language;
 use xtt_xml::encode::EncodingStyle;
-use xtt_xml::{fcns_decode, fcns_encode, parse_xml, write_xml, Dtd, Encoding, PcDataMode, UTree};
+use xtt_xml::{
+    fcns_decode, fcns_encode, parse_xml, parse_xml_strict, write_xml, Dtd, Encoding, PcDataMode,
+    UTree,
+};
 
 /// Random documents valid for the xmlflip DTD: root(aⁿ bᵐ).
 fn arb_flip_doc() -> impl Strategy<Value = UTree> {
@@ -101,6 +104,122 @@ proptest! {
         prop_assert_eq!(parse_xml(&text).unwrap(), doc.clone());
         let pretty = xtt_xml::write_xml_pretty(&doc);
         prop_assert_eq!(parse_xml(&pretty).unwrap(), doc);
+    }
+}
+
+/// Which pieces of real-world markup the noisy serializer injects. Every
+/// kind is skipped by the lenient parser and a hard error in strict mode.
+#[derive(Clone, Copy, Debug, Default)]
+struct Noise {
+    doctype: bool,
+    leading_comment: bool,
+    inner_comment: bool,
+    inner_pi: bool,
+    root_attribute: bool,
+    cdata_text: bool,
+    trailing_comment: bool,
+}
+
+fn arb_noise() -> impl Strategy<Value = Noise> {
+    // One bit per noise kind (the vendored proptest has no 7-tuples).
+    (0u32..128).prop_map(|bits| Noise {
+        doctype: bits & 1 != 0,
+        leading_comment: bits & 2 != 0,
+        inner_comment: bits & 4 != 0,
+        inner_pi: bits & 8 != 0,
+        root_attribute: bits & 16 != 0,
+        cdata_text: bits & 32 != 0,
+        trailing_comment: bits & 64 != 0,
+    })
+}
+
+/// Serializes `doc` with the selected noise interleaved; returns the text
+/// and how many noise constructs were *actually* emitted (flags that find
+/// no injection point — e.g. CDATA with no text nodes — count zero).
+fn write_noisy(doc: &UTree, noise: Noise) -> (String, usize) {
+    let mut out = String::from("<?xml version=\"1.0\"?>\n"); // legal even in strict mode
+    let mut emitted = 0usize;
+    if noise.doctype {
+        out.push_str("<!DOCTYPE LIBRARY [ <!ELEMENT LIBRARY (BOOK*)> ]>\n");
+        emitted += 1;
+    }
+    if noise.leading_comment {
+        out.push_str("<!-- generated corpus -->\n");
+        emitted += 1;
+    }
+    write_noisy_node(doc, noise, true, &mut out, &mut emitted);
+    if noise.trailing_comment {
+        out.push_str("\n<!-- end of document -->");
+        emitted += 1;
+    }
+    (out, emitted)
+}
+
+fn write_noisy_node(t: &UTree, noise: Noise, is_root: bool, out: &mut String, emitted: &mut usize) {
+    match t {
+        UTree::Text(s) => {
+            if noise.cdata_text {
+                out.push_str(&format!("<![CDATA[{s}]]>"));
+                *emitted += 1;
+            } else {
+                out.push_str(s); // corpus text needs no escaping
+            }
+        }
+        UTree::Elem { label, children } => {
+            out.push_str(&format!("<{label}"));
+            if is_root && noise.root_attribute {
+                out.push_str(" id=\"r1\" class='noisy' defer");
+                *emitted += 1;
+            }
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            if is_root && noise.inner_comment {
+                out.push_str("<!-- first child follows -->");
+                *emitted += 1;
+            }
+            for child in children {
+                write_noisy_node(child, noise, false, out, emitted);
+            }
+            if is_root && noise.inner_pi {
+                out.push_str("<?target instruction data?>");
+                *emitted += 1;
+            }
+            out.push_str(&format!("</{label}>"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// serialize-with-noise → lenient parse is the identity, and strict
+    /// mode rejects exactly the renderings that contain noise.
+    #[test]
+    fn noisy_roundtrip_lenient_identity_strict_exact(
+        doc in arb_library_doc(),
+        noise in arb_noise(),
+    ) {
+        let (text, emitted) = write_noisy(&doc, noise);
+        let lenient = parse_xml(&text);
+        prop_assert_eq!(
+            lenient.unwrap(), doc.clone(),
+            "lenient parse must see through the noise: {}", text
+        );
+        let strict = parse_xml_strict(&text);
+        if emitted == 0 {
+            prop_assert_eq!(
+                strict.unwrap(), doc,
+                "strict must accept the noise-free rendering: {}", text
+            );
+        } else {
+            prop_assert!(
+                strict.is_err(),
+                "strict accepted a rendering with {} noise constructs: {}", emitted, text
+            );
+        }
     }
 }
 

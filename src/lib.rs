@@ -59,10 +59,12 @@
 //! | [`learn`] | `xtt-core` | samples, `RPNIdtop`, characteristic samples |
 //! | [`xml`] | `xtt-xml` | unranked trees, DTDs, encodings, SAX reader, XSLT export |
 //! | [`engine`] | `xtt-engine` | compiled + streaming execution, batch serving, CLI |
+//! | [`serve`] | `xtt-serve` | HTTP transformation service (`xtt-serve` binary) |
 
 pub use xtt_automata as automata;
 pub use xtt_core as learn;
 pub use xtt_engine as engine;
+pub use xtt_serve as serve;
 pub use xtt_transducer as transducer;
 pub use xtt_trees as trees;
 pub use xtt_xml as xml;
@@ -72,10 +74,12 @@ pub mod prelude {
     pub use xtt_automata::{Dtta, DttaBuilder};
     pub use xtt_core::{characteristic_sample, check_characteristic_conditions, rpni_dtop, Sample};
     pub use xtt_engine::{
-        compile, CompiledDtop, Engine, EngineOptions, EvalMode, EvalScratch, StreamEvaluator,
+        compile, CompiledDtop, DocFormat, Engine, EngineOptions, EvalMode, EvalScratch,
+        StreamEvaluator,
     };
+    pub use xtt_serve::{ServeClient, ServeOptions, Server};
     pub use xtt_transducer::{
-        canonical_form, equivalent, eval, same_canonical, Canonical, Dtop, DtopBuilder,
+        canonical_form, equivalent, eval, parse_dtop, same_canonical, Canonical, Dtop, DtopBuilder,
     };
     pub use xtt_trees::{parse_tree, FPath, RankedAlphabet, Symbol, Tree, TreeEvent};
     pub use xtt_xml::{parse_xml, Dtd, Encoding, PcDataMode, UTree};

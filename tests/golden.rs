@@ -1,0 +1,148 @@
+//! Golden-corpus tests: checked-in `(transducer, input, expected)`
+//! triples under `tests/golden/`, each run through all four evaluation
+//! paths — the research tree-walk evaluator, the compiled interpreter,
+//! the streaming evaluator, and the DAG evaluator — and diffed against
+//! the expected output *exactly*. `!undefined` expects all four paths to
+//! agree the input is outside the domain.
+//!
+//! The corpus covers the paper's behavioral families: flipping
+//! (permutation at the root), the library transformation, copying
+//! (exponential output), deletion, relabeling, constant axioms, and
+//! partial (undefined) regions.
+
+use std::path::Path;
+
+use xtt::engine::{compile, EvalScratch, StreamEvaluator};
+use xtt::transducer::{eval, parse_dtop};
+use xtt::trees::{parse_tree, Tree, TreeDag};
+
+struct GoldenCase {
+    name: String,
+    transducer: String,
+    input: String,
+    expected: String,
+}
+
+fn parse_case(name: &str, text: &str) -> GoldenCase {
+    let mut section = String::new();
+    let mut transducer = String::new();
+    let mut input = String::new();
+    let mut expected = String::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("//") || trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix("==") {
+            section = header.trim().to_owned();
+            continue;
+        }
+        match section.as_str() {
+            "transducer" => {
+                transducer.push_str(trimmed);
+                transducer.push('\n');
+            }
+            "input" => input.push_str(trimmed),
+            "expected" => expected.push_str(trimmed),
+            other => panic!("{name}: line outside a known section ({other:?}): {line}"),
+        }
+    }
+    assert!(!transducer.is_empty(), "{name}: missing == transducer");
+    assert!(!input.is_empty(), "{name}: missing == input");
+    assert!(!expected.is_empty(), "{name}: missing == expected");
+    GoldenCase {
+        name: name.to_owned(),
+        transducer,
+        input,
+        expected,
+    }
+}
+
+fn load_corpus() -> Vec<GoldenCase> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut cases = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("tests/golden exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "golden") {
+            let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("readable golden file");
+            cases.push(parse_case(&name, &text));
+        }
+    }
+    cases.sort_by(|a, b| a.name.cmp(&b.name));
+    assert!(
+        cases.len() >= 10,
+        "golden corpus shrank: {} cases",
+        cases.len()
+    );
+    cases
+}
+
+/// All four evaluation paths on one input; `None` = outside the domain.
+fn run_all_paths(case: &GoldenCase, input: &Tree) -> Vec<(&'static str, Option<Tree>)> {
+    let dtop = parse_dtop(&case.transducer)
+        .unwrap_or_else(|e| panic!("{}: bad transducer: {e}", case.name));
+    let compiled = compile(&dtop).unwrap_or_else(|e| panic!("{}: compile failed: {e}", case.name));
+    let mut scratch = EvalScratch::new();
+    let mut stream = StreamEvaluator::new();
+    let mut dag = TreeDag::new();
+    let mut dag_scratch = EvalScratch::new();
+    vec![
+        ("eval", eval(&dtop, input)),
+        ("compiled", compiled.eval(input, &mut scratch)),
+        ("stream", stream.eval_tree(&compiled, input)),
+        (
+            "dag",
+            compiled
+                .eval_dag(input, &mut dag_scratch, &mut dag)
+                .map(|id| dag.extract(id)),
+        ),
+    ]
+}
+
+#[test]
+fn golden_corpus_all_paths_exact() {
+    for case in load_corpus() {
+        let input =
+            parse_tree(&case.input).unwrap_or_else(|e| panic!("{}: bad input: {e}", case.name));
+        for (path, result) in run_all_paths(&case, &input) {
+            match (case.expected.as_str(), result) {
+                ("!undefined", None) => {}
+                ("!undefined", Some(got)) => {
+                    panic!("{} [{path}]: expected undefined, got {got}", case.name)
+                }
+                (want, None) => panic!("{} [{path}]: expected {want}, got undefined", case.name),
+                (want, Some(got)) => {
+                    assert_eq!(
+                        got.to_string(),
+                        want,
+                        "{} [{path}] output differs",
+                        case.name
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// The corpus transducers round-trip through the engine's serving layer
+/// too: `Engine::transform` returns the same text the golden file pins.
+#[test]
+fn golden_corpus_through_the_engine() {
+    use xtt::engine::{Engine, EngineError, EngineOptions};
+    let engine = Engine::new(EngineOptions::default());
+    for case in load_corpus() {
+        let dtop = parse_dtop(&case.transducer).unwrap();
+        match engine.transform(&dtop, &case.input) {
+            Ok(got) => assert_eq!(got, case.expected, "{} engine output differs", case.name),
+            Err(EngineError::Undefined) => {
+                assert_eq!(
+                    case.expected, "!undefined",
+                    "{} unexpectedly undefined",
+                    case.name
+                )
+            }
+            Err(e) => panic!("{}: engine error: {e}", case.name),
+        }
+    }
+}
