@@ -19,6 +19,7 @@
 pub mod analysis;
 pub mod dtta;
 pub mod ops;
+pub mod parse;
 
 pub use analysis::{
     enumerate_language, is_empty, language_classes, minimal_witnesses, nonempty_states,
@@ -26,3 +27,4 @@ pub use analysis::{
 };
 pub use dtta::{Dtta, DttaBuilder, DttaError, StateId};
 pub use ops::{intersect, language_equal, trim};
+pub use parse::{parse_dtta, DttaParseError};

@@ -399,6 +399,7 @@ pub fn run_all() {
     run_e8();
     run_e9();
     let _ = crate::engine_exp::run_e10();
+    let _ = crate::typecheck_exp::run_e11();
 }
 
 #[cfg(test)]

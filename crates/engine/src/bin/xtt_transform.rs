@@ -30,6 +30,8 @@ OPTIONS:
   --format <term|xml>            document syntax            [default: term]
   --jobs <N>                     worker threads (0 = auto)  [default: 0]
   --demo <N>                     generate N demo documents instead of stdin
+  --validate                     guarded evaluation: reject out-of-domain
+                                 documents with a typed violation path
   --quiet                        suppress per-document output
   --help                         print this help
 ";
@@ -40,6 +42,7 @@ struct Args {
     format: DocFormat,
     jobs: usize,
     demo: Option<usize>,
+    validate: bool,
     quiet: bool,
 }
 
@@ -50,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         format: DocFormat::Term,
         jobs: 0,
         demo: None,
+        validate: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -79,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "bad --demo value".to_owned())?,
                 )
             }
+            "--validate" => args.validate = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -159,6 +164,7 @@ fn main() {
         workers: args.jobs,
         mode: args.mode,
         format: args.format,
+        validate: args.validate,
         ..EngineOptions::default()
     });
 

@@ -13,15 +13,16 @@
 //! for the same transducer never recompiles.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use xtt_transducer::{eval as walk_eval, Dtop};
 use xtt_trees::{parse_tree, DagId, TreeDag};
+use xtt_typecheck::{domain_guard, CompiledDtta, GuardedEvents, TypeError};
 
 use crate::compile::{compile, fingerprint, CompileError, CompiledDtop};
 use crate::eval::EvalScratch;
-use crate::stream::{ranked_tree_from_xml_bounded, tree_to_xml, StreamEvaluator};
+use crate::stream::{ranked_tree_from_xml_bounded, tree_to_xml, GuardedXmlError, StreamEvaluator};
 
 /// Which evaluator the engine runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -95,6 +96,15 @@ pub struct EngineOptions {
     /// (the output was never spine-only — it is built in full in every
     /// mode) instead of running directly over the tokenizer events.
     pub max_output_nodes: Option<u64>,
+    /// Guarded evaluation: run every document through the transducer's
+    /// compiled domain guard (`xtt-typecheck`). Out-of-domain documents
+    /// fail with a typed [`EngineError::Type`] diagnostic naming the
+    /// first violating node — as a pre-flight in tree/dag/walk modes, and
+    /// in lockstep with the event stream in streaming mode (where an
+    /// out-of-domain document is rejected without consuming the rest of
+    /// its events). Can be overridden per request via
+    /// [`Engine::transform_with_validation`].
+    pub validate: bool,
 }
 
 impl Default for EngineOptions {
@@ -105,6 +115,7 @@ impl Default for EngineOptions {
             mode: EvalMode::Compiled,
             format: DocFormat::Term,
             max_output_nodes: None,
+            validate: false,
         }
     }
 }
@@ -124,6 +135,11 @@ pub enum EngineError {
     /// The output tree exceeds [`EngineOptions::max_output_nodes`]
     /// (`.0` is the measured size, saturating at `u64::MAX`).
     OutputTooLarge(u64),
+    /// Guarded evaluation rejected the document: it is outside
+    /// `dom(⟦M⟧)`, and the diagnostic names the first violating node.
+    /// Only produced when validation is enabled (otherwise out-of-domain
+    /// documents surface as [`EngineError::Undefined`]).
+    Type(TypeError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -136,27 +152,81 @@ impl std::fmt::Display for EngineError {
             EngineError::OutputTooLarge(n) => {
                 write!(f, "output too large: {n} nodes exceed the configured bound")
             }
+            EngineError::Type(e) => write!(f, "type error {e}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
 
-struct CacheEntry {
+struct LruEntry<V> {
     fp: u64,
     /// The exact rendering the fingerprint hashed; compared on every hit
     /// so a 64-bit collision can never serve the wrong transducer.
     rendering: String,
     last_used: u64,
-    compiled: Arc<CompiledDtop>,
+    value: V,
 }
 
-#[derive(Default)]
-struct Cache {
-    entries: Vec<CacheEntry>,
+/// The one LRU discipline behind both the compiled-transducer cache and
+/// the domain-guard cache: fingerprint + exact-rendering lookup,
+/// least-recently-used eviction on insert.
+struct LruCache<V> {
+    entries: Vec<LruEntry<V>>,
     tick: u64,
     hits: u64,
     misses: u64,
+}
+
+impl<V> Default for LruCache<V> {
+    fn default() -> LruCache<V> {
+        LruCache {
+            entries: Vec::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<V: Clone> LruCache<V> {
+    fn get_or_insert_with<E>(
+        &mut self,
+        fp: u64,
+        rendering: String,
+        capacity: usize,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.fp == fp && e.rendering == rendering)
+        {
+            entry.last_used = tick;
+            self.hits += 1;
+            return Ok(entry.value.clone());
+        }
+        let value = build()?;
+        self.misses += 1;
+        if self.entries.len() >= capacity.max(1) {
+            let (evict, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .expect("cache not empty");
+            self.entries.swap_remove(evict);
+        }
+        self.entries.push(LruEntry {
+            fp,
+            rendering,
+            last_used: tick,
+            value: value.clone(),
+        });
+        Ok(value)
+    }
 }
 
 /// Cache observability counters.
@@ -167,10 +237,30 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// Violation counters for guarded evaluation (see
+/// [`Engine::validation_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValidationStats {
+    /// Documents that went through a domain guard.
+    pub docs_validated: u64,
+    /// Documents the guard rejected before (or instead of) evaluation.
+    pub docs_rejected_pre_eval: u64,
+    /// Domain guards built (guard-cache misses).
+    pub guards_compiled: u64,
+}
+
+#[derive(Default)]
+struct ValidationCounters {
+    validated: AtomicU64,
+    rejected: AtomicU64,
+}
+
 /// A reusable transformation service; see the module docs.
 pub struct Engine {
     opts: EngineOptions,
-    cache: Mutex<Cache>,
+    cache: Mutex<LruCache<Arc<CompiledDtop>>>,
+    guards: Mutex<LruCache<Arc<CompiledDtta>>>,
+    validation: ValidationCounters,
 }
 
 impl Default for Engine {
@@ -183,7 +273,9 @@ impl Engine {
     pub fn new(opts: EngineOptions) -> Engine {
         Engine {
             opts,
-            cache: Mutex::new(Cache::default()),
+            cache: Mutex::new(LruCache::default()),
+            guards: Mutex::new(LruCache::default()),
+            validation: ValidationCounters::default(),
         }
     }
 
@@ -201,40 +293,13 @@ impl Engine {
     /// fingerprint was seen before (hits are verified against the exact
     /// rendered structure, not just the hash).
     pub fn compiled(&self, dtop: &Dtop) -> Result<Arc<CompiledDtop>, CompileError> {
-        let fp = fingerprint(dtop);
-        let rendering = dtop.to_string();
         let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-        cache.tick += 1;
-        let tick = cache.tick;
-        if let Some(entry) = cache
-            .entries
-            .iter_mut()
-            .find(|e| e.fp == fp && e.rendering == rendering)
-        {
-            entry.last_used = tick;
-            let hit = Arc::clone(&entry.compiled);
-            cache.hits += 1;
-            return Ok(hit);
-        }
-        let compiled = Arc::new(compile(dtop)?);
-        cache.misses += 1;
-        let capacity = self.opts.cache_capacity.max(1);
-        if cache.entries.len() >= capacity {
-            let (evict, _) = cache
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_used)
-                .expect("cache not empty");
-            cache.entries.swap_remove(evict);
-        }
-        cache.entries.push(CacheEntry {
-            fp,
-            rendering,
-            last_used: tick,
-            compiled: Arc::clone(&compiled),
-        });
-        Ok(compiled)
+        cache.get_or_insert_with(
+            fingerprint(dtop),
+            dtop.to_string(),
+            self.opts.cache_capacity,
+            || compile(dtop).map(Arc::new),
+        )
     }
 
     /// Cache counters (for observability and tests).
@@ -247,6 +312,55 @@ impl Engine {
         }
     }
 
+    /// The compiled domain guard of `dtop`, from its own LRU cache (same
+    /// fingerprint key and verification as [`Engine::compiled`]). The
+    /// subset construction can blow up on adversarial transducers; a
+    /// capacity overrun surfaces as [`EngineError::Compile`] instead of
+    /// taking the process down.
+    pub fn guard(&self, dtop: &Dtop) -> Result<Arc<CompiledDtta>, EngineError> {
+        let mut guards = self.guards.lock().unwrap_or_else(|e| e.into_inner());
+        guards.get_or_insert_with(
+            fingerprint(dtop),
+            dtop.to_string(),
+            self.opts.cache_capacity,
+            || {
+                catch_unwind(AssertUnwindSafe(|| domain_guard(dtop)))
+                    .map_err(|_| EngineError::Compile("domain guard construction blew up".into()))?
+                    .map(Arc::new)
+                    .map_err(|e| EngineError::Compile(e.to_string()))
+            },
+        )
+    }
+
+    /// Guarded-evaluation counters (for `/stats` and tests).
+    pub fn validation_stats(&self) -> ValidationStats {
+        ValidationStats {
+            docs_validated: self.validation.validated.load(Ordering::Relaxed),
+            docs_rejected_pre_eval: self.validation.rejected.load(Ordering::Relaxed),
+            guards_compiled: self.guards.lock().unwrap_or_else(|e| e.into_inner()).misses,
+        }
+    }
+
+    /// Counts one batch's guard activity into the violation counters.
+    /// Documents that never reached a guard (parse or compile failures)
+    /// do not count as validated.
+    fn record_validation(&self, results: &[Result<String, EngineError>]) {
+        let validated = results
+            .iter()
+            .filter(|r| !matches!(r, Err(EngineError::Parse(_) | EngineError::Compile(_))))
+            .count() as u64;
+        let rejected = results
+            .iter()
+            .filter(|r| matches!(r, Err(EngineError::Type(_))))
+            .count() as u64;
+        self.validation
+            .validated
+            .fetch_add(validated, Ordering::Relaxed);
+        self.validation
+            .rejected
+            .fetch_add(rejected, Ordering::Relaxed);
+    }
+
     /// Transforms one document with the engine's configured mode/format
     /// (no thread pool; uses a transient scratch).
     pub fn transform(&self, dtop: &Dtop, doc: &str) -> Result<String, EngineError> {
@@ -255,6 +369,7 @@ impl Engine {
 
     /// Transforms one document with an explicit mode/format — the
     /// per-request override used by `xtt-serve`'s `?mode=`/`?format=`.
+    /// Validation follows [`EngineOptions::validate`].
     pub fn transform_with(
         &self,
         dtop: &Dtop,
@@ -262,11 +377,34 @@ impl Engine {
         mode: EvalMode,
         format: DocFormat,
     ) -> Result<String, EngineError> {
+        self.transform_with_validation(dtop, doc, mode, format, self.opts.validate)
+    }
+
+    /// [`Engine::transform_with`] with an explicit validation override
+    /// (the `?validate=` request parameter of `xtt-serve`).
+    pub fn transform_with_validation(
+        &self,
+        dtop: &Dtop,
+        doc: &str,
+        mode: EvalMode,
+        format: DocFormat,
+        validate: bool,
+    ) -> Result<String, EngineError> {
         let compiled = self
             .compiled(dtop)
             .map_err(|e| EngineError::Compile(e.to_string()))?;
+        let guard = if validate {
+            Some(self.guard(dtop)?)
+        } else {
+            None
+        };
         let limit = self.opts.max_output_nodes;
-        Worker::new().transform(&compiled, dtop, doc, mode, format, limit)
+        let result =
+            Worker::new().transform(&compiled, dtop, doc, mode, format, limit, guard.as_deref());
+        if validate {
+            self.record_validation(std::slice::from_ref(&result));
+        }
+        result
     }
 
     /// Transforms a batch of documents, sharded across the worker pool.
@@ -280,17 +418,31 @@ impl Engine {
     }
 
     /// [`Engine::transform_batch`] with an explicit mode/format.
-    ///
-    /// Failure is strictly per-document and positional: parse errors,
-    /// out-of-domain inputs, and even evaluator panics surface as
-    /// `Err` at the failing document's index while every other document
-    /// still completes.
+    /// Validation follows [`EngineOptions::validate`].
     pub fn transform_batch_with(
         &self,
         dtop: &Dtop,
         docs: &[String],
         mode: EvalMode,
         format: DocFormat,
+    ) -> Vec<Result<String, EngineError>> {
+        self.transform_batch_with_validation(dtop, docs, mode, format, self.opts.validate)
+    }
+
+    /// [`Engine::transform_batch_with`] with an explicit validation
+    /// override.
+    ///
+    /// Failure is strictly per-document and positional: parse errors,
+    /// out-of-domain inputs (typed violations under validation), and even
+    /// evaluator panics surface as `Err` at the failing document's index
+    /// while every other document still completes.
+    pub fn transform_batch_with_validation(
+        &self,
+        dtop: &Dtop,
+        docs: &[String],
+        mode: EvalMode,
+        format: DocFormat,
+        validate: bool,
     ) -> Vec<Result<String, EngineError>> {
         let compiled = match self.compiled(dtop) {
             Ok(c) => c,
@@ -299,51 +451,65 @@ impl Engine {
                 return docs.iter().map(|_| Err(err.clone())).collect();
             }
         };
+        let guard = if validate {
+            match self.guard(dtop) {
+                Ok(g) => Some(g),
+                Err(e) => return docs.iter().map(|_| Err(e.clone())).collect(),
+            }
+        } else {
+            None
+        };
+        let guard = guard.as_deref();
         let limit = self.opts.max_output_nodes;
         let workers = effective_workers(self.opts.workers, docs.len());
-        if workers <= 1 {
+        let results = if workers <= 1 {
             let mut worker = Worker::new();
-            return docs
-                .iter()
-                .map(|d| worker.transform_caught(&compiled, dtop, d, mode, format, limit))
-                .collect();
-        }
-        let next = AtomicUsize::new(0);
-        let chunks: Vec<Vec<(usize, Result<String, EngineError>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let compiled = &compiled;
-                    let next = &next;
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        let mut worker = Worker::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= docs.len() {
-                                break;
-                            }
-                            out.push((
-                                i,
-                                worker.transform_caught(
-                                    compiled, dtop, &docs[i], mode, format, limit,
-                                ),
-                            ));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("engine worker panicked"))
+            docs.iter()
+                .map(|d| worker.transform_caught(&compiled, dtop, d, mode, format, limit, guard))
                 .collect()
-        });
-        let mut results =
-            vec![Err(EngineError::Internal("result was never produced".into())); docs.len()];
-        for chunk in chunks {
-            for (i, r) in chunk {
-                results[i] = r;
+        } else {
+            let next = AtomicUsize::new(0);
+            let chunks: Vec<Vec<(usize, Result<String, EngineError>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            let compiled = &compiled;
+                            let next = &next;
+                            scope.spawn(move || {
+                                let mut out = Vec::new();
+                                let mut worker = Worker::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= docs.len() {
+                                        break;
+                                    }
+                                    out.push((
+                                        i,
+                                        worker.transform_caught(
+                                            compiled, dtop, &docs[i], mode, format, limit, guard,
+                                        ),
+                                    ));
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("engine worker panicked"))
+                        .collect()
+                });
+            let mut results =
+                vec![Err(EngineError::Internal("result was never produced".into())); docs.len()];
+            for chunk in chunks {
+                for (i, r) in chunk {
+                    results[i] = r;
+                }
             }
+            results
+        };
+        if validate {
+            self.record_validation(&results);
         }
         results
     }
@@ -378,6 +544,7 @@ impl Worker {
     /// [`Worker::transform`] with panic isolation: a panicking document
     /// yields `Err(EngineError::Internal)` instead of poisoning the whole
     /// batch, and the worker continues with fresh scratch state.
+    #[allow(clippy::too_many_arguments)]
     fn transform_caught(
         &mut self,
         compiled: &CompiledDtop,
@@ -386,9 +553,10 @@ impl Worker {
         mode: EvalMode,
         format: DocFormat,
         limit: Option<u64>,
+        guard: Option<&CompiledDtta>,
     ) -> Result<String, EngineError> {
         let result = catch_unwind(AssertUnwindSafe(|| {
-            self.transform(compiled, dtop, doc, mode, format, limit)
+            self.transform(compiled, dtop, doc, mode, format, limit, guard)
         }));
         result.unwrap_or_else(|panic| {
             *self = Worker::new();
@@ -401,6 +569,7 @@ impl Worker {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn transform(
         &mut self,
         compiled: &CompiledDtop,
@@ -409,24 +578,45 @@ impl Worker {
         mode: EvalMode,
         format: DocFormat,
         limit: Option<u64>,
+        guard: Option<&CompiledDtta>,
     ) -> Result<String, EngineError> {
         match format {
             DocFormat::Term => {
                 let input = parse_tree(doc).map_err(|e| EngineError::Parse(e.to_string()))?;
+                if let Some(g) = guard {
+                    if mode == EvalMode::Streaming && limit.is_none() {
+                        // Lockstep with the event stream — identical
+                        // diagnostics (same DttaRun), exercised here so
+                        // term and XML streaming share one guarded path.
+                        let output = self.eval_stream_guarded(compiled, g, input.events())?;
+                        return Ok(output.to_string());
+                    }
+                    g.check_tree(&input).map_err(EngineError::Type)?;
+                }
                 let preflight = self.check_output_bound(compiled, &input, limit)?;
                 let output = self.eval_tree(compiled, dtop, &input, mode, preflight)?;
                 Ok(output.to_string())
             }
             DocFormat::Xml => {
                 let output = match (mode, limit) {
-                    (EvalMode::Streaming, None) => self
-                        .stream
-                        .eval_xml(compiled, doc)
-                        .map_err(|e| EngineError::Parse(e.to_string()))?
-                        .ok_or(EngineError::Undefined)?,
+                    (EvalMode::Streaming, None) => match guard {
+                        // The fully streaming guarded path: the guard runs
+                        // in lockstep with the tokenizer, so an
+                        // out-of-domain document stops being tokenized at
+                        // its first violating node.
+                        Some(g) => self.eval_xml_stream_guarded(compiled, g, doc)?,
+                        None => self
+                            .stream
+                            .eval_xml(compiled, doc)
+                            .map_err(|e| EngineError::Parse(e.to_string()))?
+                            .ok_or(EngineError::Undefined)?,
+                    },
                     _ => {
                         let input = ranked_tree_from_xml_bounded(doc)
                             .map_err(|e| EngineError::Parse(e.to_string()))?;
+                        if let Some(g) = guard {
+                            g.check_tree(&input).map_err(EngineError::Type)?;
+                        }
                         let preflight = self.check_output_bound(compiled, &input, limit)?;
                         match mode {
                             EvalMode::Streaming => self
@@ -446,6 +636,40 @@ impl Worker {
                 Ok(tree_to_xml(&output))
             }
         }
+    }
+
+    /// Streaming evaluation with the domain guard in lockstep: the guard
+    /// sees every event first and cuts the stream at the first violation.
+    fn eval_stream_guarded(
+        &mut self,
+        compiled: &CompiledDtop,
+        guard: &CompiledDtta,
+        events: impl Iterator<Item = xtt_trees::TreeEvent>,
+    ) -> Result<xtt_trees::Tree, EngineError> {
+        let mut guarded = GuardedEvents::new(guard, events);
+        let result = self.stream.eval(compiled, &mut guarded);
+        if let Some(violation) = guarded.take_violation() {
+            return Err(EngineError::Type(violation));
+        }
+        result.ok_or(EngineError::Undefined)
+    }
+
+    /// [`Worker::eval_stream_guarded`] straight off the XML tokenizer —
+    /// the input tree is never materialized, and a rejected document's
+    /// tail is never tokenized.
+    fn eval_xml_stream_guarded(
+        &mut self,
+        compiled: &CompiledDtop,
+        guard: &CompiledDtta,
+        xml: &str,
+    ) -> Result<xtt_trees::Tree, EngineError> {
+        self.stream
+            .eval_xml_guarded(compiled, guard, xml)
+            .map_err(|e| match e {
+                GuardedXmlError::Type(violation) => EngineError::Type(violation),
+                GuardedXmlError::Xml(e) => EngineError::Parse(e.to_string()),
+            })?
+            .ok_or(EngineError::Undefined)
     }
 
     /// Enforces [`EngineOptions::max_output_nodes`]: a linear-time DAG
@@ -675,6 +899,128 @@ mod tests {
             .transform(&fix.dtop, "<root><a># #</a><b># #</b></root>")
             .unwrap();
         assert_eq!(out, "<root><b># #</b><a># #</a></root>");
+    }
+
+    /// Guarded evaluation: the typed diagnostic (with the violation path
+    /// of the first undefined node) is bit-identical across all four eval
+    /// modes and both validation entry points, and in-domain documents
+    /// are unaffected.
+    #[test]
+    fn validation_diagnostics_identical_across_modes() {
+        let fix = examples::flip();
+        let engine = Engine::new(EngineOptions {
+            validate: true,
+            workers: 1,
+            ..EngineOptions::default()
+        });
+        let bad = "root(a(#,b(#,#)),b(#,#))"; // violation at node 1.2
+        let good = "root(a(#,#),b(#,#))";
+        let mut rendered: Vec<String> = Vec::new();
+        for mode in [
+            EvalMode::Compiled,
+            EvalMode::Streaming,
+            EvalMode::Dag,
+            EvalMode::TreeWalk,
+        ] {
+            let results = engine.transform_batch_with(
+                &fix.dtop,
+                &[good.to_owned(), bad.to_owned()],
+                mode,
+                DocFormat::Term,
+            );
+            assert_eq!(results[0].as_deref(), Ok("root(b(#,#),a(#,#))"), "{mode:?}");
+            match &results[1] {
+                Err(EngineError::Type(e)) => {
+                    assert_eq!(e.path().to_string(), "1.2", "{mode:?}");
+                    rendered.push(e.to_string());
+                }
+                other => panic!("{mode:?}: expected a type error, got {other:?}"),
+            }
+        }
+        rendered.dedup();
+        assert_eq!(rendered.len(), 1, "diagnostics differ across modes");
+        // Violation counters: 8 validated, 4 rejected.
+        let stats = engine.validation_stats();
+        assert_eq!(stats.docs_validated, 8);
+        assert_eq!(stats.docs_rejected_pre_eval, 4);
+        assert_eq!(stats.guards_compiled, 1, "guard cache must hit");
+    }
+
+    /// The guarded XML streaming path rejects with the same diagnostic as
+    /// the tree-based modes, without validation only an opaque
+    /// `Undefined` surfaces, and per-request validation overrides the
+    /// engine default.
+    #[test]
+    fn validation_overrides_and_xml_streaming() {
+        let fix = examples::flip();
+        let engine = Engine::new(EngineOptions::default()); // validate off
+        let bad_xml = "<root><a># <b># #</b></a><b># #</b></root>";
+        let unguarded = engine
+            .transform_with(&fix.dtop, bad_xml, EvalMode::Streaming, DocFormat::Xml)
+            .unwrap_err();
+        assert_eq!(unguarded, EngineError::Undefined);
+        let guarded = engine
+            .transform_with_validation(
+                &fix.dtop,
+                bad_xml,
+                EvalMode::Streaming,
+                DocFormat::Xml,
+                true,
+            )
+            .unwrap_err();
+        let EngineError::Type(e) = &guarded else {
+            panic!("expected a type error, got {guarded:?}");
+        };
+        assert_eq!(e.path().to_string(), "1.2");
+        // Same violation through the tree-based XML path.
+        let walked = engine
+            .transform_with_validation(&fix.dtop, bad_xml, EvalMode::TreeWalk, DocFormat::Xml, true)
+            .unwrap_err();
+        assert_eq!(walked, guarded);
+        // Deleted junk stays accepted under validation (guard ≡ eval).
+        let junk_xml = "<root><a>zzz-not-in-alphabet<a># #</a></a><b># #</b></root>";
+        for mode in [EvalMode::Streaming, EvalMode::Compiled] {
+            let out = engine
+                .transform_with_validation(&fix.dtop, junk_xml, mode, DocFormat::Xml, true)
+                .unwrap();
+            assert_eq!(out, "<root><b># #</b><a>#<a># #</a></a></root>");
+        }
+    }
+
+    /// Validation composes with the output bound: the guard's typed error
+    /// wins on out-of-domain documents, the bound still rejects oversized
+    /// in-domain ones.
+    #[test]
+    fn validation_composes_with_output_bound() {
+        let copier = examples::monadic_to_binary().dtop;
+        let engine = Engine::new(EngineOptions {
+            validate: true,
+            max_output_nodes: Some(1_000),
+            workers: 1,
+            ..EngineOptions::default()
+        });
+        let mut deep = String::from("e");
+        for _ in 0..30 {
+            deep = format!("f({deep})");
+        }
+        let docs = vec![
+            "f(f(e))".to_owned(),
+            deep,
+            "f(zzz)".to_owned(), // out of domain at 1
+        ];
+        for mode in [EvalMode::Compiled, EvalMode::Streaming, EvalMode::Dag] {
+            let results = engine.transform_batch_with(&copier, &docs, mode, DocFormat::Term);
+            assert_eq!(results[0].as_deref(), Ok("g(g(e,e),g(e,e))"), "{mode:?}");
+            assert!(
+                matches!(results[1], Err(EngineError::OutputTooLarge(_))),
+                "{mode:?}: {:?}",
+                results[1]
+            );
+            match &results[2] {
+                Err(EngineError::Type(e)) => assert_eq!(e.path().to_string(), "1"),
+                other => panic!("{mode:?}: expected type error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

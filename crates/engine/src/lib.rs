@@ -39,9 +39,15 @@ pub mod eval;
 pub mod stream;
 
 pub use compile::{compile, fingerprint, CompileError, CompiledDtop, Instr};
-pub use engine::{CacheStats, DocFormat, Engine, EngineError, EngineOptions, EvalMode};
+pub use engine::{
+    CacheStats, DocFormat, Engine, EngineError, EngineOptions, EvalMode, ValidationStats,
+};
 pub use eval::{DagSink, EvalScratch, Sink, TreeSink};
 pub use stream::{
     ranked_tree_from_xml, ranked_tree_from_xml_bounded, tree_to_xml, unknown_symbol,
-    xml_ranked_events, xml_ranked_events_bounded, xml_serializable, StreamEvaluator,
+    xml_ranked_events, xml_ranked_events_bounded, xml_serializable, GuardedXmlError,
+    StreamEvaluator,
 };
+/// Re-exported from `xtt-typecheck`: the typed diagnostic carried by
+/// [`EngineError::Type`] under guarded evaluation.
+pub use xtt_typecheck::TypeError;

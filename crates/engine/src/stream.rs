@@ -23,9 +23,22 @@
 //! same inputs are undefined as for `xtt_transducer::eval::eval`.
 
 use xtt_trees::{tree_from_events, Symbol, Tree, TreeEvent};
+use xtt_typecheck::{CompiledDtta, GuardedEvents, TypeError};
 use xtt_xml::{xml_events, XmlError, XmlEvent};
 
 use crate::compile::{CompiledDtop, Instr};
+
+/// Failure of a *guarded* XML streaming evaluation. A violation wins
+/// over a tokenizer error by construction: the guard cuts the stream at
+/// the first violating node, so the tokenizer never reaches whatever
+/// would have failed later.
+#[derive(Debug)]
+pub enum GuardedXmlError {
+    /// The domain guard rejected the document (first violating node).
+    Type(TypeError),
+    /// The tokenizer failed before the guard saw a violation.
+    Xml(XmlError),
+}
 
 /// One open input node on the spine.
 struct SFrame {
@@ -185,6 +198,42 @@ impl StreamEvaluator {
         };
         match failure {
             Some(e) => Err(e),
+            None => Ok(result),
+        }
+    }
+
+    /// [`StreamEvaluator::eval_xml`] with a domain guard in lockstep: the
+    /// guard sees every event first and cuts the stream at the first
+    /// violation, so a rejected document's tail is never tokenized.
+    /// `Ok(None)` means the (well-formed, guard-accepted) document is
+    /// outside the domain for a non-guard reason (e.g. not exactly one
+    /// tree). This is the single implementation behind the engine's
+    /// guarded streaming mode and the E11 benchmarks.
+    pub fn eval_xml_guarded(
+        &mut self,
+        c: &CompiledDtop,
+        guard: &CompiledDtta,
+        xml: &str,
+    ) -> Result<Option<Tree>, GuardedXmlError> {
+        let mut failure: Option<XmlError> = None;
+        let result = {
+            let events = xml_ranked_events_bounded(xml).map_while(|r| match r {
+                Ok(event) => Some(event),
+                Err(e) => {
+                    failure = Some(e);
+                    None
+                }
+            });
+            let mut guarded = GuardedEvents::new(guard, events);
+            let result = self.eval(c, &mut guarded);
+            match guarded.take_violation() {
+                Some(violation) => Err(GuardedXmlError::Type(violation)),
+                None => Ok(result),
+            }
+        };
+        let result = result?;
+        match failure {
+            Some(e) => Err(GuardedXmlError::Xml(e)),
             None => Ok(result),
         }
     }

@@ -30,6 +30,9 @@ OPTIONS:
                           (0 = unbounded)                    [default: 10000000]
   --mode <tree|stream|dag|walk>  default evaluator           [default: tree]
   --format <term|xml>     default document syntax            [default: term]
+  --validate              guarded evaluation by default: out-of-domain
+                          documents answer with typed violation paths
+                          (per-request override: ?validate=0|1)
   --preload <names>       comma-separated built-ins to register at boot
                           (flip, library, copy)
   --help                  print this help
@@ -83,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
                 args.opts.engine.format =
                     DocFormat::parse(&name).ok_or_else(|| format!("unknown format '{name}'"))?;
             }
+            "--validate" => args.opts.engine.validate = true,
             "--preload" => {
                 args.preload = value("--preload")?
                     .split(',')

@@ -86,6 +86,12 @@ impl ServeClient {
         Ok((response, lines))
     }
 
+    /// `POST /typecheck/{name}` — output typechecking against a DTTA
+    /// schema in term syntax; answers ok/counterexample JSON.
+    pub fn typecheck(&self, name: &str, schema: &str) -> io::Result<Response> {
+        self.request("POST", &format!("/typecheck/{name}"), schema)
+    }
+
     /// `GET /stats` (raw JSON).
     pub fn stats(&self) -> io::Result<Response> {
         self.request("GET", "/stats", "")

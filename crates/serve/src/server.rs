@@ -8,11 +8,20 @@
 //! GET    /transducers                    list registered transducers
 //! GET    /transducers/{name}             one transducer's summary
 //! DELETE /transducers/{name}             unregister
-//! POST   /transform/{name}?mode=&format= newline-delimited batch transform;
+//! POST   /transform/{name}?mode=&format=&validate=
+//!                                        newline-delimited batch transform;
 //!                                        chunked response, one line per doc,
-//!                                        failures positional (`!error: …`)
+//!                                        failures positional (`!error: …`;
+//!                                        with validation, out-of-domain
+//!                                        documents get `!error: type error
+//!                                        at <path>: …` naming the first
+//!                                        violating node)
+//! POST   /typecheck/{name}               output typechecking: body is a DTTA
+//!                                        schema (term syntax); answers
+//!                                        ok/counterexample JSON
 //! GET    /healthz                        liveness
-//! GET    /stats                          counters (engine cache, queue, latency)
+//! GET    /stats                          counters (engine cache, validation,
+//!                                        typecheck, queue, latency)
 //! POST   /shutdown                       graceful shutdown (drain, then exit)
 //! ```
 //!
@@ -320,13 +329,20 @@ fn route(shared: &Shared, req: &Request, stream: &mut TcpStream) -> io::Result<(
             r
         }
         ("POST", ["transform", name]) => transform(shared, req, name, stream, started),
+        ("POST", ["typecheck", name]) => {
+            let (status, body) = typecheck(shared, req, name);
+            let r = write_response(stream, status, "application/json", &[], body.as_bytes());
+            shared.stats.typecheck.record(started, status >= 400);
+            r
+        }
         ("POST", ["shutdown"]) => {
             let r = write_response(stream, 200, "text/plain", &[], b"draining\n");
             shared.stats.other.record(started, false);
             shared.queue.shutdown();
             r
         }
-        (_, ["healthz" | "stats" | "shutdown"]) | (_, ["transducers" | "transform", ..]) => {
+        (_, ["healthz" | "stats" | "shutdown"])
+        | (_, ["transducers" | "transform" | "typecheck", ..]) => {
             let r = write_response(stream, 405, "text/plain", &[], b"method not allowed\n");
             shared.stats.other.record(started, true);
             r
@@ -378,6 +394,20 @@ fn put_transducer(shared: &Shared, req: &Request, name: &str) -> (u16, String) {
             error_json(&format!("transducer does not compile: {e}")),
         );
     }
+    // Pre-build the domain guard as well (the subset construction can be
+    // expensive, so pay it at upload, not on the first validated
+    // request). When the server validates by default, an unguardable
+    // transducer would poison every transform — reject it here; with
+    // validation off it is registered anyway and only an explicit
+    // `?validate=1` request will surface the guard error per batch.
+    if let Err(e) = shared.engine.guard(&dtop) {
+        if shared.opts.engine.validate {
+            return (
+                422,
+                error_json(&format!("transducer cannot be guarded: {e}")),
+            );
+        }
+    }
     let entry = shared.registry.register(name, dtop, source);
     (201, entry.json())
 }
@@ -408,6 +438,10 @@ fn transform(
         Ok(f) => f.unwrap_or(shared.opts.engine.format),
         Err(v) => return bad_param(shared, stream, started, "format", &v),
     };
+    let validate = match optional(req.query_param("validate"), parse_bool) {
+        Ok(v) => v.unwrap_or(shared.opts.engine.validate),
+        Err(v) => return bad_param(shared, stream, started, "validate", &v),
+    };
     let body = match req.body_str() {
         Ok(b) => b,
         Err(e) => {
@@ -428,10 +462,15 @@ fn transform(
     if docs.last().is_some_and(String::is_empty) {
         docs.pop();
     }
-    let results = shared
-        .engine
-        .transform_batch_with(&entry.dtop, &docs, mode, format);
+    let results =
+        shared
+            .engine
+            .transform_batch_with_validation(&entry.dtop, &docs, mode, format, validate);
     let failed = results.iter().filter(|r| r.is_err()).count();
+    let type_errors = results
+        .iter()
+        .filter(|r| matches!(r, Err(xtt_engine::EngineError::Type(_))))
+        .count();
     shared
         .stats
         .documents
@@ -440,6 +479,10 @@ fn transform(
         .stats
         .document_errors
         .fetch_add(failed as u64, Ordering::Relaxed);
+    shared
+        .stats
+        .documents_type_errors
+        .fetch_add(type_errors as u64, Ordering::Relaxed);
     let status = if failed == 0 { 200 } else { 207 };
     let headers = [
         ("X-Xtt-Docs", results.len().to_string()),
@@ -456,6 +499,55 @@ fn transform(
     let r = writer.finish();
     shared.stats.transform.record(started, status >= 400);
     r
+}
+
+/// `POST /typecheck/{name}`: body is an output schema (a DTTA in term
+/// syntax, see `xtt_automata::parse_dtta`); decides
+/// `dom(τ) ⊆ τ⁻¹(L(schema))` and answers with a verdict — on failure,
+/// with a concrete counterexample input and its schema-violating output.
+fn typecheck(shared: &Shared, req: &Request, name: &str) -> (u16, String) {
+    let Some(entry) = shared.registry.get(name) else {
+        return (404, error_json("unknown transducer"));
+    };
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return (400, error_json(&e.to_string())),
+    };
+    let schema = match xtt_automata::parse_dtta(body) {
+        Ok(s) => s,
+        Err(e) => return (422, error_json(&format!("bad schema: {e}"))),
+    };
+    shared.stats.typecheck_runs.fetch_add(1, Ordering::Relaxed);
+    match xtt_typecheck::output_typecheck(&entry.dtop, None, &schema) {
+        xtt_typecheck::TypecheckVerdict::WellTyped => (
+            200,
+            format!("{{\"name\":\"{}\",\"ok\":true}}\n", escape_json(name)),
+        ),
+        xtt_typecheck::TypecheckVerdict::Counterexample { input, output } => {
+            shared
+                .stats
+                .typecheck_ill_typed
+                .fetch_add(1, Ordering::Relaxed);
+            (
+                200,
+                format!(
+                    "{{\"name\":\"{}\",\"ok\":false,\"counterexample\":\"{}\",\"counterexample_output\":\"{}\"}}\n",
+                    escape_json(name),
+                    escape_json(&input.to_string()),
+                    escape_json(&output.to_string()),
+                ),
+            )
+        }
+    }
+}
+
+/// Parses the `?validate=` / `?learn=`-style boolean query values.
+fn parse_bool(value: &str) -> Option<bool> {
+    match value {
+        "1" | "true" => Some(true),
+        "0" | "false" => Some(false),
+        _ => None,
+    }
 }
 
 fn optional<T>(
@@ -490,6 +582,7 @@ impl Shared {
     fn stats_json(&self) -> String {
         self.stats.json(
             self.engine.cache_stats(),
+            self.engine.validation_stats(),
             self.registry.len(),
             self.queue.capacity(),
         )

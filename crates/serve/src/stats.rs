@@ -53,29 +53,40 @@ pub struct ServerStats {
     /// Documents seen / failed on the transform endpoint.
     pub documents: AtomicU64,
     pub document_errors: AtomicU64,
+    /// Documents rejected by the domain guard before evaluation
+    /// (validate mode / `?validate=1`).
+    pub documents_type_errors: AtomicU64,
+    /// Output-typecheck runs on `POST /typecheck/{name}` and how many
+    /// found the transducer ill-typed (counterexample returned).
+    pub typecheck_runs: AtomicU64,
+    pub typecheck_ill_typed: AtomicU64,
     pub transform: EndpointStats,
     pub transducers: EndpointStats,
+    pub typecheck: EndpointStats,
     pub health: EndpointStats,
     pub stats: EndpointStats,
     pub other: EndpointStats,
 }
 
 impl ServerStats {
-    /// Renders the `/stats` snapshot, splicing in the engine cache
-    /// counters and the live transducer count.
+    /// Renders the `/stats` snapshot, splicing in the engine cache and
+    /// validation counters and the live transducer count.
     pub fn json(
         &self,
         cache: xtt_engine::CacheStats,
+        validation: xtt_engine::ValidationStats,
         transducers: usize,
         capacity: usize,
     ) -> String {
         format!(
             "{{\"engine\":{{\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{}}},\
              \"queue\":{{\"depth\":{},\"capacity\":{},\"accepted\":{},\"rejected\":{}}},\
-             \"documents\":{{\"total\":{},\"errors\":{}}},\
+             \"documents\":{{\"total\":{},\"errors\":{},\"type_errors\":{}}},\
+             \"validation\":{{\"docs_validated\":{},\"docs_rejected_pre_eval\":{},\"guards_compiled\":{}}},\
+             \"typecheck\":{{\"runs\":{},\"ill_typed\":{}}},\
              \"handler_panics\":{},\
              \"transducers\":{},\
-             \"endpoints\":{{\"transform\":{},\"transducers\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}",
+             \"endpoints\":{{\"transform\":{},\"transducers\":{},\"typecheck\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}",
             cache.hits,
             cache.misses,
             cache.entries,
@@ -85,10 +96,17 @@ impl ServerStats {
             self.rejected.load(Ordering::Relaxed),
             self.documents.load(Ordering::Relaxed),
             self.document_errors.load(Ordering::Relaxed),
+            self.documents_type_errors.load(Ordering::Relaxed),
+            validation.docs_validated,
+            validation.docs_rejected_pre_eval,
+            validation.guards_compiled,
+            self.typecheck_runs.load(Ordering::Relaxed),
+            self.typecheck_ill_typed.load(Ordering::Relaxed),
             self.handler_panics.load(Ordering::Relaxed),
             transducers,
             self.transform.json(),
             self.transducers.json(),
+            self.typecheck.json(),
             self.health.json(),
             self.stats.json(),
             self.other.json(),

@@ -99,7 +99,11 @@ fn acceptance_upload_batch_stats_graceful_shutdown() {
     assert!(json.contains("\"cache_misses\":1"), "{json}");
     assert!(json.contains("\"cache_hits\":1"), "{json}");
     assert!(
-        json.contains("\"documents\":{\"total\":100,\"errors\":3}"),
+        json.contains("\"documents\":{\"total\":100,\"errors\":3,\"type_errors\":0}"),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"validation\":{\"docs_validated\":0,\"docs_rejected_pre_eval\":0"),
         "{json}"
     );
     assert!(json.contains("\"transducers\":1"), "{json}");
@@ -109,6 +113,94 @@ fn acceptance_upload_batch_stats_graceful_shutdown() {
     assert_eq!(resp.status, 200);
     runner.join().unwrap().unwrap();
     assert!(!client.healthz(), "server still answering after shutdown");
+}
+
+/// The typecheck surface over the wire: `POST /typecheck/{name}` decides
+/// output types (ok and counterexample both), `?validate=1` turns
+/// out-of-domain documents into positional type errors whose lines carry
+/// the violation path, and `/stats` exposes the new counters.
+#[test]
+fn typecheck_and_validation_over_the_wire() {
+    let (client, runner, _handle) = boot(small_opts());
+    client
+        .put_transducer("flip", &examples::flip().dtop.to_string())
+        .unwrap();
+
+    // flip's true output type: root(b-list, a-list) → well-typed.
+    let good_schema = "dtta (initial s)\n\
+         s(root(x1,x2)) -> root(<bl,x1>,<al,x2>)\n\
+         bl(b(x1,x2)) -> b(<nil,x1>,<bl,x2>)\n\
+         bl(#) -> #\n\
+         al(a(x1,x2)) -> a(<nil,x1>,<al,x2>)\n\
+         al(#) -> #\n\
+         nil(#) -> #\n";
+    let resp = client.typecheck("flip", good_schema).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert!(
+        resp.body_str().contains("\"ok\":true"),
+        "{}",
+        resp.body_str()
+    );
+
+    // Demanding the *input* shape fails with a concrete counterexample.
+    let wrong_schema = good_schema.replace("root(<bl,x1>,<al,x2>)", "root(<al,x1>,<bl,x2>)");
+    let resp = client.typecheck("flip", &wrong_schema).unwrap();
+    assert_eq!(resp.status, 200);
+    let body = resp.body_str().to_owned();
+    assert!(body.contains("\"ok\":false"), "{body}");
+    assert!(body.contains("\"counterexample\":"), "{body}");
+
+    // Bad schema → 422; unknown transducer → 404.
+    assert_eq!(client.typecheck("flip", "not a dtta").unwrap().status, 422);
+    assert_eq!(client.typecheck("nope", good_schema).unwrap().status, 404);
+
+    // Guarded batch transform: the out-of-domain document answers with a
+    // typed, positional error line naming the first violating node; the
+    // same document unguarded is an opaque domain error.
+    for mode in ["tree", "stream", "dag", "walk"] {
+        let (resp, lines) = client
+            .transform(
+                "flip",
+                &format!("?mode={mode}&validate=1"),
+                &["root(a(#,#),b(#,#))", "root(a(#,b(#,#)),b(#,#))"],
+            )
+            .unwrap();
+        assert_eq!(resp.status, 207, "mode {mode}");
+        assert_eq!(lines[0], "root(b(#,#),a(#,#))", "mode {mode}");
+        assert_eq!(
+            lines[1], "!error: type error at 1.2: symbol b not allowed in state {q4}",
+            "mode {mode}"
+        );
+    }
+    let (_, lines) = client
+        .transform("flip", "?validate=0", &["root(a(#,b(#,#)),b(#,#))"])
+        .unwrap();
+    assert_eq!(lines[0], "!error: input outside the transduction domain");
+    assert_eq!(
+        client
+            .transform("flip", "?validate=maybe", &["root(#,#)"])
+            .unwrap()
+            .0
+            .status,
+        400
+    );
+
+    // Counters: 2 typecheck runs (the 422/404 never ran), 1 ill-typed;
+    // 8 documents validated, 4 rejected pre-eval.
+    let stats = client.stats().unwrap();
+    let json = stats.body_str();
+    assert!(
+        json.contains("\"typecheck\":{\"runs\":2,\"ill_typed\":1}"),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"docs_validated\":8,\"docs_rejected_pre_eval\":4,\"guards_compiled\":1"),
+        "{json}"
+    );
+    assert!(json.contains("\"type_errors\":4"), "{json}");
+
+    client.shutdown().unwrap();
+    runner.join().unwrap().unwrap();
 }
 
 #[test]

@@ -23,9 +23,30 @@ use crate::rhs::QId;
 /// the node, plus the inspection state (if any).
 type SubsetState = (BTreeSet<QId>, Option<StateId>);
 
+/// The untrimmed subset automaton of [`domain_dtta_raw`], with the
+/// bookkeeping a runtime guard needs: `skip_state` is the `∅` subset
+/// state — the node is *deleted* by the run, no transducer state ever
+/// inspects it, so a guard may accept the whole subtree without looking
+/// (even at symbols outside the declared alphabet, which is exactly what
+/// evaluation does).
+pub struct RawDomain {
+    pub dtta: Dtta,
+    pub skip_state: Option<StateId>,
+}
+
 /// Builds a trimmed DTTA recognizing `dom(⟦M⟧) ∩ L(inspection)`
 /// (or `dom(⟦M⟧)` if no inspection automaton is given).
 pub fn domain_dtta(m: &Dtop, inspection: Option<&Dtta>) -> Dtta {
+    trim(&domain_dtta_raw(m, inspection).dtta)
+}
+
+/// The *untrimmed* subset automaton. Same language as [`domain_dtta`],
+/// but every reachable subset state is kept, so a run over a tree fails
+/// exactly at the first (pre-order) node where some transducer state
+/// lacks a rule — the property the fail-fast typecheck guard needs for
+/// its diagnostics. (Trimming would reject earlier: a transition into an
+/// empty-language state is removed, moving the failure up the tree.)
+pub fn domain_dtta_raw(m: &Dtop, inspection: Option<&Dtta>) -> RawDomain {
     let alphabet = m.input().clone();
     let mut builder = DttaBuilder::new(alphabet.clone());
     let mut ids: HashMap<SubsetState, StateId> = HashMap::new();
@@ -79,7 +100,11 @@ pub fn domain_dtta(m: &Dtop, inspection: Option<&Dtta>) -> Dtta {
             "domain subset construction exceeded 1e6 states"
         );
     }
-    trim(&builder.build().expect("has initial state"))
+    let skip_state = ids.get(&(BTreeSet::new(), None)).copied();
+    RawDomain {
+        dtta: builder.build().expect("has initial state"),
+        skip_state,
+    }
 }
 
 fn subset_name(m: &Dtop, inspection: Option<&Dtta>, s: &SubsetState) -> String {
@@ -166,6 +191,21 @@ mod tests {
         let m = b.build().unwrap();
         let d = domain_dtta(&m, None);
         assert!(xtt_automata::is_empty(&d));
+    }
+
+    #[test]
+    fn raw_domain_keeps_language_and_marks_skip_state() {
+        let fix = examples::flip();
+        let raw = domain_dtta_raw(&fix.dtop, None);
+        let trimmed = domain_dtta(&fix.dtop, None);
+        assert!(xtt_automata::language_equal(&raw.dtta, &trimmed));
+        // (q4, a) deletes its first subtree, so the ∅ subset state is
+        // reachable and marked.
+        let skip = raw.skip_state.expect("flip deletes subtrees");
+        assert_eq!(raw.dtta.state_name(skip), "{}");
+        // With inspection there is no uninspected position.
+        let insp = domain_dtta_raw(&fix.dtop, Some(&fix.domain));
+        assert!(insp.skip_state.is_none());
     }
 
     #[test]

@@ -59,6 +59,7 @@
 //! | [`learn`] | `xtt-core` | samples, `RPNIdtop`, characteristic samples |
 //! | [`xml`] | `xtt-xml` | unranked trees, DTDs, encodings, SAX reader, XSLT export |
 //! | [`engine`] | `xtt-engine` | compiled + streaming execution, batch serving, CLI |
+//! | [`typecheck`] | `xtt-typecheck` | compiled domain guards, fail-fast validation, output typechecking |
 //! | [`serve`] | `xtt-serve` | HTTP transformation service (`xtt-serve` binary) |
 
 pub use xtt_automata as automata;
@@ -67,11 +68,12 @@ pub use xtt_engine as engine;
 pub use xtt_serve as serve;
 pub use xtt_transducer as transducer;
 pub use xtt_trees as trees;
+pub use xtt_typecheck as typecheck;
 pub use xtt_xml as xml;
 
 /// The most common imports for working with the library.
 pub mod prelude {
-    pub use xtt_automata::{Dtta, DttaBuilder};
+    pub use xtt_automata::{parse_dtta, Dtta, DttaBuilder};
     pub use xtt_core::{characteristic_sample, check_characteristic_conditions, rpni_dtop, Sample};
     pub use xtt_engine::{
         compile, CompiledDtop, DocFormat, Engine, EngineOptions, EvalMode, EvalScratch,
@@ -82,5 +84,8 @@ pub mod prelude {
         canonical_form, equivalent, eval, parse_dtop, same_canonical, Canonical, Dtop, DtopBuilder,
     };
     pub use xtt_trees::{parse_tree, FPath, RankedAlphabet, Symbol, Tree, TreeEvent};
+    pub use xtt_typecheck::{
+        domain_guard, output_typecheck, CompiledDtta, GuardedEvents, TypeError, TypecheckVerdict,
+    };
     pub use xtt_xml::{parse_xml, Dtd, Encoding, PcDataMode, UTree};
 }

@@ -3,7 +3,9 @@
 //! paths — the research tree-walk evaluator, the compiled interpreter,
 //! the streaming evaluator, and the DAG evaluator — and diffed against
 //! the expected output *exactly*. `!undefined` expects all four paths to
-//! agree the input is outside the domain.
+//! agree the input is outside the domain; `!type-error at <path>: …`
+//! additionally pins the *diagnostic* that guarded (validate-mode)
+//! evaluation must report, bit-identical across tree/stream/dag/walk.
 //!
 //! The corpus covers the paper's behavioral families: flipping
 //! (permutation at the root), the library transformation, copying
@@ -106,16 +108,23 @@ fn golden_corpus_all_paths_exact() {
         let input =
             parse_tree(&case.input).unwrap_or_else(|e| panic!("{}: bad input: {e}", case.name));
         for (path, result) in run_all_paths(&case, &input) {
-            match (case.expected.as_str(), result) {
-                ("!undefined", None) => {}
-                ("!undefined", Some(got)) => {
+            // Both failure expectations mean "outside the domain" for the
+            // unguarded paths; the diagnostic itself is pinned separately.
+            let expect_undefined =
+                case.expected == "!undefined" || case.expected.starts_with("!type-error ");
+            match (expect_undefined, result) {
+                (true, None) => {}
+                (true, Some(got)) => {
                     panic!("{} [{path}]: expected undefined, got {got}", case.name)
                 }
-                (want, None) => panic!("{} [{path}]: expected {want}, got undefined", case.name),
-                (want, Some(got)) => {
+                (false, None) => panic!(
+                    "{} [{path}]: expected {}, got undefined",
+                    case.name, case.expected
+                ),
+                (false, Some(got)) => {
                     assert_eq!(
                         got.to_string(),
-                        want,
+                        case.expected,
                         "{} [{path}] output differs",
                         case.name
                     )
@@ -123,6 +132,50 @@ fn golden_corpus_all_paths_exact() {
             }
         }
     }
+}
+
+/// The `!type-error` triples: guarded evaluation must report *exactly*
+/// the pinned diagnostic — first-violation path included — bit-identical
+/// across all four eval modes, through the engine's batch path too.
+#[test]
+fn golden_type_error_diagnostics_exact_across_guarded_modes() {
+    use xtt::engine::{DocFormat, Engine, EngineError, EngineOptions, EvalMode};
+    let engine = Engine::new(EngineOptions {
+        validate: true,
+        workers: 1,
+        ..EngineOptions::default()
+    });
+    let mut covered = 0;
+    for case in load_corpus() {
+        if !case.expected.starts_with("!type-error ") {
+            continue;
+        }
+        covered += 1;
+        let dtop = parse_dtop(&case.transducer).unwrap();
+        for mode in [
+            EvalMode::Compiled,
+            EvalMode::Streaming,
+            EvalMode::Dag,
+            EvalMode::TreeWalk,
+        ] {
+            let err = engine
+                .transform_with(&dtop, &case.input, mode, DocFormat::Term)
+                .unwrap_err();
+            let EngineError::Type(violation) = &err else {
+                panic!(
+                    "{} [{mode:?}]: expected a type error, got {err:?}",
+                    case.name
+                );
+            };
+            assert_eq!(
+                format!("!type-error {violation}"),
+                case.expected,
+                "{} [{mode:?}] diagnostic differs",
+                case.name
+            );
+        }
+    }
+    assert!(covered >= 3, "only {covered} type-error golden cases");
 }
 
 /// The corpus transducers round-trip through the engine's serving layer
@@ -136,8 +189,8 @@ fn golden_corpus_through_the_engine() {
         match engine.transform(&dtop, &case.input) {
             Ok(got) => assert_eq!(got, case.expected, "{} engine output differs", case.name),
             Err(EngineError::Undefined) => {
-                assert_eq!(
-                    case.expected, "!undefined",
+                assert!(
+                    case.expected == "!undefined" || case.expected.starts_with("!type-error "),
                     "{} unexpectedly undefined",
                     case.name
                 )
