@@ -400,6 +400,7 @@ pub fn run_all() {
     run_e9();
     let _ = crate::engine_exp::run_e10();
     let _ = crate::typecheck_exp::run_e11();
+    let _ = crate::unranked_exp::run_e12();
 }
 
 #[cfg(test)]

@@ -16,8 +16,8 @@ use std::io::{BufWriter, Read, Write};
 use std::time::Instant;
 
 use xtt_engine::{tree_to_xml, DocFormat, Engine, EngineOptions, EvalMode};
-use xtt_transducer::{examples, Dtop};
-use xtt_trees::Tree;
+use xtt_transducer::{examples, Dtop, DtopBuilder};
+use xtt_trees::{RankedAlphabet, Tree};
 
 const USAGE: &str = "\
 xtt-transform: apply a dtop to newline-delimited documents
@@ -25,9 +25,14 @@ xtt-transform: apply a dtop to newline-delimited documents
 USAGE: xtt-transform [OPTIONS]
 
 OPTIONS:
-  --example <flip|library|copy>  built-in transducer        [default: flip]
+  --example <flip|library|copy|prune>  built-in transducer  [default: flip]
   --mode <compiled|stream|dag|walk>  evaluator              [default: compiled]
   --format <term|xml>            document syntax            [default: term]
+  --encoding <fcns>              treat documents as genuine unranked XML
+                                 through the named ranked encoding
+                                 (overrides --format; streaming mode
+                                 encodes off the tokenizer with no
+                                 intermediate tree)
   --jobs <N>                     worker threads (0 = auto)  [default: 0]
   --demo <N>                     generate N demo documents instead of stdin
   --validate                     guarded evaluation: reject out-of-domain
@@ -40,6 +45,7 @@ struct Args {
     example: String,
     mode: EvalMode,
     format: DocFormat,
+    encoding: Option<String>,
     jobs: usize,
     demo: Option<usize>,
     validate: bool,
@@ -51,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         example: "flip".to_owned(),
         mode: EvalMode::Compiled,
         format: DocFormat::Term,
+        encoding: None,
         jobs: 0,
         demo: None,
         validate: false,
@@ -70,6 +77,16 @@ fn parse_args() -> Result<Args, String> {
                 let name = value("--format")?;
                 args.format =
                     DocFormat::parse(&name).ok_or_else(|| format!("unknown format '{name}'"))?;
+            }
+            "--encoding" => {
+                let name = value("--encoding")?;
+                if name != "fcns" {
+                    return Err(format!(
+                        "unknown encoding '{name}' (the CLI supports fcns; DTD-based \
+                         encodings are served via xtt-serve's PUT /encodings)"
+                    ));
+                }
+                args.encoding = Some(name);
             }
             "--jobs" => {
                 args.jobs = value("--jobs")?
@@ -92,6 +109,10 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown option '{other}'")),
         }
     }
+    // --encoding overrides --format regardless of argument order.
+    if let Some(name) = &args.encoding {
+        args.format = DocFormat::parse(name).expect("validated encoding name");
+    }
     Ok(args)
 }
 
@@ -100,13 +121,34 @@ fn example_dtop(name: &str) -> Result<Dtop, String> {
         "flip" => Ok(examples::flip().dtop),
         "library" => Ok(examples::library().dtop),
         "copy" => Ok(examples::monadic_to_binary().dtop),
+        "prune" => Ok(prune_dtop()),
         other => Err(format!(
-            "unknown example '{other}' (expected flip, library, or copy)"
+            "unknown example '{other}' (expected flip, library, copy, or prune)"
         )),
     }
 }
 
-fn demo_doc(example: &str, i: usize) -> Tree {
+/// A dtop over the fc/ns encoding: drop every `<b>` element (with its
+/// whole subtree — a genuine deletion the streaming skip fast path
+/// exercises), keep everything else. Drive it with `--encoding fcns`.
+fn prune_dtop() -> Dtop {
+    let alpha =
+        RankedAlphabet::from_pairs([("root", 2), ("a", 2), ("b", 2), ("pcdata", 2), ("#", 0)]);
+    let mut b = DtopBuilder::new(alpha.clone(), alpha);
+    b.add_state("q0");
+    b.add_state("q");
+    b.set_axiom_str("<q0,x0>").expect("axiom parses");
+    b.add_rule_str("q0", "root", "root(<q,x1>,<q,x2>)")
+        .expect("rule parses");
+    b.add_rule_str("q", "a", "a(<q,x1>,<q,x2>)").expect("rule");
+    b.add_rule_str("q", "b", "<q,x2>").expect("rule");
+    b.add_rule_str("q", "pcdata", "pcdata(#,<q,x2>)")
+        .expect("rule");
+    b.add_rule_str("q", "#", "#").expect("rule");
+    b.build().expect("prune dtop is well-formed")
+}
+
+fn demo_tree(example: &str, i: usize) -> Tree {
     match example {
         "library" => examples::library_input(i % 6 + 1),
         "copy" => {
@@ -117,6 +159,26 @@ fn demo_doc(example: &str, i: usize) -> Tree {
             t
         }
         _ => examples::flip_input(i % 8 + 1, i % 5 + 1),
+    }
+}
+
+/// Demo documents for the encoded (genuine unranked XML) path.
+fn demo_xml(i: usize) -> String {
+    let depth = i % 4 + 1;
+    format!(
+        "<root>{}{}<b>deleted text<a/></b>{}{}</root>",
+        "<a>".repeat(depth),
+        "</a>".repeat(depth),
+        "<a/>".repeat(i % 3),
+        "<b/>".repeat(i % 2 + 1),
+    )
+}
+
+fn demo_doc(example: &str, i: usize, format: &DocFormat) -> String {
+    match format {
+        DocFormat::Term => demo_tree(example, i).to_string(),
+        DocFormat::Xml => tree_to_xml(&demo_tree(example, i)),
+        DocFormat::Encoded(_) => demo_xml(i),
     }
 }
 
@@ -138,13 +200,7 @@ fn main() {
 
     let docs: Vec<String> = match args.demo {
         Some(n) => (0..n)
-            .map(|i| {
-                let t = demo_doc(&args.example, i);
-                match args.format {
-                    DocFormat::Term => t.to_string(),
-                    DocFormat::Xml => tree_to_xml(&t),
-                }
-            })
+            .map(|i| demo_doc(&args.example, i, &args.format))
             .collect(),
         None => {
             let mut buf = String::new();
@@ -163,7 +219,7 @@ fn main() {
     let engine = Engine::new(EngineOptions {
         workers: args.jobs,
         mode: args.mode,
-        format: args.format,
+        format: args.format.clone(),
         validate: args.validate,
         ..EngineOptions::default()
     });

@@ -18,11 +18,15 @@ use std::sync::{Arc, Mutex};
 
 use xtt_transducer::{eval as walk_eval, Dtop};
 use xtt_trees::{parse_tree, DagId, TreeDag};
-use xtt_typecheck::{domain_guard, CompiledDtta, GuardedEvents, TypeError};
+use xtt_typecheck::{domain_guard, CompiledDtta, TypeError};
+use xtt_unranked::{UnrankedError, XmlCodec};
 
 use crate::compile::{compile, fingerprint, CompileError, CompiledDtop};
 use crate::eval::EvalScratch;
-use crate::stream::{ranked_tree_from_xml_bounded, tree_to_xml, GuardedXmlError, StreamEvaluator};
+use crate::stream::{
+    ranked_tree_from_xml_bounded, tree_to_xml, GuardedSource, GuardedXmlError, IterEvents,
+    StreamEvaluator,
+};
 
 /// Which evaluator the engine runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -54,28 +58,41 @@ impl EvalMode {
 }
 
 /// How documents are parsed and results serialized.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub enum DocFormat {
     /// The workspace term syntax, e.g. `root(a(#,#),b(#,#))`.
     #[default]
     Term,
-    /// XML (lenient), via [`crate::xml_ranked_events`].
+    /// XML read as a ranked tree directly (elements = symbols of their
+    /// child arity, text = whitespace-separated leaf tokens), via
+    /// [`crate::xml_ranked_events`].
     Xml,
+    /// Genuine unranked XML through a ranked encoding
+    /// ([`xtt_unranked::XmlCodec`]): documents are encoded
+    /// *incrementally* off the SAX tokenizer (fc/ns or a DTD-based
+    /// encoding — in streaming mode with no intermediate tree at all)
+    /// and output trees are decoded back to unranked XML text.
+    Encoded(XmlCodec),
 }
 
 impl DocFormat {
-    /// Parses the names used by the CLI and the HTTP API.
+    /// Parses the names used by the CLI and the HTTP API. Named DTD
+    /// encodings are resolved by the server's encoding registry; here
+    /// only `fcns` is nameable.
     pub fn parse(name: &str) -> Option<DocFormat> {
         match name {
             "term" => Some(DocFormat::Term),
             "xml" => Some(DocFormat::Xml),
+            "fcns" => Some(DocFormat::Encoded(XmlCodec::fcns_bounded(
+                crate::stream::unknown_symbol(),
+            ))),
             _ => None,
         }
     }
 }
 
 /// Engine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineOptions {
     /// Worker threads for [`Engine::transform_batch`]; 0 = one per
     /// available CPU.
@@ -132,6 +149,10 @@ pub enum EngineError {
     /// The evaluator panicked on this document; the rest of the batch is
     /// unaffected (the worker recovers with fresh scratch state).
     Internal(String),
+    /// With [`DocFormat::Encoded`]: the document does not match the
+    /// encoding's DTD, or the output tree is not decodable as unranked
+    /// XML under the output encoding.
+    Encoding(String),
     /// The output tree exceeds [`EngineOptions::max_output_nodes`]
     /// (`.0` is the measured size, saturating at `u64::MAX`).
     OutputTooLarge(u64),
@@ -149,6 +170,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Undefined => write!(f, "input outside the transduction domain"),
             EngineError::Compile(e) => write!(f, "compile error: {e}"),
             EngineError::Internal(e) => write!(f, "internal error: {e}"),
+            EngineError::Encoding(e) => write!(f, "encoding error: {e}"),
             EngineError::OutputTooLarge(n) => {
                 write!(f, "output too large: {n} nodes exceed the configured bound")
             }
@@ -364,7 +386,7 @@ impl Engine {
     /// Transforms one document with the engine's configured mode/format
     /// (no thread pool; uses a transient scratch).
     pub fn transform(&self, dtop: &Dtop, doc: &str) -> Result<String, EngineError> {
-        self.transform_with(dtop, doc, self.opts.mode, self.opts.format)
+        self.transform_with(dtop, doc, self.opts.mode, self.opts.format.clone())
     }
 
     /// Transforms one document with an explicit mode/format — the
@@ -400,7 +422,7 @@ impl Engine {
         };
         let limit = self.opts.max_output_nodes;
         let result =
-            Worker::new().transform(&compiled, dtop, doc, mode, format, limit, guard.as_deref());
+            Worker::new().transform(&compiled, dtop, doc, mode, &format, limit, guard.as_deref());
         if validate {
             self.record_validation(std::slice::from_ref(&result));
         }
@@ -414,7 +436,7 @@ impl Engine {
         dtop: &Dtop,
         docs: &[String],
     ) -> Vec<Result<String, EngineError>> {
-        self.transform_batch_with(dtop, docs, self.opts.mode, self.opts.format)
+        self.transform_batch_with(dtop, docs, self.opts.mode, self.opts.format.clone())
     }
 
     /// [`Engine::transform_batch`] with an explicit mode/format.
@@ -462,6 +484,7 @@ impl Engine {
         let guard = guard.as_deref();
         let limit = self.opts.max_output_nodes;
         let workers = effective_workers(self.opts.workers, docs.len());
+        let format = &format;
         let results = if workers <= 1 {
             let mut worker = Worker::new();
             docs.iter()
@@ -515,6 +538,16 @@ impl Engine {
     }
 }
 
+/// Maps a streaming-pipeline failure onto the engine's error taxonomy:
+/// XML syntax errors are parse errors, DTD/encoding mismatches are
+/// encoding errors.
+fn encoded_error(e: UnrankedError) -> EngineError {
+    match e {
+        UnrankedError::Xml(x) => EngineError::Parse(x.to_string()),
+        UnrankedError::Encode(x) => EngineError::Encoding(x.to_string()),
+    }
+}
+
 fn effective_workers(configured: usize, docs: usize) -> usize {
     let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
     let w = if configured == 0 { auto } else { configured };
@@ -551,7 +584,7 @@ impl Worker {
         dtop: &Dtop,
         doc: &str,
         mode: EvalMode,
-        format: DocFormat,
+        format: &DocFormat,
         limit: Option<u64>,
         guard: Option<&CompiledDtta>,
     ) -> Result<String, EngineError> {
@@ -576,7 +609,7 @@ impl Worker {
         dtop: &Dtop,
         doc: &str,
         mode: EvalMode,
-        format: DocFormat,
+        format: &DocFormat,
         limit: Option<u64>,
         guard: Option<&CompiledDtta>,
     ) -> Result<String, EngineError> {
@@ -635,6 +668,35 @@ impl Worker {
                 }
                 Ok(tree_to_xml(&output))
             }
+            DocFormat::Encoded(codec) => {
+                let output = match (mode, limit) {
+                    // The fully streaming encoded path: tokenizer →
+                    // incremental encoder → (lockstep guard) →
+                    // evaluator; no intermediate tree of the input.
+                    (EvalMode::Streaming, None) => {
+                        self.eval_encoded_stream(compiled, guard, codec, doc)?
+                    }
+                    _ => {
+                        // The same streaming encoder, collected — every
+                        // mode validates documents identically.
+                        let input = codec.ranked_tree(doc).map_err(encoded_error)?;
+                        if let Some(g) = guard {
+                            g.check_tree(&input).map_err(EngineError::Type)?;
+                        }
+                        let preflight = self.check_output_bound(compiled, &input, limit)?;
+                        match mode {
+                            EvalMode::Streaming => self
+                                .stream
+                                .eval_tree(compiled, &input)
+                                .ok_or(EngineError::Undefined)?,
+                            _ => self.eval_tree(compiled, dtop, &input, mode, preflight)?,
+                        }
+                    }
+                };
+                codec
+                    .decode_tree(&output)
+                    .map_err(|e| EngineError::Encoding(e.to_string()))
+            }
         }
     }
 
@@ -646,10 +708,52 @@ impl Worker {
         guard: &CompiledDtta,
         events: impl Iterator<Item = xtt_trees::TreeEvent>,
     ) -> Result<xtt_trees::Tree, EngineError> {
-        let mut guarded = GuardedEvents::new(guard, events);
-        let result = self.stream.eval(compiled, &mut guarded);
-        if let Some(violation) = guarded.take_violation() {
+        let mut source = GuardedSource::new(guard, IterEvents(events));
+        let result = self.stream.eval_source(compiled, &mut source);
+        if let Some(violation) = source.take_violation() {
             return Err(EngineError::Type(violation));
+        }
+        result.ok_or(EngineError::Undefined)
+    }
+
+    /// Streaming evaluation over an *encoded* unranked document: ranked
+    /// events are produced incrementally by the codec's encoder and fed
+    /// straight to the evaluator, with the domain guard composed in
+    /// lockstep when validation is on. A guard violation wins over a
+    /// later tokenizer/encoding error by construction (the guard cuts
+    /// the stream first).
+    fn eval_encoded_stream(
+        &mut self,
+        compiled: &CompiledDtop,
+        guard: Option<&CompiledDtta>,
+        codec: &XmlCodec,
+        doc: &str,
+    ) -> Result<xtt_trees::Tree, EngineError> {
+        let mut failure: Option<UnrankedError> = None;
+        let mut violation: Option<TypeError> = None;
+        let result = {
+            let events = codec.events(doc).map_while(|r| match r {
+                Ok(event) => Some(event),
+                Err(e) => {
+                    failure = Some(e);
+                    None
+                }
+            });
+            match guard {
+                Some(g) => {
+                    let mut source = GuardedSource::new(g, IterEvents(events));
+                    let result = self.stream.eval_source(compiled, &mut source);
+                    violation = source.take_violation();
+                    result
+                }
+                None => self.stream.eval(compiled, events),
+            }
+        };
+        if let Some(v) = violation {
+            return Err(EngineError::Type(v));
+        }
+        if let Some(e) = failure {
+            return Err(encoded_error(e));
         }
         result.ok_or(EngineError::Undefined)
     }
@@ -1021,6 +1125,139 @@ mod tests {
                 other => panic!("{mode:?}: expected type error, got {other:?}"),
             }
         }
+    }
+
+    /// A dtop over the fc/ns alphabet: drop every `b` element, keep the
+    /// rest (used by the encoded-format tests; deletion exercises the
+    /// skip fast path through the whole encoded pipeline).
+    fn fcns_prune() -> Dtop {
+        let alpha =
+            xtt_trees::RankedAlphabet::from_pairs([("root", 2), ("a", 2), ("b", 2), ("#", 0)]);
+        let mut b = xtt_transducer::DtopBuilder::new(alpha.clone(), alpha);
+        b.add_state("q0");
+        b.add_state("q");
+        b.set_axiom_str("<q0,x0>").unwrap();
+        b.add_rule_str("q0", "root", "root(<q,x1>,<q,x2>)").unwrap();
+        b.add_rule_str("q", "a", "a(<q,x1>,<q,x2>)").unwrap();
+        b.add_rule_str("q", "b", "<q,x2>").unwrap();
+        b.add_rule_str("q", "#", "#").unwrap();
+        b.build().unwrap()
+    }
+
+    /// Genuine unranked XML through the fc/ns codec: all four eval modes
+    /// produce byte-identical decoded XML, including under validation
+    /// and the output bound.
+    #[test]
+    fn encoded_fcns_agrees_across_modes() {
+        let prune = fcns_prune();
+        let format = DocFormat::parse("fcns").unwrap();
+        let docs = vec![
+            "<root><a><b><a/></b><a/></a><b/></root>".to_owned(),
+            "<root/>".to_owned(),
+            "<root><b/><b/><a/></root>".to_owned(),
+            "<notroot/>".to_owned(), // out of domain (no q0 rule)
+        ];
+        let mut outputs: Vec<Vec<Result<String, ()>>> = Vec::new();
+        for validate in [false, true] {
+            for mode in [
+                EvalMode::Compiled,
+                EvalMode::Streaming,
+                EvalMode::Dag,
+                EvalMode::TreeWalk,
+            ] {
+                let engine = Engine::new(EngineOptions {
+                    workers: 1,
+                    max_output_nodes: if validate { Some(10_000) } else { None },
+                    ..EngineOptions::default()
+                });
+                let results = engine.transform_batch_with_validation(
+                    &prune,
+                    &docs,
+                    mode,
+                    format.clone(),
+                    validate,
+                );
+                assert_eq!(
+                    results[0].as_deref().unwrap(),
+                    "<root><a><a/></a></root>",
+                    "{mode:?} validate={validate}"
+                );
+                assert_eq!(results[1].as_deref().unwrap(), "<root/>");
+                assert_eq!(results[2].as_deref().unwrap(), "<root><a/></root>");
+                assert!(results[3].is_err(), "{mode:?}: {:?}", results[3]);
+                outputs.push(results.iter().map(|r| r.clone().map_err(|_| ())).collect());
+            }
+        }
+        // The Ok outputs are identical everywhere.
+        let oks: Vec<_> = outputs
+            .iter()
+            .map(|rs| {
+                rs.iter()
+                    .filter_map(|r| r.as_ref().ok())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert!(oks.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// The DTD-encoded path end to end: the paper's `xmlflip` applied to
+    /// real XML — input encoded with the `(a*,b*)` DTD, output decoded
+    /// with the `(b*,a*)` DTD, across all four modes.
+    #[test]
+    fn encoded_dtd_xmlflip_end_to_end() {
+        use xtt_xml::xmlflip;
+        let m = xmlflip::target_dtop();
+        let codec = XmlCodec::dtd_pair(
+            std::sync::Arc::new(xmlflip::input_encoding()),
+            std::sync::Arc::new(xmlflip::output_encoding()),
+        );
+        let format = DocFormat::Encoded(codec);
+        let engine = Engine::new(EngineOptions {
+            workers: 1,
+            ..EngineOptions::default()
+        });
+        for mode in [
+            EvalMode::Compiled,
+            EvalMode::Streaming,
+            EvalMode::Dag,
+            EvalMode::TreeWalk,
+        ] {
+            let out = engine
+                .transform_with(&m, "<root><a/><a/><b/></root>", mode, format.clone())
+                .unwrap();
+            assert_eq!(out, "<root><b/><a/><a/></root>", "{mode:?}");
+            // A DTD-invalid document is an encoding error, positionally.
+            let bad = engine
+                .transform_with(&m, "<root><b/><a/></root>", mode, format.clone())
+                .unwrap_err();
+            assert!(matches!(bad, EngineError::Encoding(_)), "{mode:?}: {bad:?}");
+        }
+    }
+
+    /// Encoded + validation: the lockstep guard rejects out-of-domain
+    /// encoded documents with the same typed diagnostic in streaming and
+    /// pre-flight modes.
+    #[test]
+    fn encoded_validation_diagnostics_agree() {
+        let prune = fcns_prune();
+        let format = DocFormat::parse("fcns").unwrap();
+        let engine = Engine::new(EngineOptions {
+            validate: true,
+            workers: 1,
+            ..EngineOptions::default()
+        });
+        // `c` is not in prune's alphabet and sits in an inspected
+        // position: a typed violation, not an opaque Undefined.
+        let bad = "<root><a/><c/><a/></root>";
+        let mut rendered: Vec<String> = Vec::new();
+        for mode in [EvalMode::Streaming, EvalMode::Compiled, EvalMode::TreeWalk] {
+            match engine.transform_with(&prune, bad, mode, format.clone()) {
+                Err(EngineError::Type(e)) => rendered.push(e.to_string()),
+                other => panic!("{mode:?}: expected a type error, got {other:?}"),
+            }
+        }
+        rendered.dedup();
+        assert_eq!(rendered.len(), 1, "diagnostics differ across modes");
     }
 
     #[test]

@@ -45,9 +45,12 @@ pub use engine::{
 pub use eval::{DagSink, EvalScratch, Sink, TreeSink};
 pub use stream::{
     ranked_tree_from_xml, ranked_tree_from_xml_bounded, tree_to_xml, unknown_symbol,
-    xml_ranked_events, xml_ranked_events_bounded, xml_serializable, GuardedXmlError,
-    StreamEvaluator,
+    xml_ranked_events, xml_ranked_events_bounded, xml_serializable, GuardedSource, GuardedXmlError,
+    IterEvents, StreamEvaluator, TreeEventSource, XmlRankedEvents,
 };
 /// Re-exported from `xtt-typecheck`: the typed diagnostic carried by
 /// [`EngineError::Type`] under guarded evaluation.
 pub use xtt_typecheck::TypeError;
+/// Re-exported from `xtt-unranked`: the encoding handle behind
+/// [`DocFormat::Encoded`].
+pub use xtt_unranked::XmlCodec;

@@ -22,11 +22,236 @@
 //! or a call to a child the node does not have, aborts with `None` — the
 //! same inputs are undefined as for `xtt_transducer::eval::eval`.
 
+use std::collections::VecDeque;
+
 use xtt_trees::{tree_from_events, Symbol, Tree, TreeEvent};
-use xtt_typecheck::{CompiledDtta, GuardedEvents, TypeError};
-use xtt_xml::{xml_events, XmlError, XmlEvent};
+use xtt_typecheck::{CompiledDtta, DttaRun, TypeError};
+use xtt_xml::{xml_events, XmlError, XmlEvent, XmlEventReader};
 
 use crate::compile::{CompiledDtop, Instr};
+
+/// A pull source of pre-order tree events with an optional fast path for
+/// skipping whole subtrees.
+///
+/// The streaming evaluator discovers, at each `Open`, whether *any*
+/// state will inspect the subtree; when none will (a deleted subtree),
+/// it calls [`TreeEventSource::skip_subtree`] so the source can discard
+/// the subtree at whatever level is cheapest — [`XmlRankedEvents`]
+/// fast-forwards the raw SAX reader past the element without tokenizing
+/// it. Sources without a fast path return `false` and the evaluator
+/// falls back to counting events.
+pub trait TreeEventSource {
+    /// The next event, or `None` at end of stream (or on a source error
+    /// — the source records it for the caller to surface).
+    fn next_event(&mut self) -> Option<TreeEvent>;
+
+    /// Called immediately after [`TreeEventSource::next_event`] returned
+    /// an `Open`: consume the rest of that node's subtree (descendants
+    /// and the matching `Close`) without delivering it. `false` =
+    /// unsupported here; the caller consumes the events instead.
+    fn skip_subtree(&mut self) -> bool {
+        false
+    }
+}
+
+/// Adapts any plain event iterator into a [`TreeEventSource`] (no skip
+/// fast path).
+pub struct IterEvents<I>(pub I);
+
+impl<I: Iterator<Item = TreeEvent>> TreeEventSource for IterEvents<I> {
+    fn next_event(&mut self) -> Option<TreeEvent> {
+        self.0.next()
+    }
+}
+
+/// What the most recently delivered event was, for
+/// [`XmlRankedEvents::skip_subtree`].
+enum LastOpen {
+    Other,
+    /// An element `Start` — skipping fast-forwards the raw reader.
+    Element,
+    /// A text-token `Open` whose `Close` sits queued.
+    Token,
+}
+
+/// [`TreeEventSource`] straight off the SAX tokenizer: the owning form
+/// of [`xml_ranked_events`] / [`xml_ranked_events_bounded`], with the
+/// raw fast-forward ([`XmlEventReader::skip_subtree`]) wired through —
+/// deleted subtrees are not tokenized at all.
+pub struct XmlRankedEvents<'a> {
+    reader: XmlEventReader<'a>,
+    queue: VecDeque<TreeEvent>,
+    bounded: bool,
+    error: Option<XmlError>,
+    last: LastOpen,
+    skipped_subtrees: u64,
+}
+
+impl<'a> XmlRankedEvents<'a> {
+    /// Faithful symbol interning (trusted input).
+    pub fn new(xml: &'a str) -> XmlRankedEvents<'a> {
+        XmlRankedEvents {
+            reader: xml_events(xml),
+            queue: VecDeque::new(),
+            bounded: false,
+            error: None,
+            last: LastOpen::Other,
+            skipped_subtrees: 0,
+        }
+    }
+
+    /// Bounded symbol resolution (serving paths): out-of-vocabulary
+    /// names map to [`unknown_symbol`] instead of growing the interner.
+    pub fn bounded(xml: &'a str) -> XmlRankedEvents<'a> {
+        XmlRankedEvents {
+            bounded: true,
+            ..XmlRankedEvents::new(xml)
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Symbol {
+        if self.bounded {
+            Symbol::lookup(name).unwrap_or_else(unknown_symbol)
+        } else {
+            Symbol::new(name)
+        }
+    }
+
+    /// The tokenizer (or fast-forward) error, if one ended the stream.
+    pub fn take_error(&mut self) -> Option<XmlError> {
+        self.error.take()
+    }
+
+    /// Subtrees discarded via the fast path (observability and tests).
+    pub fn skipped_subtrees(&self) -> u64 {
+        self.skipped_subtrees
+    }
+}
+
+impl TreeEventSource for XmlRankedEvents<'_> {
+    fn next_event(&mut self) -> Option<TreeEvent> {
+        if let Some(ev) = self.queue.pop_front() {
+            self.last = match ev {
+                TreeEvent::Open(_) => LastOpen::Token,
+                TreeEvent::Close => LastOpen::Other,
+            };
+            return Some(ev);
+        }
+        if self.error.is_some() {
+            return None;
+        }
+        loop {
+            match self.reader.next()? {
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+                Ok(XmlEvent::Start(name)) => {
+                    self.last = LastOpen::Element;
+                    return Some(TreeEvent::Open(self.resolve(&name)));
+                }
+                Ok(XmlEvent::End(_)) => {
+                    self.last = LastOpen::Other;
+                    return Some(TreeEvent::Close);
+                }
+                Ok(XmlEvent::Text(text)) => {
+                    for token in text.split_whitespace() {
+                        let sym = self.resolve(token);
+                        self.queue.push_back(TreeEvent::Open(sym));
+                        self.queue.push_back(TreeEvent::Close);
+                    }
+                    if let Some(ev) = self.queue.pop_front() {
+                        self.last = LastOpen::Token;
+                        return Some(ev);
+                    }
+                }
+            }
+        }
+    }
+
+    fn skip_subtree(&mut self) -> bool {
+        match self.last {
+            LastOpen::Element => {
+                // Fast-forward the raw reader; a structural error inside
+                // the skipped region ends the stream like any tokenizer
+                // error (the caller surfaces it).
+                if let Err(e) = self.reader.skip_subtree() {
+                    self.error = Some(e);
+                }
+                self.skipped_subtrees += 1;
+                self.last = LastOpen::Other;
+                true
+            }
+            LastOpen::Token => {
+                let close = self.queue.pop_front();
+                debug_assert_eq!(close, Some(TreeEvent::Close));
+                self.skipped_subtrees += 1;
+                self.last = LastOpen::Other;
+                true
+            }
+            LastOpen::Other => false,
+        }
+    }
+}
+
+/// Runs a compiled domain guard in lockstep with any
+/// [`TreeEventSource`], cutting the stream at the first violation; the
+/// skip fast path is forwarded (the guard's `∅`-skip state and the
+/// evaluator's empty state set coincide by construction, so a skipped
+/// subtree is one synthetic `Close` to the guard). This is the engine's
+/// guarded streaming front end; `xtt_typecheck::GuardedEvents` remains
+/// the plain-iterator form.
+pub struct GuardedSource<'g, S> {
+    inner: S,
+    run: DttaRun<'g>,
+    violation: Option<TypeError>,
+}
+
+impl<'g, S: TreeEventSource> GuardedSource<'g, S> {
+    pub fn new(guard: &'g CompiledDtta, inner: S) -> GuardedSource<'g, S> {
+        GuardedSource {
+            inner,
+            run: guard.run(),
+            violation: None,
+        }
+    }
+
+    /// Takes the recorded violation out of the adaptor.
+    pub fn take_violation(&mut self) -> Option<TypeError> {
+        self.violation.take()
+    }
+
+    /// The wrapped source (e.g. to read its recorded tokenizer error).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: TreeEventSource> TreeEventSource for GuardedSource<'_, S> {
+    fn next_event(&mut self) -> Option<TreeEvent> {
+        if self.violation.is_some() {
+            return None;
+        }
+        let event = self.inner.next_event()?;
+        match self.run.feed(event) {
+            Ok(()) => Some(event),
+            Err(violation) => {
+                self.violation = Some(violation);
+                None
+            }
+        }
+    }
+
+    fn skip_subtree(&mut self) -> bool {
+        if !self.inner.skip_subtree() {
+            return false;
+        }
+        // The guard saw the Open and is inside its own skip state; one
+        // synthetic Close rebalances it (cannot violate).
+        let _ = self.run.feed(TreeEvent::Close);
+        true
+    }
+}
 
 /// Failure of a *guarded* XML streaming evaluation. A violation wins
 /// over a tokenizer error by construction: the guard cuts the stream at
@@ -73,11 +298,24 @@ impl StreamEvaluator {
     where
         I: IntoIterator<Item = TreeEvent>,
     {
+        self.eval_source(c, &mut IterEvents(events.into_iter()))
+    }
+
+    /// [`StreamEvaluator::eval`] over a [`TreeEventSource`]: when a
+    /// subtree is deleted by the run (empty live state set), the source's
+    /// skip fast path is taken — over XML this fast-forwards the raw
+    /// tokenizer, so deleted subtrees are never tokenized, let alone
+    /// built.
+    pub fn eval_source(
+        &mut self,
+        c: &CompiledDtop,
+        source: &mut impl TreeEventSource,
+    ) -> Option<Tree> {
         self.frames.clear();
         let mut skip_depth = 0usize;
         let mut root_skipped = false;
         let mut done: Option<Tree> = None;
-        for event in events {
+        while let Some(event) = source.next_event() {
             if done.is_some() {
                 return None; // events after the root closed
             }
@@ -110,12 +348,16 @@ impl StreamEvaluator {
                     };
                     if states.is_empty() {
                         // Deleted subtree (or a constant axiom): no state
-                        // ever inspects it — skip without building it.
+                        // ever inspects it — skip without building it,
+                        // and without tokenizing it when the source can
+                        // fast-forward.
                         match self.frames.last_mut() {
                             Some(parent) => parent.child_results.push(Vec::new()),
                             None => root_skipped = true,
                         }
-                        skip_depth = 1;
+                        if !source.skip_subtree() {
+                            skip_depth = 1;
+                        }
                         continue;
                     }
                     let dense = c.dense_sym(sym);
@@ -185,18 +427,9 @@ impl StreamEvaluator {
     /// `Err` is a tokenizer error; `Ok(None)` means the (well-formed)
     /// document is outside the transduction's domain.
     pub fn eval_xml(&mut self, c: &CompiledDtop, xml: &str) -> Result<Option<Tree>, XmlError> {
-        let mut failure: Option<XmlError> = None;
-        let result = {
-            let events = xml_ranked_events_bounded(xml).map_while(|r| match r {
-                Ok(ev) => Some(ev),
-                Err(e) => {
-                    failure = Some(e);
-                    None
-                }
-            });
-            self.eval(c, events)
-        };
-        match failure {
+        let mut source = XmlRankedEvents::bounded(xml);
+        let result = self.eval_source(c, &mut source);
+        match source.take_error() {
             Some(e) => Err(e),
             None => Ok(result),
         }
@@ -215,24 +448,12 @@ impl StreamEvaluator {
         guard: &CompiledDtta,
         xml: &str,
     ) -> Result<Option<Tree>, GuardedXmlError> {
-        let mut failure: Option<XmlError> = None;
-        let result = {
-            let events = xml_ranked_events_bounded(xml).map_while(|r| match r {
-                Ok(event) => Some(event),
-                Err(e) => {
-                    failure = Some(e);
-                    None
-                }
-            });
-            let mut guarded = GuardedEvents::new(guard, events);
-            let result = self.eval(c, &mut guarded);
-            match guarded.take_violation() {
-                Some(violation) => Err(GuardedXmlError::Type(violation)),
-                None => Ok(result),
-            }
-        };
-        let result = result?;
-        match failure {
+        let mut source = GuardedSource::new(guard, XmlRankedEvents::bounded(xml));
+        let result = self.eval_source(c, &mut source);
+        if let Some(violation) = source.take_violation() {
+            return Err(GuardedXmlError::Type(violation));
+        }
+        match source.into_inner().take_error() {
             Some(e) => Err(GuardedXmlError::Xml(e)),
             None => Ok(result),
         }
@@ -281,22 +502,19 @@ fn lookup(results: &[(u16, Tree)], q: u16) -> Option<Tree> {
         .map(|i| results[i].1.clone())
 }
 
-fn ranked_events_with<R>(
-    xml: &str,
-    resolve: R,
-) -> impl Iterator<Item = Result<TreeEvent, XmlError>> + '_
-where
-    R: Fn(&str) -> Symbol + 'static,
-{
-    xml_events(xml).flat_map(move |event| match event {
-        Ok(XmlEvent::Start(name)) => vec![Ok(TreeEvent::Open(resolve(&name)))],
-        Ok(XmlEvent::Text(text)) => text
-            .split_whitespace()
-            .flat_map(|token| [Ok(TreeEvent::Open(resolve(token))), Ok(TreeEvent::Close)])
-            .collect(),
-        Ok(XmlEvent::End(_)) => vec![Ok(TreeEvent::Close)],
-        Err(e) => vec![Err(e)],
-    })
+/// Iterator form of [`XmlRankedEvents`] (same mapping, same source;
+/// fused after the first error).
+struct RankedEventsIter<'a>(XmlRankedEvents<'a>);
+
+impl Iterator for RankedEventsIter<'_> {
+    type Item = Result<TreeEvent, XmlError>;
+
+    fn next(&mut self) -> Option<Result<TreeEvent, XmlError>> {
+        match self.0.next_event() {
+            Some(event) => Some(Ok(event)),
+            None => self.0.take_error().map(Err),
+        }
+    }
 }
 
 /// The sentinel every out-of-vocabulary name maps to under the bounded
@@ -318,7 +536,7 @@ pub fn unknown_symbol() -> Symbol {
 /// this for trusted input only. The serving paths use
 /// [`xml_ranked_events_bounded`], which never grows the table.
 pub fn xml_ranked_events(xml: &str) -> impl Iterator<Item = Result<TreeEvent, XmlError>> + '_ {
-    ranked_events_with(xml, Symbol::new)
+    RankedEventsIter(XmlRankedEvents::new(xml))
 }
 
 /// Like [`xml_ranked_events`], but safe for untrusted traffic: names are
@@ -330,9 +548,7 @@ pub fn xml_ranked_events(xml: &str) -> impl Iterator<Item = Result<TreeEvent, Xm
 pub fn xml_ranked_events_bounded(
     xml: &str,
 ) -> impl Iterator<Item = Result<TreeEvent, XmlError>> + '_ {
-    ranked_events_with(xml, |name| {
-        Symbol::lookup(name).unwrap_or_else(unknown_symbol)
-    })
+    RankedEventsIter(XmlRankedEvents::bounded(xml))
 }
 
 /// Builds a ranked tree from an XML document via [`xml_ranked_events`]
@@ -526,6 +742,41 @@ mod tests {
         // and the output serializes back to parseable XML
         let xml_out = tree_to_xml(&streamed);
         assert_eq!(ranked_tree_from_xml(&xml_out).unwrap(), streamed);
+    }
+
+    #[test]
+    fn deleted_subtrees_are_not_tokenized() {
+        // (q4, a) deletes the first subtree of every `a` node: the
+        // streaming XML path must fast-forward the raw reader past it
+        // instead of tokenizing it — observable via the skip counter and
+        // via junk that only a tokenizer would choke on politely
+        // (attributes, comments) sailing through untokenized.
+        let fix = examples::flip();
+        let c = compile(&fix.dtop).unwrap();
+        let mut ev = StreamEvaluator::new();
+        let xml = "<root><a><junk depth=\"3\"><x><!-- never parsed --></x></junk><a># #</a></a><b># #</b></root>";
+        let mut source = XmlRankedEvents::bounded(xml);
+        let out = ev.eval_source(&c, &mut source).unwrap();
+        assert_eq!(out.to_string(), "root(b(#,#),a(#,a(#,#)))");
+        assert!(source.skipped_subtrees() >= 1, "fast path must engage");
+        assert_eq!(Symbol::lookup("junk"), None, "skipped names never interned");
+        // The guarded path fast-forwards too (guard ∅-skip ≡ empty state
+        // set), with identical output.
+        let guard = xtt_typecheck::domain_guard(&fix.dtop).unwrap();
+        let guarded = ev.eval_xml_guarded(&c, &guard, xml).unwrap().unwrap();
+        assert_eq!(guarded, out);
+    }
+
+    #[test]
+    fn skip_fast_path_still_surfaces_structural_errors() {
+        // Mismatched tags inside a *deleted* subtree are still XML
+        // errors — the fast-forward enforces structure, exactly like the
+        // event-counting path did.
+        let fix = examples::flip();
+        let c = compile(&fix.dtop).unwrap();
+        let mut ev = StreamEvaluator::new();
+        let bad = "<root><a><junk><open></junk></a><b># #</b></root>";
+        assert!(ev.eval_xml(&c, bad).is_err());
     }
 
     #[test]

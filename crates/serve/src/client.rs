@@ -113,4 +113,58 @@ impl ServeClient {
         }
         false
     }
+
+    /// Opens a persistent (keep-alive) session: one connection, many
+    /// requests.
+    pub fn session(&self) -> io::Result<ServeSession> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok(ServeSession {
+            addr: self.addr,
+            stream,
+        })
+    }
+}
+
+/// A keep-alive client session: requests share one TCP connection until
+/// the server (or [`ServeSession::close`]) ends it. Used by the
+/// integration tests to pin connection-reuse behavior.
+pub struct ServeSession {
+    addr: SocketAddr,
+    stream: TcpStream,
+}
+
+impl ServeSession {
+    /// Sends one request on the shared connection.
+    pub fn request(&mut self, method: &str, target: &str, body: &str) -> io::Result<Response> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        read_response(&mut self.stream).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends a request with an explicit `Connection: close`, asking the
+    /// server to end the session after answering.
+    pub fn request_close(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &str,
+    ) -> io::Result<Response> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        read_response(&mut self.stream).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
 }

@@ -1,0 +1,205 @@
+//! The named-encoding registry behind `PUT /encodings/{name}`.
+//!
+//! Clients upload a DTD (the W3C `<!ELEMENT …>` syntax) and get back a
+//! compiled [`Encoding`] they can reference on transform requests with
+//! `?encoding={name}` — genuine unranked XML in, transformed unranked
+//! XML out, encoded and decoded incrementally by `xtt-unranked`. The
+//! built-in name `fcns` (the first-child/next-sibling encoding) is
+//! always available and needs no upload.
+//!
+//! Entries are immutable `Arc`s behind an `RwLock`, hot-swappable like
+//! the transducer registry: in-flight transforms keep the old `Arc`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use xtt_engine::{unknown_symbol, XmlCodec};
+use xtt_xml::encode::EncodingStyle;
+use xtt_xml::{Dtd, Encoding, PcDataMode};
+
+use crate::registry::escape_json;
+
+/// One registered encoding.
+pub struct EncodingEntry {
+    pub name: String,
+    pub encoding: Arc<Encoding>,
+}
+
+impl EncodingEntry {
+    /// The JSON summary used by the list and upload responses.
+    pub fn json(&self) -> String {
+        let dtd = self.encoding.dtd();
+        format!(
+            "{{\"name\":\"{}\",\"root\":\"{}\",\"elements\":{},\"alphabet\":{},\"style\":\"{}\",\"pcdata\":\"{}\"}}",
+            escape_json(&self.name),
+            escape_json(dtd.root()),
+            dtd.elements().len(),
+            self.encoding.alphabet().len(),
+            match self.encoding.style() {
+                EncodingStyle::Paper => "paper",
+                EncodingStyle::PathClosed => "path-closed",
+            },
+            match self.encoding.mode() {
+                PcDataMode::Abstract => "abstract".to_owned(),
+                PcDataMode::Valued(vals) => format!("valued({})", vals.len()),
+            },
+        )
+    }
+}
+
+/// Errors raised while registering an encoding (mapped to `422`).
+#[derive(Debug)]
+pub struct EncodingRegistryError(pub String);
+
+impl std::fmt::Display for EncodingRegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for EncodingRegistryError {}
+
+/// Thread-safe name → encoding map.
+#[derive(Default)]
+pub struct EncodingRegistry {
+    entries: RwLock<HashMap<String, Arc<EncodingEntry>>>,
+}
+
+impl EncodingRegistry {
+    pub fn new() -> EncodingRegistry {
+        EncodingRegistry::default()
+    }
+
+    /// Compiles and registers (or hot-swaps) an encoding from DTD text.
+    /// `pcdata`: `None` = the paper's abstract pcdata; `Some(values)` =
+    /// a finite text universe. `style`: `paper` (default) or
+    /// `path-closed`.
+    pub fn upload(
+        &self,
+        name: &str,
+        dtd_text: &str,
+        pcdata: Option<Vec<String>>,
+        style: EncodingStyle,
+    ) -> Result<Arc<EncodingEntry>, EncodingRegistryError> {
+        if name == "fcns" {
+            return Err(EncodingRegistryError(
+                "the name 'fcns' is reserved for the built-in first-child/next-sibling encoding"
+                    .into(),
+            ));
+        }
+        let dtd =
+            Dtd::parse(dtd_text).map_err(|e| EncodingRegistryError(format!("bad DTD: {e}")))?;
+        let mode = match pcdata {
+            None => PcDataMode::Abstract,
+            Some(values) => PcDataMode::Valued(values),
+        };
+        let entry = Arc::new(EncodingEntry {
+            name: name.to_owned(),
+            encoding: Arc::new(Encoding::with_style(dtd, mode, style)),
+        });
+        self.write().insert(name.to_owned(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Resolves a `?encoding=` value to a codec: `fcns` is built in;
+    /// anything else must have been uploaded.
+    pub fn codec(&self, name: &str) -> Option<XmlCodec> {
+        self.codec_pair(name, name)
+    }
+
+    /// Resolves an input/output encoding pair (`?encoding=` +
+    /// `?output_encoding=`): with distinct DTD encodings, documents are
+    /// encoded with the first and outputs decoded with the second — the
+    /// shape of schema-changing transformations like the paper's
+    /// `xmlflip`. `fcns` cannot be mixed with a DTD encoding.
+    pub fn codec_pair(&self, input: &str, output: &str) -> Option<XmlCodec> {
+        match (input == "fcns", output == "fcns") {
+            (true, true) => Some(XmlCodec::fcns_bounded(unknown_symbol())),
+            (true, false) | (false, true) => None,
+            (false, false) => {
+                let input = Arc::clone(&self.read().get(input).cloned()?.encoding);
+                let output = Arc::clone(&self.read().get(output).cloned()?.encoding);
+                Some(XmlCodec::dtd_pair(input, output))
+            }
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<Arc<EncodingEntry>> {
+        self.read().get(name).cloned()
+    }
+
+    pub fn remove(&self, name: &str) -> bool {
+        self.write().remove(name).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+
+    /// JSON array of all entries (plus the built-in `fcns`), sorted.
+    pub fn list_json(&self) -> String {
+        let map = self.read();
+        let mut entries: Vec<_> = map.values().collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut items = vec!["{\"name\":\"fcns\",\"builtin\":true}".to_owned()];
+        items.extend(entries.iter().map(|e| e.json()));
+        format!("[{}]", items.join(","))
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<EncodingEntry>>> {
+        self.entries.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<EncodingEntry>>> {
+        self.entries.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_resolve_and_remove() {
+        let reg = EncodingRegistry::new();
+        assert!(reg.codec("fcns").is_some(), "fcns is built in");
+        assert!(reg.codec("flipdtd").is_none());
+        let entry = reg
+            .upload(
+                "flipdtd",
+                "<!ELEMENT root (a*,b*) >\n<!ELEMENT a EMPTY >\n<!ELEMENT b EMPTY >",
+                None,
+                EncodingStyle::Paper,
+            )
+            .unwrap();
+        assert_eq!(entry.encoding.dtd().root(), "root");
+        assert!(reg.codec("flipdtd").is_some());
+        assert!(reg.list_json().contains("\"flipdtd\""));
+        assert!(reg.remove("flipdtd"));
+        assert!(reg.codec("flipdtd").is_none());
+    }
+
+    #[test]
+    fn rejects_bad_dtds_and_reserved_names() {
+        let reg = EncodingRegistry::new();
+        assert!(reg
+            .upload(
+                "x",
+                "<!ELEMENT root (unknown) >",
+                None,
+                EncodingStyle::Paper
+            )
+            .is_err());
+        assert!(reg
+            .upload("x", "not a dtd", None, EncodingStyle::Paper)
+            .is_err());
+        assert!(reg
+            .upload("fcns", "<!ELEMENT a EMPTY >", None, EncodingStyle::Paper)
+            .is_err());
+        assert!(reg.is_empty());
+    }
+}

@@ -2,8 +2,11 @@
 //! more. Requests carry bodies via `Content-Length` only (chunked request
 //! bodies are rejected with `501`); responses are written either with
 //! `Content-Length` or chunked (the transform endpoint streams one chunk
-//! per document). Every exchange is one request per connection
-//! (`Connection: close`), which keeps the worker pool accounting exact.
+//! per document). Connections are **keep-alive** by default (HTTP/1.1
+//! semantics): the server answers multiple requests per connection until
+//! the client says `Connection: close`, the idle timeout passes, or the
+//! per-connection request limit is reached — every response carries an
+//! explicit `Connection:` header, so the accounting stays exact.
 //!
 //! The workspace policy is to implement substrates rather than pull
 //! dependencies — the environment is fully offline, so hyper/tokio are
@@ -19,6 +22,9 @@ const MAX_HEAD: usize = 16 * 1024;
 #[derive(Debug)]
 pub enum HttpError {
     Io(io::Error),
+    /// The peer closed the connection cleanly before sending any bytes
+    /// of the next request — the normal end of a keep-alive connection.
+    Closed,
     /// Syntactically broken request (maps to `400`).
     Malformed(String),
     /// Head or body over the configured limit (maps to `431`/`413`).
@@ -31,6 +37,7 @@ impl fmt::Display for HttpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Closed => write!(f, "connection closed"),
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::TooLarge(w) => write!(f, "{w} too large"),
             HttpError::Unsupported(w) => write!(f, "unsupported: {w}"),
@@ -50,6 +57,8 @@ impl From<io::Error> for HttpError {
 #[derive(Debug, Clone)]
 pub struct Request {
     pub method: String,
+    /// True for HTTP/1.1 (keep-alive by default), false for HTTP/1.0.
+    pub http11: bool,
     /// Percent-decoded path, without the query string.
     pub path: String,
     /// Percent-decoded `key=value` pairs, in order.
@@ -78,11 +87,33 @@ impl Request {
         std::str::from_utf8(&self.body)
             .map_err(|_| HttpError::Malformed("body is not valid UTF-8".into()))
     }
+
+    /// HTTP/1.1 keep-alive semantics: persistent unless the client says
+    /// `Connection: close`; HTTP/1.0 only with an explicit keep-alive.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
 }
 
 /// Reads one request from the stream (`Content-Length` bodies only).
 pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, HttpError> {
-    let (head, mut leftover) = read_head(stream)?;
+    read_request_carry(stream, max_body, &mut Vec::new())
+}
+
+/// [`read_request`] for keep-alive connections: `carry` holds bytes read
+/// past the previous request (pipelining clients send the next request
+/// before the response arrives) and receives any bytes read past this
+/// one's body.
+pub fn read_request_carry(
+    stream: &mut dyn Read,
+    max_body: usize,
+    carry: &mut Vec<u8>,
+) -> Result<Request, HttpError> {
+    let (head, mut leftover) = read_head_carry(stream, carry)?;
     let head = String::from_utf8(head)
         .map_err(|_| HttpError::Malformed("head is not valid UTF-8".into()))?;
     let mut lines = head.split("\r\n");
@@ -102,6 +133,7 @@ pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, H
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Unsupported("HTTP version"));
     }
+    let http11 = version != "HTTP/1.0";
 
     let mut headers = Vec::new();
     for line in lines {
@@ -133,12 +165,12 @@ pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, H
     if content_length > max_body {
         return Err(HttpError::TooLarge("body"));
     }
-    let mut body = std::mem::take(&mut leftover);
-    if body.len() > content_length {
-        return Err(HttpError::Malformed(
-            "more body bytes than Content-Length".into(),
-        ));
+    // Bytes past this request's body belong to the *next* pipelined
+    // request on the connection.
+    if leftover.len() > content_length {
+        *carry = leftover.split_off(content_length);
     }
+    let mut body = std::mem::take(&mut leftover);
     while body.len() < content_length {
         let mut buf = [0u8; 8192];
         let want = (content_length - body.len()).min(buf.len());
@@ -155,6 +187,7 @@ pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, H
     };
     Ok(Request {
         method,
+        http11,
         path,
         query,
         headers,
@@ -165,7 +198,16 @@ pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, H
 /// Reads up to and including the `\r\n\r\n` head terminator; returns the
 /// head bytes (terminator stripped) and any body bytes read past it.
 fn read_head(stream: &mut dyn Read) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    read_head_carry(stream, &mut Vec::new())
+}
+
+/// [`read_head`] seeded with carried-over bytes from the connection.
+fn read_head_carry(
+    stream: &mut dyn Read,
+    carry: &mut Vec<u8>,
+) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut buf: Vec<u8> = std::mem::take(carry);
+    buf.reserve(1024);
     loop {
         if let Some(pos) = find_subsequence(&buf, b"\r\n\r\n") {
             let rest = buf.split_off(pos + 4);
@@ -178,6 +220,10 @@ fn read_head(stream: &mut dyn Read) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
         let mut chunk = [0u8; 2048];
         let n = stream.read(&mut chunk)?;
         if n == 0 {
+            if buf.is_empty() {
+                // Clean close between requests (keep-alive end).
+                return Err(HttpError::Closed);
+            }
             return Err(HttpError::Malformed(
                 "connection closed before the end of the headers".into(),
             ));
@@ -252,7 +298,15 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete `Content-Length` response.
+fn connection_header(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    }
+}
+
+/// Writes a complete `Content-Length` response, closing the connection.
 pub fn write_response(
     stream: &mut dyn Write,
     status: u16,
@@ -260,9 +314,23 @@ pub fn write_response(
     extra_headers: &[(&str, String)],
     body: &[u8],
 ) -> io::Result<()> {
+    write_response_conn(stream, status, content_type, extra_headers, body, false)
+}
+
+/// Writes a complete `Content-Length` response with an explicit
+/// `Connection:` disposition.
+pub fn write_response_conn(
+    stream: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nConnection: close\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nConnection: {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
+        connection_header(keep_alive),
         body.len()
     );
     for (name, value) in extra_headers {
@@ -288,9 +356,23 @@ impl<'a> ChunkedWriter<'a> {
         content_type: &str,
         extra_headers: &[(&str, String)],
     ) -> io::Result<ChunkedWriter<'a>> {
+        ChunkedWriter::start_conn(stream, status, content_type, extra_headers, false)
+    }
+
+    /// [`ChunkedWriter::start`] with an explicit `Connection:`
+    /// disposition (chunked framing delimits the body, so keep-alive
+    /// works for streamed responses too).
+    pub fn start_conn(
+        stream: &'a mut dyn Write,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(&str, String)],
+        keep_alive: bool,
+    ) -> io::Result<ChunkedWriter<'a>> {
         let mut head = format!(
-            "HTTP/1.1 {status} {}\r\nConnection: close\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\n",
-            reason(status)
+            "HTTP/1.1 {status} {}\r\nConnection: {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\n",
+            reason(status),
+            connection_header(keep_alive)
         );
         for (name, value) in extra_headers {
             head.push_str(&format!("{name}: {value}\r\n"));
@@ -462,6 +544,28 @@ mod tests {
         let req = read_request(&mut &raw[..], 1024).unwrap();
         assert_eq!(req.path, "/transducers/my-name");
         assert_eq!(req.query_param("x"), Some("a b"));
+    }
+
+    #[test]
+    fn pipelined_requests_carry_over() {
+        // Two requests in one buffer: the bytes past the first body are
+        // not a protocol error — they seed the next read.
+        let raw = b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /b HTTP/1.1\r\n\r\n";
+        let mut carry = Vec::new();
+        let mut stream = &raw[..];
+        let first = read_request_carry(&mut stream, 1024, &mut carry).unwrap();
+        assert_eq!(
+            (first.path.as_str(), first.body.as_slice()),
+            ("/a", &b"hi"[..])
+        );
+        assert!(!carry.is_empty(), "second request must be carried over");
+        let second = read_request_carry(&mut stream, 1024, &mut carry).unwrap();
+        assert_eq!(second.path, "/b");
+        assert!(carry.is_empty());
+        assert!(matches!(
+            read_request_carry(&mut stream, 1024, &mut carry),
+            Err(HttpError::Closed)
+        ));
     }
 
     #[test]

@@ -13,13 +13,17 @@
 //!   syntax or `input => output` samples run through `RPNIdtop`), with
 //!   atomic hot swap keyed into the engine's fingerprint LRU;
 //! * **transform batches** (`POST /transform/{name}`) in term or XML
-//!   syntax, any evaluator (`?mode=tree|stream|dag|walk`), with strictly
+//!   syntax — or genuine unranked XML through a ranked encoding
+//!   (`?encoding=fcns` or a DTD uploaded via `PUT /encodings/{name}`) —
+//!   any evaluator (`?mode=tree|stream|dag|walk`), with strictly
 //!   per-document positional errors and chunked responses;
 //! * **observe** (`/healthz`, `/stats`: cache hits, queue depth,
 //!   per-endpoint latency) and **shut down gracefully** (SIGTERM/SIGINT
 //!   or `POST /shutdown`: stop accepting, drain, finish in-flight, exit).
 //!
-//! Concurrency: a bounded-queue thread pool; a full queue answers `503`
+//! Concurrency: a bounded-queue thread pool with **keep-alive**
+//! connections (idle timeout + per-connection request limit; reuse is
+//! visible in `/stats` under `connections`); a full queue answers `503`
 //! immediately (backpressure, never unbounded buffering). The HTTP layer
 //! is hand-rolled ([`http`]) — the build environment is offline and the
 //! workspace policy is to implement substrates rather than pull deps.
@@ -28,6 +32,7 @@
 //! integration tests, the examples, and the CI smoke script.
 
 pub mod client;
+pub mod encodings;
 pub mod http;
 pub mod pool;
 pub mod registry;
@@ -35,7 +40,8 @@ pub mod server;
 pub mod signal;
 pub mod stats;
 
-pub use client::ServeClient;
+pub use client::{ServeClient, ServeSession};
+pub use encodings::{EncodingEntry, EncodingRegistry};
 pub use pool::{PushError, WorkQueue};
 pub use registry::{Entry, Registry, RegistryError, Source};
 pub use server::{ServeHandle, ServeOptions, Server};

@@ -19,6 +19,15 @@
 //! POST   /typecheck/{name}               output typechecking: body is a DTTA
 //!                                        schema (term syntax); answers
 //!                                        ok/counterexample JSON
+//! PUT    /encodings/{name}               upload a DTD; registers a ranked
+//!                                        encoding usable via ?encoding=
+//!                                        (422 on a malformed or ambiguous
+//!                                        DTD); ?pcdata=v1,v2 sets a finite
+//!                                        text universe, ?style=paper|
+//!                                        path-closed the R* shape
+//! GET    /encodings[/{name}]             list / inspect encodings (the
+//!                                        built-in fcns is always there)
+//! DELETE /encodings/{name}               unregister
 //! GET    /healthz                        liveness
 //! GET    /stats                          counters (engine cache, validation,
 //!                                        typecheck, queue, latency)
@@ -27,8 +36,12 @@
 //!
 //! Concurrency model: one acceptor thread (the caller of [`Server::run`])
 //! accepts connections into a bounded [`WorkQueue`]; `N` worker threads
-//! pop and answer one request per connection. A full queue is answered
-//! `503` immediately — the server never buffers unboundedly. Shutdown
+//! pop connections and answer requests. Connections are **keep-alive**:
+//! a worker serves requests on one connection until the client closes,
+//! the idle timeout ([`ServeOptions::keep_alive_timeout`]) passes, the
+//! per-connection request limit is reached, or shutdown begins. A full
+//! queue is answered `503` immediately — the server never buffers
+//! unboundedly. Shutdown
 //! (SIGTERM/SIGINT in the binary, `POST /shutdown` anywhere) stops the
 //! acceptor, drains the queue, finishes in-flight requests, and joins the
 //! workers before [`Server::run`] returns.
@@ -42,14 +55,17 @@ use std::time::{Duration, Instant};
 
 use xtt_engine::{DocFormat, Engine, EngineOptions, EvalMode};
 
-use crate::http::{read_request, write_response, ChunkedWriter, HttpError, Request};
+use crate::encodings::EncodingRegistry;
+use crate::http::{
+    read_request_carry, write_response, write_response_conn, ChunkedWriter, HttpError, Request,
+};
 use crate::pool::{PushError, WorkQueue};
 use crate::registry::{self, escape_json, Registry, Source};
 use crate::signal;
 use crate::stats::ServerStats;
 
 /// Server configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Worker threads answering requests; 0 = one per available CPU.
     pub workers: usize,
@@ -59,6 +75,12 @@ pub struct ServeOptions {
     pub max_body: usize,
     /// Per-connection socket read/write timeout.
     pub io_timeout: Duration,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub keep_alive_timeout: Duration,
+    /// Requests served per connection before the server closes it
+    /// (`1` = one request per connection, the pre-keep-alive behavior).
+    pub keep_alive_limit: usize,
     /// The wrapped engine (cache capacity, default mode/format, batch
     /// workers *inside* one transform request).
     pub engine: EngineOptions,
@@ -71,6 +93,8 @@ impl Default for ServeOptions {
             queue_capacity: 128,
             max_body: 64 * 1024 * 1024,
             io_timeout: Duration::from_secs(30),
+            keep_alive_timeout: Duration::from_secs(5),
+            keep_alive_limit: 1000,
             engine: EngineOptions {
                 // A copying transducer turns a 100-byte document into an
                 // exponential output; a server must bound what it will
@@ -85,6 +109,7 @@ impl Default for ServeOptions {
 struct Shared {
     engine: Arc<Engine>,
     registry: Registry,
+    encodings: EncodingRegistry,
     stats: ServerStats,
     queue: WorkQueue<TcpStream>,
     opts: ServeOptions,
@@ -135,8 +160,9 @@ impl Server {
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                engine: Engine::shared(opts.engine),
+                engine: Engine::shared(opts.engine.clone()),
                 registry: Registry::new(),
+                encodings: EncodingRegistry::new(),
                 stats: ServerStats::default(),
                 queue: WorkQueue::new(opts.queue_capacity),
                 opts,
@@ -255,29 +281,66 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn handle_connection(shared: &Shared, stream: &mut TcpStream) -> io::Result<()> {
-    let request = match read_request(stream, shared.opts.max_body) {
-        Ok(r) => r,
-        Err(e) => {
-            let (status, message) = match &e {
-                HttpError::Io(_) => return Ok(()), // peer went away
-                HttpError::Malformed(m) => (400, m.clone()),
-                HttpError::TooLarge("request head") => (431, e.to_string()),
-                HttpError::TooLarge(_) => (413, e.to_string()),
-                HttpError::Unsupported(_) => (501, e.to_string()),
-            };
-            return write_response(
-                stream,
-                status,
-                "text/plain",
-                &[],
-                format!("{message}\n").as_bytes(),
-            );
+    let mut served: usize = 0;
+    // Bytes read past a request's body (pipelining clients) roll over
+    // into the next request on this connection.
+    let mut carry: Vec<u8> = Vec::new();
+    loop {
+        if served > 0 {
+            // Between requests a connection may only sit idle briefly;
+            // once bytes flow the same timeout governs the request read.
+            let _ = stream.set_read_timeout(Some(shared.opts.keep_alive_timeout));
         }
-    };
-    route(shared, &request, stream)
+        let request = match read_request_carry(stream, shared.opts.max_body, &mut carry) {
+            Ok(r) => r,
+            Err(HttpError::Closed) => return Ok(()), // clean keep-alive end
+            Err(HttpError::Io(e)) => {
+                if served > 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    )
+                {
+                    shared.stats.closed_idle.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(()); // peer went away / idle timeout
+            }
+            Err(e) => {
+                let (status, message) = match &e {
+                    HttpError::Io(_) | HttpError::Closed => unreachable!("handled above"),
+                    HttpError::Malformed(m) => (400, m.clone()),
+                    HttpError::TooLarge("request head") => (431, e.to_string()),
+                    HttpError::TooLarge(_) => (413, e.to_string()),
+                    HttpError::Unsupported(_) => (501, e.to_string()),
+                };
+                return write_response(
+                    stream,
+                    status,
+                    "text/plain",
+                    &[],
+                    format!("{message}\n").as_bytes(),
+                );
+            }
+        };
+        served += 1;
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if served > 1 {
+            shared.stats.reused_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        let keep = request.keep_alive()
+            && served < shared.opts.keep_alive_limit.max(1)
+            && !shared.queue.is_shutting_down();
+        let keep = route(shared, &request, stream, keep)?;
+        if !keep || shared.queue.is_shutting_down() {
+            return Ok(());
+        }
+    }
 }
 
-fn route(shared: &Shared, req: &Request, stream: &mut TcpStream) -> io::Result<()> {
+/// Routes one request. `keep` is the connection disposition every
+/// response must carry; the return value is whether the connection may
+/// actually be kept (shutdown forces a close).
+fn route(shared: &Shared, req: &Request, stream: &mut TcpStream, keep: bool) -> io::Result<bool> {
     let started = Instant::now();
     let segments: Vec<&str> = req
         .path
@@ -285,21 +348,26 @@ fn route(shared: &Shared, req: &Request, stream: &mut TcpStream) -> io::Result<(
         .split('/')
         .filter(|s| !s.is_empty())
         .collect();
-    match (req.method.as_str(), segments.as_slice()) {
+    // Shutdown always closes; everything else follows the caller.
+    let keep = keep && !matches!(segments.as_slice(), ["shutdown"]);
+    let respond = |stream: &mut TcpStream, status: u16, ct: &str, body: &[u8]| {
+        write_response_conn(stream, status, ct, &[], body, keep)
+    };
+    let r = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            let r = write_response(stream, 200, "text/plain", &[], b"ok\n");
+            let r = respond(stream, 200, "text/plain", b"ok\n");
             shared.stats.health.record(started, false);
             r
         }
         ("GET", ["stats"]) => {
             let body = shared.stats_json();
-            let r = write_response(stream, 200, "application/json", &[], body.as_bytes());
+            let r = respond(stream, 200, "application/json", body.as_bytes());
             shared.stats.stats.record(started, false);
             r
         }
         ("GET", ["transducers"]) => {
             let body = shared.registry.list_json();
-            let r = write_response(stream, 200, "application/json", &[], body.as_bytes());
+            let r = respond(stream, 200, "application/json", body.as_bytes());
             shared.stats.transducers.record(started, false);
             r
         }
@@ -308,13 +376,13 @@ fn route(shared: &Shared, req: &Request, stream: &mut TcpStream) -> io::Result<(
                 Some(entry) => (200, entry.json()),
                 None => (404, error_json("unknown transducer")),
             };
-            let r = write_response(stream, status, "application/json", &[], body.as_bytes());
+            let r = respond(stream, status, "application/json", body.as_bytes());
             shared.stats.transducers.record(started, status >= 400);
             r
         }
         ("PUT", ["transducers", name]) => {
             let (status, body) = put_transducer(shared, req, name);
-            let r = write_response(stream, status, "application/json", &[], body.as_bytes());
+            let r = respond(stream, status, "application/json", body.as_bytes());
             shared.stats.transducers.record(started, status >= 400);
             r
         }
@@ -324,34 +392,104 @@ fn route(shared: &Shared, req: &Request, stream: &mut TcpStream) -> io::Result<(
             } else {
                 404
             };
-            let r = write_response(stream, status, "text/plain", &[], b"");
+            let r = respond(stream, status, "text/plain", b"");
             shared.stats.transducers.record(started, status >= 400);
             r
         }
-        ("POST", ["transform", name]) => transform(shared, req, name, stream, started),
+        ("GET", ["encodings"]) => {
+            let body = shared.encodings.list_json();
+            let r = respond(stream, 200, "application/json", body.as_bytes());
+            shared.stats.encodings.record(started, false);
+            r
+        }
+        ("GET", ["encodings", name]) => {
+            let (status, body) = match shared.encodings.get(name) {
+                Some(entry) => (200, entry.json()),
+                None if *name == "fcns" => (200, "{\"name\":\"fcns\",\"builtin\":true}".to_owned()),
+                None => (404, error_json("unknown encoding")),
+            };
+            let r = respond(stream, status, "application/json", body.as_bytes());
+            shared.stats.encodings.record(started, status >= 400);
+            r
+        }
+        ("PUT", ["encodings", name]) => {
+            let (status, body) = put_encoding(shared, req, name);
+            let r = respond(stream, status, "application/json", body.as_bytes());
+            shared.stats.encodings.record(started, status >= 400);
+            r
+        }
+        ("DELETE", ["encodings", name]) => {
+            let status = if shared.encodings.remove(name) {
+                204
+            } else {
+                404
+            };
+            let r = respond(stream, status, "text/plain", b"");
+            shared.stats.encodings.record(started, status >= 400);
+            r
+        }
+        ("POST", ["transform", name]) => transform(shared, req, name, stream, started, keep),
         ("POST", ["typecheck", name]) => {
             let (status, body) = typecheck(shared, req, name);
-            let r = write_response(stream, status, "application/json", &[], body.as_bytes());
+            let r = respond(stream, status, "application/json", body.as_bytes());
             shared.stats.typecheck.record(started, status >= 400);
             r
         }
         ("POST", ["shutdown"]) => {
-            let r = write_response(stream, 200, "text/plain", &[], b"draining\n");
+            let r = respond(stream, 200, "text/plain", b"draining\n");
             shared.stats.other.record(started, false);
             shared.queue.shutdown();
             r
         }
         (_, ["healthz" | "stats" | "shutdown"])
-        | (_, ["transducers" | "transform" | "typecheck", ..]) => {
-            let r = write_response(stream, 405, "text/plain", &[], b"method not allowed\n");
+        | (_, ["transducers" | "transform" | "typecheck" | "encodings", ..]) => {
+            let r = respond(stream, 405, "text/plain", b"method not allowed\n");
             shared.stats.other.record(started, true);
             r
         }
         _ => {
-            let r = write_response(stream, 404, "text/plain", &[], b"no such endpoint\n");
+            let r = respond(stream, 404, "text/plain", b"no such endpoint\n");
             shared.stats.other.record(started, true);
             r
         }
+    };
+    r.map(|()| keep)
+}
+
+/// `PUT /encodings/{name}`: body is a DTD; `?pcdata=v1,v2` sets a finite
+/// text universe (default: the paper's abstract pcdata); `?style=paper|
+/// path-closed` picks the `R*` shape. A malformed or non-1-unambiguous
+/// DTD answers `422` and registers nothing.
+fn put_encoding(shared: &Shared, req: &Request, name: &str) -> (u16, String) {
+    if !Registry::valid_name(name) {
+        return (
+            400,
+            error_json("encoding names are [A-Za-z0-9_.-], at most 64 bytes"),
+        );
+    }
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return (400, error_json(&e.to_string())),
+    };
+    let pcdata = req.query_param("pcdata").map(|v| {
+        v.split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    });
+    let style = match req.query_param("style") {
+        None | Some("paper") => xtt_xml::EncodingStyle::Paper,
+        Some("path-closed" | "pathclosed") => xtt_xml::EncodingStyle::PathClosed,
+        Some(other) => {
+            return (
+                400,
+                error_json(&format!("bad style '{other}' (paper or path-closed)")),
+            )
+        }
+    };
+    match shared.encodings.upload(name, body, pcdata, style) {
+        Ok(entry) => (201, entry.json()),
+        Err(e) => (422, error_json(&e.to_string())),
     }
 }
 
@@ -418,39 +556,77 @@ fn transform(
     name: &str,
     stream: &mut TcpStream,
     started: Instant,
+    keep: bool,
 ) -> io::Result<()> {
     let Some(entry) = shared.registry.get(name) else {
-        let r = write_response(
+        let r = write_response_conn(
             stream,
             404,
             "application/json",
             &[],
             error_json("unknown transducer").as_bytes(),
+            keep,
         );
         shared.stats.transform.record(started, true);
         return r;
     };
     let mode = match optional(req.query_param("mode"), EvalMode::parse) {
         Ok(m) => m.unwrap_or(shared.opts.engine.mode),
-        Err(v) => return bad_param(shared, stream, started, "mode", &v),
+        Err(v) => return bad_param(shared, stream, started, "mode", &v, keep),
     };
     let format = match optional(req.query_param("format"), DocFormat::parse) {
-        Ok(f) => f.unwrap_or(shared.opts.engine.format),
-        Err(v) => return bad_param(shared, stream, started, "format", &v),
+        Ok(f) => f.unwrap_or(shared.opts.engine.format.clone()),
+        Err(v) => return bad_param(shared, stream, started, "format", &v, keep),
+    };
+    // `?encoding=fcns|{name}` overrides the format: genuine unranked XML
+    // through a ranked encoding (named ones come from PUT /encodings).
+    // `?output_encoding={name}` decodes outputs with a different DTD
+    // (schema-changing transformations like the paper's xmlflip).
+    let format = match req.query_param("encoding") {
+        None => {
+            if let Some(out) = req.query_param("output_encoding") {
+                return bad_param(
+                    shared,
+                    stream,
+                    started,
+                    "output_encoding",
+                    &format!("{out} (requires ?encoding=)"),
+                    keep,
+                );
+            }
+            format
+        }
+        Some(enc_name) => {
+            let out_name = req.query_param("output_encoding").unwrap_or(enc_name);
+            match shared.encodings.codec_pair(enc_name, out_name) {
+                Some(codec) => DocFormat::Encoded(codec),
+                None => {
+                    return bad_param(
+                        shared,
+                        stream,
+                        started,
+                        "encoding",
+                        &format!("{enc_name} -> {out_name}"),
+                        keep,
+                    )
+                }
+            }
+        }
     };
     let validate = match optional(req.query_param("validate"), parse_bool) {
         Ok(v) => v.unwrap_or(shared.opts.engine.validate),
-        Err(v) => return bad_param(shared, stream, started, "validate", &v),
+        Err(v) => return bad_param(shared, stream, started, "validate", &v, keep),
     };
     let body = match req.body_str() {
         Ok(b) => b,
         Err(e) => {
-            let r = write_response(
+            let r = write_response_conn(
                 stream,
                 400,
                 "application/json",
                 &[],
                 error_json(&e.to_string()).as_bytes(),
+                keep,
             );
             shared.stats.transform.record(started, true);
             return r;
@@ -488,7 +664,7 @@ fn transform(
         ("X-Xtt-Docs", results.len().to_string()),
         ("X-Xtt-Failed", failed.to_string()),
     ];
-    let mut writer = ChunkedWriter::start(stream, status, "text/plain", &headers)?;
+    let mut writer = ChunkedWriter::start_conn(stream, status, "text/plain", &headers, keep)?;
     for result in &results {
         let line = match result {
             Ok(text) => format!("{text}\n"),
@@ -566,13 +742,15 @@ fn bad_param(
     started: Instant,
     param: &str,
     value: &str,
+    keep: bool,
 ) -> io::Result<()> {
-    let r = write_response(
+    let r = write_response_conn(
         stream,
         400,
         "application/json",
         &[],
         error_json(&format!("bad {param}: {value}")).as_bytes(),
+        keep,
     );
     shared.stats.transform.record(started, true);
     r
@@ -584,6 +762,7 @@ impl Shared {
             self.engine.cache_stats(),
             self.engine.validation_stats(),
             self.registry.len(),
+            self.encodings.len(),
             self.queue.capacity(),
         )
     }

@@ -46,6 +46,13 @@ pub struct ServerStats {
     pub rejected: AtomicU64,
     /// Connections accepted into the queue.
     pub accepted: AtomicU64,
+    /// Requests served (all endpoints, all connections).
+    pub requests: AtomicU64,
+    /// Requests served on a *reused* (kept-alive) connection — the
+    /// second and later requests of each connection.
+    pub reused_requests: AtomicU64,
+    /// Kept-alive connections closed by the idle timeout.
+    pub closed_idle: AtomicU64,
     /// Current queue depth (mirrors the queue, for the snapshot).
     pub queue_depth: AtomicUsize,
     /// Requests whose handler panicked (answered `500`).
@@ -62,6 +69,7 @@ pub struct ServerStats {
     pub typecheck_ill_typed: AtomicU64,
     pub transform: EndpointStats,
     pub transducers: EndpointStats,
+    pub encodings: EndpointStats,
     pub typecheck: EndpointStats,
     pub health: EndpointStats,
     pub stats: EndpointStats,
@@ -76,17 +84,20 @@ impl ServerStats {
         cache: xtt_engine::CacheStats,
         validation: xtt_engine::ValidationStats,
         transducers: usize,
+        encodings: usize,
         capacity: usize,
     ) -> String {
         format!(
             "{{\"engine\":{{\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{}}},\
              \"queue\":{{\"depth\":{},\"capacity\":{},\"accepted\":{},\"rejected\":{}}},\
+             \"connections\":{{\"accepted\":{},\"requests\":{},\"reused_requests\":{},\"closed_idle\":{}}},\
              \"documents\":{{\"total\":{},\"errors\":{},\"type_errors\":{}}},\
              \"validation\":{{\"docs_validated\":{},\"docs_rejected_pre_eval\":{},\"guards_compiled\":{}}},\
              \"typecheck\":{{\"runs\":{},\"ill_typed\":{}}},\
              \"handler_panics\":{},\
              \"transducers\":{},\
-             \"endpoints\":{{\"transform\":{},\"transducers\":{},\"typecheck\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}",
+             \"encodings\":{},\
+             \"endpoints\":{{\"transform\":{},\"transducers\":{},\"encodings\":{},\"typecheck\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}",
             cache.hits,
             cache.misses,
             cache.entries,
@@ -94,6 +105,10 @@ impl ServerStats {
             capacity,
             self.accepted.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
+            self.accepted.load(Ordering::Relaxed),
+            self.requests.load(Ordering::Relaxed),
+            self.reused_requests.load(Ordering::Relaxed),
+            self.closed_idle.load(Ordering::Relaxed),
             self.documents.load(Ordering::Relaxed),
             self.document_errors.load(Ordering::Relaxed),
             self.documents_type_errors.load(Ordering::Relaxed),
@@ -104,8 +119,10 @@ impl ServerStats {
             self.typecheck_ill_typed.load(Ordering::Relaxed),
             self.handler_panics.load(Ordering::Relaxed),
             transducers,
+            encodings,
             self.transform.json(),
             self.transducers.json(),
+            self.encodings.json(),
             self.typecheck.json(),
             self.health.json(),
             self.stats.json(),

@@ -331,6 +331,158 @@ fn registry_endpoints_and_errors() {
     runner.join().unwrap().unwrap();
 }
 
+/// Keep-alive: one TCP connection serves many requests, `/stats` counts
+/// the reuse, a `Connection: close` request ends the session, and the
+/// idle timeout reaps silent connections.
+#[test]
+fn keep_alive_reuses_connections() {
+    let (client, runner, _handle) = boot(ServeOptions {
+        keep_alive_timeout: Duration::from_millis(300),
+        ..small_opts()
+    });
+    client
+        .put_transducer("flip", &examples::flip().dtop.to_string())
+        .unwrap();
+
+    let mut session = client.session().unwrap();
+    for i in 0..5 {
+        let resp = session
+            .request("POST", "/transform/flip", "root(a(#,#),b(#,#))\n")
+            .unwrap_or_else(|e| panic!("request {i} on the shared connection: {e}"));
+        assert_eq!(resp.status, 200, "request {i}");
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+        assert_eq!(resp.body_str(), "root(b(#,#),a(#,#))\n");
+    }
+    let resp = session.request("GET", "/stats", "").unwrap();
+    let json = resp.body_str();
+    assert!(json.contains("\"reused_requests\":"), "{json}");
+    // This session alone reused the connection at least 5 times.
+    let reused: u64 = json
+        .split("\"reused_requests\":")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    assert!(reused >= 5, "reused_requests = {reused}");
+
+    // Connection: close is honored — the server answers, then closes.
+    let resp = session.request_close("GET", "/healthz", "").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("close"));
+    assert!(
+        session.request("GET", "/healthz", "").is_err(),
+        "connection must be closed after Connection: close"
+    );
+
+    // Idle sessions are reaped after the keep-alive timeout.
+    let mut idle = client.session().unwrap();
+    idle.request("GET", "/healthz", "").unwrap();
+    std::thread::sleep(Duration::from_millis(700));
+    assert!(
+        idle.request("GET", "/healthz", "").is_err(),
+        "idle connection must be closed by the server"
+    );
+    let json = client.stats().unwrap().body_str();
+    assert!(json.contains("\"closed_idle\":1"), "{json}");
+
+    client.shutdown().unwrap();
+    runner.join().unwrap().unwrap();
+}
+
+/// The unranked pipeline over the wire: upload a DTD as a named
+/// encoding, transform genuine unranked XML through it (the paper's
+/// xmlflip, wrong-DTD documents failing positionally), and use the
+/// built-in fcns encoding without any upload.
+#[test]
+fn encodings_over_the_wire() {
+    use xtt_xml::xmlflip;
+    let (client, runner, _handle) = boot(small_opts());
+
+    // Upload the xmlflip transducer (over the DTD-encoding alphabet).
+    let resp = client
+        .put_transducer("xmlflip", &xmlflip::target_dtop().to_string())
+        .unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_str());
+
+    // Bad DTD → 422, nothing registered; good DTD → 201.
+    let resp = client
+        .request("PUT", "/encodings/flipdtd", "<!ELEMENT root (undeclared) >")
+        .unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.body_str());
+    let resp = client.request("GET", "/encodings/flipdtd", "").unwrap();
+    assert_eq!(resp.status, 404);
+    let dtd = "<!ELEMENT root (a*,b*) >\n<!ELEMENT a EMPTY >\n<!ELEMENT b EMPTY >";
+    let resp = client.request("PUT", "/encodings/flipdtd", dtd).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_str());
+    assert!(resp.body_str().contains("\"root\":\"root\""));
+
+    // xmlflip changes the schema: inputs match root → (a*,b*), outputs
+    // root → (b*,a*) — so register the output DTD too and decode with
+    // `?output_encoding=`.
+    let out_dtd = "<!ELEMENT root (b*,a*) >\n<!ELEMENT a EMPTY >\n<!ELEMENT b EMPTY >";
+    let resp = client
+        .request("PUT", "/encodings/flipout", out_dtd)
+        .unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_str());
+    for mode in ["tree", "stream", "dag", "walk"] {
+        let (resp, lines) = client
+            .transform(
+                "xmlflip",
+                &format!("?encoding=flipdtd&output_encoding=flipout&mode={mode}"),
+                &[
+                    "<root><a/><a/><b/></root>",
+                    "<root><b/><a/></root>",
+                    "<root/>",
+                ],
+            )
+            .unwrap();
+        assert_eq!(resp.status, 207, "mode {mode}: {lines:?}");
+        assert_eq!(lines[0], "<root><b/><a/><a/></root>", "mode {mode}");
+        assert!(
+            lines[1].starts_with("!error: encoding error"),
+            "mode {mode}: {}",
+            lines[1]
+        );
+        assert_eq!(lines[2], "<root/>", "mode {mode}");
+    }
+
+    // The built-in fcns encoding needs no upload: a small pruning
+    // transducer over the fc/ns alphabet, uploaded in term syntax.
+    let prune = "ax = <q0,x0>\n\
+                 q0(root(x1,x2)) -> root(<q,x1>,<q,x2>)\n\
+                 q(a(x1,x2)) -> a(<q,x1>,<q,x2>)\n\
+                 q(b(x1,x2)) -> <q,x2>\n\
+                 q(#) -> #\n";
+    let resp = client.put_transducer("prune", prune).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_str());
+    let (resp, lines) = client
+        .transform(
+            "prune",
+            "?encoding=fcns&mode=stream",
+            &["<root><a><b><a/></b><a/></a><b/></root>"],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{lines:?}");
+    assert_eq!(lines, vec!["<root><a><a/></a></root>"]);
+
+    // Unknown encoding → 400; list shows fcns + the upload; delete works.
+    let (resp, _) = client
+        .transform("prune", "?encoding=nope", &["<root/>"])
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = client.request("GET", "/encodings", "").unwrap();
+    let body = resp.body_str();
+    assert!(body.contains("\"fcns\""), "{body}");
+    assert!(body.contains("\"flipdtd\""), "{body}");
+    let json = client.stats().unwrap().body_str();
+    assert!(json.contains("\"encodings\":2"), "{json}");
+    let resp = client.request("DELETE", "/encodings/flipdtd", "").unwrap();
+    assert_eq!(resp.status, 204);
+
+    client.shutdown().unwrap();
+    runner.join().unwrap().unwrap();
+}
+
 /// Shutdown with queued work: everything accepted before the shutdown is
 /// still answered (drain), nothing is lost, and the run loop exits 0.
 #[test]

@@ -1,0 +1,41 @@
+//! The one error type of the streaming pipeline: every failure is either
+//! a tokenizer error (with its byte offset) or an encoding/decoding error
+//! (the document does not match the DTD, or a tree is not a genuine
+//! encoding).
+
+use std::fmt;
+
+use xtt_xml::{EncodeError, XmlError};
+
+/// Failure of a streaming encode or decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnrankedError {
+    /// XML syntax error from the SAX tokenizer.
+    Xml(XmlError),
+    /// The document does not match the encoding (DTD violation, unknown
+    /// text value), or a ranked tree is not a genuine encoding.
+    Encode(EncodeError),
+}
+
+impl fmt::Display for UnrankedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnrankedError::Xml(e) => write!(f, "{e}"),
+            UnrankedError::Encode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for UnrankedError {}
+
+impl From<XmlError> for UnrankedError {
+    fn from(e: XmlError) -> UnrankedError {
+        UnrankedError::Xml(e)
+    }
+}
+
+impl From<EncodeError> for UnrankedError {
+    fn from(e: EncodeError) -> UnrankedError {
+        UnrankedError::Encode(e)
+    }
+}

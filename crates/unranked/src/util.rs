@@ -1,0 +1,18 @@
+//! Small shared helpers for the streaming writers.
+
+/// True iff `s` can be written as an XML element name.
+pub(crate) fn is_xml_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+}
+
+/// Escapes character data for XML output (matches `xtt_xml::write_xml`).
+pub(crate) fn escape_text(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}

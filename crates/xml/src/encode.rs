@@ -72,12 +72,26 @@ impl PcDataMode {
         }
     }
 
-    fn symbol_for(&self, text: &str) -> Option<String> {
+    /// The ranked symbol name a text value encodes to, if any (`None` =
+    /// the value is outside a `Valued` universe).
+    pub fn symbol_for(&self, text: &str) -> Option<String> {
         match self {
             PcDataMode::Abstract => Some("pcdata".to_owned()),
             PcDataMode::Valued(vals) => {
                 vals.contains(&text.to_owned()).then(|| format!("'{text}'"))
             }
+        }
+    }
+
+    /// The text value a pcdata symbol name decodes to, if it is one.
+    pub fn value_of(&self, symbol_name: &str) -> Option<String> {
+        match self {
+            PcDataMode::Abstract => (symbol_name == "pcdata").then(|| "pcdata".to_owned()),
+            PcDataMode::Valued(vals) => symbol_name
+                .strip_prefix('\'')
+                .and_then(|s| s.strip_suffix('\''))
+                .filter(|v| vals.iter().any(|u| u == v))
+                .map(str::to_owned),
         }
     }
 }
@@ -167,6 +181,23 @@ impl Encoding {
 
     pub fn dtd(&self) -> &Dtd {
         &self.dtd
+    }
+
+    /// The pcdata mode the encoding was compiled with.
+    pub fn mode(&self) -> &PcDataMode {
+        &self.mode
+    }
+
+    /// The `#` (empty list / absent option) symbol of the encoding.
+    pub fn hash_symbol(&self) -> Symbol {
+        self.hash_sym
+    }
+
+    /// The regular subexpression a rendered group-symbol name denotes,
+    /// if the name is one of this encoding's group symbols. Element
+    /// names and pcdata symbols are *not* group symbols.
+    pub fn group_expr(&self, rendered: &str) -> Option<&Regex> {
+        self.exprs.get(rendered)
     }
 
     /// The ranked alphabet of the encoding, in deterministic order

@@ -29,7 +29,7 @@ pub mod xmlparse;
 pub mod xslt;
 
 pub use dtd::{Content, Dtd, DtdError, Regex, Tok};
-pub use encode::{EncodeError, Encoding, PcDataMode};
+pub use encode::{EncodeError, Encoding, EncodingStyle, PcDataMode};
 pub use fcns::{fcns_alphabet, fcns_decode, fcns_encode};
 pub use infer::{XmlLearnError, XmlLearner, XmlTransformation};
 pub use utree::UTree;

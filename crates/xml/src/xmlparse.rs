@@ -279,6 +279,107 @@ impl<'a> XmlEventReader<'a> {
         }
         Markup::Element
     }
+
+    /// Byte position of the reader (diagnostics and fast-forward tests).
+    pub fn byte_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Depth of currently open elements (the root counts as 1).
+    pub fn open_depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Fast-forwards past the subtree of the most recently returned
+    /// [`XmlEvent::Start`]: raw input is consumed up to and including the
+    /// matching end tag without decoding character data and without
+    /// yielding any events. This is how a streaming consumer that knows a
+    /// subtree is *deleted* (e.g. the engine's domain guard in a `∅`-skip
+    /// state) avoids tokenizing it.
+    ///
+    /// Structural well-formedness is still enforced — mismatched or
+    /// unterminated tags, comments, CDATA, and PIs inside the skipped
+    /// region fail exactly as they would during normal reading — but
+    /// character data is not decoded (no unescaping, trimming, or
+    /// tokenizing). This is unobservable: the input is `&str`, and text
+    /// runs are delimited by ASCII markup bytes, so the decoding the
+    /// skip omits cannot fail on content normal reading would accept.
+    pub fn skip_subtree(&mut self) -> Result<(), XmlError> {
+        if self.finished {
+            return Err(self.fail("skip_subtree on a finished reader"));
+        }
+        // Self-closing element: its Start was returned, its End is queued.
+        if let Some(XmlEvent::End(_)) = self.pending {
+            self.pending = None;
+            self.open.pop();
+            return Ok(());
+        }
+        let target = self.open.len();
+        if target == 0 {
+            return Err(self.fail("skip_subtree with no open element"));
+        }
+        while self.open.len() >= target {
+            // Raw scan to the next markup; text is not decoded.
+            while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+                self.pos += 1;
+            }
+            if self.pos >= self.input.len() {
+                let label = self.open.last().cloned().unwrap_or_default();
+                return Err(self.fail(format!("unterminated element <{label}>")));
+            }
+            match self.markup() {
+                Markup::Emit(Err(e)) => return Err(e),
+                // CDATA content inside a skipped subtree is discarded.
+                Markup::Emit(Ok(_)) | Markup::Skipped => continue,
+                Markup::Element => {}
+            }
+            self.pos += 1; // consume '<'
+            if self.input.get(self.pos) == Some(&b'/') {
+                self.pos += 1;
+                let close = match self.name() {
+                    Ok(n) => n,
+                    Err(e) => return Err(self.fail(e.message)),
+                };
+                self.skip_ws();
+                if self.input.get(self.pos) != Some(&b'>') {
+                    return Err(self.fail("expected '>' in end tag"));
+                }
+                self.pos += 1;
+                match self.open.last() {
+                    Some(label) if *label == close => {
+                        self.open.pop();
+                    }
+                    Some(label) => {
+                        let label = label.clone();
+                        return Err(
+                            self.fail(format!("mismatched </{close}>, expected </{label}>"))
+                        );
+                    }
+                    None => unreachable!("loop guard keeps open non-empty"),
+                }
+                continue;
+            }
+            let label = match self.name() {
+                Ok(n) => n,
+                Err(e) => return Err(self.fail(e.message)),
+            };
+            self.skip_attributes()?;
+            if self.input.get(self.pos) == Some(&b'/') {
+                self.pos += 1;
+                if self.input.get(self.pos) != Some(&b'>') {
+                    return Err(self.fail("expected '>' after '/'"));
+                }
+                self.pos += 1;
+                // Self-closing inside the skipped region: nothing opens.
+            } else if self.input.get(self.pos) == Some(&b'>') {
+                self.pos += 1;
+                self.open.push(label);
+            } else {
+                return Err(self.fail("expected '>' in start tag"));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Iterator for XmlEventReader<'_> {
@@ -632,6 +733,49 @@ mod tests {
         }
         assert!(saw_err);
         assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn skip_subtree_fast_forwards_without_decoding() {
+        let mut r =
+            xml_events("<root><junk>text <deep><x/>&bad;</deep><!-- c --></junk><b/></root>");
+        assert_eq!(r.next().unwrap().unwrap(), XmlEvent::Start("root".into()));
+        assert_eq!(r.next().unwrap().unwrap(), XmlEvent::Start("junk".into()));
+        r.skip_subtree().unwrap();
+        // The reader resumes exactly after </junk>.
+        assert_eq!(r.next().unwrap().unwrap(), XmlEvent::Start("b".into()));
+        assert_eq!(r.next().unwrap().unwrap(), XmlEvent::End("b".into()));
+        assert_eq!(r.next().unwrap().unwrap(), XmlEvent::End("root".into()));
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn skip_subtree_handles_self_closing_and_root() {
+        let mut r = xml_events("<root><a/><b/></root>");
+        r.next().unwrap().unwrap(); // <root>
+        assert_eq!(r.next().unwrap().unwrap(), XmlEvent::Start("a".into()));
+        r.skip_subtree().unwrap(); // drops the queued End("a")
+        assert_eq!(r.next().unwrap().unwrap(), XmlEvent::Start("b".into()));
+        r.next().unwrap().unwrap(); // </b>
+        assert_eq!(r.next().unwrap().unwrap(), XmlEvent::End("root".into()));
+        // Skipping the whole root works too.
+        let mut r = xml_events("<root><a>hi</a></root>");
+        r.next().unwrap().unwrap();
+        r.skip_subtree().unwrap();
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn skip_subtree_still_enforces_structure() {
+        let mut r = xml_events("<root><junk><a></b></a></junk></root>");
+        r.next().unwrap().unwrap();
+        r.next().unwrap().unwrap(); // <junk>
+        assert!(r.skip_subtree().is_err(), "mismatched tags must still fail");
+        assert!(r.next().is_none(), "reader is fused after a skip error");
+        let mut r = xml_events("<root><junk><never-closed></root>");
+        r.next().unwrap().unwrap();
+        r.next().unwrap().unwrap();
+        assert!(r.skip_subtree().is_err());
     }
 
     #[test]

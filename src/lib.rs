@@ -58,6 +58,7 @@
 //! | [`transducer`] | `xtt-transducer` | dtops, earliest form, `min(τ)`, equivalence |
 //! | [`learn`] | `xtt-core` | samples, `RPNIdtop`, characteristic samples |
 //! | [`xml`] | `xtt-xml` | unranked trees, DTDs, encodings, SAX reader, XSLT export |
+//! | [`unranked`] | `xtt-unranked` | streaming unranked-XML pipeline (SAX → ranked events → XML out, no intermediate trees) |
 //! | [`engine`] | `xtt-engine` | compiled + streaming execution, batch serving, CLI |
 //! | [`typecheck`] | `xtt-typecheck` | compiled domain guards, fail-fast validation, output typechecking |
 //! | [`serve`] | `xtt-serve` | HTTP transformation service (`xtt-serve` binary) |
@@ -69,6 +70,7 @@ pub use xtt_serve as serve;
 pub use xtt_transducer as transducer;
 pub use xtt_trees as trees;
 pub use xtt_typecheck as typecheck;
+pub use xtt_unranked as unranked;
 pub use xtt_xml as xml;
 
 /// The most common imports for working with the library.
@@ -87,5 +89,6 @@ pub mod prelude {
     pub use xtt_typecheck::{
         domain_guard, output_typecheck, CompiledDtta, GuardedEvents, TypeError, TypecheckVerdict,
     };
+    pub use xtt_unranked::{UnrankedError, UnrankedEvents, XmlCodec};
     pub use xtt_xml::{parse_xml, Dtd, Encoding, PcDataMode, UTree};
 }
