@@ -1,4 +1,4 @@
-//! Runs every experiment E1–E12 and prints the paper-vs-measured tables
+//! Runs every experiment E1–E13 and prints the paper-vs-measured tables
 //! recorded in EXPERIMENTS.md.
 fn main() {
     xtt_bench::exps::run_all();

@@ -401,6 +401,8 @@ pub fn run_all() {
     let _ = crate::engine_exp::run_e10();
     let _ = crate::typecheck_exp::run_e11();
     let _ = crate::unranked_exp::run_e12();
+    let rows = crate::stream_exp::run_e13(&crate::stream_exp::stream_workloads(), 3);
+    crate::stream_exp::print_e13(&rows);
 }
 
 #[cfg(test)]

@@ -37,6 +37,11 @@ OPTIONS:
   --demo <N>                     generate N demo documents instead of stdin
   --validate                     guarded evaluation: reject out-of-domain
                                  documents with a typed violation path
+  --stream-output                event-driven emission: output bytes are
+                                 flushed as committed (order-preserving
+                                 regions stream before the input ends;
+                                 evaluation is always streaming mode);
+                                 emission stats land on stderr
   --quiet                        suppress per-document output
   --help                         print this help
 ";
@@ -49,6 +54,7 @@ struct Args {
     jobs: usize,
     demo: Option<usize>,
     validate: bool,
+    stream_output: bool,
     quiet: bool,
 }
 
@@ -61,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         jobs: 0,
         demo: None,
         validate: false,
+        stream_output: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -101,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--validate" => args.validate = true,
+            "--stream-output" => args.stream_output = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -165,8 +173,11 @@ fn demo_tree(example: &str, i: usize) -> Tree {
 /// Demo documents for the encoded (genuine unranked XML) path.
 fn demo_xml(i: usize) -> String {
     let depth = i % 4 + 1;
+    // The deleted <b> content *starts with an element*, so the encoded
+    // skip fast path engages (a deleted region opening on text falls
+    // back to event-level skipping).
     format!(
-        "<root>{}{}<b>deleted text<a/></b>{}{}</root>",
+        "<root>{}{}<b><a>deleted text</a><a/></b>{}{}</root>",
         "<a>".repeat(depth),
         "</a>".repeat(depth),
         "<a/>".repeat(i % 3),
@@ -179,6 +190,78 @@ fn demo_doc(example: &str, i: usize, format: &DocFormat) -> String {
         DocFormat::Term => demo_tree(example, i).to_string(),
         DocFormat::Xml => tree_to_xml(&demo_tree(example, i)),
         DocFormat::Encoded(_) => demo_xml(i),
+    }
+}
+
+/// `--stream-output`: each document is driven tokenizer → evaluator →
+/// stdout in one pass; committed output prefixes are written (and
+/// flushed) before the document — let alone the batch — completes.
+/// Failures still answer positionally (`!error:` lines, after a newline
+/// when a partial prefix is already out). Emission stats go to stderr.
+fn stream_output(engine: &Engine, dtop: &Dtop, docs: &[String], in_bytes: usize, quiet: bool) {
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    let mut sink: &mut dyn Write = &mut out;
+    let mut null = std::io::sink();
+    if quiet {
+        sink = &mut null;
+    }
+    let t0 = Instant::now();
+    let mut failures = 0usize;
+    let mut early: u64 = 0;
+    let mut total: u64 = 0;
+    let mut peak_buffered: u64 = 0;
+    for doc in docs {
+        let mut counted = CountingWriter {
+            inner: &mut sink,
+            bytes: 0,
+        };
+        match engine.transform_streaming(dtop, doc, &mut counted) {
+            Ok(outcome) => {
+                early += outcome.events_emitted_early;
+                total += outcome.events_total;
+                peak_buffered = peak_buffered.max(outcome.peak_buffered_frames as u64);
+                writeln!(sink).expect("write stdout");
+            }
+            Err(e) => {
+                failures += 1;
+                let sep = if counted.bytes > 0 { "\n" } else { "" };
+                writeln!(sink, "{sep}!error: {e}").expect("write stdout");
+            }
+        }
+        sink.flush().expect("flush stdout");
+    }
+    let elapsed = t0.elapsed();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "{} docs ({} ok, {} failed) in {:.3}s — {:.0} docs/s, {:.2} MB/s in | \
+         streamed: {early}/{total} events early, peak buffered frames {peak_buffered}, \
+         skipped subtrees {}",
+        docs.len(),
+        docs.len() - failures,
+        failures,
+        secs,
+        docs.len() as f64 / secs,
+        in_bytes as f64 / secs / 1e6,
+        engine.skipped_subtrees(),
+    );
+}
+
+/// Tracks whether a failing document already flushed a partial prefix.
+struct CountingWriter<'a> {
+    inner: &'a mut dyn Write,
+    bytes: u64,
+}
+
+impl Write for CountingWriter<'_> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(data)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -225,6 +308,12 @@ fn main() {
     });
 
     let in_bytes: usize = docs.iter().map(String::len).sum();
+
+    if args.stream_output {
+        stream_output(&engine, &dtop, &docs, in_bytes, args.quiet);
+        return;
+    }
+
     let t0 = Instant::now();
     let results = engine.transform_batch(&dtop, &docs);
     let elapsed = t0.elapsed();

@@ -12,20 +12,21 @@
 //! LRU behind a mutex and shared as `Arc<CompiledDtop>`; repeat traffic
 //! for the same transducer never recompiles.
 
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use xtt_transducer::{eval as walk_eval, Dtop};
-use xtt_trees::{parse_tree, DagId, TreeDag};
+use xtt_trees::{parse_tree, DagId, Symbol, Tree, TreeDag, TreeEvent};
 use xtt_typecheck::{domain_guard, CompiledDtta, TypeError};
-use xtt_unranked::{UnrankedError, XmlCodec};
+use xtt_unranked::{UnrankedError, UnrankedEvents, XmlCodec, XmlWriter};
 
 use crate::compile::{compile, fingerprint, CompileError, CompiledDtop};
 use crate::eval::EvalScratch;
 use crate::stream::{
-    ranked_tree_from_xml_bounded, tree_to_xml, GuardedSource, GuardedXmlError, IterEvents,
-    StreamEvaluator,
+    ranked_tree_from_xml_bounded, tree_to_xml, EmitStats, GuardedSource, IterEvents, OutputSink,
+    StreamEvaluator, TreeEventSource, XmlRankedEvents,
 };
 
 /// Which evaluator the engine runs.
@@ -161,6 +162,14 @@ pub enum EngineError {
     /// Only produced when validation is enabled (otherwise out-of-domain
     /// documents surface as [`EngineError::Undefined`]).
     Type(TypeError),
+    /// Streaming emission ([`Engine::transform_streaming`]): the output
+    /// writer failed mid-document. `kind` preserves the [`io::ErrorKind`]
+    /// so a serving layer can distinguish a slow client
+    /// (`TimedOut`/`WouldBlock`) from a disconnect.
+    Write {
+        kind: io::ErrorKind,
+        message: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -175,6 +184,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "output too large: {n} nodes exceed the configured bound")
             }
             EngineError::Type(e) => write!(f, "type error {e}"),
+            EngineError::Write { kind, message } => write!(f, "write error ({kind:?}): {message}"),
         }
     }
 }
@@ -277,12 +287,32 @@ struct ValidationCounters {
     rejected: AtomicU64,
 }
 
+/// What one [`Engine::transform_streaming`] run did (per-document
+/// observability; `xtt-serve` aggregates these into `/stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// Bytes handed to the output writer.
+    pub bytes_written: u64,
+    /// Output events emitted before the input was fully consumed.
+    pub events_emitted_early: u64,
+    /// Total output events.
+    pub events_total: u64,
+    /// High-water mark of buffered (permuting/copying) output frames;
+    /// 0 on a fully order-preserving run.
+    pub peak_buffered_frames: usize,
+    /// Deleted subtrees fast-forwarded at the tokenizer.
+    pub skipped_subtrees: u64,
+}
+
 /// A reusable transformation service; see the module docs.
 pub struct Engine {
     opts: EngineOptions,
     cache: Mutex<LruCache<Arc<CompiledDtop>>>,
     guards: Mutex<LruCache<Arc<CompiledDtta>>>,
     validation: ValidationCounters,
+    /// Deleted subtrees fast-forwarded at the tokenizer, across all
+    /// documents and eval paths that stream their input.
+    skips: AtomicU64,
 }
 
 impl Default for Engine {
@@ -298,6 +328,7 @@ impl Engine {
             cache: Mutex::new(LruCache::default()),
             guards: Mutex::new(LruCache::default()),
             validation: ValidationCounters::default(),
+            skips: AtomicU64::new(0),
         }
     }
 
@@ -363,10 +394,17 @@ impl Engine {
         }
     }
 
+    /// Deleted subtrees fast-forwarded at the tokenizer (the PR-5 skip
+    /// fast path), totalled across every document this engine streamed —
+    /// raw-XML and encoded paths alike.
+    pub fn skipped_subtrees(&self) -> u64 {
+        self.skips.load(Ordering::Relaxed)
+    }
+
     /// Counts one batch's guard activity into the violation counters.
     /// Documents that never reached a guard (parse or compile failures)
     /// do not count as validated.
-    fn record_validation(&self, results: &[Result<String, EngineError>]) {
+    fn record_validation<T>(&self, results: &[Result<T, EngineError>]) {
         let validated = results
             .iter()
             .filter(|r| !matches!(r, Err(EngineError::Parse(_) | EngineError::Compile(_))))
@@ -421,8 +459,71 @@ impl Engine {
             None
         };
         let limit = self.opts.max_output_nodes;
-        let result =
-            Worker::new().transform(&compiled, dtop, doc, mode, &format, limit, guard.as_deref());
+        let result = Worker::new().transform(
+            &compiled,
+            dtop,
+            doc,
+            mode,
+            &format,
+            limit,
+            guard.as_deref(),
+            &self.skips,
+        );
+        if validate {
+            self.record_validation(std::slice::from_ref(&result));
+        }
+        result
+    }
+
+    /// Event-driven transformation: output **bytes** flow to `out` as
+    /// they are produced, instead of a tree materializing at root-close.
+    /// Order-preserving regions of the transducer stream straight through
+    /// (the first output byte leaves before the input is fully read);
+    /// permuting/copying regions buffer only their own subtree. Uses the
+    /// engine's configured format and validation; evaluation is always
+    /// streaming.
+    ///
+    /// On `Err`, a partial output prefix may already have been written —
+    /// inherent to streaming emission. [`EngineError::Write`] carries the
+    /// writer's [`io::ErrorKind`] so serving layers can classify slow
+    /// clients vs disconnects.
+    pub fn transform_streaming(
+        &self,
+        dtop: &Dtop,
+        doc: &str,
+        out: &mut dyn io::Write,
+    ) -> Result<StreamOutcome, EngineError> {
+        self.transform_streaming_with(dtop, doc, self.opts.format.clone(), self.opts.validate, out)
+    }
+
+    /// [`Engine::transform_streaming`] with explicit format and
+    /// validation overrides (the `?format=`/`?validate=` request
+    /// parameters of `xtt-serve`'s `mode=stream`).
+    pub fn transform_streaming_with(
+        &self,
+        dtop: &Dtop,
+        doc: &str,
+        format: DocFormat,
+        validate: bool,
+        out: &mut dyn io::Write,
+    ) -> Result<StreamOutcome, EngineError> {
+        let compiled = self
+            .compiled(dtop)
+            .map_err(|e| EngineError::Compile(e.to_string()))?;
+        let guard = if validate {
+            Some(self.guard(dtop)?)
+        } else {
+            None
+        };
+        let result = Worker::new().transform_streaming(
+            &compiled,
+            doc,
+            &format,
+            guard.as_deref(),
+            self.opts.max_output_nodes,
+            out,
+            &self.skips,
+        );
         if validate {
             self.record_validation(std::slice::from_ref(&result));
         }
@@ -485,10 +586,13 @@ impl Engine {
         let limit = self.opts.max_output_nodes;
         let workers = effective_workers(self.opts.workers, docs.len());
         let format = &format;
+        let skips = &self.skips;
         let results = if workers <= 1 {
             let mut worker = Worker::new();
             docs.iter()
-                .map(|d| worker.transform_caught(&compiled, dtop, d, mode, format, limit, guard))
+                .map(|d| {
+                    worker.transform_caught(&compiled, dtop, d, mode, format, limit, guard, skips)
+                })
                 .collect()
         } else {
             let next = AtomicUsize::new(0);
@@ -510,6 +614,7 @@ impl Engine {
                                         i,
                                         worker.transform_caught(
                                             compiled, dtop, &docs[i], mode, format, limit, guard,
+                                            skips,
                                         ),
                                     ));
                                 }
@@ -545,6 +650,366 @@ fn encoded_error(e: UnrankedError) -> EngineError {
     match e {
         UnrankedError::Xml(x) => EngineError::Parse(x.to_string()),
         UnrankedError::Encode(x) => EngineError::Encoding(x.to_string()),
+    }
+}
+
+/// [`TreeEventSource`] over the codec's incremental encoder
+/// ([`UnrankedEvents`]), with the raw fast-forward wired through and the
+/// first pipeline error captured for the caller to classify.
+struct EncodedSource<'a> {
+    inner: UnrankedEvents<'a>,
+    error: Option<UnrankedError>,
+}
+
+impl<'a> EncodedSource<'a> {
+    fn new(inner: UnrankedEvents<'a>) -> EncodedSource<'a> {
+        EncodedSource { inner, error: None }
+    }
+}
+
+impl TreeEventSource for EncodedSource<'_> {
+    fn next_event(&mut self) -> Option<TreeEvent> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.inner.next()? {
+            Ok(event) => Some(event),
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+
+    fn skip_subtree(&mut self) -> bool {
+        match self.inner.skip_subtree() {
+            Ok(engaged) => engaged,
+            Err(e) => {
+                // The fast-forward hit a structural error: the stream is
+                // over either way. Report the skip as taken; the next
+                // `next_event` returns `None` and the error surfaces.
+                self.error = Some(e);
+                true
+            }
+        }
+    }
+}
+
+/// [`OutputSink`] that streams the output tree as term syntax,
+/// byte-identical to `Tree::to_string()`.
+struct TermSink<'w> {
+    out: &'w mut dyn io::Write,
+    bytes: u64,
+    /// An `Open`ed symbol whose leaf-vs-inner classification waits on the
+    /// next event.
+    pending: Option<Symbol>,
+    /// The next node at this position follows a sibling (needs a comma).
+    sep: bool,
+}
+
+impl<'w> TermSink<'w> {
+    fn new(out: &'w mut dyn io::Write) -> TermSink<'w> {
+        TermSink {
+            out,
+            bytes: 0,
+            pending: None,
+            sep: false,
+        }
+    }
+
+    fn put(&mut self, s: &str) -> io::Result<()> {
+        self.out.write_all(s.as_bytes())?;
+        self.bytes += s.len() as u64;
+        Ok(())
+    }
+}
+
+impl OutputSink for TermSink<'_> {
+    fn event(&mut self, ev: TreeEvent) -> io::Result<()> {
+        match ev {
+            TreeEvent::Open(sym) => {
+                if let Some(parent) = self.pending.take() {
+                    self.put(parent.name())?;
+                    self.put("(")?;
+                } else if self.sep {
+                    self.put(",")?;
+                }
+                self.pending = Some(sym);
+                self.sep = false;
+            }
+            TreeEvent::Close => {
+                match self.pending.take() {
+                    Some(leaf) => self.put(leaf.name())?,
+                    None => self.put(")")?,
+                }
+                self.sep = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// [`OutputSink`] that streams the output tree as ranked XML,
+/// byte-identical to [`tree_to_xml`]; inner symbols that are not XML
+/// names are rejected mid-stream (`failure`), matching the batch path's
+/// serializability check.
+struct RankedXmlSink<'w> {
+    out: &'w mut dyn io::Write,
+    bytes: u64,
+    pending: Option<Symbol>,
+    /// Per open element: was the previously written child a text leaf?
+    stack: Vec<(Symbol, bool)>,
+    failure: Option<String>,
+}
+
+impl<'w> RankedXmlSink<'w> {
+    fn new(out: &'w mut dyn io::Write) -> RankedXmlSink<'w> {
+        RankedXmlSink {
+            out,
+            bytes: 0,
+            pending: None,
+            stack: Vec::new(),
+            failure: None,
+        }
+    }
+
+    fn put(&mut self, s: &str) -> io::Result<()> {
+        self.out.write_all(s.as_bytes())?;
+        self.bytes += s.len() as u64;
+        Ok(())
+    }
+}
+
+impl OutputSink for RankedXmlSink<'_> {
+    fn event(&mut self, ev: TreeEvent) -> io::Result<()> {
+        match ev {
+            TreeEvent::Open(sym) => {
+                if let Some(parent) = self.pending.take() {
+                    // The pending node has children: an inner element.
+                    let name = parent.name();
+                    if !crate::stream::is_xml_name(name) {
+                        self.failure = Some(
+                            "output has inner symbols that are not XML names; use the term format"
+                                .into(),
+                        );
+                        return Err(io::Error::other("output not XML-serializable"));
+                    }
+                    self.put("<")?;
+                    self.put(name)?;
+                    self.put(">")?;
+                    if let Some(top) = self.stack.last_mut() {
+                        top.1 = false;
+                    }
+                    self.stack.push((parent, false));
+                }
+                self.pending = Some(sym);
+            }
+            TreeEvent::Close => match self.pending.take() {
+                Some(leaf) => {
+                    let name = leaf.name();
+                    if crate::stream::is_xml_name(name) {
+                        self.put("<")?;
+                        self.put(name)?;
+                        self.put("/>")?;
+                        if let Some(top) = self.stack.last_mut() {
+                            top.1 = false;
+                        }
+                    } else {
+                        // A text token; adjacent text leaves stay
+                        // distinct tokens.
+                        if self.stack.last().is_some_and(|t| t.1) {
+                            self.put(" ")?;
+                        }
+                        self.put(&crate::stream::escape_text(name))?;
+                        if let Some(top) = self.stack.last_mut() {
+                            top.1 = true;
+                        }
+                    }
+                }
+                None => {
+                    let (sym, _) = self
+                        .stack
+                        .pop()
+                        .expect("the evaluator emits balanced events");
+                    self.put("</")?;
+                    self.put(sym.name())?;
+                    self.put(">")?;
+                }
+            },
+        }
+        Ok(())
+    }
+}
+
+/// [`OutputSink`] that decodes the output tree to unranked XML through
+/// the codec's incremental [`XmlWriter`], flushing each committed text
+/// prefix to the byte writer as it is produced.
+struct EncodedByteSink<'w> {
+    writer: Option<XmlWriter>,
+    out: &'w mut dyn io::Write,
+    bytes: u64,
+    failure: Option<UnrankedError>,
+}
+
+impl<'w> EncodedByteSink<'w> {
+    fn new(writer: XmlWriter, out: &'w mut dyn io::Write) -> EncodedByteSink<'w> {
+        EncodedByteSink {
+            writer: Some(writer),
+            out,
+            bytes: 0,
+            failure: None,
+        }
+    }
+
+    /// Validates completion and writes the decoder's remainder.
+    fn finish(&mut self) -> Result<(), EngineError> {
+        let writer = self.writer.take().expect("finished once");
+        let rest = writer
+            .finish()
+            .map_err(|e| EngineError::Encoding(e.to_string()))?;
+        if !rest.is_empty() {
+            self.out
+                .write_all(rest.as_bytes())
+                .map_err(|e| EngineError::Write {
+                    kind: e.kind(),
+                    message: e.to_string(),
+                })?;
+            self.bytes += rest.len() as u64;
+        }
+        Ok(())
+    }
+}
+
+impl OutputSink for EncodedByteSink<'_> {
+    fn event(&mut self, ev: TreeEvent) -> io::Result<()> {
+        let writer = self.writer.as_mut().expect("sink not finished");
+        if let Err(e) = writer.feed(ev) {
+            self.failure = Some(e);
+            return Err(io::Error::other("output not decodable"));
+        }
+        let chunk = writer.pending();
+        if !chunk.is_empty() {
+            self.out.write_all(chunk.as_bytes())?;
+            self.bytes += chunk.len() as u64;
+        }
+        Ok(())
+    }
+}
+
+/// Enforces [`EngineOptions::max_output_nodes`] on a streamed run by
+/// counting output nodes as they pass — the streaming analogue of the
+/// batch DAG pre-flight (which needs the whole input up front).
+struct CapSink<'s> {
+    inner: &'s mut dyn OutputSink,
+    nodes: u64,
+    limit: u64,
+    exceeded: bool,
+}
+
+impl CapSink<'_> {
+    fn check(&mut self) -> io::Result<()> {
+        if self.nodes > self.limit {
+            self.exceeded = true;
+            return Err(io::Error::other("output bound exceeded"));
+        }
+        Ok(())
+    }
+}
+
+impl OutputSink for CapSink<'_> {
+    fn event(&mut self, ev: TreeEvent) -> io::Result<()> {
+        if matches!(ev, TreeEvent::Open(_)) {
+            self.nodes += 1;
+            self.check()?;
+        }
+        self.inner.event(ev)
+    }
+
+    fn tree(&mut self, t: &Tree) -> io::Result<()> {
+        self.nodes = self.nodes.saturating_add(t.size());
+        self.check()?;
+        self.inner.tree(t)
+    }
+}
+
+/// Everything one streamed evaluation produced, before classification.
+struct RunOutcome {
+    result: io::Result<Option<EmitStats>>,
+    violation: Option<TypeError>,
+    nodes: u64,
+    exceeded: bool,
+}
+
+/// Runs one streaming evaluation with the optional lockstep guard and
+/// the output-node cap composed in.
+fn run_stream<S: TreeEventSource>(
+    stream: &mut StreamEvaluator,
+    compiled: &CompiledDtop,
+    guard: Option<&CompiledDtta>,
+    source: &mut S,
+    sink: &mut dyn OutputSink,
+    limit: Option<u64>,
+) -> RunOutcome {
+    let mut cap = CapSink {
+        inner: sink,
+        nodes: 0,
+        limit: limit.unwrap_or(u64::MAX),
+        exceeded: false,
+    };
+    let (result, violation) = match guard {
+        Some(g) => {
+            let mut guarded = GuardedSource::new(g, source);
+            let result = stream.eval_streaming(compiled, &mut guarded, &mut cap);
+            let violation = guarded.take_violation();
+            (result, violation)
+        }
+        None => (stream.eval_streaming(compiled, source, &mut cap), None),
+    };
+    RunOutcome {
+        result,
+        violation,
+        nodes: cap.nodes,
+        exceeded: cap.exceeded,
+    }
+}
+
+/// Maps a [`RunOutcome`] onto the engine's error taxonomy. Priority: a
+/// guard violation wins (it cut the stream first), then the output-node
+/// cap, then the sink's semantic failure, then raw write errors; a clean
+/// `None` is a source error if one was recorded, `Undefined` otherwise.
+fn stream_verdict(
+    run: RunOutcome,
+    source_error: Option<EngineError>,
+    sink_failure: Option<EngineError>,
+) -> Result<EmitStats, EngineError> {
+    if let Some(v) = run.violation {
+        return Err(EngineError::Type(v));
+    }
+    match run.result {
+        Err(e) => {
+            if run.exceeded {
+                Err(EngineError::OutputTooLarge(run.nodes))
+            } else if let Some(f) = sink_failure {
+                Err(f)
+            } else {
+                Err(EngineError::Write {
+                    kind: e.kind(),
+                    message: e.to_string(),
+                })
+            }
+        }
+        Ok(None) => Err(source_error.unwrap_or(EngineError::Undefined)),
+        Ok(Some(stats)) => Ok(stats),
+    }
+}
+
+fn outcome(stats: EmitStats, bytes: u64, skipped: u64) -> StreamOutcome {
+    StreamOutcome {
+        bytes_written: bytes,
+        events_emitted_early: stats.events_emitted_early,
+        events_total: stats.events_total,
+        peak_buffered_frames: stats.peak_buffered_frames,
+        skipped_subtrees: skipped,
     }
 }
 
@@ -587,9 +1052,10 @@ impl Worker {
         format: &DocFormat,
         limit: Option<u64>,
         guard: Option<&CompiledDtta>,
+        skips: &AtomicU64,
     ) -> Result<String, EngineError> {
         let result = catch_unwind(AssertUnwindSafe(|| {
-            self.transform(compiled, dtop, doc, mode, format, limit, guard)
+            self.transform(compiled, dtop, doc, mode, format, limit, guard, skips)
         }));
         result.unwrap_or_else(|panic| {
             *self = Worker::new();
@@ -612,6 +1078,7 @@ impl Worker {
         format: &DocFormat,
         limit: Option<u64>,
         guard: Option<&CompiledDtta>,
+        skips: &AtomicU64,
     ) -> Result<String, EngineError> {
         match format {
             DocFormat::Term => {
@@ -632,18 +1099,35 @@ impl Worker {
             }
             DocFormat::Xml => {
                 let output = match (mode, limit) {
-                    (EvalMode::Streaming, None) => match guard {
-                        // The fully streaming guarded path: the guard runs
-                        // in lockstep with the tokenizer, so an
-                        // out-of-domain document stops being tokenized at
-                        // its first violating node.
-                        Some(g) => self.eval_xml_stream_guarded(compiled, g, doc)?,
-                        None => self
-                            .stream
-                            .eval_xml(compiled, doc)
-                            .map_err(|e| EngineError::Parse(e.to_string()))?
-                            .ok_or(EngineError::Undefined)?,
-                    },
+                    // The fully streaming path: the guard (when on) runs
+                    // in lockstep with the tokenizer, so an out-of-domain
+                    // document stops being tokenized at its first
+                    // violating node; deleted subtrees fast-forward the
+                    // raw reader (counted on the engine).
+                    (EvalMode::Streaming, None) => {
+                        let mut source = XmlRankedEvents::bounded(doc);
+                        let result = match guard {
+                            Some(g) => {
+                                let mut guarded = GuardedSource::new(g, &mut source);
+                                let result = self.stream.eval_source(compiled, &mut guarded);
+                                let violation = guarded.take_violation();
+                                skips.fetch_add(source.skipped_subtrees(), Ordering::Relaxed);
+                                if let Some(v) = violation {
+                                    return Err(EngineError::Type(v));
+                                }
+                                result
+                            }
+                            None => {
+                                let result = self.stream.eval_source(compiled, &mut source);
+                                skips.fetch_add(source.skipped_subtrees(), Ordering::Relaxed);
+                                result
+                            }
+                        };
+                        if let Some(e) = source.take_error() {
+                            return Err(EngineError::Parse(e.to_string()));
+                        }
+                        result.ok_or(EngineError::Undefined)?
+                    }
                     _ => {
                         let input = ranked_tree_from_xml_bounded(doc)
                             .map_err(|e| EngineError::Parse(e.to_string()))?;
@@ -674,7 +1158,7 @@ impl Worker {
                     // incremental encoder → (lockstep guard) →
                     // evaluator; no intermediate tree of the input.
                     (EvalMode::Streaming, None) => {
-                        self.eval_encoded_stream(compiled, guard, codec, doc)?
+                        self.eval_encoded_stream(compiled, guard, codec, doc, skips)?
                     }
                     _ => {
                         // The same streaming encoder, collected — every
@@ -700,6 +1184,82 @@ impl Worker {
         }
     }
 
+    /// Event-driven transformation to a byte writer: the format-specific
+    /// serializer runs as an [`OutputSink`] fed straight by the streaming
+    /// evaluator, so committed output bytes leave before the input is
+    /// fully consumed.
+    #[allow(clippy::too_many_arguments)]
+    fn transform_streaming(
+        &mut self,
+        compiled: &CompiledDtop,
+        doc: &str,
+        format: &DocFormat,
+        guard: Option<&CompiledDtta>,
+        limit: Option<u64>,
+        out: &mut dyn io::Write,
+        skips: &AtomicU64,
+    ) -> Result<StreamOutcome, EngineError> {
+        match format {
+            DocFormat::Term => {
+                let input = parse_tree(doc).map_err(|e| EngineError::Parse(e.to_string()))?;
+                let mut source = IterEvents(input.events());
+                let mut sink = TermSink::new(out);
+                let run = run_stream(
+                    &mut self.stream,
+                    compiled,
+                    guard,
+                    &mut source,
+                    &mut sink,
+                    limit,
+                );
+                let stats = stream_verdict(run, None, None)?;
+                Ok(outcome(stats, sink.bytes, 0))
+            }
+            DocFormat::Xml => {
+                let mut source = XmlRankedEvents::bounded(doc);
+                let mut sink = RankedXmlSink::new(out);
+                let run = run_stream(
+                    &mut self.stream,
+                    compiled,
+                    guard,
+                    &mut source,
+                    &mut sink,
+                    limit,
+                );
+                let skipped = source.skipped_subtrees();
+                skips.fetch_add(skipped, Ordering::Relaxed);
+                let source_error = source
+                    .take_error()
+                    .map(|e| EngineError::Parse(e.to_string()));
+                let sink_failure = sink.failure.take().map(EngineError::Parse);
+                let stats = stream_verdict(run, source_error, sink_failure)?;
+                Ok(outcome(stats, sink.bytes, skipped))
+            }
+            DocFormat::Encoded(codec) => {
+                let mut source = EncodedSource::new(codec.events(doc));
+                let mut sink = EncodedByteSink::new(codec.writer(), out);
+                let run = run_stream(
+                    &mut self.stream,
+                    compiled,
+                    guard,
+                    &mut source,
+                    &mut sink,
+                    limit,
+                );
+                let skipped = source.inner.skipped_subtrees();
+                skips.fetch_add(skipped, Ordering::Relaxed);
+                let source_error = source.error.take().map(encoded_error);
+                let sink_failure = sink
+                    .failure
+                    .take()
+                    .map(|e| EngineError::Encoding(e.to_string()));
+                let stats = stream_verdict(run, source_error, sink_failure)?;
+                sink.finish()?;
+                Ok(outcome(stats, sink.bytes, skipped))
+            }
+        }
+    }
+
     /// Streaming evaluation with the domain guard in lockstep: the guard
     /// sees every event first and cuts the stream at the first violation.
     fn eval_stream_guarded(
@@ -721,59 +1281,39 @@ impl Worker {
     /// straight to the evaluator, with the domain guard composed in
     /// lockstep when validation is on. A guard violation wins over a
     /// later tokenizer/encoding error by construction (the guard cuts
-    /// the stream first).
+    /// the stream first). Deleted subtrees fast-forward the raw
+    /// tokenizer through [`UnrankedEvents::skip_subtree`] — they are
+    /// never tokenized, exactly like the raw-XML streaming path.
     fn eval_encoded_stream(
         &mut self,
         compiled: &CompiledDtop,
         guard: Option<&CompiledDtta>,
         codec: &XmlCodec,
         doc: &str,
+        skips: &AtomicU64,
     ) -> Result<xtt_trees::Tree, EngineError> {
-        let mut failure: Option<UnrankedError> = None;
-        let mut violation: Option<TypeError> = None;
-        let result = {
-            let events = codec.events(doc).map_while(|r| match r {
-                Ok(event) => Some(event),
-                Err(e) => {
-                    failure = Some(e);
-                    None
+        let mut source = EncodedSource::new(codec.events(doc));
+        let result = match guard {
+            Some(g) => {
+                let mut guarded = GuardedSource::new(g, &mut source);
+                let result = self.stream.eval_source(compiled, &mut guarded);
+                let violation = guarded.take_violation();
+                skips.fetch_add(source.inner.skipped_subtrees(), Ordering::Relaxed);
+                if let Some(v) = violation {
+                    return Err(EngineError::Type(v));
                 }
-            });
-            match guard {
-                Some(g) => {
-                    let mut source = GuardedSource::new(g, IterEvents(events));
-                    let result = self.stream.eval_source(compiled, &mut source);
-                    violation = source.take_violation();
-                    result
-                }
-                None => self.stream.eval(compiled, events),
+                result
+            }
+            None => {
+                let result = self.stream.eval_source(compiled, &mut source);
+                skips.fetch_add(source.inner.skipped_subtrees(), Ordering::Relaxed);
+                result
             }
         };
-        if let Some(v) = violation {
-            return Err(EngineError::Type(v));
-        }
-        if let Some(e) = failure {
+        if let Some(e) = source.error {
             return Err(encoded_error(e));
         }
         result.ok_or(EngineError::Undefined)
-    }
-
-    /// [`Worker::eval_stream_guarded`] straight off the XML tokenizer —
-    /// the input tree is never materialized, and a rejected document's
-    /// tail is never tokenized.
-    fn eval_xml_stream_guarded(
-        &mut self,
-        compiled: &CompiledDtop,
-        guard: &CompiledDtta,
-        xml: &str,
-    ) -> Result<xtt_trees::Tree, EngineError> {
-        self.stream
-            .eval_xml_guarded(compiled, guard, xml)
-            .map_err(|e| match e {
-                GuardedXmlError::Type(violation) => EngineError::Type(violation),
-                GuardedXmlError::Xml(e) => EngineError::Parse(e.to_string()),
-            })?
-            .ok_or(EngineError::Undefined)
     }
 
     /// Enforces [`EngineOptions::max_output_nodes`]: a linear-time DAG
@@ -1258,6 +1798,181 @@ mod tests {
         }
         rendered.dedup();
         assert_eq!(rendered.len(), 1, "diagnostics differ across modes");
+    }
+
+    /// Streamed emission is byte-identical to the batch API in every
+    /// format, and on order-preserving transducers the first output
+    /// bytes leave before the input ends (events_emitted_early > 0,
+    /// nothing buffered).
+    #[test]
+    fn transform_streaming_matches_batch_output() {
+        let fix = examples::flip();
+        let engine = Engine::new(EngineOptions {
+            workers: 1,
+            ..EngineOptions::default()
+        });
+        let prune = fcns_prune();
+        let cases = [
+            (&fix.dtop, DocFormat::Term, "root(a(#,#),b(#,#))"),
+            (
+                &fix.dtop,
+                DocFormat::Xml,
+                "<root><a># #</a><b># #</b></root>",
+            ),
+            (
+                &prune,
+                DocFormat::parse("fcns").unwrap(),
+                "<root><a><a/></a><b/></root>",
+            ),
+        ];
+        for (dtop, format, doc) in cases {
+            let batch = engine
+                .transform_with(dtop, doc, EvalMode::Streaming, format.clone())
+                .unwrap();
+            let mut bytes = Vec::new();
+            let out = engine
+                .transform_streaming_with(dtop, doc, format.clone(), false, &mut bytes)
+                .unwrap();
+            assert_eq!(String::from_utf8(bytes).unwrap(), batch, "{format:?}");
+            assert_eq!(out.bytes_written as usize, batch.len(), "{format:?}");
+            assert!(out.events_total > 0, "{format:?}");
+        }
+        // The prune transducer is order-preserving: everything streams.
+        let prune = fcns_prune();
+        let doc = "<root><a><a/></a><a/></root>";
+        let mut bytes = Vec::new();
+        let out = engine
+            .transform_streaming_with(
+                &prune,
+                doc,
+                DocFormat::parse("fcns").unwrap(),
+                false,
+                &mut bytes,
+            )
+            .unwrap();
+        assert_eq!(out.peak_buffered_frames, 0, "order-preserving run buffers");
+        assert_eq!(out.events_emitted_early, out.events_total);
+    }
+
+    /// The encoded streaming path fast-forwards deleted subtrees at the
+    /// raw tokenizer (the PR-5 skip upside, closed for encoded formats),
+    /// observable through the engine-wide counter.
+    #[test]
+    fn encoded_streaming_skips_deleted_subtrees() {
+        let prune = fcns_prune();
+        let format = DocFormat::parse("fcns").unwrap();
+        let engine = Engine::new(EngineOptions {
+            workers: 1,
+            ..EngineOptions::default()
+        });
+        // Every `b` content forest is deleted; the inner junk would fail
+        // fc/ns encoding if it were tokenized (undeclared depth is fine,
+        // but the skip counter is the direct evidence).
+        let doc = "<root><b><a><a/><a/></a></b><a/></root>";
+        let out = engine
+            .transform_with(&prune, doc, EvalMode::Streaming, format.clone())
+            .unwrap();
+        assert_eq!(out, "<root><a/></root>");
+        assert!(
+            engine.skipped_subtrees() >= 1,
+            "encoded skip fast path must engage"
+        );
+        // Streamed emission takes the same fast path and reports it.
+        let before = engine.skipped_subtrees();
+        let mut bytes = Vec::new();
+        let streamed = engine
+            .transform_streaming_with(&prune, doc, format, false, &mut bytes)
+            .unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), "<root><a/></root>");
+        assert!(streamed.skipped_subtrees >= 1);
+        assert_eq!(
+            engine.skipped_subtrees(),
+            before + streamed.skipped_subtrees
+        );
+    }
+
+    /// Writer failures surface as [`EngineError::Write`] with the
+    /// [`io::ErrorKind`] preserved (serving layers classify timeouts).
+    #[test]
+    fn streaming_write_errors_carry_the_kind() {
+        struct FailAfter(usize);
+        impl io::Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "slow client"));
+                }
+                self.0 = self.0.saturating_sub(buf.len());
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let fix = examples::flip();
+        let engine = Engine::new(EngineOptions::default());
+        let err = engine
+            .transform_streaming_with(
+                &fix.dtop,
+                "root(a(#,#),b(#,#))",
+                DocFormat::Term,
+                false,
+                &mut FailAfter(0),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::Write { kind, .. } if kind == io::ErrorKind::TimedOut),
+            "{err:?}"
+        );
+    }
+
+    /// The output-node cap holds on streamed runs too — enforced as the
+    /// events pass, without materializing the oversized output.
+    #[test]
+    fn streaming_enforces_the_output_bound() {
+        let copier = examples::monadic_to_binary().dtop;
+        let engine = Engine::new(EngineOptions {
+            max_output_nodes: Some(1_000),
+            ..EngineOptions::default()
+        });
+        let mut deep = String::from("e");
+        for _ in 0..30 {
+            deep = format!("f({deep})");
+        }
+        let mut bytes = Vec::new();
+        let err = engine
+            .transform_streaming_with(&copier, &deep, DocFormat::Term, false, &mut bytes)
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::OutputTooLarge(n) if n > 1_000),
+            "{err:?}"
+        );
+        let mut ok = Vec::new();
+        engine
+            .transform_streaming_with(&copier, "f(f(e))", DocFormat::Term, false, &mut ok)
+            .unwrap();
+        assert_eq!(String::from_utf8(ok).unwrap(), "g(g(e,e),g(e,e))");
+    }
+
+    /// Streaming validation composes: the lockstep guard rejects with
+    /// the same typed diagnostic as the batch paths.
+    #[test]
+    fn streaming_validation_rejects_with_typed_diagnostics() {
+        let fix = examples::flip();
+        let engine = Engine::new(EngineOptions::default());
+        let mut bytes = Vec::new();
+        let err = engine
+            .transform_streaming_with(
+                &fix.dtop,
+                "root(a(#,b(#,#)),b(#,#))",
+                DocFormat::Term,
+                true,
+                &mut bytes,
+            )
+            .unwrap_err();
+        let EngineError::Type(e) = &err else {
+            panic!("expected a type error, got {err:?}");
+        };
+        assert_eq!(e.path().to_string(), "1.2");
     }
 
     #[test]

@@ -40,13 +40,15 @@ pub mod stream;
 
 pub use compile::{compile, fingerprint, CompileError, CompiledDtop, Instr};
 pub use engine::{
-    CacheStats, DocFormat, Engine, EngineError, EngineOptions, EvalMode, ValidationStats,
+    CacheStats, DocFormat, Engine, EngineError, EngineOptions, EvalMode, StreamOutcome,
+    ValidationStats,
 };
 pub use eval::{DagSink, EvalScratch, Sink, TreeSink};
 pub use stream::{
     ranked_tree_from_xml, ranked_tree_from_xml_bounded, tree_to_xml, unknown_symbol,
-    xml_ranked_events, xml_ranked_events_bounded, xml_serializable, GuardedSource, GuardedXmlError,
-    IterEvents, StreamEvaluator, TreeEventSource, XmlRankedEvents,
+    xml_ranked_events, xml_ranked_events_bounded, xml_serializable, EmitStats, FnSink,
+    GuardedSource, GuardedXmlError, IterEvents, OutputSink, StreamEvaluator, TreeCollector,
+    TreeEventSource, XmlRankedEvents,
 };
 /// Re-exported from `xtt-typecheck`: the typed diagnostic carried by
 /// [`EngineError::Type`] under guarded evaluation.

@@ -23,6 +23,7 @@
 //! same inputs are undefined as for `xtt_transducer::eval::eval`.
 
 use std::collections::VecDeque;
+use std::io;
 
 use xtt_trees::{tree_from_events, Symbol, Tree, TreeEvent};
 use xtt_typecheck::{CompiledDtta, DttaRun, TypeError};
@@ -51,6 +52,16 @@ pub trait TreeEventSource {
     /// unsupported here; the caller consumes the events instead.
     fn skip_subtree(&mut self) -> bool {
         false
+    }
+}
+
+impl<S: TreeEventSource + ?Sized> TreeEventSource for &mut S {
+    fn next_event(&mut self) -> Option<TreeEvent> {
+        (**self).next_event()
+    }
+
+    fn skip_subtree(&mut self) -> bool {
+        (**self).skip_subtree()
     }
 }
 
@@ -265,15 +276,313 @@ pub enum GuardedXmlError {
     Xml(XmlError),
 }
 
+/// Where the streaming evaluator's output events go.
+///
+/// Implementations receive the output tree's pre-order events exactly
+/// once, in order. [`OutputSink::tree`] delivers a whole completed
+/// subtree at the current position — the default replays its events, but
+/// tree-building sinks (like [`TreeCollector`]) override it to graft the
+/// subtree without a rebuild. Errors use [`io::Error`] so socket-backed
+/// sinks (the serving path) surface write failures unchanged.
+pub trait OutputSink {
+    /// One pre-order event of the output tree.
+    fn event(&mut self, ev: TreeEvent) -> io::Result<()>;
+
+    /// A whole completed subtree at the current position (a buffered
+    /// region's result). Equivalent to replaying `t.events()`.
+    fn tree(&mut self, t: &Tree) -> io::Result<()> {
+        for ev in t.events() {
+            self.event(ev)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: OutputSink + ?Sized> OutputSink for &mut T {
+    fn event(&mut self, ev: TreeEvent) -> io::Result<()> {
+        (**self).event(ev)
+    }
+
+    fn tree(&mut self, t: &Tree) -> io::Result<()> {
+        (**self).tree(t)
+    }
+}
+
+/// [`OutputSink`] that rebuilds the output tree — the adapter behind the
+/// tree-returning evaluation API. Subtrees delivered via
+/// [`OutputSink::tree`] are grafted by reference count, not rebuilt.
+#[derive(Default)]
+pub struct TreeCollector {
+    stack: Vec<(Symbol, Vec<Tree>)>,
+    done: Option<Tree>,
+}
+
+impl TreeCollector {
+    pub fn new() -> TreeCollector {
+        TreeCollector::default()
+    }
+
+    /// The collected tree, if a complete one was emitted.
+    pub fn into_tree(self) -> Option<Tree> {
+        if self.stack.is_empty() {
+            self.done
+        } else {
+            None
+        }
+    }
+}
+
+impl OutputSink for TreeCollector {
+    fn event(&mut self, ev: TreeEvent) -> io::Result<()> {
+        match ev {
+            TreeEvent::Open(sym) => self.stack.push((sym, Vec::new())),
+            TreeEvent::Close => {
+                let (sym, children) = self
+                    .stack
+                    .pop()
+                    .expect("the evaluator emits balanced events");
+                let t = Tree::new(sym, children);
+                match self.stack.last_mut() {
+                    Some((_, siblings)) => siblings.push(t),
+                    None => self.done = Some(t),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn tree(&mut self, t: &Tree) -> io::Result<()> {
+        match self.stack.last_mut() {
+            Some((_, siblings)) => siblings.push(t.clone()),
+            None => self.done = Some(t.clone()),
+        }
+        Ok(())
+    }
+}
+
+/// [`OutputSink`] over a closure — event taps for tests and benches.
+pub struct FnSink<F: FnMut(TreeEvent)>(pub F);
+
+impl<F: FnMut(TreeEvent)> OutputSink for FnSink<F> {
+    fn event(&mut self, ev: TreeEvent) -> io::Result<()> {
+        (self.0)(ev);
+        Ok(())
+    }
+}
+
+/// Emission statistics of one streaming run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EmitStats {
+    /// Output events handed to the sink from the streaming (live) path —
+    /// emitted the moment their prefix was committed, before the input
+    /// was fully consumed.
+    pub events_emitted_early: u64,
+    /// High-water mark of *buffered* frames on the spine (frames inside
+    /// permuting/copying regions, which must materialize their results).
+    /// 0 on a fully order-preserving run.
+    pub peak_buffered_frames: usize,
+    /// Total output events delivered (subtree flushes count theirs).
+    pub events_total: u64,
+}
+
+/// A live (streaming) frame: its rule body is executed as a coroutine.
+/// The output prefix is emitted the moment it is committed; execution
+/// parks at each `⟨q, x_i⟩` call until input child `i`'s own output has
+/// streamed, then resumes. Only rules whose calls visit strictly
+/// increasing children run live — see [`live_shape`].
+struct LiveFrame {
+    /// Resume point in the instruction arena.
+    pos: u32,
+    end: u32,
+    /// Remaining child slots of output nodes opened but not yet closed.
+    opens: Vec<u32>,
+    /// The call whose subtree is being awaited: `(state, input child)`.
+    pending: Option<(u16, u16)>,
+    /// Index of the next input child to arrive.
+    next_child: u32,
+}
+
+impl LiveFrame {
+    fn new(start: u32, end: u32) -> LiveFrame {
+        LiveFrame {
+            pos: start,
+            end,
+            opens: Vec::new(),
+            pending: None,
+            next_child: 0,
+        }
+    }
+}
+
+enum FKind {
+    /// Order-preserving region: output streams through the sink.
+    Live(LiveFrame),
+    /// Permuting/copying region (or multiple live states): per-child
+    /// results are materialized and the rule executes at `Close`, as the
+    /// pre-refactor evaluator always did.
+    Buffered {
+        /// For each already-closed child, its `(state, result)` pairs
+        /// sorted by state.
+        child_results: Vec<Vec<(u16, Tree)>>,
+    },
+}
+
 /// One open input node on the spine.
 struct SFrame {
     /// Dense input symbol of the node.
     sym: u32,
-    /// Sorted live states processing this node.
+    /// Sorted live states processing this node (always a singleton for
+    /// [`FKind::Live`]).
     states: Vec<u16>,
-    /// For each already-closed child, its `(state, result)` pairs sorted
-    /// by state (exactly the states from [`CompiledDtop::states_for_child`]).
-    child_results: Vec<Vec<(u16, Tree)>>,
+    kind: FKind,
+}
+
+/// The context above the root frame: the axiom, run live when it has
+/// exactly one call (its prefix is then emitted before the first input
+/// event), buffered otherwise.
+enum Top {
+    Live(LiveFrame),
+    Buffered,
+}
+
+/// A rule body streams iff its calls visit strictly increasing children:
+/// no copying (the same child twice) and no permutation (an earlier
+/// child after a later one). Every output prefix is then committed when
+/// execution reaches it — no later sibling can precede it.
+fn live_shape(c: &CompiledDtop, start: u32, end: u32) -> bool {
+    let mut last: i64 = -1;
+    for instr in &c.code()[start as usize..end as usize] {
+        if let Instr::Call { child, .. } = *instr {
+            if i64::from(child) <= last {
+                return false;
+            }
+            last = i64::from(child);
+        }
+    }
+    true
+}
+
+fn call_count(c: &CompiledDtop, start: u32, end: u32) -> usize {
+    c.code()[start as usize..end as usize]
+        .iter()
+        .filter(|i| matches!(i, Instr::Call { .. }))
+        .count()
+}
+
+fn emit<S: OutputSink>(sink: &mut S, stats: &mut EmitStats, ev: TreeEvent) -> io::Result<()> {
+    stats.events_emitted_early += 1;
+    stats.events_total += 1;
+    sink.event(ev)
+}
+
+/// Flushes a materialized subtree at the current output position.
+fn flush_tree<S: OutputSink>(
+    sink: &mut S,
+    stats: &mut EmitStats,
+    t: &Tree,
+    early: bool,
+) -> io::Result<()> {
+    let events = 2 * t.size();
+    stats.events_total += events;
+    if early {
+        stats.events_emitted_early += events;
+    }
+    sink.tree(t)
+}
+
+/// A completed subtree at the live frame's position: close every output
+/// node this finishes.
+fn close_completed<S: OutputSink>(
+    lf: &mut LiveFrame,
+    sink: &mut S,
+    stats: &mut EmitStats,
+) -> io::Result<()> {
+    while let Some(last) = lf.opens.last_mut() {
+        *last -= 1;
+        if *last == 0 {
+            lf.opens.pop();
+            emit(sink, stats, TreeEvent::Close)?;
+        } else {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Executes a live frame's rule body from its resume point until the
+/// next call (parking there) or the end of the body.
+fn live_step<S: OutputSink>(
+    c: &CompiledDtop,
+    lf: &mut LiveFrame,
+    sink: &mut S,
+    stats: &mut EmitStats,
+) -> io::Result<()> {
+    let code = c.code();
+    while lf.pos < lf.end {
+        let instr = code[lf.pos as usize];
+        lf.pos += 1;
+        match instr {
+            Instr::Out { sym, arity: 0 } => {
+                emit(sink, stats, TreeEvent::Open(sym))?;
+                emit(sink, stats, TreeEvent::Close)?;
+                close_completed(lf, sink, stats)?;
+            }
+            Instr::Out { sym, arity } => {
+                emit(sink, stats, TreeEvent::Open(sym))?;
+                lf.opens.push(arity);
+            }
+            Instr::Call { q, child } => {
+                lf.pending = Some((q, child));
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A live-context child's output just completed: resume the enclosing
+/// live frame (the parent on the spine, or the live axiom when the root
+/// itself closed — in which case the run is done).
+fn resume_after_child<S: OutputSink>(
+    c: &CompiledDtop,
+    frames: &mut [SFrame],
+    top: &mut Top,
+    sink: &mut S,
+    stats: &mut EmitStats,
+    done: &mut bool,
+) -> io::Result<()> {
+    let at_top = frames.is_empty();
+    let lf = match frames.last_mut() {
+        Some(SFrame {
+            kind: FKind::Live(lf),
+            ..
+        }) => lf,
+        Some(_) => unreachable!("buffered parents collect results, they are not resumed"),
+        None => match top {
+            Top::Live(lf) => lf,
+            Top::Buffered => unreachable!("buffered top collects the root result"),
+        },
+    };
+    debug_assert!(lf.pending.is_some());
+    lf.pending = None;
+    close_completed(lf, sink, stats)?;
+    live_step(c, lf, sink, stats)?;
+    if at_top {
+        // The axiom has exactly one call, so it now ran to completion.
+        debug_assert!(lf.pending.is_none());
+        *done = true;
+    }
+    Ok(())
+}
+
+/// What a newly opened input node is to its enclosing context.
+enum Ctx {
+    /// The pending call child of a live context: evaluate in this state.
+    Call(u16),
+    /// A live context's uncalled child: its subtree is deleted.
+    Skip,
+    /// A buffered context: the derived live state set.
+    States(Vec<u16>),
 }
 
 /// Reusable streaming evaluator; create once per worker thread.
@@ -311,13 +620,58 @@ impl StreamEvaluator {
         c: &CompiledDtop,
         source: &mut impl TreeEventSource,
     ) -> Option<Tree> {
+        let mut sink = TreeCollector::new();
+        match self.eval_streaming(c, source, &mut sink) {
+            Ok(Some(_)) => sink.into_tree(),
+            _ => None,
+        }
+    }
+
+    /// Event-driven evaluation: output flows to `sink` as [`TreeEvent`]s,
+    /// with `Open`s emitted the moment their prefix is committed.
+    ///
+    /// Rule bodies whose calls visit strictly increasing input children
+    /// (order-preserving, copy-free regions) execute as coroutines: the
+    /// output prefix streams immediately, execution parks at each call
+    /// until that child's own output has streamed, then resumes.
+    /// Permuting/copying regions — and nodes processed by more than one
+    /// state — fall back to the buffered evaluation and flush their
+    /// materialized result as one subtree. On a fully order-preserving
+    /// run nothing is buffered: output state is O(depth).
+    ///
+    /// Returns `Ok(Some(stats))` on success, `Ok(None)` when the input is
+    /// outside the domain or not exactly one well-nested tree (the sink
+    /// may have received a partial prefix by then — inherent to
+    /// streaming), and `Err` only when the sink fails.
+    pub fn eval_streaming<S: OutputSink>(
+        &mut self,
+        c: &CompiledDtop,
+        source: &mut impl TreeEventSource,
+        sink: &mut S,
+    ) -> io::Result<Option<EmitStats>> {
         self.frames.clear();
+        let mut stats = EmitStats::default();
+        let mut buffered = 0usize;
         let mut skip_depth = 0usize;
         let mut root_skipped = false;
-        let mut done: Option<Tree> = None;
+        let mut root_seen = false;
+        let mut done = false;
+        let (ax_start, ax_end) = c.axiom_range();
+        let mut top = if call_count(c, ax_start, ax_end) == 1 {
+            // Exactly one call (necessarily on the root): the axiom's
+            // prefix is committed before the first input event arrives.
+            let mut lf = LiveFrame::new(ax_start, ax_end);
+            live_step(c, &mut lf, sink, &mut stats)?;
+            Top::Live(lf)
+        } else {
+            // A constant axiom (emitted at the end, preserving the
+            // pre-streaming behavior on malformed input) or one that
+            // copies the root.
+            Top::Buffered
+        };
         while let Some(event) = source.next_event() {
-            if done.is_some() {
-                return None; // events after the root closed
+            if done {
+                return Ok(None); // events after the root closed
             }
             if skip_depth > 0 {
                 match event {
@@ -328,89 +682,207 @@ impl StreamEvaluator {
             }
             match event {
                 TreeEvent::Open(sym) => {
-                    let states: Vec<u16> = match self.frames.last() {
-                        None => {
-                            if root_skipped {
-                                return None; // more than one root
+                    let ctx = match self.frames.last_mut() {
+                        Some(parent) => match &mut parent.kind {
+                            FKind::Live(lf) => {
+                                let i = lf.next_child;
+                                lf.next_child += 1;
+                                match lf.pending {
+                                    Some((q, child)) if u32::from(child) == i => Ctx::Call(q),
+                                    _ => Ctx::Skip,
+                                }
                             }
-                            c.axiom_states().to_vec()
-                        }
-                        Some(parent) => {
-                            let child = parent.child_results.len();
-                            c.states_for_child(
-                                &parent.states,
-                                parent.sym,
-                                child,
-                                &mut self.states_scratch,
-                            );
-                            std::mem::take(&mut self.states_scratch)
+                            FKind::Buffered { child_results } => {
+                                let child = child_results.len();
+                                c.states_for_child(
+                                    &parent.states,
+                                    parent.sym,
+                                    child,
+                                    &mut self.states_scratch,
+                                );
+                                Ctx::States(std::mem::take(&mut self.states_scratch))
+                            }
+                        },
+                        None => {
+                            if root_seen || root_skipped {
+                                return Ok(None); // more than one root
+                            }
+                            root_seen = true;
+                            match &top {
+                                Top::Live(lf) => match lf.pending {
+                                    Some((q, 0)) => Ctx::Call(q),
+                                    _ => Ctx::Skip,
+                                },
+                                Top::Buffered => Ctx::States(c.axiom_states().to_vec()),
+                            }
                         }
                     };
-                    if states.is_empty() {
-                        // Deleted subtree (or a constant axiom): no state
-                        // ever inspects it — skip without building it,
-                        // and without tokenizing it when the source can
-                        // fast-forward.
-                        match self.frames.last_mut() {
-                            Some(parent) => parent.child_results.push(Vec::new()),
-                            None => root_skipped = true,
+                    match ctx {
+                        Ctx::Skip => {
+                            // A live context calls nothing on this child:
+                            // deleted subtree.
+                            if !source.skip_subtree() {
+                                skip_depth = 1;
+                            }
                         }
-                        if !source.skip_subtree() {
-                            skip_depth = 1;
+                        Ctx::States(states) if states.is_empty() => {
+                            // Deleted subtree (or a constant axiom): no
+                            // state ever inspects it — skip without
+                            // building it, and without tokenizing it when
+                            // the source can fast-forward.
+                            match self.frames.last_mut() {
+                                Some(parent) => match &mut parent.kind {
+                                    FKind::Buffered { child_results } => {
+                                        child_results.push(Vec::new())
+                                    }
+                                    FKind::Live(_) => {
+                                        unreachable!("live parents skip without deriving states")
+                                    }
+                                },
+                                None => root_skipped = true,
+                            }
+                            if !source.skip_subtree() {
+                                skip_depth = 1;
+                            }
                         }
-                        continue;
+                        Ctx::Call(q) => {
+                            let dense = c.dense_sym(sym);
+                            // Undefined as soon as the live state lacks a rule.
+                            let Some((start, end)) = c.rule_range(q, dense) else {
+                                return Ok(None);
+                            };
+                            let kind = if live_shape(c, start, end) {
+                                let mut lf = LiveFrame::new(start, end);
+                                live_step(c, &mut lf, sink, &mut stats)?;
+                                FKind::Live(lf)
+                            } else {
+                                buffered += 1;
+                                stats.peak_buffered_frames =
+                                    stats.peak_buffered_frames.max(buffered);
+                                FKind::Buffered {
+                                    child_results: Vec::new(),
+                                }
+                            };
+                            self.frames.push(SFrame {
+                                sym: dense,
+                                states: vec![q],
+                                kind,
+                            });
+                        }
+                        Ctx::States(states) => {
+                            let dense = c.dense_sym(sym);
+                            // Undefined as soon as any live state lacks a rule.
+                            if states.iter().any(|&q| c.rule_range(q, dense).is_none()) {
+                                return Ok(None);
+                            }
+                            buffered += 1;
+                            stats.peak_buffered_frames = stats.peak_buffered_frames.max(buffered);
+                            self.frames.push(SFrame {
+                                sym: dense,
+                                states,
+                                kind: FKind::Buffered {
+                                    child_results: Vec::new(),
+                                },
+                            });
+                        }
                     }
-                    let dense = c.dense_sym(sym);
-                    // Undefined as soon as any live state lacks a rule.
-                    if states.iter().any(|&q| c.rule_range(q, dense).is_none()) {
-                        return None;
-                    }
-                    self.frames.push(SFrame {
-                        sym: dense,
-                        states,
-                        child_results: Vec::new(),
-                    });
                 }
                 TreeEvent::Close => {
-                    let frame = self.frames.pop()?; // unbalanced close
-                    let mut results: Vec<(u16, Tree)> = Vec::with_capacity(frame.states.len());
-                    for &q in &frame.states {
-                        let (start, end) = c
-                            .rule_range(q, frame.sym)
-                            .expect("checked when the node opened");
-                        let v = self.exec_range(c, start, end, &|q2, child| {
-                            lookup(frame.child_results.get(child)?, q2)
-                        })?;
-                        results.push((q, v));
-                    }
-                    match self.frames.last_mut() {
-                        Some(parent) => parent.child_results.push(results),
-                        None => {
-                            // Root closed: splice the per-state results
-                            // into the axiom. The stream must end here —
-                            // the loop rejects any further event.
-                            let (start, end) = c.axiom_range();
-                            done = Some(self.exec_range(c, start, end, &|q, child| {
-                                if child == 0 {
-                                    lookup(&results, q)
-                                } else {
-                                    None
-                                }
-                            })?);
+                    let Some(frame) = self.frames.pop() else {
+                        return Ok(None); // unbalanced close
+                    };
+                    match frame.kind {
+                        FKind::Live(lf) => {
+                            if lf.pending.is_some() || lf.pos != lf.end {
+                                return Ok(None); // call to a child the node does not have
+                            }
+                            debug_assert!(lf.opens.is_empty());
+                            resume_after_child(
+                                c,
+                                &mut self.frames,
+                                &mut top,
+                                sink,
+                                &mut stats,
+                                &mut done,
+                            )?;
+                        }
+                        FKind::Buffered { child_results } => {
+                            buffered -= 1;
+                            let mut results: Vec<(u16, Tree)> =
+                                Vec::with_capacity(frame.states.len());
+                            for &q in &frame.states {
+                                let (start, end) = c
+                                    .rule_range(q, frame.sym)
+                                    .expect("checked when the node opened");
+                                let Some(v) = self.exec_range(c, start, end, &|q2, child| {
+                                    lookup(child_results.get(child)?, q2)
+                                }) else {
+                                    return Ok(None);
+                                };
+                                results.push((q, v));
+                            }
+                            // Where does the materialized result go?
+                            let to_live_parent = match self.frames.last_mut() {
+                                Some(parent) => match &mut parent.kind {
+                                    FKind::Buffered { child_results } => {
+                                        child_results.push(std::mem::take(&mut results));
+                                        false
+                                    }
+                                    FKind::Live(_) => true,
+                                },
+                                None => match &top {
+                                    Top::Live(_) => true,
+                                    Top::Buffered => {
+                                        // Root closed: splice the per-state
+                                        // results into the axiom.
+                                        let Some(out) =
+                                            self.exec_range(c, ax_start, ax_end, &|q, child| {
+                                                if child == 0 {
+                                                    lookup(&results, q)
+                                                } else {
+                                                    None
+                                                }
+                                            })
+                                        else {
+                                            return Ok(None);
+                                        };
+                                        flush_tree(sink, &mut stats, &out, false)?;
+                                        done = true;
+                                        false
+                                    }
+                                },
+                            };
+                            if to_live_parent {
+                                // This frame was the pending call child of
+                                // a live context: flush its single result
+                                // and resume the coroutine.
+                                let (_, t) = &results[0];
+                                flush_tree(sink, &mut stats, t, true)?;
+                                resume_after_child(
+                                    c,
+                                    &mut self.frames,
+                                    &mut top,
+                                    sink,
+                                    &mut stats,
+                                    &mut done,
+                                )?;
+                            }
                         }
                     }
                 }
             }
         }
-        if let Some(result) = done {
-            return Some(result);
+        if done {
+            return Ok(Some(stats));
         }
         if root_skipped && skip_depth == 0 {
             // The whole input was deleted: the axiom calls no state.
-            let (start, end) = c.axiom_range();
-            return self.exec_range(c, start, end, &|_, _| None);
+            if let Some(t) = self.exec_range(c, ax_start, ax_end, &|_, _| None) {
+                flush_tree(sink, &mut stats, &t, false)?;
+                return Ok(Some(stats));
+            }
         }
-        None // empty or unterminated stream
+        Ok(None) // empty or unterminated stream
     }
 
     /// Convenience: stream a materialized tree (used by benches and the
@@ -628,7 +1100,7 @@ fn write_ranked(t: &Tree, out: &mut String) {
     out.push('>');
 }
 
-fn is_xml_name(s: &str) -> bool {
+pub(crate) fn is_xml_name(s: &str) -> bool {
     let mut chars = s.chars();
     match chars.next() {
         Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
@@ -637,7 +1109,7 @@ fn is_xml_name(s: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
 }
 
-fn escape_text(s: &str) -> String {
+pub(crate) fn escape_text(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
         .replace('>', "&gt;")

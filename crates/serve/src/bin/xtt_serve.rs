@@ -28,6 +28,10 @@ OPTIONS:
   --cache <N>             compiled-transducer LRU capacity   [default: 8]
   --max-output <N>        per-document output-tree node bound
                           (0 = unbounded)                    [default: 10000000]
+  --stream-deadline <secs>  write deadline for streamed (mode=stream)
+                          responses: a client not draining its socket
+                          for this long aborts the connection
+                          (counted in /stats)                [default: 10]
   --mode <tree|stream|dag|walk>  default evaluator           [default: tree]
   --format <term|xml>     default document syntax            [default: term]
   --validate              guarded evaluation by default: out-of-domain
@@ -75,6 +79,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --max-output value".to_owned())?;
                 args.opts.engine.max_output_nodes = (n > 0).then_some(n);
+            }
+            "--stream-deadline" => {
+                let secs: u64 = value("--stream-deadline")?
+                    .parse()
+                    .map_err(|_| "bad --stream-deadline value".to_owned())?;
+                args.opts.stream_write_deadline = std::time::Duration::from_secs(secs.max(1));
             }
             "--mode" => {
                 let name = value("--mode")?;

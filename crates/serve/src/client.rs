@@ -33,6 +33,38 @@ impl ServeClient {
         self
     }
 
+    /// The server address this client talks to (for tests that need a
+    /// raw socket next to the client).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends one request with a `Transfer-Encoding: chunked` body — a
+    /// streamed upload. `chunks` become one wire chunk each.
+    pub fn request_chunked(
+        &self,
+        method: &str,
+        target: &str,
+        chunks: &[&str],
+    ) -> io::Result<Response> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            self.addr,
+        );
+        stream.write_all(head.as_bytes())?;
+        for chunk in chunks.iter().filter(|c| !c.is_empty()) {
+            stream.write_all(format!("{:x}\r\n", chunk.len()).as_bytes())?;
+            stream.write_all(chunk.as_bytes())?;
+            stream.write_all(b"\r\n")?;
+        }
+        stream.write_all(b"0\r\n\r\n")?;
+        stream.flush()?;
+        read_response(&mut stream).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
     /// Sends one request; `target` includes the query string.
     pub fn request(&self, method: &str, target: &str, body: &str) -> io::Result<Response> {
         let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;

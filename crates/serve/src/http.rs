@@ -1,8 +1,10 @@
 //! A hand-rolled HTTP/1.1 layer: exactly what the server needs, nothing
-//! more. Requests carry bodies via `Content-Length` only (chunked request
-//! bodies are rejected with `501`); responses are written either with
+//! more. Requests carry bodies via `Content-Length` or
+//! `Transfer-Encoding: chunked` (decoded with the same size cap, so
+//! clients can stream uploads); responses are written either with
 //! `Content-Length` or chunked (the transform endpoint streams one chunk
-//! per document). Connections are **keep-alive** by default (HTTP/1.1
+//! per document — in `mode=stream`, one chunk per flushed output
+//! prefix). Connections are **keep-alive** by default (HTTP/1.1
 //! semantics): the server answers multiple requests per connection until
 //! the client says `Connection: close`, the idle timeout passes, or the
 //! per-connection request limit is reached — every response carries an
@@ -151,35 +153,50 @@ pub fn read_request_carry(
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
     };
-    if header("transfer-encoding").is_some() {
-        return Err(HttpError::Unsupported(
-            "chunked request bodies (send Content-Length)",
-        ));
-    }
-    let content_length: usize = match header("content-length") {
-        None => 0,
-        Some(v) => v
-            .parse()
-            .map_err(|_| HttpError::Malformed(format!("bad Content-Length: {v}")))?,
-    };
-    if content_length > max_body {
-        return Err(HttpError::TooLarge("body"));
-    }
-    // Bytes past this request's body belong to the *next* pipelined
-    // request on the connection.
-    if leftover.len() > content_length {
-        *carry = leftover.split_off(content_length);
-    }
-    let mut body = std::mem::take(&mut leftover);
-    while body.len() < content_length {
-        let mut buf = [0u8; 8192];
-        let want = (content_length - body.len()).min(buf.len());
-        let n = stream.read(&mut buf[..want])?;
-        if n == 0 {
-            return Err(HttpError::Malformed("connection closed mid-body".into()));
+    let body = match header("transfer-encoding") {
+        Some(te) if te.eq_ignore_ascii_case("chunked") => {
+            // A streamed upload: decode the chunked framing, capping the
+            // *decoded* size at the same bound as Content-Length bodies.
+            // Bytes past the terminator belong to the next pipelined
+            // request on the connection.
+            let mut rest = std::mem::take(&mut leftover);
+            let body = decode_chunked_capped(stream, &mut rest, Some(max_body))?;
+            *carry = rest;
+            body
         }
-        body.extend_from_slice(&buf[..n]);
-    }
+        Some(_) => {
+            return Err(HttpError::Unsupported(
+                "transfer encodings other than chunked",
+            ))
+        }
+        None => {
+            let content_length: usize = match header("content-length") {
+                None => 0,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad Content-Length: {v}")))?,
+            };
+            if content_length > max_body {
+                return Err(HttpError::TooLarge("body"));
+            }
+            // Bytes past this request's body belong to the *next*
+            // pipelined request on the connection.
+            if leftover.len() > content_length {
+                *carry = leftover.split_off(content_length);
+            }
+            let mut body = std::mem::take(&mut leftover);
+            while body.len() < content_length {
+                let mut buf = [0u8; 8192];
+                let want = (content_length - body.len()).min(buf.len());
+                let n = stream.read(&mut buf[..want])?;
+                if n == 0 {
+                    return Err(HttpError::Malformed("connection closed mid-body".into()));
+                }
+                body.extend_from_slice(&buf[..n]);
+            }
+            body
+        }
+    };
 
     let (path, query) = match target.split_once('?') {
         None => (percent_decode(target), Vec::new()),
@@ -397,6 +414,21 @@ impl<'a> ChunkedWriter<'a> {
     }
 }
 
+/// Streamed responses (`mode=stream`) hand the writer straight to the
+/// engine as an output byte sink: every `write` becomes one chunk on the
+/// wire and `flush` pushes it to the socket, so committed output
+/// prefixes reach the client while the document is still being read.
+impl Write for ChunkedWriter<'_> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.chunk(data)?;
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
 /// A response as read back by the client: status, headers, decoded body.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -479,6 +511,18 @@ const MAX_CHUNK: usize = 1 << 30;
 
 /// Decodes a chunked body; `rest` holds bytes already read past the head.
 fn decode_chunked(stream: &mut dyn Read, rest: &mut Vec<u8>) -> Result<Vec<u8>, HttpError> {
+    decode_chunked_capped(stream, rest, None)
+}
+
+/// [`decode_chunked`] with an optional cap on the *decoded* size (the
+/// request path caps at `max_body`; the client side only guards against
+/// absurd single-chunk size lines). Trailer fields after the last chunk
+/// are consumed and discarded; bytes past the terminator stay in `rest`.
+fn decode_chunked_capped(
+    stream: &mut dyn Read,
+    rest: &mut Vec<u8>,
+    cap: Option<usize>,
+) -> Result<Vec<u8>, HttpError> {
     let mut out = Vec::new();
     loop {
         let line = read_line(stream, rest)?;
@@ -490,6 +534,17 @@ fn decode_chunked(stream: &mut dyn Read, rest: &mut Vec<u8>) -> Result<Vec<u8>, 
                 "chunk size {size} exceeds the {MAX_CHUNK}-byte cap"
             )));
         }
+        if size == 0 {
+            // Trailer section: zero or more header lines, then CRLF.
+            loop {
+                if read_line(stream, rest)?.is_empty() {
+                    return Ok(out);
+                }
+            }
+        }
+        if cap.is_some_and(|max| out.len() + size > max) {
+            return Err(HttpError::TooLarge("body"));
+        }
         while rest.len() < size + 2 {
             let mut buf = [0u8; 8192];
             let n = stream.read(&mut buf)?;
@@ -500,9 +555,6 @@ fn decode_chunked(stream: &mut dyn Read, rest: &mut Vec<u8>) -> Result<Vec<u8>, 
         }
         out.extend_from_slice(&rest[..size]);
         rest.drain(..size + 2); // chunk data + CRLF
-        if size == 0 {
-            return Ok(out);
-        }
     }
 }
 
@@ -569,16 +621,45 @@ mod tests {
     }
 
     #[test]
-    fn rejects_chunked_requests_and_oversized_bodies() {
-        let raw = b"POST /t HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
-        assert!(matches!(
-            read_request(&mut &raw[..], 1024),
-            Err(HttpError::Unsupported(_))
-        ));
+    fn decodes_chunked_request_bodies() {
+        // Two chunks, a trailer field, and a pipelined request behind the
+        // terminator: the body is reassembled and the next request is
+        // carried over exactly like a Content-Length one.
+        let raw = b"POST /t HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    5\r\nhello\r\n6\r\n world\r\n0\r\nX-Trailer: 1\r\n\r\n\
+                    GET /b HTTP/1.1\r\n\r\n";
+        let mut carry = Vec::new();
+        let mut stream = &raw[..];
+        let req = read_request_carry(&mut stream, 1024, &mut carry).unwrap();
+        assert_eq!(req.body, b"hello world");
+        let second = read_request_carry(&mut stream, 1024, &mut carry).unwrap();
+        assert_eq!(second.path, "/b");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_chunked_or_not() {
         let raw = b"POST /t HTTP/1.1\r\nContent-Length: 2048\r\n\r\n";
         assert!(matches!(
             read_request(&mut &raw[..], 1024),
             Err(HttpError::TooLarge(_))
+        ));
+        // The cap applies to the *decoded* chunked size too.
+        let mut raw = b"POST /t HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        for _ in 0..3 {
+            raw.extend_from_slice(b"200\r\n");
+            raw.extend_from_slice(&[b'x'; 0x200]);
+            raw.extend_from_slice(b"\r\n");
+        }
+        raw.extend_from_slice(b"0\r\n\r\n");
+        assert!(matches!(
+            read_request(&mut &raw[..], 1024),
+            Err(HttpError::TooLarge(_))
+        ));
+        // Exotic transfer encodings are still refused outright.
+        let raw = b"POST /t HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &raw[..], 1024),
+            Err(HttpError::Unsupported(_))
         ));
     }
 

@@ -46,7 +46,7 @@
 //! acceptor, drains the queue, finishes in-flight requests, and joins the
 //! workers before [`Server::run`] returns.
 
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -75,6 +75,11 @@ pub struct ServeOptions {
     pub max_body: usize,
     /// Per-connection socket read/write timeout.
     pub io_timeout: Duration,
+    /// Write deadline for streamed (`mode=stream`) responses: a client
+    /// that stops reading for this long has its response aborted (and
+    /// the abort counted in `streaming.write_timeouts`), so a slow
+    /// consumer cannot pin a worker for the whole batch.
+    pub stream_write_deadline: Duration,
     /// How long a kept-alive connection may sit idle between requests
     /// before the server closes it.
     pub keep_alive_timeout: Duration,
@@ -93,6 +98,7 @@ impl Default for ServeOptions {
             queue_capacity: 128,
             max_body: 64 * 1024 * 1024,
             io_timeout: Duration::from_secs(30),
+            stream_write_deadline: Duration::from_secs(10),
             keep_alive_timeout: Duration::from_secs(5),
             keep_alive_limit: 1000,
             engine: EngineOptions {
@@ -638,6 +644,18 @@ fn transform(
     if docs.last().is_some_and(String::is_empty) {
         docs.pop();
     }
+    if mode == EvalMode::Streaming {
+        return transform_stream(
+            shared,
+            &entry.dtop,
+            &docs,
+            format,
+            validate,
+            stream,
+            started,
+            keep,
+        );
+    }
     let results =
         shared
             .engine
@@ -675,6 +693,140 @@ fn transform(
     let r = writer.finish();
     shared.stats.transform.record(started, status >= 400);
     r
+}
+
+/// `mode=stream`: each document runs through the engine's streaming
+/// emission — committed output prefixes are flushed to the client as
+/// HTTP chunks *while the document is still being evaluated*, instead of
+/// after the whole batch completes. The status line is committed before
+/// any document runs, so it is always `200`; failures still appear
+/// positionally as `!error:` lines (preceded by a newline when a partial
+/// output prefix had already been flushed — inherent to streaming).
+/// A client that stops reading trips [`ServeOptions::stream_write_deadline`]
+/// and the response is aborted.
+#[allow(clippy::too_many_arguments)]
+fn transform_stream(
+    shared: &Shared,
+    dtop: &xtt_transducer::Dtop,
+    docs: &[String],
+    format: DocFormat,
+    validate: bool,
+    stream: &mut TcpStream,
+    started: Instant,
+    keep: bool,
+) -> io::Result<()> {
+    let _ = stream.set_write_timeout(Some(shared.opts.stream_write_deadline));
+    let headers = [
+        ("X-Xtt-Docs", docs.len().to_string()),
+        ("X-Xtt-Streamed", "1".to_owned()),
+    ];
+    let result = (|| {
+        let mut writer = ChunkedWriter::start_conn(stream, 200, "text/plain", &headers, keep)?;
+        let mut failed: u64 = 0;
+        let mut type_errors: u64 = 0;
+        for doc in docs {
+            let mut sink = CountingWriter {
+                inner: &mut writer,
+                buf: Vec::new(),
+                bytes: 0,
+            };
+            match shared.engine.transform_streaming_with(
+                dtop,
+                doc,
+                format.clone(),
+                validate,
+                &mut sink,
+            ) {
+                Ok(out) => {
+                    sink.flush()?;
+                    shared
+                        .stats
+                        .bytes_flushed_early
+                        .fetch_add(out.bytes_written, Ordering::Relaxed);
+                    writer.chunk(b"\n")?;
+                }
+                Err(xtt_engine::EngineError::Write { kind, message }) => {
+                    // The failing writer *is* the client connection:
+                    // nothing more can be said on it, abort the response.
+                    if matches!(kind, io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) {
+                        shared.stats.write_timeouts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(io::Error::new(kind, message));
+                }
+                Err(e) => {
+                    failed += 1;
+                    if matches!(e, xtt_engine::EngineError::Type(_)) {
+                        type_errors += 1;
+                    }
+                    // The failed document's partial prefix stays on the
+                    // wire (same bytes as unbuffered emission).
+                    sink.flush()?;
+                    let flushed = sink.bytes;
+                    shared
+                        .stats
+                        .bytes_flushed_early
+                        .fetch_add(flushed, Ordering::Relaxed);
+                    let sep = if flushed > 0 { "\n" } else { "" };
+                    writer.chunk(format!("{sep}!error: {e}\n").as_bytes())?;
+                }
+            }
+        }
+        shared
+            .stats
+            .docs_streamed
+            .fetch_add(docs.len() as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .documents
+            .fetch_add(docs.len() as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .document_errors
+            .fetch_add(failed, Ordering::Relaxed);
+        shared
+            .stats
+            .documents_type_errors
+            .fetch_add(type_errors, Ordering::Relaxed);
+        writer.finish()
+    })();
+    let _ = stream.set_write_timeout(Some(shared.opts.io_timeout));
+    shared.stats.transform.record(started, result.is_err());
+    result
+}
+
+/// Streamed responses coalesce at this size: the evaluator writes
+/// fine-grained pieces (single tags, separators), and framing each as
+/// its own HTTP chunk would multiply the wire bytes several-fold.
+const STREAM_CHUNK: usize = 4096;
+
+/// Coalesces the evaluator's fine-grained writes into [`STREAM_CHUNK`]ed
+/// HTTP chunks (an explicit `flush` drains the remainder at document
+/// end) and counts the bytes each document produced, so the stats and
+/// the `!error:` line separator know whether a partial prefix is on the
+/// wire.
+struct CountingWriter<'a, 'b> {
+    inner: &'a mut ChunkedWriter<'b>,
+    buf: Vec<u8>,
+    bytes: u64,
+}
+
+impl io::Write for CountingWriter<'_, '_> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        self.bytes += data.len() as u64;
+        if self.buf.len() >= STREAM_CHUNK {
+            self.flush()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.inner.chunk(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
 }
 
 /// `POST /typecheck/{name}`: body is an output schema (a DTTA in term
@@ -761,6 +913,7 @@ impl Shared {
         self.stats.json(
             self.engine.cache_stats(),
             self.engine.validation_stats(),
+            self.engine.skipped_subtrees(),
             self.registry.len(),
             self.encodings.len(),
             self.queue.capacity(),

@@ -67,6 +67,15 @@ pub struct ServerStats {
     /// found the transducer ill-typed (counterexample returned).
     pub typecheck_runs: AtomicU64,
     pub typecheck_ill_typed: AtomicU64,
+    /// Documents answered through `mode=stream` incremental emission.
+    pub docs_streamed: AtomicU64,
+    /// Output bytes flushed to clients *during* evaluation (before the
+    /// document — let alone the batch — was finished), i.e. bytes the
+    /// tree-at-root-close path would still have been buffering.
+    pub bytes_flushed_early: AtomicU64,
+    /// Streamed responses aborted because a slow client missed the
+    /// write deadline.
+    pub write_timeouts: AtomicU64,
     pub transform: EndpointStats,
     pub transducers: EndpointStats,
     pub encodings: EndpointStats,
@@ -83,17 +92,19 @@ impl ServerStats {
         &self,
         cache: xtt_engine::CacheStats,
         validation: xtt_engine::ValidationStats,
+        skipped_subtrees: u64,
         transducers: usize,
         encodings: usize,
         capacity: usize,
     ) -> String {
         format!(
-            "{{\"engine\":{{\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{}}},\
+            "{{\"engine\":{{\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{},\"skipped_subtrees\":{}}},\
              \"queue\":{{\"depth\":{},\"capacity\":{},\"accepted\":{},\"rejected\":{}}},\
              \"connections\":{{\"accepted\":{},\"requests\":{},\"reused_requests\":{},\"closed_idle\":{}}},\
              \"documents\":{{\"total\":{},\"errors\":{},\"type_errors\":{}}},\
              \"validation\":{{\"docs_validated\":{},\"docs_rejected_pre_eval\":{},\"guards_compiled\":{}}},\
              \"typecheck\":{{\"runs\":{},\"ill_typed\":{}}},\
+             \"streaming\":{{\"docs_streamed\":{},\"bytes_flushed_early\":{},\"write_timeouts\":{}}},\
              \"handler_panics\":{},\
              \"transducers\":{},\
              \"encodings\":{},\
@@ -101,6 +112,7 @@ impl ServerStats {
             cache.hits,
             cache.misses,
             cache.entries,
+            skipped_subtrees,
             self.queue_depth.load(Ordering::Relaxed),
             capacity,
             self.accepted.load(Ordering::Relaxed),
@@ -117,6 +129,9 @@ impl ServerStats {
             validation.guards_compiled,
             self.typecheck_runs.load(Ordering::Relaxed),
             self.typecheck_ill_typed.load(Ordering::Relaxed),
+            self.docs_streamed.load(Ordering::Relaxed),
+            self.bytes_flushed_early.load(Ordering::Relaxed),
+            self.write_timeouts.load(Ordering::Relaxed),
             self.handler_panics.load(Ordering::Relaxed),
             transducers,
             encodings,

@@ -165,7 +165,10 @@ fn typecheck_and_validation_over_the_wire() {
                 &["root(a(#,#),b(#,#))", "root(a(#,b(#,#)),b(#,#))"],
             )
             .unwrap();
-        assert_eq!(resp.status, 207, "mode {mode}");
+        // mode=stream commits the status before evaluating; errors are
+        // in-band only.
+        let expected = if mode == "stream" { 200 } else { 207 };
+        assert_eq!(resp.status, expected, "mode {mode}");
         assert_eq!(lines[0], "root(b(#,#),a(#,#))", "mode {mode}");
         assert_eq!(
             lines[1], "!error: type error at 1.2: symbol b not allowed in state {q4}",
@@ -436,7 +439,10 @@ fn encodings_over_the_wire() {
                 ],
             )
             .unwrap();
-        assert_eq!(resp.status, 207, "mode {mode}: {lines:?}");
+        // Streamed responses commit their status before any document
+        // runs; failures stay positional (`!error:` lines).
+        let expected = if mode == "stream" { 200 } else { 207 };
+        assert_eq!(resp.status, expected, "mode {mode}: {lines:?}");
         assert_eq!(lines[0], "<root><b/><a/><a/></root>", "mode {mode}");
         assert!(
             lines[1].starts_with("!error: encoding error"),
@@ -529,4 +535,145 @@ fn shutdown_drains_concurrent_requests() {
     }
     runner.join().unwrap().unwrap();
     assert!(answered >= 1, "drain lost every in-flight request");
+}
+
+/// Satellite coverage for streamed *uploads*: chunked request bodies are
+/// decoded on the transform endpoint (positionally identical to a
+/// Content-Length batch) and the decoded size is capped at `max_body`.
+#[test]
+fn chunked_request_bodies_over_the_wire() {
+    let (client, runner, _handle) = boot(small_opts());
+    client
+        .put_transducer("flip", &examples::flip().dtop.to_string())
+        .unwrap();
+    let resp = client
+        .request_chunked(
+            "POST",
+            "/transform/flip",
+            &["root(a(#,#)", ",b(#,#))\n", "root((\n"],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 207, "{}", resp.body_str());
+    let body = resp.body_str();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines[0], "root(b(#,#),a(#,#))");
+    assert!(lines[1].starts_with("!error: parse error"), "{}", lines[1]);
+
+    // The decoded-size cap answers 413 like an oversized Content-Length.
+    let opts = ServeOptions {
+        max_body: 64,
+        ..small_opts()
+    };
+    let (small_client, small_runner, _h) = boot(opts);
+    let big = "x".repeat(256);
+    let resp = small_client
+        .request_chunked("POST", "/transform/flip", &[&big])
+        .unwrap();
+    assert_eq!(resp.status, 413, "{}", resp.body_str());
+    small_client.shutdown().unwrap();
+    small_runner.join().unwrap().unwrap();
+
+    client.shutdown().unwrap();
+    runner.join().unwrap().unwrap();
+}
+
+/// The tentpole ordering property over the wire: a `mode=stream`
+/// response is fully delivered while the *next* pipelined request's
+/// large body has not even been sent — the first chunk cannot be waiting
+/// on batch completion or request-body reads.
+#[test]
+fn streamed_response_arrives_before_pipelined_body_is_read() {
+    use std::io::Write;
+
+    let (client, runner, _handle) = boot(small_opts());
+    client
+        .put_transducer("flip", &examples::flip().dtop.to_string())
+        .unwrap();
+
+    let mut raw = std::net::TcpStream::connect(client.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let first_body = "root(a(#,#),b(#,#))\n";
+    // A big pipelined follow-up batch, declared but only partially sent.
+    let second_body: String = "root(a(#,#),b(#,#))\n".repeat(4096);
+    let first = format!(
+        "POST /transform/flip?mode=stream HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{first_body}",
+        first_body.len()
+    );
+    let second_head = format!(
+        "POST /transform/flip HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        second_body.len()
+    );
+    raw.write_all(first.as_bytes()).unwrap();
+    raw.write_all(second_head.as_bytes()).unwrap();
+    raw.write_all(&second_body.as_bytes()[..8]).unwrap();
+    raw.flush().unwrap();
+
+    // The streamed response completes while the server is still waiting
+    // on the rest of the pipelined body we have not sent.
+    let mut reader = raw.try_clone().unwrap();
+    let resp = xtt_serve::http::read_response(&mut reader).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-xtt-streamed"), Some("1"));
+    assert_eq!(resp.body_str(), "root(b(#,#),a(#,#))\n");
+
+    // Now finish the pipelined body; the second (batch) response answers.
+    raw.write_all(&second_body.as_bytes()[8..]).unwrap();
+    raw.flush().unwrap();
+    let resp = xtt_serve::http::read_response(&mut reader).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body_str().lines().count(), 4096);
+
+    client.shutdown().unwrap();
+    runner.join().unwrap().unwrap();
+}
+
+/// A streamed response to a client that stops reading is aborted by the
+/// write deadline and counted in `/stats` `streaming.write_timeouts`.
+#[test]
+fn slow_stream_readers_trip_the_write_deadline() {
+    use std::io::Write;
+
+    let opts = ServeOptions {
+        stream_write_deadline: Duration::from_millis(250),
+        ..small_opts()
+    };
+    let (client, runner, _handle) = boot(opts);
+    client
+        .put_transducer("copy", &examples::monadic_to_binary().dtop.to_string())
+        .unwrap();
+
+    // Each document's output is a full binary tree of ~4M nodes (~12MB
+    // of text): far beyond what the kernel socket buffers absorb, so an
+    // unread connection must block the writer past the deadline.
+    let mut deep = String::from("e");
+    for _ in 0..21 {
+        deep = format!("f({deep})");
+    }
+    let body = format!("{deep}\n{deep}\n{deep}\n{deep}\n");
+    let mut raw = std::net::TcpStream::connect(client.addr()).unwrap();
+    let head = format!(
+        "POST /transform/copy?mode=stream HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    raw.write_all(head.as_bytes()).unwrap();
+    raw.write_all(body.as_bytes()).unwrap();
+    raw.flush().unwrap();
+
+    // Stall: never read. The server must give up on its own.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let json = client.stats().unwrap().body_str();
+        if json.contains("\"write_timeouts\":1") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "write deadline never tripped: {json}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    drop(raw);
+
+    client.shutdown().unwrap();
+    runner.join().unwrap().unwrap();
 }

@@ -102,6 +102,8 @@ impl XmlCodec {
             encoder,
             queue: VecDeque::new(),
             failed: false,
+            skippable: false,
+            skipped_subtrees: 0,
         }
     }
 
@@ -167,6 +169,13 @@ impl StreamEncoder {
             StreamEncoder::Dtd(e) => e.peak_frames(),
         }
     }
+
+    fn just_opened_element(&self) -> bool {
+        match self {
+            StreamEncoder::Fcns(e) => e.just_opened_element(),
+            StreamEncoder::Dtd(e) => e.just_opened_element(),
+        }
+    }
 }
 
 /// The streaming adaptor: SAX tokenizer → incremental encoder → ranked
@@ -177,6 +186,11 @@ pub struct UnrankedEvents<'a> {
     encoder: StreamEncoder,
     queue: VecDeque<TreeEvent>,
     failed: bool,
+    /// The event just delivered was an element's ranked `Open`, emitted
+    /// directly off its start tag with nothing queued behind it — the
+    /// position [`UnrankedEvents::skip_subtree`] can fast-forward from.
+    skippable: bool,
+    skipped_subtrees: u64,
 }
 
 impl UnrankedEvents<'_> {
@@ -192,6 +206,70 @@ impl UnrankedEvents<'_> {
     pub fn peak_frames(&self) -> usize {
         self.encoder.peak_frames()
     }
+
+    /// Subtrees discarded via the raw fast-forward (observability).
+    pub fn skipped_subtrees(&self) -> u64 {
+        self.skipped_subtrees
+    }
+
+    /// Called immediately after [`Iterator::next`] returned an `Open`:
+    /// consume the rest of that ranked node's subtree without encoding —
+    /// or even tokenizing — it. `Ok(false)` means the position has no
+    /// fast path (a `#`/pcdata node, or queued events in flight) and the
+    /// caller should consume the events instead.
+    ///
+    /// Under fc/ns the skipped element's ranked subtree covers its
+    /// content *and* its entire following sibling forest (the sibling is
+    /// nested inside the node), so the raw reader is fast-forwarded past
+    /// every following sibling and the parent's end tag too. Under a DTD
+    /// encoding the subtree is the element's encoded content; its
+    /// interior is dropped without content-model validation (the
+    /// tokenizer still enforces well-formedness).
+    pub fn skip_subtree(&mut self) -> Result<bool, UnrankedError> {
+        if !self.skippable || self.failed {
+            return Ok(false);
+        }
+        self.skippable = false;
+        if let Err(e) = self.skip_subtree_inner() {
+            self.failed = true;
+            return Err(e);
+        }
+        self.skipped_subtrees += 1;
+        Ok(true)
+    }
+
+    fn skip_subtree_inner(&mut self) -> Result<(), UnrankedError> {
+        // Past the just-opened element's own end tag first.
+        self.reader.skip_subtree().map_err(UnrankedError::Xml)?;
+        match &mut self.encoder {
+            StreamEncoder::Dtd(e) => e.skip_open_element(&mut self.queue),
+            StreamEncoder::Fcns(e) => {
+                if e.live_frames() > 1 {
+                    // The ranked subtree extends over the sibling tail:
+                    // fast-forward every following sibling and consume
+                    // the parent's end tag.
+                    loop {
+                        match self.reader.next() {
+                            None => {
+                                return Err(UnrankedError::Xml(xtt_xml::XmlError {
+                                    offset: 0,
+                                    message: "document ended inside a skipped sibling tail".into(),
+                                }))
+                            }
+                            Some(Err(err)) => return Err(UnrankedError::Xml(err)),
+                            Some(Ok(xtt_xml::XmlEvent::Start(_))) => {
+                                self.reader.skip_subtree().map_err(UnrankedError::Xml)?;
+                            }
+                            Some(Ok(xtt_xml::XmlEvent::Text(_))) => {}
+                            Some(Ok(xtt_xml::XmlEvent::End(_))) => break,
+                        }
+                    }
+                }
+                e.skip_open_element(&mut self.queue);
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Iterator for UnrankedEvents<'_> {
@@ -200,6 +278,9 @@ impl Iterator for UnrankedEvents<'_> {
     fn next(&mut self) -> Option<Result<TreeEvent, UnrankedError>> {
         loop {
             if let Some(ev) = self.queue.pop_front() {
+                self.skippable = matches!(ev, TreeEvent::Open(_))
+                    && self.queue.is_empty()
+                    && self.encoder.just_opened_element();
                 return Some(Ok(ev));
             }
             if self.failed {
@@ -232,6 +313,16 @@ impl XmlWriter {
         match self {
             XmlWriter::Fcns(w) => w.feed(event).map_err(UnrankedError::Encode),
             XmlWriter::Dtd(w) => w.feed(event).map_err(UnrankedError::Encode),
+        }
+    }
+
+    /// Drains the XML text produced so far (the committed output
+    /// prefix). Concatenating every drain with the remainder returned by
+    /// [`XmlWriter::finish`] yields exactly the batch output.
+    pub fn pending(&mut self) -> String {
+        match self {
+            XmlWriter::Fcns(w) => w.pending(),
+            XmlWriter::Dtd(w) => w.pending(),
         }
     }
 

@@ -207,6 +207,11 @@ impl ModelParse {
         self.stack.len()
     }
 
+    /// No token consumed yet (the element just opened).
+    fn is_fresh(&self) -> bool {
+        self.stack.is_empty() && !self.complete && self.entering == Some(self.root)
+    }
+
     /// Emits the encoding of an empty iteration — `R*(#,#)` in the
     /// paper's style, a bare `#` in the path-closed style.
     fn emit_empty_star(
@@ -475,6 +480,43 @@ impl DtdStreamEncoder {
         self.done
     }
 
+    /// True right after an element's `Start` was fed and nothing else:
+    /// the last ranked event emitted was that element's `Open`, and its
+    /// ranked subtree (the element's encoded content) is still entirely
+    /// ahead — the precondition for
+    /// [`DtdStreamEncoder::skip_open_element`].
+    pub fn just_opened_element(&self) -> bool {
+        !self.done
+            && self
+                .elems
+                .last()
+                .is_some_and(|e| e.model.as_ref().map_or(true, ModelParse::is_fresh))
+    }
+
+    /// Fast-forward bookkeeping for a skipped element subtree: the caller
+    /// has fast-forwarded the raw tokenizer past the element's end tag,
+    /// so its content is dropped *unvalidated* (the tokenizer still
+    /// enforced well-formedness) and the parent derivation advances as if
+    /// the element's end tag had been fed.
+    ///
+    /// Precondition: [`DtdStreamEncoder::just_opened_element`].
+    pub fn skip_open_element(&mut self, out: &mut VecDeque<TreeEvent>) {
+        debug_assert!(self.just_opened_element());
+        self.elems.pop().expect("skipped element frame");
+        self.live -= 1;
+        if let Some(parent) = self.elems.last_mut() {
+            let model = parent
+                .model
+                .as_mut()
+                .expect("an element child implies a content model");
+            let before = model.frames();
+            model.child_done(&self.models, out);
+            self.live = self.live + model.frames() - before;
+        } else {
+            self.done = true;
+        }
+    }
+
     fn open_element(
         &mut self,
         label: &str,
@@ -646,6 +688,13 @@ impl DtdXmlWriter {
             TreeEvent::Open(sym) => self.open(sym),
             TreeEvent::Close => self.close(),
         }
+    }
+
+    /// Drains the XML text produced so far (the committed output prefix).
+    /// Concatenating every drain with [`DtdXmlWriter::finish`]'s
+    /// remainder yields exactly the batch output.
+    pub fn pending(&mut self) -> String {
+        std::mem::take(&mut self.out)
     }
 
     fn close_head(&mut self) {

@@ -87,6 +87,58 @@ impl FcnsStreamEncoder {
         self.done
     }
 
+    /// True right after an element's `Start` was fed and nothing else:
+    /// the last ranked event emitted was that element's `Open`, and its
+    /// fc/ns subtree (content *and* sibling tail) is still entirely ahead
+    /// — the precondition for [`FcnsStreamEncoder::skip_open_element`].
+    pub fn just_opened_element(&self) -> bool {
+        !self.done && self.open_children.last() == Some(&0)
+    }
+
+    /// Fast-forward bookkeeping for a skipped fc/ns subtree. Under fc/ns
+    /// a node's *next sibling* is nested inside it, so the ranked subtree
+    /// of a just-opened element `e` covers `e`'s content **and** its
+    /// entire following sibling forest, ending at the cascaded `Close`
+    /// emitted when `e`'s parent's end tag arrives. The caller has
+    /// fast-forwarded the raw tokenizer accordingly (past `e`'s end tag,
+    /// every following sibling, and the parent's end tag — or just past
+    /// `e`'s end tag when `e` is the root); this drops the frames those
+    /// events would have popped and queues whatever follows the skipped
+    /// subtree (the root trailer, when the parent was the root).
+    ///
+    /// Precondition: [`FcnsStreamEncoder::just_opened_element`].
+    pub fn skip_open_element(&mut self, out: &mut VecDeque<TreeEvent>) {
+        debug_assert!(self.just_opened_element());
+        self.open_children.pop().expect("skipped element frame");
+        match self.open_children.pop() {
+            None => {
+                // The skipped element was the root: its ranked subtree is
+                // the whole remainder of the stream.
+                self.done = true;
+            }
+            Some(parent_count) => {
+                // The parent's frame is consumed with its end tag; the
+                // parent's own ranked `Close` cascades at *its* parent's
+                // end tag and is already counted there. The skipped
+                // element's *preceding* siblings, however, are ranked
+                // ancestors of the skipped subtree (the sibling slot
+                // nests), so their cascaded `Close`s — emitted at the
+                // parent's end tag — fall outside it and are still due.
+                for _ in 0..parent_count - 1 {
+                    out.push_back(TreeEvent::Close);
+                }
+                if self.open_children.is_empty() {
+                    // The parent was the root: the events after the
+                    // skipped subtree are the root trailer.
+                    out.push_back(TreeEvent::Open(self.hash));
+                    out.push_back(TreeEvent::Close);
+                    out.push_back(TreeEvent::Close);
+                    self.done = true;
+                }
+            }
+        }
+    }
+
     /// Feeds one SAX event, appending the ranked events it determines.
     /// The tokenizer guarantees well-nested input; `Err` is only possible
     /// on misuse (events after the root closed).
@@ -204,6 +256,13 @@ impl FcnsXmlWriter {
             TreeEvent::Open(sym) => self.open(sym),
             TreeEvent::Close => self.close(),
         }
+    }
+
+    /// Drains the XML text produced so far (the committed output prefix).
+    /// Concatenating every drain with [`FcnsXmlWriter::finish`]'s
+    /// remainder yields exactly the batch output.
+    pub fn pending(&mut self) -> String {
+        std::mem::take(&mut self.out)
     }
 
     fn open(&mut self, sym: Symbol) -> Result<(), EncodeError> {

@@ -140,6 +140,51 @@ fn golden_xml_corpus_all_modes_exact() {
     }
 }
 
+/// Streamed emission (`Engine::transform_streaming_with`) produces the
+/// exact bytes of tree-at-root-close emission on every golden case,
+/// with validation on and off — the refactor changed *when* bytes
+/// leave, never *which* bytes.
+#[test]
+fn golden_xml_streamed_emission_is_byte_identical() {
+    for case in load_corpus() {
+        let dtop = parse_dtop(&case.transducer)
+            .unwrap_or_else(|e| panic!("{}: bad transducer: {e}", case.name));
+        let format = DocFormat::Encoded(codec_for(&case));
+        let engine = Engine::new(EngineOptions {
+            workers: 1,
+            ..EngineOptions::default()
+        });
+        for validate in [false, true] {
+            let batch = engine
+                .transform_with(&dtop, &case.input, EvalMode::Streaming, format.clone())
+                .unwrap_or_else(|e| panic!("{} [batch validate={validate}]: {e}", case.name));
+            let mut streamed = Vec::new();
+            let outcome = engine
+                .transform_streaming_with(
+                    &dtop,
+                    &case.input,
+                    format.clone(),
+                    validate,
+                    &mut streamed,
+                )
+                .unwrap_or_else(|e| panic!("{} [streamed validate={validate}]: {e}", case.name));
+            assert_eq!(
+                String::from_utf8(streamed).expect("XML output is UTF-8"),
+                batch,
+                "{} [validate={validate}]: streamed bytes differ from tree-at-root-close",
+                case.name
+            );
+            assert_eq!(batch, case.expected, "{}: output differs", case.name);
+            assert_eq!(
+                outcome.bytes_written as usize,
+                case.expected.len(),
+                "{}: reported byte count is off",
+                case.name
+            );
+        }
+    }
+}
+
 /// The expected output is itself a fixed point of parse→serialize (the
 /// corpus files stay in the writers' canonical form).
 #[test]
