@@ -1,0 +1,202 @@
+//! The typed epoll wrapper: register descriptors with an [`Interest`],
+//! wait for [`Event`]s.
+
+/// What readiness a registration asks for. Hangup and error conditions
+/// are always reported; only read/write interest is opt-in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Report nothing but hangups/errors (a parked connection).
+    pub const NONE: Interest = Interest(0);
+    pub const READABLE: Interest = Interest(1);
+    pub const WRITABLE: Interest = Interest(2);
+    pub const BOTH: Interest = Interest(3);
+
+    pub fn readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    pub fn writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// The union of two interests.
+    pub fn with(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+}
+
+/// One readiness event, already decoded from the raw bitmask.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// `EPOLLRDHUP`: the peer closed its write half. A read will still
+    /// drain whatever is buffered, then report EOF.
+    pub read_closed: bool,
+    /// `EPOLLHUP`: the connection is fully gone.
+    pub hangup: bool,
+    /// `EPOLLERR`: a pending socket error; the next I/O call surfaces it.
+    pub error: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Event, Interest};
+    use crate::sys;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    /// An owned epoll instance. All methods take `&self`: the kernel
+    /// serializes `epoll_ctl`, and `epoll_wait` is intended to be called
+    /// from the single event-loop thread.
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    // The epoll fd is just an integer capability; waits happen on one
+    // thread while register/modify may come from others.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut mask = sys::EPOLLRDHUP;
+            if interest.readable() {
+                mask |= sys::EPOLLIN;
+            }
+            if interest.writable() {
+                mask |= sys::EPOLLOUT;
+            }
+            let mut ev = sys::EpollEvent {
+                events: mask,
+                data: token,
+            };
+            let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let rc =
+                unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, std::ptr::null_mut()) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Blocks for readiness, filling `events` (cleared first).
+        /// `None` waits indefinitely. Returns the event count; `EINTR`
+        /// reports as zero events rather than an error, so signal
+        /// arrival naturally falls through to the caller's loop checks.
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+            };
+            const MAX_EVENTS: usize = 256;
+            let mut raw = [sys::EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            let n = unsafe {
+                sys::epoll_wait(self.epfd, raw.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms)
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            for slot in raw.iter().take(n as usize) {
+                // Copy out of the (possibly packed) ABI struct before use.
+                let ev = *slot;
+                let mask = ev.events;
+                events.push(Event {
+                    token: ev.data,
+                    readable: mask & sys::EPOLLIN != 0,
+                    writable: mask & sys::EPOLLOUT != 0,
+                    read_closed: mask & sys::EPOLLRDHUP != 0,
+                    hangup: mask & sys::EPOLLHUP != 0,
+                    error: mask & sys::EPOLLERR != 0,
+                });
+            }
+            Ok(events.len())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { sys::close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    /// Non-Linux stub: compiles everywhere Unix, answers `Unsupported`
+    /// at construction (see the crate docs for the platform scope).
+    pub struct Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "xtt-netio requires Linux epoll",
+            ))
+        }
+
+        pub fn register(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            unreachable!("Poller::new never succeeds off Linux")
+        }
+
+        pub fn modify(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            unreachable!("Poller::new never succeeds off Linux")
+        }
+
+        pub fn deregister(&self, _fd: RawFd) -> io::Result<()> {
+            unreachable!("Poller::new never succeeds off Linux")
+        }
+
+        pub fn wait(
+            &self,
+            _events: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            unreachable!("Poller::new never succeeds off Linux")
+        }
+    }
+}
+
+pub use imp::Poller;

@@ -1,0 +1,109 @@
+//! The cross-thread wakeup pipe.
+//!
+//! A [`Waker`] is a nonblocking self-pipe: worker threads [`Waker::wake`]
+//! it to interrupt the event loop's blocked `epoll_wait`; the loop
+//! registers [`Waker::fd`] for read interest and [`Waker::drain`]s it on
+//! readiness. Wakes coalesce — once the pipe holds a byte, further
+//! wakes hit `EAGAIN` and are dropped, which is exactly the semantics a
+//! level-triggered poller wants (one pending wake is as good as many).
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use crate::sys;
+    use std::io;
+    use std::os::raw::c_void;
+    use std::os::unix::io::RawFd;
+
+    pub struct Waker {
+        read_fd: RawFd,
+        write_fd: RawFd,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            let mut fds = [0i32; 2];
+            let rc = unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Waker {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            })
+        }
+
+        /// The read end, for [`crate::Poller::register`].
+        pub fn fd(&self) -> RawFd {
+            self.read_fd
+        }
+
+        /// Interrupts a blocked wait. A full pipe means a wake is
+        /// already pending — coalesced, not an error.
+        pub fn wake(&self) -> io::Result<()> {
+            let byte = [1u8];
+            let rc = unsafe { sys::write(self.write_fd, byte.as_ptr() as *const c_void, 1) };
+            if rc < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::WouldBlock {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            Ok(())
+        }
+
+        /// Consumes all pending wake bytes (the loop calls this once per
+        /// readiness event so the level-triggered poller goes quiet).
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                let rc =
+                    unsafe { sys::read(self.read_fd, buf.as_mut_ptr() as *mut c_void, buf.len()) };
+                if rc <= 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            unsafe {
+                sys::close(self.read_fd);
+                sys::close(self.write_fd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    /// Non-Linux stub; see the crate docs for the platform scope.
+    pub struct Waker {}
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "xtt-netio requires Linux epoll",
+            ))
+        }
+
+        pub fn fd(&self) -> RawFd {
+            unreachable!("Waker::new never succeeds off Linux")
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            unreachable!("Waker::new never succeeds off Linux")
+        }
+
+        pub fn drain(&self) {
+            unreachable!("Waker::new never succeeds off Linux")
+        }
+    }
+}
+
+pub use imp::Waker;

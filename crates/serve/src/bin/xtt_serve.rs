@@ -32,6 +32,10 @@ OPTIONS:
                           responses: a client not draining its socket
                           for this long aborts the connection
                           (counted in /stats)                [default: 10]
+  --stream-buffer <bytes> per-connection output buffer; a streamed
+                          response backing up past half of it yields
+                          its worker until the client catches up
+                                                             [default: 262144]
   --mode <tree|stream|dag|walk>  default evaluator           [default: tree]
   --format <term|xml>     default document syntax            [default: term]
   --validate              guarded evaluation by default: out-of-domain
@@ -85,6 +89,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --stream-deadline value".to_owned())?;
                 args.opts.stream_write_deadline = std::time::Duration::from_secs(secs.max(1));
+            }
+            "--stream-buffer" => {
+                let bytes: usize = value("--stream-buffer")?
+                    .parse()
+                    .map_err(|_| "bad --stream-buffer value".to_owned())?;
+                args.opts.stream_buffer = bytes.max(4096);
             }
             "--mode" => {
                 let name = value("--mode")?;

@@ -109,14 +109,81 @@ pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, H
 /// [`read_request`] for keep-alive connections: `carry` holds bytes read
 /// past the previous request (pipelining clients send the next request
 /// before the response arrives) and receives any bytes read past this
-/// one's body.
+/// one's body. Implemented as a blocking read loop around
+/// [`try_parse_request`] — the event loop uses the incremental parser
+/// directly, this wrapper serves tests and any blocking caller.
 pub fn read_request_carry(
     stream: &mut dyn Read,
     max_body: usize,
     carry: &mut Vec<u8>,
 ) -> Result<Request, HttpError> {
-    let (head, mut leftover) = read_head_carry(stream, carry)?;
-    let head = String::from_utf8(head)
+    let mut buf: Vec<u8> = std::mem::take(carry);
+    let mut scan_from = 0;
+    loop {
+        if let Some((request, consumed)) = try_parse_request(&buf, max_body, &mut scan_from)? {
+            buf.drain(..consumed);
+            *carry = buf;
+            return Ok(request);
+        }
+        let mut chunk = [0u8; 65536];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if buf.is_empty() {
+                // Clean close between requests (keep-alive end).
+                return Err(HttpError::Closed);
+            }
+            return Err(if find_subsequence(&buf, b"\r\n\r\n").is_none() {
+                HttpError::Malformed("connection closed before the end of the headers".into())
+            } else {
+                HttpError::Malformed("connection closed mid-body".into())
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Attempts to parse one complete request out of `buf` without blocking.
+///
+/// Returns `Ok(None)` while the bytes so far are a valid *prefix* of a
+/// request (more must arrive), `Ok(Some((request, consumed)))` once one
+/// is complete — `consumed` is how many bytes of `buf` it spanned; the
+/// remainder belongs to the next pipelined request — and `Err` as soon
+/// as the prefix can never become a valid request (oversized head,
+/// `Content-Length` beyond `max_body`, syntax errors).
+///
+/// `scan_from` is the caller's cursor into `buf` for the head-terminator
+/// search: the parser resumes the `\r\n\r\n` scan there instead of from
+/// byte zero, so feeding a large body in small reads stays linear.
+/// Start it at `0` for a fresh buffer and keep passing the same variable
+/// while the buffer grows; reset it to `0` whenever consumed bytes are
+/// drained from the front.
+pub fn try_parse_request(
+    buf: &[u8],
+    max_body: usize,
+    scan_from: &mut usize,
+) -> Result<Option<(Request, usize)>, HttpError> {
+    // The resumed scan backs up 3 bytes so a terminator straddling the
+    // previous end of buffer is still seen.
+    let window = scan_from.saturating_sub(3).min(buf.len());
+    let pos = match find_subsequence(&buf[window..], b"\r\n\r\n") {
+        Some(p) => window + p,
+        None => {
+            *scan_from = buf.len();
+            if buf.len() > MAX_HEAD {
+                return Err(HttpError::TooLarge("request head"));
+            }
+            return Ok(None);
+        }
+    };
+    // Pin the cursor to the terminator: repeat calls while the body
+    // trickles in re-find it immediately instead of rescanning the head.
+    *scan_from = pos;
+    if pos > MAX_HEAD {
+        return Err(HttpError::TooLarge("request head"));
+    }
+    let body_start = pos + 4;
+
+    let head = std::str::from_utf8(&buf[..pos])
         .map_err(|_| HttpError::Malformed("head is not valid UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
@@ -153,16 +220,16 @@ pub fn read_request_carry(
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
     };
-    let body = match header("transfer-encoding") {
+    let (body, consumed) = match header("transfer-encoding") {
         Some(te) if te.eq_ignore_ascii_case("chunked") => {
             // A streamed upload: decode the chunked framing, capping the
             // *decoded* size at the same bound as Content-Length bodies.
             // Bytes past the terminator belong to the next pipelined
             // request on the connection.
-            let mut rest = std::mem::take(&mut leftover);
-            let body = decode_chunked_capped(stream, &mut rest, Some(max_body))?;
-            *carry = rest;
-            body
+            match decode_chunked_slice(&buf[body_start..], Some(max_body))? {
+                None => return Ok(None),
+                Some((body, used)) => (body, body_start + used),
+            }
         }
         Some(_) => {
             return Err(HttpError::Unsupported(
@@ -179,22 +246,13 @@ pub fn read_request_carry(
             if content_length > max_body {
                 return Err(HttpError::TooLarge("body"));
             }
-            // Bytes past this request's body belong to the *next*
-            // pipelined request on the connection.
-            if leftover.len() > content_length {
-                *carry = leftover.split_off(content_length);
+            if buf.len() - body_start < content_length {
+                return Ok(None);
             }
-            let mut body = std::mem::take(&mut leftover);
-            while body.len() < content_length {
-                let mut buf = [0u8; 8192];
-                let want = (content_length - body.len()).min(buf.len());
-                let n = stream.read(&mut buf[..want])?;
-                if n == 0 {
-                    return Err(HttpError::Malformed("connection closed mid-body".into()));
-                }
-                body.extend_from_slice(&buf[..n]);
-            }
-            body
+            (
+                buf[body_start..body_start + content_length].to_vec(),
+                body_start + content_length,
+            )
         }
     };
 
@@ -202,29 +260,76 @@ pub fn read_request_carry(
         None => (percent_decode(target), Vec::new()),
         Some((p, q)) => (percent_decode(p), parse_query(q)),
     };
-    Ok(Request {
-        method,
-        http11,
-        path,
-        query,
-        headers,
-        body,
-    })
+    Ok(Some((
+        Request {
+            method,
+            http11,
+            path,
+            query,
+            headers,
+            body,
+        },
+        consumed,
+    )))
+}
+
+/// Decodes a chunked body from a byte slice: `Ok(None)` while the
+/// framing is incomplete, `Ok(Some((body, consumed)))` once the
+/// terminator (and trailer section) is in. The cap applies to the
+/// *decoded* size, same as the streaming decoder.
+fn decode_chunked_slice(
+    buf: &[u8],
+    cap: Option<usize>,
+) -> Result<Option<(Vec<u8>, usize)>, HttpError> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    loop {
+        let line_end = match find_subsequence(&buf[i..], b"\r\n") {
+            Some(p) => i + p,
+            None => return Ok(None),
+        };
+        let line = String::from_utf8_lossy(&buf[i..line_end]);
+        let size_str = line.split(';').next().unwrap_or_default().trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| HttpError::Malformed(format!("bad chunk size: {size_str}")))?;
+        if size > MAX_CHUNK {
+            return Err(HttpError::Malformed(format!(
+                "chunk size {size} exceeds the {MAX_CHUNK}-byte cap"
+            )));
+        }
+        i = line_end + 2;
+        if size == 0 {
+            // Trailer section: zero or more header lines, then CRLF.
+            loop {
+                let trailer_end = match find_subsequence(&buf[i..], b"\r\n") {
+                    Some(p) => i + p,
+                    None => return Ok(None),
+                };
+                let empty = trailer_end == i;
+                i = trailer_end + 2;
+                if empty {
+                    return Ok(Some((out, i)));
+                }
+            }
+        }
+        if cap.is_some_and(|max| out.len() + size > max) {
+            return Err(HttpError::TooLarge("body"));
+        }
+        if buf.len() < i + size + 2 {
+            return Ok(None);
+        }
+        out.extend_from_slice(&buf[i..i + size]);
+        i += size + 2; // chunk data + CRLF
+    }
 }
 
 /// Reads up to and including the `\r\n\r\n` head terminator; returns the
 /// head bytes (terminator stripped) and any body bytes read past it.
-fn read_head(stream: &mut dyn Read) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
-    read_head_carry(stream, &mut Vec::new())
-}
-
-/// [`read_head`] seeded with carried-over bytes from the connection.
 fn read_head_carry(
     stream: &mut dyn Read,
-    carry: &mut Vec<u8>,
+    carried: Vec<u8>,
 ) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
-    let mut buf: Vec<u8> = std::mem::take(carry);
-    buf.reserve(1024);
+    let mut buf = carried;
     loop {
         if let Some(pos) = find_subsequence(&buf, b"\r\n\r\n") {
             let rest = buf.split_off(pos + 4);
@@ -399,6 +504,13 @@ impl<'a> ChunkedWriter<'a> {
         Ok(ChunkedWriter { stream })
     }
 
+    /// Continues a chunked body whose head was already written — a
+    /// stream job resumed on another worker after yielding mid-response
+    /// picks up the framing where it left off.
+    pub fn resume(stream: &'a mut dyn Write) -> ChunkedWriter<'a> {
+        ChunkedWriter { stream }
+    }
+
     pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
         if data.is_empty() {
             return Ok(()); // an empty chunk would terminate the body
@@ -452,7 +564,19 @@ impl Response {
 
 /// Reads a full response (Content-Length, chunked, or read-to-EOF).
 pub fn read_response(stream: &mut dyn Read) -> Result<Response, HttpError> {
-    let (head, leftover) = read_head(stream)?;
+    let mut carry = Vec::new();
+    read_response_carry(stream, &mut carry)
+}
+
+/// [`read_response`] for pipelined connections: bytes read past the end
+/// of this response (the start of the next one, when the server answers
+/// back-to-back) are preserved in `carry` and consumed first on the next
+/// call — the response-side analogue of [`read_request_carry`].
+pub fn read_response_carry(
+    stream: &mut dyn Read,
+    carry: &mut Vec<u8>,
+) -> Result<Response, HttpError> {
+    let (head, leftover) = read_head_carry(stream, std::mem::take(carry))?;
     let head = String::from_utf8(head)
         .map_err(|_| HttpError::Malformed("head is not valid UTF-8".into()))?;
     let mut lines = head.split("\r\n");
@@ -476,7 +600,9 @@ pub fn read_response(stream: &mut dyn Read) -> Result<Response, HttpError> {
     };
     let mut rest = leftover;
     let body = if find("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
-        decode_chunked(stream, &mut rest)?
+        let body = decode_chunked(stream, &mut rest)?;
+        *carry = rest;
+        body
     } else if let Some(len) = find("content-length") {
         let len: usize = len
             .parse()
@@ -489,8 +615,9 @@ pub fn read_response(stream: &mut dyn Read) -> Result<Response, HttpError> {
             }
             rest.extend_from_slice(&buf[..n]);
         }
-        rest.truncate(len);
-        rest
+        let mut body = rest;
+        *carry = body.split_off(len);
+        body
     } else {
         // Read to EOF.
         let mut buf = Vec::new();
@@ -664,6 +791,73 @@ mod tests {
     }
 
     #[test]
+    fn try_parse_reports_incomplete_prefixes_then_the_request() {
+        let raw = b"POST /a HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /b HTTP/1.1\r\n\r\n";
+        let mut scan = 0;
+        // Feed the bytes in growing prefixes: every proper prefix of the
+        // first request parses to None, the full span to Some.
+        let full = b"POST /a HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody".len();
+        for cut in 0..full {
+            assert!(
+                try_parse_request(&raw[..cut], 1024, &mut scan)
+                    .unwrap()
+                    .is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let (req, consumed) = try_parse_request(raw, 1024, &mut scan).unwrap().unwrap();
+        assert_eq!(
+            (req.path.as_str(), req.body.as_slice()),
+            ("/a", &b"body"[..])
+        );
+        assert_eq!(consumed, full);
+        // The remainder is the next pipelined request.
+        let mut scan = 0;
+        let (second, consumed2) = try_parse_request(&raw[consumed..], 1024, &mut scan)
+            .unwrap()
+            .unwrap();
+        assert_eq!(second.path, "/b");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn try_parse_handles_incremental_chunked_bodies() {
+        let raw = b"POST /t HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let mut scan = 0;
+        for cut in 0..raw.len() {
+            assert!(
+                try_parse_request(&raw[..cut], 1024, &mut scan)
+                    .unwrap()
+                    .is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let (req, consumed) = try_parse_request(raw, 1024, &mut scan).unwrap().unwrap();
+        assert_eq!(req.body, b"hello world");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn try_parse_rejects_hopeless_prefixes_early() {
+        // An oversized Content-Length is refused at the head, before any
+        // body bytes arrive.
+        let raw = b"POST /t HTTP/1.1\r\nContent-Length: 2048\r\n\r\n";
+        let mut scan = 0;
+        assert!(matches!(
+            try_parse_request(raw, 1024, &mut scan),
+            Err(HttpError::TooLarge("body"))
+        ));
+        // A head that can never terminate under the cap is refused too.
+        let huge = vec![b'x'; MAX_HEAD + 2];
+        let mut scan = 0;
+        assert!(matches!(
+            try_parse_request(&huge, 1024, &mut scan),
+            Err(HttpError::TooLarge("request head"))
+        ));
+    }
+
+    #[test]
     fn content_length_response_roundtrips() {
         let mut wire = Vec::new();
         write_response(
@@ -693,5 +887,28 @@ mod tests {
         let resp = read_response(&mut &wire[..]).unwrap();
         assert_eq!(resp.status, 207);
         assert_eq!(resp.body_str(), "line one\nline two\n");
+    }
+
+    /// Back-to-back responses on one connection (pipelining): bytes read
+    /// past the first response must carry into the next parse.
+    #[test]
+    fn pipelined_responses_carry_over() {
+        let mut wire = Vec::new();
+        write_response_conn(&mut wire, 200, "text/plain", &[], b"first", true).unwrap();
+        {
+            let mut w = ChunkedWriter::start(&mut wire, 200, "text/plain", &[]).unwrap();
+            w.chunk(b"second").unwrap();
+            w.finish().unwrap();
+        }
+        write_response_conn(&mut wire, 200, "text/plain", &[], b"third", false).unwrap();
+
+        let mut stream = &wire[..];
+        let mut carry = Vec::new();
+        for expect in ["first", "second", "third"] {
+            let resp = read_response_carry(&mut stream, &mut carry).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body_str(), expect);
+        }
+        assert!(carry.is_empty());
     }
 }

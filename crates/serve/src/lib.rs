@@ -21,19 +21,26 @@
 //!   per-endpoint latency) and **shut down gracefully** (SIGTERM/SIGINT
 //!   or `POST /shutdown`: stop accepting, drain, finish in-flight, exit).
 //!
-//! Concurrency: a bounded-queue thread pool with **keep-alive**
-//! connections (idle timeout + per-connection request limit; reuse is
-//! visible in `/stats` under `connections`); a full queue answers `503`
-//! immediately (backpressure, never unbounded buffering). The HTTP layer
-//! is hand-rolled ([`http`]) — the build environment is offline and the
-//! workspace policy is to implement substrates rather than pull deps.
+//! Concurrency: an **epoll event loop** (one thread owning every socket,
+//! on the raw-syscall [`xtt_netio`] readiness layer) in front of a
+//! bounded worker queue, with **keep-alive** connections (idle timeout +
+//! per-connection request limit; reuse is visible in `/stats` under
+//! `connections`, the loop itself under `event_loop`). Idle and parked
+//! connections hold no thread — only an epoll registration and a bounded
+//! output buffer — so hundreds of idle clients coexist with a handful of
+//! workers; a full queue answers `503` immediately (backpressure, never
+//! unbounded buffering). The HTTP layer is hand-rolled ([`http`]) — the
+//! build environment is offline and the workspace policy is to implement
+//! substrates rather than pull deps.
 //!
 //! [`ServeClient`] is the matching minimal client, used by the
 //! integration tests, the examples, and the CI smoke script.
 
 pub mod client;
 pub mod encodings;
+mod event_loop;
 pub mod http;
+mod outbuf;
 pub mod pool;
 pub mod registry;
 pub mod server;

@@ -25,6 +25,10 @@ pub struct WorkQueue<T> {
     capacity: usize,
     /// Items popped but not yet finished (see [`InFlightGuard`]).
     in_flight: AtomicUsize,
+    /// Items parked elsewhere that *will* be re-enqueued (a yielded
+    /// stream job waiting for its client to drain). Keeps [`WorkQueue::pop`]
+    /// from returning `None` during a drain while a resume is pending.
+    held: AtomicUsize,
 }
 
 /// Error returned by [`WorkQueue::push`].
@@ -57,6 +61,7 @@ impl<T> WorkQueue<T> {
             ready: Condvar::new(),
             capacity: capacity.max(1),
             in_flight: AtomicUsize::new(0),
+            held: AtomicUsize::new(0),
         }
     }
 
@@ -88,6 +93,29 @@ impl<T> WorkQueue<T> {
         Ok(())
     }
 
+    /// Enqueues bypassing both the capacity bound and the shutdown flag:
+    /// a *resumed* job is in-flight work the server already accepted, so
+    /// it must land even while the queue is draining. Pair with
+    /// [`WorkQueue::hold`]/[`WorkQueue::unhold`] for the parked interval.
+    pub fn push_unbounded(&self, item: T) {
+        let mut inner = self.lock();
+        inner.queue.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+    }
+
+    /// Marks one item as parked-for-resume (see [`WorkQueue::push_unbounded`]).
+    pub fn hold(&self) {
+        self.held.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Releases one parked item — call *after* re-enqueueing it (or after
+    /// deciding it will never come back).
+    pub fn unhold(&self) {
+        self.held.fetch_sub(1, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+
     /// Blocks for the next item. Returns `None` only when the queue is
     /// shutting down *and* fully drained. The returned guard keeps the
     /// item counted as in-flight until the worker drops it.
@@ -100,7 +128,12 @@ impl<T> WorkQueue<T> {
                 self.in_flight.fetch_add(1, Ordering::SeqCst);
                 return Some((item, InFlightGuard { queue: self }));
             }
-            if inner.shutdown {
+            if inner.shutdown
+                && self.in_flight.load(Ordering::SeqCst) == 0
+                && self.held.load(Ordering::SeqCst) == 0
+            {
+                // Nothing queued, nothing running that could yield, and
+                // nothing parked awaiting resume: the drain is complete.
                 return None;
             }
             let (guard, _) = self
@@ -122,10 +155,12 @@ impl<T> WorkQueue<T> {
     }
 
     /// True once the queue is empty and no popped item is still being
-    /// processed — the graceful-drain condition.
+    /// processed or parked for resume — the graceful-drain condition.
     pub fn drained(&self) -> bool {
         let inner = self.lock();
-        inner.queue.is_empty() && self.in_flight.load(Ordering::SeqCst) == 0
+        inner.queue.is_empty()
+            && self.in_flight.load(Ordering::SeqCst) == 0
+            && self.held.load(Ordering::SeqCst) == 0
     }
 }
 

@@ -1,6 +1,6 @@
-//! The long-lived server: a bounded thread-pool acceptor around a shared
-//! [`Engine`], routing the handful of endpoints of the transformation
-//! service.
+//! The long-lived server: an epoll event loop in front of a bounded
+//! worker pool around a shared [`Engine`], routing the handful of
+//! endpoints of the transformation service.
 //!
 //! ```text
 //! PUT    /transducers/{name}[?learn=1]   upload term-syntax rules, or learn
@@ -30,38 +30,43 @@
 //! DELETE /encodings/{name}               unregister
 //! GET    /healthz                        liveness
 //! GET    /stats                          counters (engine cache, validation,
-//!                                        typecheck, queue, latency)
+//!                                        typecheck, queue, event loop,
+//!                                        latency)
 //! POST   /shutdown                       graceful shutdown (drain, then exit)
 //! ```
 //!
-//! Concurrency model: one acceptor thread (the caller of [`Server::run`])
-//! accepts connections into a bounded [`WorkQueue`]; `N` worker threads
-//! pop connections and answer requests. Connections are **keep-alive**:
-//! a worker serves requests on one connection until the client closes,
-//! the idle timeout ([`ServeOptions::keep_alive_timeout`]) passes, the
-//! per-connection request limit is reached, or shutdown begins. A full
-//! queue is answered `503` immediately — the server never buffers
-//! unboundedly. Shutdown
-//! (SIGTERM/SIGINT in the binary, `POST /shutdown` anywhere) stops the
-//! acceptor, drains the queue, finishes in-flight requests, and joins the
-//! workers before [`Server::run`] returns.
+//! Concurrency model: **one event-loop thread owns every socket** (see
+//! `event_loop`) — it accepts, reads, and parses requests incrementally,
+//! and writes responses from a bounded per-connection [`Outbuf`]. A
+//! parsed request is handed to the bounded [`WorkQueue`]; `N` worker
+//! threads pop requests, run the CPU work, and push the finished
+//! disposition back through the event loop's wakeup pipe. A parked
+//! keep-alive connection therefore holds *no thread* — only an epoll
+//! registration and a buffer — so idle connections scale to the fd
+//! limit, not the thread count. A full queue is answered `503`
+//! immediately; a streamed response whose client stops draining yields
+//! its worker at a document boundary and resumes when the buffer
+//! empties. Shutdown (SIGTERM/SIGINT in the binary, `POST /shutdown`
+//! anywhere) stops the listener, parses out what is already buffered,
+//! drains the queue, finishes in-flight requests, and joins the workers
+//! before [`Server::run`] returns.
 
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use xtt_engine::{DocFormat, Engine, EngineOptions, EvalMode};
+use xtt_netio::Waker;
 
 use crate::encodings::EncodingRegistry;
-use crate::http::{
-    read_request_carry, write_response, write_response_conn, ChunkedWriter, HttpError, Request,
-};
-use crate::pool::{PushError, WorkQueue};
-use crate::registry::{self, escape_json, Registry, Source};
-use crate::signal;
+use crate::event_loop;
+use crate::http::{write_response, write_response_conn, ChunkedWriter, Request};
+use crate::outbuf::{ConnWriter, Outbuf};
+use crate::pool::WorkQueue;
+use crate::registry::{self, escape_json, Entry, Registry, Source};
 use crate::stats::ServerStats;
 
 /// Server configuration.
@@ -69,16 +74,18 @@ use crate::stats::ServerStats;
 pub struct ServeOptions {
     /// Worker threads answering requests; 0 = one per available CPU.
     pub workers: usize,
-    /// Backpressure bound: connections queued ahead of the workers.
+    /// Backpressure bound: requests queued ahead of the workers.
     pub queue_capacity: usize,
     /// Largest accepted request body, in bytes.
     pub max_body: usize,
-    /// Per-connection socket read/write timeout.
+    /// Per-connection inactivity timeout: reading a request, or draining
+    /// a response the client has stopped accepting.
     pub io_timeout: Duration,
     /// Write deadline for streamed (`mode=stream`) responses: a client
-    /// that stops reading for this long has its response aborted (and
-    /// the abort counted in `streaming.write_timeouts`), so a slow
-    /// consumer cannot pin a worker for the whole batch.
+    /// whose output buffer makes no progress for this long has its
+    /// response aborted (and the abort counted in
+    /// `streaming.write_timeouts`), so a slow consumer cannot pin a
+    /// worker past one deadline.
     pub stream_write_deadline: Duration,
     /// How long a kept-alive connection may sit idle between requests
     /// before the server closes it.
@@ -86,6 +93,11 @@ pub struct ServeOptions {
     /// Requests served per connection before the server closes it
     /// (`1` = one request per connection, the pre-keep-alive behavior).
     pub keep_alive_limit: usize,
+    /// Per-connection output buffer bound. A streamed response that
+    /// backs up past half of this yields its worker at the next document
+    /// boundary and resumes once the event loop has drained the buffer
+    /// to a quarter.
+    pub stream_buffer: usize,
     /// The wrapped engine (cache capacity, default mode/format, batch
     /// workers *inside* one transform request).
     pub engine: EngineOptions,
@@ -101,6 +113,7 @@ impl Default for ServeOptions {
             stream_write_deadline: Duration::from_secs(10),
             keep_alive_timeout: Duration::from_secs(5),
             keep_alive_limit: 1000,
+            stream_buffer: 256 * 1024,
             engine: EngineOptions {
                 // A copying transducer turns a 100-byte document into an
                 // exponential output; a server must bound what it will
@@ -112,13 +125,94 @@ impl Default for ServeOptions {
     }
 }
 
-struct Shared {
-    engine: Arc<Engine>,
-    registry: Registry,
-    encodings: EncodingRegistry,
-    stats: ServerStats,
-    queue: WorkQueue<TcpStream>,
-    opts: ServeOptions,
+/// One unit of worker work, handed off by the event loop.
+pub(crate) enum Job {
+    /// A fully parsed request on connection `token`.
+    Request {
+        token: u64,
+        request: Request,
+        /// This connection's request ordinal (1-based) — the keep-alive
+        /// limit input.
+        served: usize,
+        out: Arc<Outbuf>,
+    },
+    /// A stream job that yielded to a slow client, resuming now that the
+    /// buffer has drained.
+    Resume {
+        token: u64,
+        job: StreamJob,
+        out: Arc<Outbuf>,
+    },
+}
+
+/// A worker's verdict on one job, returned through the done-list.
+pub(crate) struct Done {
+    pub token: u64,
+    pub disposition: Disposition,
+}
+
+pub(crate) enum Disposition {
+    /// The response is fully buffered; drain it, then keep or close.
+    Finish { keep: bool },
+    /// The response is unrecoverable (write deadline, I/O error): close.
+    Abort,
+    /// A streamed response paused at a document boundary; park the
+    /// connection until the buffer drains, then resume the job.
+    Yield { job: StreamJob },
+}
+
+/// The resumable state of one `mode=stream` transform response.
+pub(crate) struct StreamJob {
+    entry: Arc<Entry>,
+    docs: Vec<String>,
+    /// Next document index to evaluate.
+    next: usize,
+    format: DocFormat,
+    validate: bool,
+    failed: u64,
+    type_errors: u64,
+    keep: bool,
+    head_written: bool,
+    started: Instant,
+}
+
+/// What routing one request produced.
+pub(crate) enum RouteStep {
+    Done { keep: bool },
+    Yield(StreamJob),
+}
+
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) registry: Registry,
+    pub(crate) encodings: EncodingRegistry,
+    pub(crate) stats: ServerStats,
+    pub(crate) queue: WorkQueue<Job>,
+    /// Finished jobs queued for the event loop, paired with a waker kick.
+    pub(crate) done: Mutex<Vec<Done>>,
+    pub(crate) waker: Waker,
+    pub(crate) opts: ServeOptions,
+}
+
+impl Shared {
+    /// Flips the shutdown flag *and* kicks the event loop so the drain
+    /// starts now, not at the next tick (idempotent).
+    pub(crate) fn begin_shutdown(&self) {
+        self.queue.shutdown();
+        let _ = self.waker.wake();
+    }
+
+    pub(crate) fn take_done(&self) -> Vec<Done> {
+        std::mem::take(&mut *self.done.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub(crate) fn push_done(&self, done: Done) {
+        self.done
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(done);
+        let _ = self.waker.wake();
+    }
 }
 
 /// A cloneable handle for observing and stopping a running server.
@@ -130,7 +224,7 @@ pub struct ServeHandle {
 impl ServeHandle {
     /// Triggers graceful shutdown (idempotent).
     pub fn shutdown(&self) {
-        self.shared.queue.shutdown();
+        self.shared.begin_shutdown();
     }
 
     pub fn is_shutting_down(&self) -> bool {
@@ -163,6 +257,7 @@ impl Server {
     /// Binds the listener (`port 0` picks an ephemeral port).
     pub fn bind(addr: impl ToSocketAddrs, opts: ServeOptions) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let waker = Waker::new()?;
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -171,6 +266,8 @@ impl Server {
                 encodings: EncodingRegistry::new(),
                 stats: ServerStats::default(),
                 queue: WorkQueue::new(opts.queue_capacity),
+                done: Mutex::new(Vec::new()),
+                waker,
                 opts,
             }),
         })
@@ -186,12 +283,11 @@ impl Server {
         }
     }
 
-    /// Runs the accept loop until shutdown, then drains and joins the
+    /// Runs the event loop until shutdown, then drains and joins the
     /// workers. Blocking; returns once the last in-flight request is
-    /// answered.
+    /// answered and the last response byte is on the wire.
     pub fn run(self) -> io::Result<()> {
         let Server { listener, shared } = self;
-        listener.set_nonblocking(true)?;
         let worker_count = if shared.opts.workers == 0 {
             std::thread::available_parallelism().map_or(4, |n| n.get())
         } else {
@@ -207,146 +303,97 @@ impl Server {
             })
             .collect();
 
-        while !shared.queue.is_shutting_down() {
-            if signal::triggered() {
-                shared.queue.shutdown();
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                    match shared.queue.push(stream) {
-                        Ok(()) => {
-                            shared
-                                .stats
-                                .queue_depth
-                                .store(shared.queue.depth(), Ordering::Relaxed);
-                        }
-                        Err((mut stream, why)) => {
-                            // Backpressure: answer 503 inline and close —
-                            // never buffer beyond the bounded queue.
-                            let message = match why {
-                                PushError::Full => "queue full, retry later\n",
-                                PushError::ShuttingDown => "shutting down\n",
-                            };
-                            let _ = stream.set_nonblocking(false);
-                            let _ = write_response(
-                                &mut stream,
-                                503,
-                                "text/plain",
-                                &[("Retry-After", "1".to_owned())],
-                                message.as_bytes(),
-                            );
-                            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
-            }
-        }
+        // The caller's thread *is* the event loop; it returns once every
+        // connection has been answered and closed.
+        let result = event_loop::run(&shared, listener);
 
-        // Graceful drain: queued connections are still answered, then the
-        // workers see (shutdown && empty) and exit.
+        // Belt and braces for the error path (a healthy exit has already
+        // drained): release the workers and wait them out.
+        shared.begin_shutdown();
         while !shared.queue.drained() {
             std::thread::sleep(Duration::from_millis(10));
         }
         for w in workers {
             let _ = w.join();
         }
-        Ok(())
+        result
     }
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some((mut stream, _guard)) = shared.queue.pop() {
+    while let Some((job, _guard)) = shared.queue.pop() {
         shared
             .stats
             .queue_depth
             .store(shared.queue.depth(), Ordering::Relaxed);
-        let _ = stream.set_nonblocking(false);
-        let _ = stream.set_read_timeout(Some(shared.opts.io_timeout));
-        let _ = stream.set_write_timeout(Some(shared.opts.io_timeout));
-        let result = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, &mut stream)));
-        match result {
-            Ok(_) => {}
-            Err(_) => {
-                shared.stats.handler_panics.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(
-                    &mut stream,
-                    500,
-                    "text/plain",
-                    &[],
-                    b"internal error: handler panicked\n",
-                );
-            }
-        }
-    }
-}
-
-fn handle_connection(shared: &Shared, stream: &mut TcpStream) -> io::Result<()> {
-    let mut served: usize = 0;
-    // Bytes read past a request's body (pipelining clients) roll over
-    // into the next request on this connection.
-    let mut carry: Vec<u8> = Vec::new();
-    loop {
-        if served > 0 {
-            // Between requests a connection may only sit idle briefly;
-            // once bytes flow the same timeout governs the request read.
-            let _ = stream.set_read_timeout(Some(shared.opts.keep_alive_timeout));
-        }
-        let request = match read_request_carry(stream, shared.opts.max_body, &mut carry) {
-            Ok(r) => r,
-            Err(HttpError::Closed) => return Ok(()), // clean keep-alive end
-            Err(HttpError::Io(e)) => {
-                if served > 0
-                    && matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                    )
-                {
-                    shared.stats.closed_idle.fetch_add(1, Ordering::Relaxed);
-                }
-                return Ok(()); // peer went away / idle timeout
-            }
-            Err(e) => {
-                let (status, message) = match &e {
-                    HttpError::Io(_) | HttpError::Closed => unreachable!("handled above"),
-                    HttpError::Malformed(m) => (400, m.clone()),
-                    HttpError::TooLarge("request head") => (431, e.to_string()),
-                    HttpError::TooLarge(_) => (413, e.to_string()),
-                    HttpError::Unsupported(_) => (501, e.to_string()),
+        let (token, disposition) = match job {
+            Job::Request {
+                token,
+                request,
+                served,
+                out,
+            } => {
+                let keep = request.keep_alive()
+                    && served < shared.opts.keep_alive_limit.max(1)
+                    && !shared.queue.is_shutting_down();
+                let mut w = ConnWriter::new(&out, &shared.waker, shared.opts.io_timeout);
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| route(shared, &request, &mut w, keep)));
+                let disposition = match result {
+                    Ok(Ok(RouteStep::Done { keep })) => Disposition::Finish { keep },
+                    Ok(Ok(RouteStep::Yield(job))) => Disposition::Yield { job },
+                    Ok(Err(_)) => Disposition::Abort,
+                    Err(_) => {
+                        shared.stats.handler_panics.fetch_add(1, Ordering::Relaxed);
+                        let mut buf = Vec::new();
+                        let _ = write_response(
+                            &mut buf,
+                            500,
+                            "text/plain",
+                            &[],
+                            b"internal error: handler panicked\n",
+                        );
+                        out.force_push(&buf);
+                        Disposition::Finish { keep: false }
+                    }
                 };
-                return write_response(
-                    stream,
-                    status,
-                    "text/plain",
-                    &[],
-                    format!("{message}\n").as_bytes(),
-                );
+                (token, disposition)
+            }
+            Job::Resume { token, job, out } => {
+                let mut w = ConnWriter::new(&out, &shared.waker, shared.opts.stream_write_deadline);
+                let result = catch_unwind(AssertUnwindSafe(|| run_stream_job(shared, job, &mut w)));
+                let disposition = match result {
+                    Ok(Ok(RouteStep::Done { keep })) => Disposition::Finish { keep },
+                    Ok(Ok(RouteStep::Yield(job))) => Disposition::Yield { job },
+                    Ok(Err(_)) => Disposition::Abort,
+                    Err(_) => {
+                        shared.stats.handler_panics.fetch_add(1, Ordering::Relaxed);
+                        Disposition::Abort
+                    }
+                };
+                (token, disposition)
             }
         };
-        served += 1;
-        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        if served > 1 {
-            shared.stats.reused_requests.fetch_add(1, Ordering::Relaxed);
+        // A yielded job is parked work that WILL come back: hold the
+        // queue open (the drain must not complete under it) before the
+        // in-flight guard drops or the event loop sees the disposition.
+        if matches!(disposition, Disposition::Yield { .. }) {
+            shared.queue.hold();
         }
-        let keep = request.keep_alive()
-            && served < shared.opts.keep_alive_limit.max(1)
-            && !shared.queue.is_shutting_down();
-        let keep = route(shared, &request, stream, keep)?;
-        if !keep || shared.queue.is_shutting_down() {
-            return Ok(());
-        }
+        shared.push_done(Done { token, disposition });
     }
 }
 
-/// Routes one request. `keep` is the connection disposition every
-/// response must carry; the return value is whether the connection may
-/// actually be kept (shutdown forces a close).
-fn route(shared: &Shared, req: &Request, stream: &mut TcpStream, keep: bool) -> io::Result<bool> {
+/// Routes one request into the connection's output buffer. `keep` is the
+/// connection disposition every response must carry; the returned
+/// [`RouteStep`] tells the event loop whether the connection may be kept
+/// (shutdown forces a close) or the response yielded mid-stream.
+fn route(
+    shared: &Shared,
+    req: &Request,
+    w: &mut ConnWriter<'_>,
+    keep: bool,
+) -> io::Result<RouteStep> {
     let started = Instant::now();
     let segments: Vec<&str> = req
         .path
@@ -356,24 +403,24 @@ fn route(shared: &Shared, req: &Request, stream: &mut TcpStream, keep: bool) -> 
         .collect();
     // Shutdown always closes; everything else follows the caller.
     let keep = keep && !matches!(segments.as_slice(), ["shutdown"]);
-    let respond = |stream: &mut TcpStream, status: u16, ct: &str, body: &[u8]| {
-        write_response_conn(stream, status, ct, &[], body, keep)
+    let respond = |w: &mut ConnWriter<'_>, status: u16, ct: &str, body: &[u8]| {
+        write_response_conn(w, status, ct, &[], body, keep)
     };
     let r = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            let r = respond(stream, 200, "text/plain", b"ok\n");
+            let r = respond(w, 200, "text/plain", b"ok\n");
             shared.stats.health.record(started, false);
             r
         }
         ("GET", ["stats"]) => {
             let body = shared.stats_json();
-            let r = respond(stream, 200, "application/json", body.as_bytes());
+            let r = respond(w, 200, "application/json", body.as_bytes());
             shared.stats.stats.record(started, false);
             r
         }
         ("GET", ["transducers"]) => {
             let body = shared.registry.list_json();
-            let r = respond(stream, 200, "application/json", body.as_bytes());
+            let r = respond(w, 200, "application/json", body.as_bytes());
             shared.stats.transducers.record(started, false);
             r
         }
@@ -382,13 +429,13 @@ fn route(shared: &Shared, req: &Request, stream: &mut TcpStream, keep: bool) -> 
                 Some(entry) => (200, entry.json()),
                 None => (404, error_json("unknown transducer")),
             };
-            let r = respond(stream, status, "application/json", body.as_bytes());
+            let r = respond(w, status, "application/json", body.as_bytes());
             shared.stats.transducers.record(started, status >= 400);
             r
         }
         ("PUT", ["transducers", name]) => {
             let (status, body) = put_transducer(shared, req, name);
-            let r = respond(stream, status, "application/json", body.as_bytes());
+            let r = respond(w, status, "application/json", body.as_bytes());
             shared.stats.transducers.record(started, status >= 400);
             r
         }
@@ -398,13 +445,13 @@ fn route(shared: &Shared, req: &Request, stream: &mut TcpStream, keep: bool) -> 
             } else {
                 404
             };
-            let r = respond(stream, status, "text/plain", b"");
+            let r = respond(w, status, "text/plain", b"");
             shared.stats.transducers.record(started, status >= 400);
             r
         }
         ("GET", ["encodings"]) => {
             let body = shared.encodings.list_json();
-            let r = respond(stream, 200, "application/json", body.as_bytes());
+            let r = respond(w, 200, "application/json", body.as_bytes());
             shared.stats.encodings.record(started, false);
             r
         }
@@ -414,13 +461,13 @@ fn route(shared: &Shared, req: &Request, stream: &mut TcpStream, keep: bool) -> 
                 None if *name == "fcns" => (200, "{\"name\":\"fcns\",\"builtin\":true}".to_owned()),
                 None => (404, error_json("unknown encoding")),
             };
-            let r = respond(stream, status, "application/json", body.as_bytes());
+            let r = respond(w, status, "application/json", body.as_bytes());
             shared.stats.encodings.record(started, status >= 400);
             r
         }
         ("PUT", ["encodings", name]) => {
             let (status, body) = put_encoding(shared, req, name);
-            let r = respond(stream, status, "application/json", body.as_bytes());
+            let r = respond(w, status, "application/json", body.as_bytes());
             shared.stats.encodings.record(started, status >= 400);
             r
         }
@@ -430,36 +477,36 @@ fn route(shared: &Shared, req: &Request, stream: &mut TcpStream, keep: bool) -> 
             } else {
                 404
             };
-            let r = respond(stream, status, "text/plain", b"");
+            let r = respond(w, status, "text/plain", b"");
             shared.stats.encodings.record(started, status >= 400);
             r
         }
-        ("POST", ["transform", name]) => transform(shared, req, name, stream, started, keep),
+        ("POST", ["transform", name]) => return transform(shared, req, name, w, started, keep),
         ("POST", ["typecheck", name]) => {
             let (status, body) = typecheck(shared, req, name);
-            let r = respond(stream, status, "application/json", body.as_bytes());
+            let r = respond(w, status, "application/json", body.as_bytes());
             shared.stats.typecheck.record(started, status >= 400);
             r
         }
         ("POST", ["shutdown"]) => {
-            let r = respond(stream, 200, "text/plain", b"draining\n");
+            let r = respond(w, 200, "text/plain", b"draining\n");
             shared.stats.other.record(started, false);
-            shared.queue.shutdown();
+            shared.begin_shutdown();
             r
         }
         (_, ["healthz" | "stats" | "shutdown"])
         | (_, ["transducers" | "transform" | "typecheck" | "encodings", ..]) => {
-            let r = respond(stream, 405, "text/plain", b"method not allowed\n");
+            let r = respond(w, 405, "text/plain", b"method not allowed\n");
             shared.stats.other.record(started, true);
             r
         }
         _ => {
-            let r = respond(stream, 404, "text/plain", b"no such endpoint\n");
+            let r = respond(w, 404, "text/plain", b"no such endpoint\n");
             shared.stats.other.record(started, true);
             r
         }
     };
-    r.map(|()| keep)
+    r.map(|()| RouteStep::Done { keep })
 }
 
 /// `PUT /encodings/{name}`: body is a DTD; `?pcdata=v1,v2` sets a finite
@@ -560,13 +607,13 @@ fn transform(
     shared: &Shared,
     req: &Request,
     name: &str,
-    stream: &mut TcpStream,
+    w: &mut ConnWriter<'_>,
     started: Instant,
     keep: bool,
-) -> io::Result<()> {
+) -> io::Result<RouteStep> {
     let Some(entry) = shared.registry.get(name) else {
         let r = write_response_conn(
-            stream,
+            w,
             404,
             "application/json",
             &[],
@@ -574,15 +621,15 @@ fn transform(
             keep,
         );
         shared.stats.transform.record(started, true);
-        return r;
+        return r.map(|()| RouteStep::Done { keep });
     };
     let mode = match optional(req.query_param("mode"), EvalMode::parse) {
         Ok(m) => m.unwrap_or(shared.opts.engine.mode),
-        Err(v) => return bad_param(shared, stream, started, "mode", &v, keep),
+        Err(v) => return bad_param(shared, w, started, "mode", &v, keep),
     };
     let format = match optional(req.query_param("format"), DocFormat::parse) {
         Ok(f) => f.unwrap_or(shared.opts.engine.format.clone()),
-        Err(v) => return bad_param(shared, stream, started, "format", &v, keep),
+        Err(v) => return bad_param(shared, w, started, "format", &v, keep),
     };
     // `?encoding=fcns|{name}` overrides the format: genuine unranked XML
     // through a ranked encoding (named ones come from PUT /encodings).
@@ -593,7 +640,7 @@ fn transform(
             if let Some(out) = req.query_param("output_encoding") {
                 return bad_param(
                     shared,
-                    stream,
+                    w,
                     started,
                     "output_encoding",
                     &format!("{out} (requires ?encoding=)"),
@@ -609,7 +656,7 @@ fn transform(
                 None => {
                     return bad_param(
                         shared,
-                        stream,
+                        w,
                         started,
                         "encoding",
                         &format!("{enc_name} -> {out_name}"),
@@ -621,13 +668,13 @@ fn transform(
     };
     let validate = match optional(req.query_param("validate"), parse_bool) {
         Ok(v) => v.unwrap_or(shared.opts.engine.validate),
-        Err(v) => return bad_param(shared, stream, started, "validate", &v, keep),
+        Err(v) => return bad_param(shared, w, started, "validate", &v, keep),
     };
     let body = match req.body_str() {
         Ok(b) => b,
         Err(e) => {
             let r = write_response_conn(
-                stream,
+                w,
                 400,
                 "application/json",
                 &[],
@@ -635,7 +682,7 @@ fn transform(
                 keep,
             );
             shared.stats.transform.record(started, true);
-            return r;
+            return r.map(|()| RouteStep::Done { keep });
         }
     };
     // One document per line, positions preserved exactly; only the final
@@ -645,16 +692,19 @@ fn transform(
         docs.pop();
     }
     if mode == EvalMode::Streaming {
-        return transform_stream(
-            shared,
-            &entry.dtop,
-            &docs,
+        let job = StreamJob {
+            entry,
+            docs,
+            next: 0,
             format,
             validate,
-            stream,
-            started,
+            failed: 0,
+            type_errors: 0,
             keep,
-        );
+            head_written: false,
+            started,
+        };
+        return run_stream_job(shared, job, w);
     }
     let results =
         shared
@@ -682,7 +732,7 @@ fn transform(
         ("X-Xtt-Docs", results.len().to_string()),
         ("X-Xtt-Failed", failed.to_string()),
     ];
-    let mut writer = ChunkedWriter::start_conn(stream, status, "text/plain", &headers, keep)?;
+    let mut writer = ChunkedWriter::start_conn(&mut *w, status, "text/plain", &headers, keep)?;
     for result in &results {
         let line = match result {
             Ok(text) => format!("{text}\n"),
@@ -692,106 +742,136 @@ fn transform(
     }
     let r = writer.finish();
     shared.stats.transform.record(started, status >= 400);
-    r
+    r.map(|()| RouteStep::Done { keep })
+}
+
+/// Runs (or resumes) a `mode=stream` transform until it finishes, fails,
+/// or yields at a document boundary because the client's output buffer
+/// is backed up. Endpoint latency is recorded once, at the true end.
+fn run_stream_job(
+    shared: &Shared,
+    mut job: StreamJob,
+    w: &mut ConnWriter<'_>,
+) -> io::Result<RouteStep> {
+    w.set_deadline(shared.opts.stream_write_deadline);
+    match stream_job_step(shared, &mut job, w) {
+        Ok(true) => {
+            shared.stats.transform.record(job.started, false);
+            Ok(RouteStep::Done { keep: job.keep })
+        }
+        Ok(false) => Ok(RouteStep::Yield(job)),
+        Err(e) => {
+            shared.stats.transform.record(job.started, true);
+            Err(e)
+        }
+    }
 }
 
 /// `mode=stream`: each document runs through the engine's streaming
-/// emission — committed output prefixes are flushed to the client as
-/// HTTP chunks *while the document is still being evaluated*, instead of
-/// after the whole batch completes. The status line is committed before
-/// any document runs, so it is always `200`; failures still appear
-/// positionally as `!error:` lines (preceded by a newline when a partial
-/// output prefix had already been flushed — inherent to streaming).
-/// A client that stops reading trips [`ServeOptions::stream_write_deadline`]
-/// and the response is aborted.
-#[allow(clippy::too_many_arguments)]
-fn transform_stream(
+/// emission — committed output prefixes land in the connection buffer
+/// (and from there on the wire) as HTTP chunks *while the document is
+/// still being evaluated*, instead of after the whole batch completes.
+/// The status line is committed before any document runs, so it is
+/// always `200`; failures still appear positionally as `!error:` lines
+/// (preceded by a newline when a partial output prefix had already been
+/// flushed — inherent to streaming). A client that stops reading trips
+/// [`ServeOptions::stream_write_deadline`] and the response is aborted.
+///
+/// Returns `Ok(true)` when the batch is complete (terminating chunk
+/// written), `Ok(false)` when it yielded for a slow client.
+fn stream_job_step(
     shared: &Shared,
-    dtop: &xtt_transducer::Dtop,
-    docs: &[String],
-    format: DocFormat,
-    validate: bool,
-    stream: &mut TcpStream,
-    started: Instant,
-    keep: bool,
-) -> io::Result<()> {
-    let _ = stream.set_write_timeout(Some(shared.opts.stream_write_deadline));
-    let headers = [
-        ("X-Xtt-Docs", docs.len().to_string()),
-        ("X-Xtt-Streamed", "1".to_owned()),
-    ];
-    let result = (|| {
-        let mut writer = ChunkedWriter::start_conn(stream, 200, "text/plain", &headers, keep)?;
-        let mut failed: u64 = 0;
-        let mut type_errors: u64 = 0;
-        for doc in docs {
-            let mut sink = CountingWriter {
-                inner: &mut writer,
-                buf: Vec::new(),
-                bytes: 0,
-            };
-            match shared.engine.transform_streaming_with(
-                dtop,
-                doc,
-                format.clone(),
-                validate,
-                &mut sink,
-            ) {
-                Ok(out) => {
-                    sink.flush()?;
-                    shared
-                        .stats
-                        .bytes_flushed_early
-                        .fetch_add(out.bytes_written, Ordering::Relaxed);
-                    writer.chunk(b"\n")?;
+    job: &mut StreamJob,
+    w: &mut ConnWriter<'_>,
+) -> io::Result<bool> {
+    if !job.head_written {
+        let headers = [
+            ("X-Xtt-Docs", job.docs.len().to_string()),
+            ("X-Xtt-Streamed", "1".to_owned()),
+        ];
+        // Head only: dropping the writer (instead of `finish`ing it)
+        // leaves the chunked body open, so the job can resume across
+        // yields with `ChunkedWriter::resume`.
+        let _ = ChunkedWriter::start_conn(&mut *w, 200, "text/plain", &headers, job.keep)?;
+        job.head_written = true;
+    }
+    while job.next < job.docs.len() {
+        let doc = &job.docs[job.next];
+        let mut writer = ChunkedWriter::resume(&mut *w);
+        let mut sink = CountingWriter {
+            inner: &mut writer,
+            buf: Vec::new(),
+            bytes: 0,
+        };
+        match shared.engine.transform_streaming_with(
+            &job.entry.dtop,
+            doc,
+            job.format.clone(),
+            job.validate,
+            &mut sink,
+        ) {
+            Ok(out) => {
+                sink.flush()?;
+                shared
+                    .stats
+                    .bytes_flushed_early
+                    .fetch_add(out.bytes_written, Ordering::Relaxed);
+                writer.chunk(b"\n")?;
+            }
+            Err(xtt_engine::EngineError::Write { kind, message }) => {
+                // The failing writer *is* the client connection: nothing
+                // more can be said on it, abort the response.
+                if matches!(kind, io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) {
+                    shared.stats.write_timeouts.fetch_add(1, Ordering::Relaxed);
                 }
-                Err(xtt_engine::EngineError::Write { kind, message }) => {
-                    // The failing writer *is* the client connection:
-                    // nothing more can be said on it, abort the response.
-                    if matches!(kind, io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) {
-                        shared.stats.write_timeouts.fetch_add(1, Ordering::Relaxed);
-                    }
-                    return Err(io::Error::new(kind, message));
+                return Err(io::Error::new(kind, message));
+            }
+            Err(e) => {
+                job.failed += 1;
+                if matches!(e, xtt_engine::EngineError::Type(_)) {
+                    job.type_errors += 1;
                 }
-                Err(e) => {
-                    failed += 1;
-                    if matches!(e, xtt_engine::EngineError::Type(_)) {
-                        type_errors += 1;
-                    }
-                    // The failed document's partial prefix stays on the
-                    // wire (same bytes as unbuffered emission).
-                    sink.flush()?;
-                    let flushed = sink.bytes;
-                    shared
-                        .stats
-                        .bytes_flushed_early
-                        .fetch_add(flushed, Ordering::Relaxed);
-                    let sep = if flushed > 0 { "\n" } else { "" };
-                    writer.chunk(format!("{sep}!error: {e}\n").as_bytes())?;
-                }
+                // The failed document's partial prefix stays on the
+                // wire (same bytes as unbuffered emission).
+                sink.flush()?;
+                let flushed = sink.bytes;
+                shared
+                    .stats
+                    .bytes_flushed_early
+                    .fetch_add(flushed, Ordering::Relaxed);
+                let sep = if flushed > 0 { "\n" } else { "" };
+                writer.chunk(format!("{sep}!error: {e}\n").as_bytes())?;
             }
         }
-        shared
-            .stats
-            .docs_streamed
-            .fetch_add(docs.len() as u64, Ordering::Relaxed);
-        shared
-            .stats
-            .documents
-            .fetch_add(docs.len() as u64, Ordering::Relaxed);
-        shared
-            .stats
-            .document_errors
-            .fetch_add(failed, Ordering::Relaxed);
-        shared
-            .stats
-            .documents_type_errors
-            .fetch_add(type_errors, Ordering::Relaxed);
-        writer.finish()
-    })();
-    let _ = stream.set_write_timeout(Some(shared.opts.io_timeout));
-    shared.stats.transform.record(started, result.is_err());
-    result
+        job.next += 1;
+        // Doc-boundary yield: a backed-up client keeps its connection
+        // parked in the event loop instead of this worker thread.
+        if job.next < job.docs.len() && w.backlog() > w.buffer_capacity() / 2 {
+            shared
+                .stats
+                .slow_client_yields
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
+        }
+    }
+    ChunkedWriter::resume(&mut *w).finish()?;
+    shared
+        .stats
+        .docs_streamed
+        .fetch_add(job.docs.len() as u64, Ordering::Relaxed);
+    shared
+        .stats
+        .documents
+        .fetch_add(job.docs.len() as u64, Ordering::Relaxed);
+    shared
+        .stats
+        .document_errors
+        .fetch_add(job.failed, Ordering::Relaxed);
+    shared
+        .stats
+        .documents_type_errors
+        .fetch_add(job.type_errors, Ordering::Relaxed);
+    Ok(true)
 }
 
 /// Streamed responses coalesce at this size: the evaluator writes
@@ -890,14 +970,14 @@ fn optional<T>(
 
 fn bad_param(
     shared: &Shared,
-    stream: &mut TcpStream,
+    w: &mut ConnWriter<'_>,
     started: Instant,
     param: &str,
     value: &str,
     keep: bool,
-) -> io::Result<()> {
+) -> io::Result<RouteStep> {
     let r = write_response_conn(
-        stream,
+        w,
         400,
         "application/json",
         &[],
@@ -905,7 +985,7 @@ fn bad_param(
         keep,
     );
     shared.stats.transform.record(started, true);
-    r
+    r.map(|()| RouteStep::Done { keep })
 }
 
 impl Shared {

@@ -76,6 +76,19 @@ pub struct ServerStats {
     /// Streamed responses aborted because a slow client missed the
     /// write deadline.
     pub write_timeouts: AtomicU64,
+    /// Connections currently registered with the event loop (gauge).
+    pub connections_open: AtomicUsize,
+    /// Kept-alive connections currently idle between requests (gauge) —
+    /// these hold no thread, only an epoll registration.
+    pub parked_idle: AtomicUsize,
+    /// `epoll_wait` returns that delivered at least one event.
+    pub epoll_wakeups: AtomicU64,
+    /// Jobs handed from the event loop to the worker pool (fresh
+    /// requests and resumed stream jobs).
+    pub worker_handoffs: AtomicU64,
+    /// Times a streamed response yielded its worker at a document
+    /// boundary because the client's output buffer was backed up.
+    pub slow_client_yields: AtomicU64,
     pub transform: EndpointStats,
     pub transducers: EndpointStats,
     pub encodings: EndpointStats,
@@ -105,6 +118,7 @@ impl ServerStats {
              \"validation\":{{\"docs_validated\":{},\"docs_rejected_pre_eval\":{},\"guards_compiled\":{}}},\
              \"typecheck\":{{\"runs\":{},\"ill_typed\":{}}},\
              \"streaming\":{{\"docs_streamed\":{},\"bytes_flushed_early\":{},\"write_timeouts\":{}}},\
+             \"event_loop\":{{\"connections_open\":{},\"parked_idle\":{},\"epoll_wakeups\":{},\"worker_handoffs\":{},\"slow_client_yields\":{}}},\
              \"handler_panics\":{},\
              \"transducers\":{},\
              \"encodings\":{},\
@@ -132,6 +146,11 @@ impl ServerStats {
             self.docs_streamed.load(Ordering::Relaxed),
             self.bytes_flushed_early.load(Ordering::Relaxed),
             self.write_timeouts.load(Ordering::Relaxed),
+            self.connections_open.load(Ordering::Relaxed),
+            self.parked_idle.load(Ordering::Relaxed),
+            self.epoll_wakeups.load(Ordering::Relaxed),
+            self.worker_handoffs.load(Ordering::Relaxed),
+            self.slow_client_yields.load(Ordering::Relaxed),
             self.handler_panics.load(Ordering::Relaxed),
             transducers,
             encodings,
