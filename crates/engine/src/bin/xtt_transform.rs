@@ -27,7 +27,9 @@ USAGE: xtt-transform [OPTIONS]
 OPTIONS:
   --example <flip|library|copy|prune>  built-in transducer  [default: flip]
   --mode <compiled|stream|dag|walk>  evaluator              [default: compiled]
-  --format <term|xml>            document syntax            [default: term]
+  --format <term|xml|xml+attrs>  document syntax            [default: term]
+                                 (xml+attrs maps attributes into the
+                                 ranked encoding as an @attrs child)
   --encoding <fcns>              treat documents as genuine unranked XML
                                  through the named ranked encoding
                                  (overrides --format; streaming mode
@@ -188,7 +190,8 @@ fn demo_xml(i: usize) -> String {
 fn demo_doc(example: &str, i: usize, format: &DocFormat) -> String {
     match format {
         DocFormat::Term => demo_tree(example, i).to_string(),
-        DocFormat::Xml => tree_to_xml(&demo_tree(example, i)),
+        // Attribute-free documents encode identically in both XML forms.
+        DocFormat::Xml | DocFormat::XmlAttrs => tree_to_xml(&demo_tree(example, i)),
         DocFormat::Encoded(_) => demo_xml(i),
     }
 }

@@ -25,8 +25,8 @@ use xtt_unranked::{UnrankedError, UnrankedEvents, XmlCodec, XmlWriter};
 use crate::compile::{compile, fingerprint, CompileError, CompiledDtop};
 use crate::eval::EvalScratch;
 use crate::stream::{
-    ranked_tree_from_xml_bounded, tree_to_xml, EmitStats, GuardedSource, IterEvents, OutputSink,
-    StreamEvaluator, TreeEventSource, XmlRankedEvents,
+    tree_to_xml, EmitStats, GuardedSource, IterEvents, OutputSink, StreamEvaluator, TreeCollector,
+    TreeEventSource, XmlRankedEvents,
 };
 
 /// Which evaluator the engine runs.
@@ -68,6 +68,13 @@ pub enum DocFormat {
     /// child arity, text = whitespace-separated leaf tokens), via
     /// [`crate::xml_ranked_events`].
     Xml,
+    /// [`DocFormat::Xml`] with attributes surfaced: an element with
+    /// attributes gains an `@attrs` first child (one `@name` node per
+    /// attribute, value tokens as its leaves) on the way in, and `@attrs`
+    /// children decode back to `name="value"` syntax on the way out — so
+    /// transducer rules can address attributes like any child subtree.
+    /// Named `xml+attrs` in the CLI and HTTP API.
+    XmlAttrs,
     /// Genuine unranked XML through a ranked encoding
     /// ([`xtt_unranked::XmlCodec`]): documents are encoded
     /// *incrementally* off the SAX tokenizer (fc/ns or a DTD-based
@@ -84,6 +91,7 @@ impl DocFormat {
         match name {
             "term" => Some(DocFormat::Term),
             "xml" => Some(DocFormat::Xml),
+            "xml+attrs" => Some(DocFormat::XmlAttrs),
             "fcns" => Some(DocFormat::Encoded(XmlCodec::fcns_bounded(
                 crate::stream::unknown_symbol(),
             ))),
@@ -1097,7 +1105,8 @@ impl Worker {
                 let output = self.eval_tree(compiled, dtop, &input, mode, preflight)?;
                 Ok(output.to_string())
             }
-            DocFormat::Xml => {
+            DocFormat::Xml | DocFormat::XmlAttrs => {
+                let with_attrs = matches!(format, DocFormat::XmlAttrs);
                 let output = match (mode, limit) {
                     // The fully streaming path: the guard (when on) runs
                     // in lockstep with the tokenizer, so an out-of-domain
@@ -1105,7 +1114,7 @@ impl Worker {
                     // violating node; deleted subtrees fast-forward the
                     // raw reader (counted on the engine).
                     (EvalMode::Streaming, None) => {
-                        let mut source = XmlRankedEvents::bounded(doc);
+                        let mut source = XmlRankedEvents::bounded(doc).attributes(with_attrs);
                         let result = match guard {
                             Some(g) => {
                                 let mut guarded = GuardedSource::new(g, &mut source);
@@ -1129,7 +1138,9 @@ impl Worker {
                         result.ok_or(EngineError::Undefined)?
                     }
                     _ => {
-                        let input = ranked_tree_from_xml_bounded(doc)
+                        let input = XmlRankedEvents::bounded(doc)
+                            .attributes(with_attrs)
+                            .collect_tree()
                             .map_err(|e| EngineError::Parse(e.to_string()))?;
                         if let Some(g) = guard {
                             g.check_tree(&input).map_err(EngineError::Type)?;
@@ -1144,13 +1155,22 @@ impl Worker {
                         }
                     }
                 };
-                if !crate::stream::xml_serializable(&output) {
+                let serializable = if with_attrs {
+                    crate::stream::xml_serializable_attrs(&output)
+                } else {
+                    crate::stream::xml_serializable(&output)
+                };
+                if !serializable {
                     return Err(EngineError::Parse(
                         "output has inner symbols that are not XML names; use the term format"
                             .into(),
                     ));
                 }
-                Ok(tree_to_xml(&output))
+                Ok(if with_attrs {
+                    crate::stream::tree_to_xml_attrs(&output)
+                } else {
+                    tree_to_xml(&output)
+                })
             }
             DocFormat::Encoded(codec) => {
                 let output = match (mode, limit) {
@@ -1234,6 +1254,42 @@ impl Worker {
                 let sink_failure = sink.failure.take().map(EngineError::Parse);
                 let stats = stream_verdict(run, source_error, sink_failure)?;
                 Ok(outcome(stats, sink.bytes, skipped))
+            }
+            DocFormat::XmlAttrs => {
+                // The input streams exactly like `Xml` (skip fast path,
+                // lockstep guard), but an output start tag cannot commit
+                // before its `@attrs` block closes, so the output tree is
+                // collected and serialized when the run completes.
+                let mut source = XmlRankedEvents::bounded(doc).attributes(true);
+                let mut sink = TreeCollector::new();
+                let run = run_stream(
+                    &mut self.stream,
+                    compiled,
+                    guard,
+                    &mut source,
+                    &mut sink,
+                    limit,
+                );
+                let skipped = source.skipped_subtrees();
+                skips.fetch_add(skipped, Ordering::Relaxed);
+                let source_error = source
+                    .take_error()
+                    .map(|e| EngineError::Parse(e.to_string()));
+                let stats = stream_verdict(run, source_error, None)?;
+                let output = sink.into_tree().ok_or(EngineError::Undefined)?;
+                if !crate::stream::xml_serializable_attrs(&output) {
+                    return Err(EngineError::Parse(
+                        "output has inner symbols that are not XML names; use the term format"
+                            .into(),
+                    ));
+                }
+                let text = crate::stream::tree_to_xml_attrs(&output);
+                out.write_all(text.as_bytes())
+                    .map_err(|e| EngineError::Write {
+                        kind: e.kind(),
+                        message: e.to_string(),
+                    })?;
+                Ok(outcome(stats, text.len() as u64, skipped))
             }
             DocFormat::Encoded(codec) => {
                 let mut source = EncodedSource::new(codec.events(doc));
@@ -1738,6 +1794,85 @@ mod tests {
             })
             .collect();
         assert!(oks.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// `xml+attrs` end to end: attributes surface as the `@attrs` first
+    /// child of the ranked encoding, a transducer can delete or keep
+    /// them, and kept attribute blocks decode back to real attribute
+    /// syntax — byte-identical across every mode and under validation.
+    #[test]
+    fn xml_attrs_round_trip_across_modes() {
+        // Strip: `root` carries an @attrs block (arity 3 with it); the
+        // transducer drops the block (exercising the attribute-queue
+        // skip drain) and keeps the element children.
+        let in_alpha = xtt_trees::RankedAlphabet::from_pairs([
+            ("root", 3),
+            ("@attrs", 2),
+            ("@a", 2),
+            ("@b", 1),
+            ("p", 0),
+            ("q", 0),
+            ("z", 0),
+            ("x", 0),
+        ]);
+        let out_alpha = in_alpha.clone();
+        let mut b = xtt_transducer::DtopBuilder::new(in_alpha.clone(), out_alpha.clone());
+        b.add_state("q0");
+        b.add_state("qx");
+        b.set_axiom_str("<q0,x0>").unwrap();
+        b.add_rule_str("q0", "root", "root(<qx,x2>,<qx,x3>,z)")
+            .unwrap();
+        b.add_rule_str("qx", "x", "x").unwrap();
+        let strip = b.build().unwrap();
+
+        // Keep: the identity on this fixed shape, @attrs block included.
+        let mut b = xtt_transducer::DtopBuilder::new(in_alpha.clone(), out_alpha);
+        for s in ["q0", "qat", "qa", "qb", "qt", "qx"] {
+            b.add_state(s);
+        }
+        b.set_axiom_str("<q0,x0>").unwrap();
+        b.add_rule_str("q0", "root", "root(<qat,x1>,<qx,x2>,<qx,x3>)")
+            .unwrap();
+        b.add_rule_str("qat", "@attrs", "@attrs(<qa,x1>,<qb,x2>)")
+            .unwrap();
+        b.add_rule_str("qa", "@a", "@a(<qt,x1>,<qt,x2>)").unwrap();
+        b.add_rule_str("qb", "@b", "@b(<qt,x1>)").unwrap();
+        for leaf in ["p", "q", "z"] {
+            b.add_rule_str("qt", leaf, leaf).unwrap();
+        }
+        b.add_rule_str("qx", "x", "x").unwrap();
+        let keep = b.build().unwrap();
+
+        let doc = r#"<root a="p q" b="z"><x/><x/></root>"#;
+        let format = DocFormat::parse("xml+attrs").unwrap();
+        for validate in [false, true] {
+            for mode in [
+                EvalMode::Compiled,
+                EvalMode::Streaming,
+                EvalMode::Dag,
+                EvalMode::TreeWalk,
+            ] {
+                let engine = Engine::new(EngineOptions {
+                    workers: 1,
+                    ..EngineOptions::default()
+                });
+                let stripped = engine
+                    .transform_with_validation(&strip, doc, mode, format.clone(), validate)
+                    .unwrap();
+                assert_eq!(stripped, "<root><x/><x/><z/></root>", "{mode:?}");
+                let kept = engine
+                    .transform_with_validation(&keep, doc, mode, format.clone(), validate)
+                    .unwrap();
+                assert_eq!(kept, doc, "{mode:?} validate={validate}");
+            }
+        }
+        // Plain `xml` never builds the @attrs child: root then has two
+        // children and the arity-3 rules leave the document undefined.
+        let engine = Engine::new(EngineOptions::default());
+        assert_eq!(
+            engine.transform_with(&strip, doc, EvalMode::Compiled, DocFormat::Xml),
+            Err(EngineError::Undefined)
+        );
     }
 
     /// The DTD-encoded path end to end: the paper's `xmlflip` applied to

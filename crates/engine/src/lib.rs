@@ -45,10 +45,10 @@ pub use engine::{
 };
 pub use eval::{DagSink, EvalScratch, Sink, TreeSink};
 pub use stream::{
-    ranked_tree_from_xml, ranked_tree_from_xml_bounded, tree_to_xml, unknown_symbol,
-    xml_ranked_events, xml_ranked_events_bounded, xml_serializable, EmitStats, FnSink,
-    GuardedSource, GuardedXmlError, IterEvents, OutputSink, StreamEvaluator, TreeCollector,
-    TreeEventSource, XmlRankedEvents,
+    ranked_tree_from_xml, ranked_tree_from_xml_bounded, tree_to_xml, tree_to_xml_attrs,
+    unknown_symbol, xml_ranked_events, xml_ranked_events_bounded, xml_serializable,
+    xml_serializable_attrs, EmitStats, FnSink, GuardedSource, GuardedXmlError, IterEvents,
+    OutputSink, StreamEvaluator, TreeCollector, TreeEventSource, XmlRankedEvents,
 };
 /// Re-exported from `xtt-typecheck`: the typed diagnostic carried by
 /// [`EngineError::Type`] under guarded evaluation.

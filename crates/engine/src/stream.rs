@@ -81,7 +81,8 @@ enum LastOpen {
     Other,
     /// An element `Start` — skipping fast-forwards the raw reader.
     Element,
-    /// A text-token `Open` whose `Close` sits queued.
+    /// A queued `Open` (text token or attribute-block node) whose
+    /// balanced remainder sits in the queue.
     Token,
 }
 
@@ -93,6 +94,7 @@ pub struct XmlRankedEvents<'a> {
     reader: XmlEventReader<'a>,
     queue: VecDeque<TreeEvent>,
     bounded: bool,
+    attrs: bool,
     error: Option<XmlError>,
     last: LastOpen,
     skipped_subtrees: u64,
@@ -105,6 +107,7 @@ impl<'a> XmlRankedEvents<'a> {
             reader: xml_events(xml),
             queue: VecDeque::new(),
             bounded: false,
+            attrs: false,
             error: None,
             last: LastOpen::Other,
             skipped_subtrees: 0,
@@ -118,6 +121,17 @@ impl<'a> XmlRankedEvents<'a> {
             bounded: true,
             ..XmlRankedEvents::new(xml)
         }
+    }
+
+    /// Surface attributes in the ranked encoding (`DocFormat::XmlAttrs`):
+    /// an element with attributes gains an `@attrs` **first child**,
+    /// holding one `@name` node per attribute whose children are the
+    /// whitespace-tokenized value (so transducer rules can finally see
+    /// attributes — they address them like any other child subtree).
+    /// Attribute-free elements encode exactly as without this option.
+    pub fn attributes(mut self, on: bool) -> XmlRankedEvents<'a> {
+        self.attrs = on;
+        self
     }
 
     fn resolve(&self, name: &str) -> Symbol {
@@ -136,6 +150,23 @@ impl<'a> XmlRankedEvents<'a> {
     /// Subtrees discarded via the fast path (observability and tests).
     pub fn skipped_subtrees(&self) -> u64 {
         self.skipped_subtrees
+    }
+
+    /// Drains the source into a ranked tree (the non-streaming eval
+    /// modes; same mapping, same bounded/attrs configuration).
+    pub fn collect_tree(mut self) -> Result<Tree, XmlError> {
+        let mut events = Vec::new();
+        while let Some(ev) = self.next_event() {
+            events.push(ev);
+        }
+        if let Some(e) = self.take_error() {
+            return Err(e);
+        }
+        let at = self.reader.byte_pos();
+        tree_from_events(events).map_err(|e| XmlError {
+            offset: at,
+            message: e.to_string(),
+        })
     }
 }
 
@@ -157,9 +188,26 @@ impl TreeEventSource for XmlRankedEvents<'_> {
                     self.error = Some(e);
                     return None;
                 }
-                Ok(XmlEvent::Start(name)) => {
+                Ok(XmlEvent::Start { name, attrs }) => {
+                    if self.attrs && !attrs.is_empty() {
+                        // Queued behind the element's own Open, so a skip
+                        // at the element level discards them with it.
+                        self.queue
+                            .push_back(TreeEvent::Open(self.resolve("@attrs")));
+                        for a in &attrs {
+                            let slot = self.resolve(&format!("@{}", a.name));
+                            self.queue.push_back(TreeEvent::Open(slot));
+                            for token in a.value.split_whitespace() {
+                                let sym = self.resolve(token);
+                                self.queue.push_back(TreeEvent::Open(sym));
+                                self.queue.push_back(TreeEvent::Close);
+                            }
+                            self.queue.push_back(TreeEvent::Close);
+                        }
+                        self.queue.push_back(TreeEvent::Close);
+                    }
                     self.last = LastOpen::Element;
-                    return Some(TreeEvent::Open(self.resolve(&name)));
+                    return Some(TreeEvent::Open(self.resolve(name)));
                 }
                 Ok(XmlEvent::End(_)) => {
                     self.last = LastOpen::Other;
@@ -185,7 +233,10 @@ impl TreeEventSource for XmlRankedEvents<'_> {
             LastOpen::Element => {
                 // Fast-forward the raw reader; a structural error inside
                 // the skipped region ends the stream like any tokenizer
-                // error (the caller surfaces it).
+                // error (the caller surfaces it). Queued events (the
+                // element's own attribute block) belong to the skipped
+                // subtree and are dropped with it.
+                self.queue.clear();
                 if let Err(e) = self.reader.skip_subtree() {
                     self.error = Some(e);
                 }
@@ -194,8 +245,18 @@ impl TreeEventSource for XmlRankedEvents<'_> {
                 true
             }
             LastOpen::Token => {
-                let close = self.queue.pop_front();
-                debug_assert_eq!(close, Some(TreeEvent::Close));
+                // A queued Open (text token, or a node of an attribute
+                // block): drain its balanced remainder from the queue —
+                // one Close for a leaf token, a whole nested run for
+                // `@attrs`/`@name` nodes.
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match self.queue.pop_front() {
+                        Some(TreeEvent::Open(_)) => depth += 1,
+                        Some(TreeEvent::Close) => depth -= 1,
+                        None => break, // unreachable: queued runs are balanced
+                    }
+                }
                 self.skipped_subtrees += 1;
                 self.last = LastOpen::Other;
                 true
@@ -1001,8 +1062,10 @@ pub fn unknown_symbol() -> Symbol {
 /// one leaf symbol per token (data-centric documents — the only kind the
 /// paper's encodings produce — have single-token pcdata, and tokenizing
 /// makes adjacent rank-0 symbols like the fc/ns `#` expressible as
-/// `# #`). Attributes/comments/PIs were already skipped by the lenient
-/// tokenizer.
+/// `# #`). Comments/PIs were already skipped by the lenient tokenizer;
+/// attributes are parsed but not surfaced here — use
+/// [`XmlRankedEvents::attributes`] (`DocFormat::XmlAttrs`) to map them
+/// into the encoding as an `@attrs` first child.
 ///
 /// Every name is **interned** into the process-global symbol table; use
 /// this for trusted input only. The serving paths use
@@ -1026,28 +1089,14 @@ pub fn xml_ranked_events_bounded(
 /// Builds a ranked tree from an XML document via [`xml_ranked_events`]
 /// (faithful symbols; trusted input).
 pub fn ranked_tree_from_xml(xml: &str) -> Result<Tree, XmlError> {
-    collect_tree(xml, xml_ranked_events(xml))
+    XmlRankedEvents::new(xml).collect_tree()
 }
 
 /// Builds a ranked tree via [`xml_ranked_events_bounded`] — what the
 /// engine's non-streaming XML paths use, so serving never interns
 /// document text.
 pub fn ranked_tree_from_xml_bounded(xml: &str) -> Result<Tree, XmlError> {
-    collect_tree(xml, xml_ranked_events_bounded(xml))
-}
-
-fn collect_tree(
-    xml: &str,
-    events: impl Iterator<Item = Result<TreeEvent, XmlError>>,
-) -> Result<Tree, XmlError> {
-    let mut collected = Vec::new();
-    for event in events {
-        collected.push(event?);
-    }
-    tree_from_events(collected).map_err(|e| XmlError {
-        offset: xml.len(),
-        message: e.to_string(),
-    })
+    XmlRankedEvents::bounded(xml).collect_tree()
 }
 
 /// Serializes a ranked tree as XML: symbols with XML-name labels become
@@ -1100,6 +1149,91 @@ fn write_ranked(t: &Tree, out: &mut String) {
     out.push('>');
 }
 
+/// [`xml_serializable`] for `DocFormat::XmlAttrs` trees: an `@attrs`
+/// first child (one `@name` slot per attribute, leaf children = value
+/// tokens) decodes back to attribute syntax, so its `@`-prefixed slots
+/// are allowed where plain serialization rejects them.
+pub fn xml_serializable_attrs(t: &Tree) -> bool {
+    if t.is_leaf() {
+        return true; // text token or empty element either way
+    }
+    if !is_xml_name(t.symbol().name()) {
+        return false;
+    }
+    let mut children = t.children();
+    if let Some(first) = children.first() {
+        if first.symbol().name() == "@attrs" {
+            let slots_ok = first.children().iter().all(|slot| {
+                slot.symbol()
+                    .name()
+                    .strip_prefix('@')
+                    .is_some_and(is_xml_name)
+                    && slot.children().iter().all(Tree::is_leaf)
+            });
+            if !slots_ok {
+                return false;
+            }
+            children = &children[1..];
+        }
+    }
+    children.iter().all(xml_serializable_attrs)
+}
+
+/// [`tree_to_xml`] for `DocFormat::XmlAttrs` trees: an element's
+/// `@attrs` first child is written back as real `name="value"`
+/// attributes (value tokens space-joined), inverse of
+/// [`XmlRankedEvents::attributes`] on its image. The caller checks
+/// [`xml_serializable_attrs`] first.
+pub fn tree_to_xml_attrs(t: &Tree) -> String {
+    let mut out = String::new();
+    write_ranked_attrs(t, &mut out);
+    out
+}
+
+fn write_ranked_attrs(t: &Tree, out: &mut String) {
+    let name = t.symbol().name();
+    if is_text_leaf(t) {
+        out.push_str(&escape_text(name));
+        return;
+    }
+    let mut content = t.children();
+    out.push('<');
+    out.push_str(name);
+    if let Some(first) = content.first() {
+        if first.symbol().name() == "@attrs" {
+            for slot in first.children() {
+                let attr = slot.symbol().name().strip_prefix('@').unwrap_or_default();
+                let value = slot
+                    .children()
+                    .iter()
+                    .map(|tok| tok.symbol().name())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                out.push(' ');
+                out.push_str(attr);
+                out.push_str("=\"");
+                out.push_str(&escape_attr(&value));
+                out.push('"');
+            }
+            content = &content[1..];
+        }
+    }
+    if content.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for (i, c) in content.iter().enumerate() {
+        if i > 0 && is_text_leaf(c) && is_text_leaf(&content[i - 1]) {
+            out.push(' ');
+        }
+        write_ranked_attrs(c, out);
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
+
 pub(crate) fn is_xml_name(s: &str) -> bool {
     let mut chars = s.chars();
     match chars.next() {
@@ -1113,6 +1247,12 @@ pub(crate) fn escape_text(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
         .replace('>', "&gt;")
+}
+
+fn escape_attr(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('"', "&quot;")
 }
 
 #[cfg(test)]
@@ -1249,6 +1389,61 @@ mod tests {
         let mut ev = StreamEvaluator::new();
         let bad = "<root><a><junk><open></junk></a><b># #</b></root>";
         assert!(ev.eval_xml(&c, bad).is_err());
+    }
+
+    #[test]
+    fn attributes_map_into_the_ranked_encoding() {
+        let xml = "<root a=\"1 2\" b=\"x\"><c k=\"v\"/></root>";
+        let t = XmlRankedEvents::new(xml)
+            .attributes(true)
+            .collect_tree()
+            .unwrap();
+        assert_eq!(
+            t.to_string(),
+            "root(@attrs(@a(1,2),@b(x)),c(@attrs(@k(v))))"
+        );
+        // … and decodes back to attribute syntax.
+        assert!(xml_serializable_attrs(&t));
+        assert_eq!(tree_to_xml_attrs(&t), xml);
+        // Plain serialization rightly refuses the @-slots.
+        assert!(!xml_serializable(&t));
+        // Without the option, attributes stay invisible (PR-5 behavior).
+        assert_eq!(ranked_tree_from_xml(xml).unwrap().to_string(), "root(c)");
+    }
+
+    #[test]
+    fn attr_values_escape_on_the_way_out() {
+        let xml = "<r t=\"a&quot;b &amp; c\"/>";
+        let t = XmlRankedEvents::new(xml)
+            .attributes(true)
+            .collect_tree()
+            .unwrap();
+        assert_eq!(tree_to_xml_attrs(&t), "<r t=\"a&quot;b &amp; c\"/>");
+    }
+
+    #[test]
+    fn skip_drains_attribute_blocks() {
+        let xml = "<root x=\"1\"><a k=\"aa bb\"><y/></a>tok</root>";
+        let mut s = XmlRankedEvents::new(xml).attributes(true);
+        let open_name = |s: &mut XmlRankedEvents| match s.next_event() {
+            Some(TreeEvent::Open(sym)) => sym.name().to_owned(),
+            other => panic!("expected an Open, got {other:?}"),
+        };
+        assert_eq!(open_name(&mut s), "root");
+        // The queued `@attrs` block skips via a depth-balanced drain of
+        // the queue (it spans several queued events, not one Close).
+        assert_eq!(open_name(&mut s), "@attrs");
+        assert!(s.skip_subtree());
+        // Skipping the <a> element drops its own queued attribute block
+        // along with the raw fast-forward.
+        assert_eq!(open_name(&mut s), "a");
+        assert!(s.skip_subtree());
+        assert_eq!(open_name(&mut s), "tok");
+        assert_eq!(s.next_event(), Some(TreeEvent::Close));
+        assert_eq!(s.next_event(), Some(TreeEvent::Close));
+        assert!(s.next_event().is_none());
+        assert!(s.take_error().is_none());
+        assert_eq!(s.skipped_subtrees(), 2);
     }
 
     #[test]

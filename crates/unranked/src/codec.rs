@@ -257,7 +257,7 @@ impl UnrankedEvents<'_> {
                                 }))
                             }
                             Some(Err(err)) => return Err(UnrankedError::Xml(err)),
-                            Some(Ok(xtt_xml::XmlEvent::Start(_))) => {
+                            Some(Ok(xtt_xml::XmlEvent::Start { .. })) => {
                                 self.reader.skip_subtree().map_err(UnrankedError::Xml)?;
                             }
                             Some(Ok(xtt_xml::XmlEvent::Text(_))) => {}

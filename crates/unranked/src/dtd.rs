@@ -540,7 +540,7 @@ impl DtdStreamEncoder {
     /// Feeds one SAX event, appending the ranked events it determines.
     pub fn feed(
         &mut self,
-        event: &XmlEvent,
+        event: &XmlEvent<'_>,
         out: &mut VecDeque<TreeEvent>,
     ) -> Result<(), EncodeError> {
         if self.done {
@@ -551,10 +551,10 @@ impl DtdStreamEncoder {
         let style = self.enc.style();
         let hash = self.hash;
         match event {
-            XmlEvent::Start(label) => {
+            XmlEvent::Start { name: label, .. } => {
                 if !self.started {
                     self.started = true;
-                    if label != self.enc.dtd().root() {
+                    if *label != self.enc.dtd().root() {
                         return Err(EncodeError::NotValid(format!(
                             "root is <{label}>, expected <{}>",
                             self.enc.dtd().root()
@@ -592,7 +592,7 @@ impl DtdStreamEncoder {
                     .enc
                     .mode()
                     .symbol_for(text)
-                    .ok_or_else(|| EncodeError::UnknownText(text.clone()))?;
+                    .ok_or_else(|| EncodeError::UnknownText(text.to_string()))?;
                 out.push_back(TreeEvent::Open(Symbol::new(&sym)));
                 out.push_back(TreeEvent::Close);
                 model.child_done(&self.models, out);

@@ -144,7 +144,7 @@ impl FcnsStreamEncoder {
     /// on misuse (events after the root closed).
     pub fn feed(
         &mut self,
-        event: &XmlEvent,
+        event: &XmlEvent<'_>,
         out: &mut VecDeque<TreeEvent>,
     ) -> Result<(), EncodeError> {
         if self.done {
@@ -153,7 +153,7 @@ impl FcnsStreamEncoder {
             ));
         }
         match event {
-            XmlEvent::Start(name) => {
+            XmlEvent::Start { name, .. } => {
                 out.push_back(TreeEvent::Open(self.resolve(name)));
                 if let Some(parent) = self.open_children.last_mut() {
                     *parent += 1;

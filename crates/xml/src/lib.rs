@@ -5,9 +5,13 @@
 //!
 //! * [`utree::UTree`] — unranked trees, the natural model of XML;
 //! * [`xmlparse`] — a hand-rolled XML reader/writer: a pull-based
-//!   SAX-style event tokenizer ([`xmlparse::XmlEventReader`]) with lenient
-//!   (skip comments/PIs/DOCTYPE/attributes) and strict modes, plus the
-//!   tree-building [`parse_xml`] on top;
+//!   SAX-style event tokenizer ([`xmlparse::XmlEventReader`]) yielding
+//!   zero-copy events (names and clean text borrow the input buffer),
+//!   with real attribute + namespace-prefix parsing in lenient mode and
+//!   the paper's minimal strict mode, plus the tree-building
+//!   [`parse_xml`] on top;
+//! * [`scan`] — the block-wise (SSE2/SWAR) structural-byte scanners the
+//!   tokenizer's hot loop runs on, with scalar reference variants;
 //! * [`dtd`] — DTDs with 1-unambiguous (deterministic) content models,
 //!   including the W3C `<!ELEMENT …>` syntax;
 //! * [`encode`] — the paper's DTD-based ranked encoding: group siblings by
@@ -23,6 +27,7 @@ pub mod dtd;
 pub mod encode;
 pub mod fcns;
 pub mod infer;
+pub mod scan;
 pub mod utree;
 pub mod xmlflip;
 pub mod xmlparse;
@@ -34,7 +39,7 @@ pub use fcns::{fcns_alphabet, fcns_decode, fcns_encode};
 pub use infer::{XmlLearnError, XmlLearner, XmlTransformation};
 pub use utree::UTree;
 pub use xmlparse::{
-    parse_xml, parse_xml_strict, parse_xml_with, write_xml, write_xml_pretty, xml_events,
-    xml_events_with, XmlError, XmlEvent, XmlEventReader, XmlOptions,
+    parse_xml, parse_xml_strict, parse_xml_with, split_qname, write_xml, write_xml_pretty,
+    xml_events, xml_events_with, Attr, XmlError, XmlEvent, XmlEventReader, XmlOptions,
 };
 pub use xslt::to_xslt;

@@ -1,0 +1,237 @@
+//! Block-wise structural-byte scanning — the tokenizer's hot loop.
+//!
+//! XML tokenization is dominated by "find the next structural byte":
+//! `<` ends a text run, `&` starts an entity reference, a quote ends an
+//! attribute value, `-`/`]`/`?` anchor comment/CDATA/PI terminators.
+//! Instead of a byte-at-a-time `pos += 1` loop, these scanners classify
+//! 16-byte blocks (SSE2 via [`core::arch`], baseline on every x86_64) or
+//! 8-byte words (a portable SWAR fallback) per iteration. The workspace
+//! is offline and dependency-free, so both are hand-rolled — the same
+//! discipline as `xtt-netio`'s raw syscall layer.
+//!
+//! The `*_scalar` variants are the reference implementation: the exact
+//! one-byte-per-iteration loop the tokenizer used before the rebuild.
+//! They back the differential proptests (SIMD ≡ scalar, event for
+//! event) and the scalar baseline of experiment E15 (`BENCH_xml.json`),
+//! and they are the build on non-x86_64 targets without a SWAR win.
+
+/// First index `i >= from` with `hay[i] == n`, or `hay.len()`.
+#[inline]
+pub fn memchr(n: u8, hay: &[u8], from: usize) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        sse2::memchr(n, hay, from)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        swar::memchr(n, hay, from)
+    }
+}
+
+/// First index `i >= from` with `hay[i] == a || hay[i] == b`, or
+/// `hay.len()`.
+#[inline]
+pub fn memchr2(a: u8, b: u8, hay: &[u8], from: usize) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        sse2::memchr2(a, b, hay, from)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        swar::memchr2(a, b, hay, from)
+    }
+}
+
+/// Reference scalar scan: the pre-rebuild byte-at-a-time loop.
+#[inline]
+pub fn memchr_scalar(n: u8, hay: &[u8], from: usize) -> usize {
+    let mut i = from;
+    while i < hay.len() && hay[i] != n {
+        i += 1;
+    }
+    i
+}
+
+/// Reference scalar two-byte scan.
+#[inline]
+pub fn memchr2_scalar(a: u8, b: u8, hay: &[u8], from: usize) -> usize {
+    let mut i = from;
+    while i < hay.len() && hay[i] != a && hay[i] != b {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    //! SSE2 is part of the x86_64 baseline ABI, so the intrinsics are
+    //! unconditionally available — no runtime feature detection needed.
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::{
+        __m128i, _mm_cmpeq_epi8, _mm_loadu_si128, _mm_movemask_epi8, _mm_or_si128, _mm_set1_epi8,
+    };
+
+    #[inline]
+    pub fn memchr(n: u8, hay: &[u8], from: usize) -> usize {
+        let mut i = from;
+        // SAFETY: every 16-byte load starts at `i` with `i + 16 <=
+        // hay.len()`, so it reads entirely inside the slice; `loadu`
+        // has no alignment requirement.
+        unsafe {
+            let needle = _mm_set1_epi8(n as i8);
+            while i + 16 <= hay.len() {
+                let block = _mm_loadu_si128(hay.as_ptr().add(i) as *const __m128i);
+                let hits = _mm_movemask_epi8(_mm_cmpeq_epi8(block, needle)) as u32;
+                if hits != 0 {
+                    return i + hits.trailing_zeros() as usize;
+                }
+                i += 16;
+            }
+        }
+        super::memchr_scalar(n, hay, i)
+    }
+
+    #[inline]
+    pub fn memchr2(a: u8, b: u8, hay: &[u8], from: usize) -> usize {
+        let mut i = from;
+        // SAFETY: as in `memchr` — in-bounds unaligned 16-byte loads.
+        unsafe {
+            let na = _mm_set1_epi8(a as i8);
+            let nb = _mm_set1_epi8(b as i8);
+            while i + 16 <= hay.len() {
+                let block = _mm_loadu_si128(hay.as_ptr().add(i) as *const __m128i);
+                let hit_a = _mm_cmpeq_epi8(block, na);
+                let hit_b = _mm_cmpeq_epi8(block, nb);
+                let hits = _mm_movemask_epi8(_mm_or_si128(hit_a, hit_b)) as u32;
+                if hits != 0 {
+                    return i + hits.trailing_zeros() as usize;
+                }
+                i += 16;
+            }
+        }
+        super::memchr2_scalar(a, b, hay, i)
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod swar {
+    //! Portable SWAR: detect a zero byte in `word ^ broadcast(needle)`
+    //! with the classic `(x - 0x01…01) & !x & 0x80…80` trick, 8 bytes
+    //! per iteration, no `unsafe`.
+
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+
+    #[inline]
+    fn broadcast(n: u8) -> u64 {
+        u64::from(n) * LO
+    }
+
+    /// A nonzero result has bit 7 set in every byte lane of `x` that is
+    /// zero (and only spuriously in lanes following one — irrelevant
+    /// here because the first hit wins).
+    #[inline]
+    fn zero_lanes(x: u64) -> u64 {
+        x.wrapping_sub(LO) & !x & HI
+    }
+
+    /// Index of the first zero byte lane (little-endian lane order,
+    /// which `u64::from_le_bytes` guarantees on every host).
+    #[inline]
+    fn first_lane(hits: u64) -> usize {
+        (hits.trailing_zeros() / 8) as usize
+    }
+
+    #[inline]
+    pub fn memchr(n: u8, hay: &[u8], from: usize) -> usize {
+        let needle = broadcast(n);
+        let mut i = from;
+        while i + 8 <= hay.len() {
+            let word = u64::from_le_bytes(hay[i..i + 8].try_into().unwrap());
+            let hits = zero_lanes(word ^ needle);
+            if hits != 0 {
+                return i + first_lane(hits);
+            }
+            i += 8;
+        }
+        super::memchr_scalar(n, hay, i)
+    }
+
+    #[inline]
+    pub fn memchr2(a: u8, b: u8, hay: &[u8], from: usize) -> usize {
+        let na = broadcast(a);
+        let nb = broadcast(b);
+        let mut i = from;
+        while i + 8 <= hay.len() {
+            let word = u64::from_le_bytes(hay[i..i + 8].try_into().unwrap());
+            let hits = zero_lanes(word ^ na) | zero_lanes(word ^ nb);
+            if hits != 0 {
+                return i + first_lane(hits);
+            }
+            i += 8;
+        }
+        super::memchr2_scalar(a, b, hay, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random bytes (xorshift) — no rand dep.
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 24) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_scan_agrees_with_scalar_everywhere() {
+        let hay = noise(301, 0xE15);
+        for from in 0..hay.len() + 1 {
+            for n in [b'<', b'&', b'"', 0, 255] {
+                assert_eq!(memchr(n, &hay, from), memchr_scalar(n, &hay, from));
+            }
+            assert_eq!(
+                memchr2(b'<', b'&', &hay, from),
+                memchr2_scalar(b'<', b'&', &hay, from)
+            );
+        }
+    }
+
+    #[test]
+    fn finds_hits_at_every_offset_within_a_block() {
+        for pos in 0..48 {
+            let mut hay = vec![b'x'; 48];
+            hay[pos] = b'<';
+            assert_eq!(memchr(b'<', &hay, 0), pos);
+            assert_eq!(memchr2(b'<', b'&', &hay, 0), pos);
+            hay[pos] = b'&';
+            assert_eq!(memchr2(b'<', b'&', &hay, 0), pos);
+        }
+    }
+
+    #[test]
+    fn misses_return_len() {
+        let hay = vec![b'x'; 100];
+        assert_eq!(memchr(b'<', &hay, 0), 100);
+        assert_eq!(memchr2(b'<', b'&', &hay, 0), 100);
+        assert_eq!(memchr(b'<', &hay, 100), 100);
+        assert_eq!(memchr(b'<', b"", 0), 0);
+    }
+
+    #[test]
+    fn from_offset_skips_earlier_hits() {
+        let hay = b"a<b<c&d";
+        assert_eq!(memchr(b'<', hay, 0), 1);
+        assert_eq!(memchr(b'<', hay, 2), 3);
+        assert_eq!(memchr(b'<', hay, 4), 7);
+        assert_eq!(memchr2(b'<', b'&', hay, 4), 5);
+    }
+}

@@ -53,6 +53,26 @@ impl UTree {
     pub fn is_text(&self) -> bool {
         matches!(self, UTree::Text(_))
     }
+
+    /// Looks up an attribute materialized by
+    /// [`XmlOptions::keep_attributes`](crate::XmlOptions): finds the
+    /// `@attrs` child and within it the `@name` element, returning its
+    /// text value (`Some("")` for an empty or bare attribute, `None`
+    /// when absent).
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        let attrs = self
+            .children()
+            .iter()
+            .find(|c| c.label() == Some("@attrs"))?;
+        let entry = attrs
+            .children()
+            .iter()
+            .find(|c| c.label().and_then(|l| l.strip_prefix('@')) == Some(name))?;
+        match entry.children().first() {
+            Some(UTree::Text(s)) => Some(s),
+            _ => Some(""),
+        }
+    }
 }
 
 impl fmt::Display for UTree {

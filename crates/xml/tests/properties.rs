@@ -223,6 +223,78 @@ proptest! {
     }
 }
 
+/// Collects the full event stream (events *and* the terminating error,
+/// if any) under the given scan implementation.
+fn event_trace(
+    text: &str,
+    scalar: bool,
+) -> Vec<Result<xtt_xml::xmlparse::XmlEvent<'_>, xtt_xml::xmlparse::XmlError>> {
+    let opts = xtt_xml::xmlparse::XmlOptions {
+        scalar_scan: scalar,
+        ..Default::default()
+    };
+    xtt_xml::xmlparse::xml_events_with(text, opts).collect()
+}
+
+/// XML-flavored fragment soup: markup shards, entities (valid and
+/// broken), text, and multi-byte characters, concatenated at random —
+/// most samples are malformed somewhere.
+fn arb_garbage() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("<a>"),
+        Just("</a>"),
+        Just("<a"),
+        Just("<"),
+        Just(">"),
+        Just("/>"),
+        Just("<!--x-->"),
+        Just("<!--"),
+        Just("<![CDATA[y]]>"),
+        Just("<![CDATA["),
+        Just("<!DOCTYPE d [<!-- \"]\" -->]>"),
+        Just("<?pi?>"),
+        Just("&amp;"),
+        Just("&#65;"),
+        Just("&#x2026;"),
+        Just("&bogus;"),
+        Just("&"),
+        Just("&#"),
+        Just(";"),
+        Just("text"),
+        Just(" "),
+        Just("\t\n"),
+        Just("=\"v\""),
+        Just("='v'"),
+        Just("héllo✓"),
+        Just("]]>"),
+    ];
+    proptest::collection::vec(fragment, 0..24).prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The SIMD/SWAR scanner is a drop-in for the scalar loop: on any
+    /// well-formed noisy document the two tokenizations agree
+    /// event-for-event (names, attribute lists, coalesced text).
+    #[test]
+    fn simd_and_scalar_scans_agree_on_documents(
+        doc in arb_library_doc(),
+        noise in arb_noise(),
+    ) {
+        let (text, _) = write_noisy(&doc, noise);
+        prop_assert_eq!(event_trace(&text, false), event_trace(&text, true));
+    }
+
+    /// …and on arbitrary garbage: same events, then the same positioned
+    /// error. Exercises the scanners' tail handling on inputs that stop
+    /// mid-construct.
+    #[test]
+    fn simd_and_scalar_scans_agree_on_garbage(input in arb_garbage()) {
+        prop_assert_eq!(event_trace(&input, false), event_trace(&input, true));
+    }
+}
+
 fn abstract_text(doc: &UTree) -> UTree {
     match doc {
         UTree::Text(_) => UTree::text("pcdata"),
