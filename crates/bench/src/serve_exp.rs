@@ -18,8 +18,9 @@
 //!   responses: keep-alive reuse and head-of-line behavior under real
 //!   concurrency.
 //!
-//! Latency is recorded per request (for pipelined batches: batch wall
-//! time divided by depth), reported as p50/p99/max; `peak_rss_kb` is the
+//! Latency is recorded per request into an [`xtt_obs::Histogram`] (for
+//! pipelined batches: batch wall time divided by depth), reported as
+//! p50/p99/p999/max; `peak_rss_kb` is the
 //! process-wide `VmHWM` (server + load generator share the process — a
 //! scaling indicator, not an isolated server figure). Shared by the
 //! `exp_e14_serve` binary, which writes `BENCH_serve.json` and enforces
@@ -32,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use xtt_engine::EngineOptions;
+use xtt_obs::Histogram;
 use xtt_serve::{ServeClient, ServeOptions, Server};
 use xtt_transducer::examples;
 
@@ -80,9 +82,10 @@ pub struct ServeRow {
     pub docs: u64,
     pub elapsed_millis: u128,
     pub docs_per_sec: f64,
-    pub p50_micros: u128,
-    pub p99_micros: u128,
-    pub max_micros: u128,
+    pub p50_micros: u64,
+    pub p99_micros: u64,
+    pub p999_micros: u64,
+    pub max_micros: u64,
     /// `event_loop.parked_idle` observed during the scenario (0 where
     /// not applicable).
     pub parked_idle: u64,
@@ -104,16 +107,6 @@ fn boot(opts: ServeOptions) -> (ServeClient, std::thread::JoinHandle<std::io::Re
     (client, runner)
 }
 
-/// Percentile over an unsorted latency sample (nearest-rank).
-fn percentile(latencies: &mut [u128], p: f64) -> u128 {
-    if latencies.is_empty() {
-        return 0;
-    }
-    latencies.sort_unstable();
-    let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
-    latencies[rank.saturating_sub(1).min(latencies.len() - 1)]
-}
-
 /// Process-wide peak resident set (`VmHWM` in /proc/self/status), kB.
 pub fn peak_rss_kb() -> u64 {
     std::fs::read_to_string("/proc/self/status")
@@ -127,7 +120,7 @@ pub fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-fn stat_u64(json: &str, key: &str) -> u64 {
+pub(crate) fn stat_u64(json: &str, key: &str) -> u64 {
     json.split(&format!("\"{key}\":"))
         .nth(1)
         .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
@@ -136,7 +129,7 @@ fn stat_u64(json: &str, key: &str) -> u64 {
 }
 
 /// The transform request body: `docs` flip inputs, one per line.
-fn request_body(docs: usize) -> String {
+pub(crate) fn request_body(docs: usize) -> String {
     let doc = examples::flip_input(3, 2).to_string();
     let mut body = String::with_capacity((doc.len() + 1) * docs);
     for _ in 0..docs {
@@ -146,9 +139,12 @@ fn request_body(docs: usize) -> String {
     body
 }
 
-/// Raw measurements of one scenario, before aggregation.
+/// Raw measurements of one scenario, before aggregation. Latencies land
+/// in the same lock-free log₂ histogram `xtt-serve` itself reports from,
+/// so the benchmark quantiles and the server's `/metrics` quantiles are
+/// computed by one implementation.
 struct Measured {
-    latencies: Vec<u128>,
+    latency: Histogram,
     errors: u64,
     docs: u64,
     elapsed: Duration,
@@ -158,21 +154,21 @@ struct Measured {
 fn fresh_loop(client: &ServeClient, requests: usize, docs: usize) -> Measured {
     let body = request_body(docs);
     let t0 = Instant::now();
-    let mut latencies = Vec::with_capacity(requests);
+    let latency = Histogram::new();
     let mut errors = 0u64;
     let mut answered = 0u64;
     for _ in 0..requests {
         let t0 = Instant::now();
         match client.request("POST", "/transform/flip", &body) {
             Ok(resp) if resp.status == 200 => {
-                latencies.push(t0.elapsed().as_micros());
+                latency.record(t0.elapsed().as_micros() as u64);
                 answered += docs as u64;
             }
             Ok(_) | Err(_) => errors += 1,
         }
     }
     Measured {
-        latencies,
+        latency,
         errors,
         docs: answered,
         elapsed: t0.elapsed(),
@@ -187,24 +183,26 @@ fn finish(
     parked_idle: u64,
 ) -> ServeRow {
     let Measured {
-        mut latencies,
+        latency,
         errors,
         docs,
         elapsed,
     } = m;
+    let snap = latency.snapshot();
     let secs = elapsed.as_secs_f64().max(1e-9);
     ServeRow {
         scenario,
         connections,
         workers,
-        requests: latencies.len() as u64 + errors,
+        requests: snap.count() + errors,
         errors,
         docs,
         elapsed_millis: elapsed.as_millis(),
         docs_per_sec: docs as f64 / secs,
-        p50_micros: percentile(&mut latencies, 50.0),
-        p99_micros: percentile(&mut latencies, 99.0),
-        max_micros: latencies.last().copied().unwrap_or(0),
+        p50_micros: snap.p50(),
+        p99_micros: snap.p99(),
+        p999_micros: snap.p999(),
+        max_micros: snap.max(),
         parked_idle,
         peak_rss_kb: peak_rss_kb(),
     }
@@ -310,13 +308,17 @@ fn run_pipelined(opts: &E14Options) -> ServeRow {
     );
     let stats = "GET /stats HTTP/1.1\r\nHost: load\r\nContent-Length: 0\r\n\r\n".to_owned();
 
-    let results: Arc<Mutex<(Vec<u128>, u64, u64)>> = Arc::new(Mutex::new((Vec::new(), 0u64, 0u64)));
+    // Every connection thread records straight into the shared
+    // lock-free histogram; only the error/doc tallies need the mutex.
+    let latency = Arc::new(Histogram::new());
+    let results: Arc<Mutex<(u64, u64)>> = Arc::new(Mutex::new((0u64, 0u64)));
     let t0 = Instant::now();
     let mut threads = Vec::with_capacity(opts.pipeline_connections);
     for _ in 0..opts.pipeline_connections {
         let addr = client.addr();
         let transform = transform.clone();
         let stats = stats.clone();
+        let latency = Arc::clone(&latency);
         let results = Arc::clone(&results);
         let (rounds, depth, docs_per_request) = (
             opts.pipeline_rounds,
@@ -327,7 +329,7 @@ fn run_pipelined(opts: &E14Options) -> ServeRow {
             let mut conn = TcpStream::connect(addr).expect("connect pipeline");
             conn.set_read_timeout(Some(Duration::from_secs(30)))
                 .expect("read timeout");
-            let (mut lat, mut errs, mut docs) = (Vec::new(), 0u64, 0u64);
+            let (mut errs, mut docs) = (0u64, 0u64);
             // The server answers pipelined batches back-to-back, so one
             // read can pull in the start of the next response: `carry`
             // keeps those bytes for the next parse.
@@ -350,27 +352,27 @@ fn run_pipelined(opts: &E14Options) -> ServeRow {
                         Ok(_) | Err(_) => errs += 1,
                     }
                 }
-                let per_request = batch.elapsed().as_micros() / depth as u128;
-                lat.extend(std::iter::repeat(per_request).take(depth));
+                let per_request = (batch.elapsed().as_micros() / depth as u128) as u64;
+                for _ in 0..depth {
+                    latency.record(per_request);
+                }
             }
             let mut shared = results.lock().expect("results lock");
-            shared.0.extend(lat);
-            shared.1 += errs;
-            shared.2 += docs;
+            shared.0 += errs;
+            shared.1 += docs;
         }));
     }
     for t in threads {
         t.join().expect("pipeline thread");
     }
     let elapsed = t0.elapsed();
-    let measured = {
-        let mut shared = results.lock().expect("results lock");
-        Measured {
-            latencies: std::mem::take(&mut shared.0),
-            errors: shared.1,
-            docs: shared.2,
-            elapsed,
-        }
+    let (errors, docs) = *results.lock().expect("results lock");
+    let latency = Arc::try_unwrap(latency).unwrap_or_else(|_| panic!("threads joined"));
+    let measured = Measured {
+        latency,
+        errors,
+        docs,
+        elapsed,
     };
     client.shutdown().expect("shutdown");
     runner.join().expect("server thread").expect("server exits");
@@ -425,6 +427,7 @@ pub fn print_e14(rows: &[ServeRow]) {
                 format!("{:.0}", r.docs_per_sec),
                 r.p50_micros.to_string(),
                 r.p99_micros.to_string(),
+                r.p999_micros.to_string(),
                 r.max_micros.to_string(),
                 r.parked_idle.to_string(),
                 r.peak_rss_kb.to_string(),
@@ -434,7 +437,7 @@ pub fn print_e14(rows: &[ServeRow]) {
     crate::print_table(
         &[
             "scenario", "conns", "workers", "reqs", "errs", "docs", "docs/s", "p50_us", "p99_us",
-            "max_us", "parked", "rss_kB",
+            "p999_us", "max_us", "parked", "rss_kB",
         ],
         &table,
     );

@@ -16,6 +16,7 @@ use std::io::{BufWriter, Read, Write};
 use std::time::Instant;
 
 use xtt_engine::{tree_to_xml, DocFormat, Engine, EngineOptions, EvalMode};
+use xtt_obs::{EvalObserver, Trace};
 use xtt_transducer::{examples, Dtop, DtopBuilder};
 use xtt_trees::{RankedAlphabet, Tree};
 
@@ -44,6 +45,9 @@ OPTIONS:
                                  regions stream before the input ends;
                                  evaluation is always streaming mode);
                                  emission stats land on stderr
+  --profile                      aggregate per-stage pipeline timing
+                                 (tokenize/encode/guard/eval/emit) across
+                                 the whole run, printed on stderr
   --quiet                        suppress per-document output
   --help                         print this help
 ";
@@ -57,6 +61,7 @@ struct Args {
     demo: Option<usize>,
     validate: bool,
     stream_output: bool,
+    profile: bool,
     quiet: bool,
 }
 
@@ -70,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         demo: None,
         validate: false,
         stream_output: false,
+        profile: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -111,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--validate" => args.validate = true,
             "--stream-output" => args.stream_output = true,
+            "--profile" => args.profile = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -201,14 +208,15 @@ fn demo_doc(example: &str, i: usize, format: &DocFormat) -> String {
 /// flushed) before the document — let alone the batch — completes.
 /// Failures still answer positionally (`!error:` lines, after a newline
 /// when a partial prefix is already out). Emission stats go to stderr.
-fn stream_output(engine: &Engine, dtop: &Dtop, docs: &[String], in_bytes: usize, quiet: bool) {
+fn stream_output(engine: &Engine, args: &Args, dtop: &Dtop, docs: &[String], in_bytes: usize) {
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());
     let mut sink: &mut dyn Write = &mut out;
     let mut null = std::io::sink();
-    if quiet {
+    if args.quiet {
         sink = &mut null;
     }
+    let mut trace = args.profile.then(|| Trace::new(0));
     let t0 = Instant::now();
     let mut failures = 0usize;
     let mut early: u64 = 0;
@@ -219,7 +227,15 @@ fn stream_output(engine: &Engine, dtop: &Dtop, docs: &[String], in_bytes: usize,
             inner: &mut sink,
             bytes: 0,
         };
-        match engine.transform_streaming(dtop, doc, &mut counted) {
+        let obs = trace.as_mut().map(|t| t as &mut dyn EvalObserver);
+        match engine.transform_streaming_observed(
+            dtop,
+            doc,
+            args.format.clone(),
+            args.validate,
+            &mut counted,
+            obs,
+        ) {
             Ok(outcome) => {
                 early += outcome.events_emitted_early;
                 total += outcome.events_total;
@@ -248,6 +264,13 @@ fn stream_output(engine: &Engine, dtop: &Dtop, docs: &[String], in_bytes: usize,
         in_bytes as f64 / secs / 1e6,
         engine.skipped_subtrees(),
     );
+    if let Some(t) = &trace {
+        eprintln!(
+            "pipeline profile: {} total_us={}",
+            t.breakdown_micros(),
+            t.total().as_micros(),
+        );
+    }
 }
 
 /// Tracks whether a failing document already flushed a partial prefix.
@@ -313,12 +336,23 @@ fn main() {
     let in_bytes: usize = docs.iter().map(String::len).sum();
 
     if args.stream_output {
-        stream_output(&engine, &dtop, &docs, in_bytes, args.quiet);
+        stream_output(&engine, &args, &dtop, &docs, in_bytes);
         return;
     }
 
+    let mut trace = args.profile.then(|| Trace::new(0));
     let t0 = Instant::now();
-    let results = engine.transform_batch(&dtop, &docs);
+    let results = match trace.as_mut() {
+        Some(t) => engine.transform_batch_observed(
+            &dtop,
+            &docs,
+            args.mode,
+            args.format.clone(),
+            args.validate,
+            Some(t as &mut dyn EvalObserver),
+        ),
+        None => engine.transform_batch(&dtop, &docs),
+    };
     let elapsed = t0.elapsed();
 
     let stdout = std::io::stdout();
@@ -351,4 +385,11 @@ fn main() {
         docs.len() as f64 / secs,
         in_bytes as f64 / secs / 1e6,
     );
+    if let Some(t) = &trace {
+        eprintln!(
+            "pipeline profile: {} total_us={}",
+            t.breakdown_micros(),
+            t.total().as_micros(),
+        );
+    }
 }

@@ -17,6 +17,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use xtt_obs::{EvalObserver, Stage};
 use xtt_transducer::{eval as walk_eval, Dtop};
 use xtt_trees::{parse_tree, DagId, Symbol, Tree, TreeDag, TreeEvent};
 use xtt_typecheck::{domain_guard, CompiledDtta, TypeError};
@@ -458,6 +459,22 @@ impl Engine {
         format: DocFormat,
         validate: bool,
     ) -> Result<String, EngineError> {
+        self.transform_observed(dtop, doc, mode, format, validate, None)
+    }
+
+    /// [`Engine::transform_with_validation`] with a pipeline observer:
+    /// `obs` is stamped at every stage boundary the document crosses
+    /// (tokenize → encode → guard → evaluate → emit). `None` is the
+    /// production path and costs nothing — not even a clock read.
+    pub fn transform_observed(
+        &self,
+        dtop: &Dtop,
+        doc: &str,
+        mode: EvalMode,
+        format: DocFormat,
+        validate: bool,
+        obs: Option<&mut dyn EvalObserver>,
+    ) -> Result<String, EngineError> {
         let compiled = self
             .compiled(dtop)
             .map_err(|e| EngineError::Compile(e.to_string()))?;
@@ -476,11 +493,67 @@ impl Engine {
             limit,
             guard.as_deref(),
             &self.skips,
+            obs,
         );
         if validate {
             self.record_validation(std::slice::from_ref(&result));
         }
         result
+    }
+
+    /// Sequential batch transformation with a pipeline observer — the
+    /// sampled-request path of `xtt-serve`. One warm [`Worker`] runs the
+    /// documents in order (panic-isolated per document, like
+    /// [`Engine::transform_batch_with_validation`]); repeated stage
+    /// stamps accumulate in the observer, so the trace reports where the
+    /// whole request spent its time. Tracing is 1-in-N, so forgoing the
+    /// batch pool's parallelism here does not move throughput.
+    pub fn transform_batch_observed(
+        &self,
+        dtop: &Dtop,
+        docs: &[String],
+        mode: EvalMode,
+        format: DocFormat,
+        validate: bool,
+        mut obs: Option<&mut dyn EvalObserver>,
+    ) -> Vec<Result<String, EngineError>> {
+        let compiled = match self.compiled(dtop) {
+            Ok(c) => c,
+            Err(e) => {
+                let err = EngineError::Compile(e.to_string());
+                return docs.iter().map(|_| Err(err.clone())).collect();
+            }
+        };
+        let guard = if validate {
+            match self.guard(dtop) {
+                Ok(g) => Some(g),
+                Err(e) => return docs.iter().map(|_| Err(e.clone())).collect(),
+            }
+        } else {
+            None
+        };
+        let limit = self.opts.max_output_nodes;
+        let mut worker = Worker::new();
+        let results: Vec<Result<String, EngineError>> = docs
+            .iter()
+            .map(|d| {
+                worker.transform_caught(
+                    &compiled,
+                    dtop,
+                    d,
+                    mode,
+                    &format,
+                    limit,
+                    guard.as_deref(),
+                    &self.skips,
+                    obs.as_deref_mut(),
+                )
+            })
+            .collect();
+        if validate {
+            self.record_validation(&results);
+        }
+        results
     }
 
     /// Event-driven transformation: output **bytes** flow to `out` as
@@ -515,6 +588,23 @@ impl Engine {
         validate: bool,
         out: &mut dyn io::Write,
     ) -> Result<StreamOutcome, EngineError> {
+        self.transform_streaming_observed(dtop, doc, format, validate, out, None)
+    }
+
+    /// [`Engine::transform_streaming_with`] with a pipeline observer (see
+    /// [`Engine::transform_observed`]). The streamed paths fuse
+    /// tokenize/guard/evaluate into one pass, so the fused work is
+    /// charged to `eval`; any post-run serialization is charged to
+    /// `emit`.
+    pub fn transform_streaming_observed(
+        &self,
+        dtop: &Dtop,
+        doc: &str,
+        format: DocFormat,
+        validate: bool,
+        out: &mut dyn io::Write,
+        obs: Option<&mut dyn EvalObserver>,
+    ) -> Result<StreamOutcome, EngineError> {
         let compiled = self
             .compiled(dtop)
             .map_err(|e| EngineError::Compile(e.to_string()))?;
@@ -531,6 +621,7 @@ impl Engine {
             self.opts.max_output_nodes,
             out,
             &self.skips,
+            obs,
         );
         if validate {
             self.record_validation(std::slice::from_ref(&result));
@@ -599,7 +690,9 @@ impl Engine {
             let mut worker = Worker::new();
             docs.iter()
                 .map(|d| {
-                    worker.transform_caught(&compiled, dtop, d, mode, format, limit, guard, skips)
+                    worker.transform_caught(
+                        &compiled, dtop, d, mode, format, limit, guard, skips, None,
+                    )
                 })
                 .collect()
         } else {
@@ -622,7 +715,7 @@ impl Engine {
                                         i,
                                         worker.transform_caught(
                                             compiled, dtop, &docs[i], mode, format, limit, guard,
-                                            skips,
+                                            skips, None,
                                         ),
                                     ));
                                 }
@@ -1021,6 +1114,15 @@ fn outcome(stats: EmitStats, bytes: u64, skipped: u64) -> StreamOutcome {
     }
 }
 
+/// Stamps a stage boundary on the observer, if one is attached. The
+/// `None` path is a single predictable branch — no clock read, no call.
+#[inline]
+fn stamp<'a, 'b>(obs: &mut Option<&'a mut (dyn EvalObserver + 'b)>, stage: Stage) {
+    if let Some(o) = obs.as_deref_mut() {
+        o.stage(stage);
+    }
+}
+
 fn effective_workers(configured: usize, docs: usize) -> usize {
     let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
     let w = if configured == 0 { auto } else { configured };
@@ -1061,9 +1163,10 @@ impl Worker {
         limit: Option<u64>,
         guard: Option<&CompiledDtta>,
         skips: &AtomicU64,
+        obs: Option<&mut (dyn EvalObserver + '_)>,
     ) -> Result<String, EngineError> {
         let result = catch_unwind(AssertUnwindSafe(|| {
-            self.transform(compiled, dtop, doc, mode, format, limit, guard, skips)
+            self.transform(compiled, dtop, doc, mode, format, limit, guard, skips, obs)
         }));
         result.unwrap_or_else(|panic| {
             *self = Worker::new();
@@ -1087,23 +1190,35 @@ impl Worker {
         limit: Option<u64>,
         guard: Option<&CompiledDtta>,
         skips: &AtomicU64,
+        mut obs: Option<&mut (dyn EvalObserver + '_)>,
     ) -> Result<String, EngineError> {
+        let obs = &mut obs;
         match format {
             DocFormat::Term => {
                 let input = parse_tree(doc).map_err(|e| EngineError::Parse(e.to_string()))?;
+                stamp(obs, Stage::Tokenize);
                 if let Some(g) = guard {
                     if mode == EvalMode::Streaming && limit.is_none() {
                         // Lockstep with the event stream — identical
                         // diagnostics (same DttaRun), exercised here so
                         // term and XML streaming share one guarded path.
+                        // Guard and evaluation are fused; the pass is
+                        // charged to eval.
                         let output = self.eval_stream_guarded(compiled, g, input.events())?;
-                        return Ok(output.to_string());
+                        stamp(obs, Stage::Evaluate);
+                        let text = output.to_string();
+                        stamp(obs, Stage::Emit);
+                        return Ok(text);
                     }
                     g.check_tree(&input).map_err(EngineError::Type)?;
+                    stamp(obs, Stage::Guard);
                 }
                 let preflight = self.check_output_bound(compiled, &input, limit)?;
                 let output = self.eval_tree(compiled, dtop, &input, mode, preflight)?;
-                Ok(output.to_string())
+                stamp(obs, Stage::Evaluate);
+                let text = output.to_string();
+                stamp(obs, Stage::Emit);
+                Ok(text)
             }
             DocFormat::Xml | DocFormat::XmlAttrs => {
                 let with_attrs = matches!(format, DocFormat::XmlAttrs);
@@ -1114,6 +1229,8 @@ impl Worker {
                     // violating node; deleted subtrees fast-forward the
                     // raw reader (counted on the engine).
                     (EvalMode::Streaming, None) => {
+                        // Tokenize, guard, and evaluate run fused in one
+                        // pass here; the whole pass is charged to eval.
                         let mut source = XmlRankedEvents::bounded(doc).attributes(with_attrs);
                         let result = match guard {
                             Some(g) => {
@@ -1135,24 +1252,30 @@ impl Worker {
                         if let Some(e) = source.take_error() {
                             return Err(EngineError::Parse(e.to_string()));
                         }
-                        result.ok_or(EngineError::Undefined)?
+                        let out = result.ok_or(EngineError::Undefined)?;
+                        stamp(obs, Stage::Evaluate);
+                        out
                     }
                     _ => {
                         let input = XmlRankedEvents::bounded(doc)
                             .attributes(with_attrs)
                             .collect_tree()
                             .map_err(|e| EngineError::Parse(e.to_string()))?;
+                        stamp(obs, Stage::Tokenize);
                         if let Some(g) = guard {
                             g.check_tree(&input).map_err(EngineError::Type)?;
+                            stamp(obs, Stage::Guard);
                         }
                         let preflight = self.check_output_bound(compiled, &input, limit)?;
-                        match mode {
+                        let out = match mode {
                             EvalMode::Streaming => self
                                 .stream
                                 .eval_tree(compiled, &input)
                                 .ok_or(EngineError::Undefined)?,
                             _ => self.eval_tree(compiled, dtop, &input, mode, preflight)?,
-                        }
+                        };
+                        stamp(obs, Stage::Evaluate);
+                        out
                     }
                 };
                 let serializable = if with_attrs {
@@ -1166,40 +1289,53 @@ impl Worker {
                             .into(),
                     ));
                 }
-                Ok(if with_attrs {
+                let text = if with_attrs {
                     crate::stream::tree_to_xml_attrs(&output)
                 } else {
                     tree_to_xml(&output)
-                })
+                };
+                stamp(obs, Stage::Emit);
+                Ok(text)
             }
             DocFormat::Encoded(codec) => {
                 let output = match (mode, limit) {
                     // The fully streaming encoded path: tokenizer →
                     // incremental encoder → (lockstep guard) →
-                    // evaluator; no intermediate tree of the input.
+                    // evaluator; no intermediate tree of the input. All
+                    // fused — charged to eval.
                     (EvalMode::Streaming, None) => {
-                        self.eval_encoded_stream(compiled, guard, codec, doc, skips)?
+                        let out = self.eval_encoded_stream(compiled, guard, codec, doc, skips)?;
+                        stamp(obs, Stage::Evaluate);
+                        out
                     }
                     _ => {
                         // The same streaming encoder, collected — every
-                        // mode validates documents identically.
+                        // mode validates documents identically. Tokenize
+                        // and encode are one fused pass, charged to
+                        // encode.
                         let input = codec.ranked_tree(doc).map_err(encoded_error)?;
+                        stamp(obs, Stage::Encode);
                         if let Some(g) = guard {
                             g.check_tree(&input).map_err(EngineError::Type)?;
+                            stamp(obs, Stage::Guard);
                         }
                         let preflight = self.check_output_bound(compiled, &input, limit)?;
-                        match mode {
+                        let out = match mode {
                             EvalMode::Streaming => self
                                 .stream
                                 .eval_tree(compiled, &input)
                                 .ok_or(EngineError::Undefined)?,
                             _ => self.eval_tree(compiled, dtop, &input, mode, preflight)?,
-                        }
+                        };
+                        stamp(obs, Stage::Evaluate);
+                        out
                     }
                 };
-                codec
+                let text = codec
                     .decode_tree(&output)
-                    .map_err(|e| EngineError::Encoding(e.to_string()))
+                    .map_err(|e| EngineError::Encoding(e.to_string()))?;
+                stamp(obs, Stage::Emit);
+                Ok(text)
             }
         }
     }
@@ -1218,10 +1354,17 @@ impl Worker {
         limit: Option<u64>,
         out: &mut dyn io::Write,
         skips: &AtomicU64,
+        mut obs: Option<&mut (dyn EvalObserver + '_)>,
     ) -> Result<StreamOutcome, EngineError> {
+        // Event-driven emission fuses guard/evaluate/emit into one pass
+        // over the source; the fused pass is charged to eval, and any
+        // work after the run (tail serialization, decoder remainder) to
+        // emit.
+        let obs = &mut obs;
         match format {
             DocFormat::Term => {
                 let input = parse_tree(doc).map_err(|e| EngineError::Parse(e.to_string()))?;
+                stamp(obs, Stage::Tokenize);
                 let mut source = IterEvents(input.events());
                 let mut sink = TermSink::new(out);
                 let run = run_stream(
@@ -1233,6 +1376,7 @@ impl Worker {
                     limit,
                 );
                 let stats = stream_verdict(run, None, None)?;
+                stamp(obs, Stage::Evaluate);
                 Ok(outcome(stats, sink.bytes, 0))
             }
             DocFormat::Xml => {
@@ -1253,6 +1397,7 @@ impl Worker {
                     .map(|e| EngineError::Parse(e.to_string()));
                 let sink_failure = sink.failure.take().map(EngineError::Parse);
                 let stats = stream_verdict(run, source_error, sink_failure)?;
+                stamp(obs, Stage::Evaluate);
                 Ok(outcome(stats, sink.bytes, skipped))
             }
             DocFormat::XmlAttrs => {
@@ -1276,6 +1421,7 @@ impl Worker {
                     .take_error()
                     .map(|e| EngineError::Parse(e.to_string()));
                 let stats = stream_verdict(run, source_error, None)?;
+                stamp(obs, Stage::Evaluate);
                 let output = sink.into_tree().ok_or(EngineError::Undefined)?;
                 if !crate::stream::xml_serializable_attrs(&output) {
                     return Err(EngineError::Parse(
@@ -1289,6 +1435,7 @@ impl Worker {
                         kind: e.kind(),
                         message: e.to_string(),
                     })?;
+                stamp(obs, Stage::Emit);
                 Ok(outcome(stats, text.len() as u64, skipped))
             }
             DocFormat::Encoded(codec) => {
@@ -1310,7 +1457,9 @@ impl Worker {
                     .take()
                     .map(|e| EngineError::Encoding(e.to_string()));
                 let stats = stream_verdict(run, source_error, sink_failure)?;
+                stamp(obs, Stage::Evaluate);
                 sink.finish()?;
+                stamp(obs, Stage::Emit);
                 Ok(outcome(stats, sink.bytes, skipped))
             }
         }
@@ -1492,6 +1641,86 @@ mod tests {
         assert_eq!(outputs[0], outputs[1]);
         assert_eq!(outputs[0], outputs[2]);
         assert_eq!(outputs[0], outputs[3]);
+    }
+
+    /// An attached observer sees the pipeline stages in flow order in
+    /// every mode, and the observed result is byte-identical to the
+    /// unobserved one.
+    #[test]
+    fn observer_sees_stage_breakdown_in_all_modes() {
+        let fix = examples::flip();
+        let engine = Engine::new(EngineOptions::default());
+        let doc = "root(a(#,#),b(#,#))";
+        for mode in [
+            EvalMode::Compiled,
+            EvalMode::Streaming,
+            EvalMode::Dag,
+            EvalMode::TreeWalk,
+        ] {
+            let plain = engine
+                .transform_with_validation(&fix.dtop, doc, mode, DocFormat::Term, true)
+                .unwrap();
+            let mut trace = xtt_obs::Trace::new(1);
+            let observed = engine
+                .transform_observed(
+                    &fix.dtop,
+                    doc,
+                    mode,
+                    DocFormat::Term,
+                    true,
+                    Some(&mut trace),
+                )
+                .unwrap();
+            assert_eq!(plain, observed);
+            let names: Vec<&str> = trace.stages().iter().map(|(n, _)| *n).collect();
+            if mode == EvalMode::Streaming {
+                // Guard and evaluation run fused in lockstep.
+                assert_eq!(names, ["tokenize", "eval", "emit"], "mode {mode:?}");
+            } else {
+                assert_eq!(
+                    names,
+                    ["tokenize", "guard", "eval", "emit"],
+                    "mode {mode:?}"
+                );
+            }
+        }
+    }
+
+    /// The streaming-emission path stamps the observer too, and batch
+    /// observation accumulates stages across documents.
+    #[test]
+    fn observer_covers_streaming_and_batches() {
+        let fix = examples::flip();
+        let engine = Engine::new(EngineOptions::default());
+        let mut out = Vec::new();
+        let mut trace = xtt_obs::Trace::new(2);
+        engine
+            .transform_streaming_observed(
+                &fix.dtop,
+                "root(a(#,#),b(#,#))",
+                DocFormat::Term,
+                false,
+                &mut out,
+                Some(&mut trace),
+            )
+            .unwrap();
+        let names: Vec<&str> = trace.stages().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["tokenize", "eval"]);
+
+        let docs = flip_docs(8);
+        let mut trace = xtt_obs::Trace::new(3);
+        let observed = engine.transform_batch_observed(
+            &fix.dtop,
+            &docs,
+            EvalMode::Compiled,
+            DocFormat::Term,
+            false,
+            Some(&mut trace),
+        );
+        let plain = engine.transform_batch(&fix.dtop, &docs);
+        assert_eq!(observed, plain);
+        let names: Vec<&str> = trace.stages().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["tokenize", "eval", "emit"], "stages accumulate");
     }
 
     /// Regression test for the serving contract: a large batch with

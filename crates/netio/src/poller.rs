@@ -49,13 +49,20 @@ mod imp {
     use crate::sys;
     use std::io;
     use std::os::unix::io::RawFd;
-    use std::time::Duration;
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::time::{Duration, Instant};
 
     /// An owned epoll instance. All methods take `&self`: the kernel
     /// serializes `epoll_ctl`, and `epoll_wait` is intended to be called
     /// from the single event-loop thread.
+    ///
+    /// The poller keeps its own cumulative account of time spent blocked
+    /// in `epoll_wait` — the event loop's "idle" time — so observability
+    /// layers can report loop utilization without wrapping every call.
     pub struct Poller {
         epfd: RawFd,
+        wait_nanos: AtomicU64,
+        waits: AtomicU64,
     }
 
     // The epoll fd is just an integer capability; waits happen on one
@@ -69,7 +76,21 @@ mod imp {
             if epfd < 0 {
                 return Err(io::Error::last_os_error());
             }
-            Ok(Poller { epfd })
+            Ok(Poller {
+                epfd,
+                wait_nanos: AtomicU64::new(0),
+                waits: AtomicU64::new(0),
+            })
+        }
+
+        /// Cumulative nanoseconds spent blocked inside `epoll_wait`.
+        pub fn total_wait_nanos(&self) -> u64 {
+            self.wait_nanos.load(Relaxed)
+        }
+
+        /// Number of `epoll_wait` calls completed.
+        pub fn wait_count(&self) -> u64 {
+            self.waits.load(Relaxed)
         }
 
         fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
@@ -124,9 +145,13 @@ mod imp {
             };
             const MAX_EVENTS: usize = 256;
             let mut raw = [sys::EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            let blocked = Instant::now();
             let n = unsafe {
                 sys::epoll_wait(self.epfd, raw.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms)
             };
+            self.wait_nanos
+                .fetch_add(blocked.elapsed().as_nanos() as u64, Relaxed);
+            self.waits.fetch_add(1, Relaxed);
             if n < 0 {
                 let e = io::Error::last_os_error();
                 if e.kind() == io::ErrorKind::Interrupted {
@@ -175,6 +200,14 @@ mod imp {
                 io::ErrorKind::Unsupported,
                 "xtt-netio requires Linux epoll",
             ))
+        }
+
+        pub fn total_wait_nanos(&self) -> u64 {
+            0
+        }
+
+        pub fn wait_count(&self) -> u64 {
+            0
         }
 
         pub fn register(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {

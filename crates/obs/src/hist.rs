@@ -1,0 +1,302 @@
+//! Lock-free log₂-bucketed histogram.
+//!
+//! Bucket `0` holds exactly the value `0`; bucket `i ≥ 1` holds values
+//! in `[2^(i-1), 2^i)`. 65 buckets therefore cover all of `u64`, and a
+//! record is a single relaxed `fetch_add` into one bucket (plus
+//! relaxed sum/max upkeep). Quantiles read out of a [`HistogramSnapshot`]
+//! by walking the cumulative counts and interpolating linearly inside
+//! the landing bucket — no samples are ever stored, so the error is
+//! bounded by the bucket width (a factor of 2 worst case), which is
+//! plenty for latency dashboards.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// Index of the bucket holding `v`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A concurrent histogram. All mutation is relaxed-atomic; readers take
+/// a [`snapshot`](Histogram::snapshot) and compute on the copy.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Copies the current counts. Concurrent recording may tear *across*
+    /// buckets (a record between two loads), never within one — fine for
+    /// monitoring reads.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (slot, c) in counts.iter_mut().zip(&self.buckets) {
+            *slot = c.load(Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
+/// An owned, immutable copy of a [`Histogram`]'s state.
+#[derive(Clone)]
+pub struct HistogramSnapshot {
+    counts: [u64; BUCKETS],
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest value ever recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket `(inclusive upper bound, cumulative count)` pairs up to
+    /// the last non-empty bucket — the Prometheus `le` series.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let last = match self.counts.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut cum = 0u64;
+        (0..=last)
+            .map(|i| {
+                cum += self.counts[i];
+                (bucket_hi(i), cum)
+            })
+            .collect()
+    }
+
+    /// Interpolated quantile, `q` in `[0, 1]`. Exact for the bucket (the
+    /// answer lands in the same log₂ bucket as the true order statistic);
+    /// linear interpolation positions it inside. Clamped to the recorded
+    /// max so `quantile(1.0)` is exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let lo = bucket_lo(i);
+                let hi = bucket_hi(i).min(self.max);
+                let frac = (rank - cum) as f64 / c as f64;
+                let v = lo as f64 + frac * (hi.saturating_sub(lo)) as f64;
+                return (v as u64).min(self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_pinned() {
+        // The contract the quantile math and the Prometheus `le` series
+        // both rely on: 0 is alone, then [2^(i-1), 2^i).
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(i)), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(bucket_hi(i)), i, "hi of bucket {i}");
+        }
+        assert_eq!(bucket_hi(0), 0);
+        assert_eq!(bucket_hi(1), 1);
+        assert_eq!(bucket_hi(10), 1023);
+    }
+
+    #[test]
+    fn snapshot_counts_land_in_the_right_buckets() {
+        let h = Histogram::new();
+        for v in [0, 0, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 9);
+        assert_eq!(s.sum(), 1025);
+        assert_eq!(s.max(), 1000);
+        assert_eq!(s.counts[0], 2);
+        assert_eq!(s.counts[1], 1);
+        assert_eq!(s.counts[2], 2);
+        assert_eq!(s.counts[3], 2);
+        assert_eq!(s.counts[4], 1);
+        assert_eq!(s.counts[10], 1);
+    }
+
+    /// Quantiles agree with a sorted reference up to bucket resolution:
+    /// the histogram's answer must land in the same log₂ bucket as the
+    /// true order statistic, and never exceed the recorded max.
+    #[test]
+    fn quantiles_match_sorted_reference_within_bucket_resolution() {
+        // Deterministic LCG so the test is reproducible.
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        let mut values = Vec::with_capacity(10_000);
+        let h = Histogram::new();
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Skewed distribution, like latencies: mostly small, long tail.
+            let v = (x >> 33) % 1000 + ((x >> 17) % 100_000) * u64::from(x % 50 == 0);
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let reference = values[rank - 1];
+            let got = snap.quantile(q);
+            assert_eq!(
+                bucket_of(got),
+                bucket_of(reference),
+                "q={q}: got {got}, reference {reference}"
+            );
+            assert!(got <= snap.max());
+        }
+        assert_eq!(snap.quantile(1.0), *values.last().unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.cumulative().is_empty());
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 80_000);
+        assert_eq!(s.max(), 79_999);
+    }
+
+    #[test]
+    fn cumulative_series_is_monotone_and_ends_at_count() {
+        let h = Histogram::new();
+        for v in [1u64, 5, 9, 200, 200, 4096] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let cum = s.cumulative();
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        assert_eq!(cum.last().unwrap().1, s.count());
+    }
+}

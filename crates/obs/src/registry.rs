@@ -1,0 +1,404 @@
+//! Named metrics behind one registry, rendered to Prometheus text.
+//!
+//! Registration hands back an `Arc` to the underlying atomic metric;
+//! the hot path only ever touches that handle. The registry's mutex is
+//! taken at registration and render time, never per record — so the
+//! JSON `/stats` view and the `/metrics` exposition both read the very
+//! same atomics and can never disagree.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::Histogram;
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depth, open connections,
+/// high-water marks via [`Gauge::record_max`]).
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Saturating decrement (a racy double-sub must not wrap to 2^64).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self.0.compare_exchange_weak(cur, next, Relaxed, Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Raises the gauge to `v` if larger — high-water-mark semantics.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn text(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    entries: Vec<Entry>,
+}
+
+/// The metric namespace. Cheap to share (`Arc<Registry>`); all methods
+/// take `&self`.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or retrieves) a counter under `name` + `labels`.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.entry(name, help, Kind::Counter, labels, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind checked in entry()"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge under `name` + `labels`.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.entry(name, help, Kind::Gauge, labels, || {
+            Metric::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind checked in entry()"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram under `name` + `labels`.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.entry(name, help, Kind::Histogram, labels, || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind checked in entry()"),
+        }
+    }
+
+    fn entry(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut families = self.families.lock().expect("registry lock");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert_eq!(
+                    f.kind, kind,
+                    "metric '{name}' re-registered as a different kind"
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_owned(),
+                    help: help.to_owned(),
+                    kind,
+                    entries: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(e) = family.entries.iter().find(|e| {
+            e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|(a, b)| a.0 == b.0 && a.1 == b.1)
+        }) {
+            return clone_metric(&e.metric);
+        }
+        let metric = make();
+        family.entries.push(Entry {
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            metric: clone_metric(&metric),
+        });
+        metric
+    }
+
+    /// Renders the whole registry in Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` headers, then one `name{labels} value` line
+    /// per series (histograms as cumulative `_bucket{le=…}`, `_sum`,
+    /// `_count`). Families render sorted by name so scrapes are
+    /// deterministic.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("registry lock");
+        let mut order: Vec<usize> = (0..families.len()).collect();
+        order.sort_by(|&a, &b| families[a].name.cmp(&families[b].name));
+        let mut out = String::with_capacity(4096);
+        for idx in order {
+            let f = &families[idx];
+            out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.text()));
+            for e in &f.entries {
+                match &e.metric {
+                    Metric::Counter(c) => {
+                        out.push_str(&series(&f.name, &e.labels, &[], &c.get().to_string()));
+                    }
+                    Metric::Gauge(g) => {
+                        out.push_str(&series(&f.name, &e.labels, &[], &g.get().to_string()));
+                    }
+                    Metric::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let count = snap.count();
+                        let bucket_name = format!("{}_bucket", f.name);
+                        for (le, cum) in snap.cumulative() {
+                            out.push_str(&series(
+                                &bucket_name,
+                                &e.labels,
+                                &[("le", &le.to_string())],
+                                &cum.to_string(),
+                            ));
+                        }
+                        out.push_str(&series(
+                            &bucket_name,
+                            &e.labels,
+                            &[("le", "+Inf")],
+                            &count.to_string(),
+                        ));
+                        out.push_str(&series(
+                            &format!("{}_sum", f.name),
+                            &e.labels,
+                            &[],
+                            &snap.sum().to_string(),
+                        ));
+                        out.push_str(&series(
+                            &format!("{}_count", f.name),
+                            &e.labels,
+                            &[],
+                            &count.to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn clone_metric(m: &Metric) -> Metric {
+    match m {
+        Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+        Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+        Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+    }
+}
+
+/// One exposition line: `name{k="v",…} value\n`.
+fn series(name: &str, labels: &[(String, String)], extra: &[(&str, &str)], value: &str) -> String {
+    let mut line = String::with_capacity(64);
+    line.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        line.push('{');
+        let mut first = true;
+        for (k, v) in labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra.iter().copied())
+        {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            line.push_str(k);
+            line.push_str("=\"");
+            for ch in v.chars() {
+                match ch {
+                    '\\' => line.push_str("\\\\"),
+                    '"' => line.push_str("\\\""),
+                    '\n' => line.push_str("\\n"),
+                    c => line.push(c),
+                }
+            }
+            line.push('"');
+        }
+        line.push('}');
+    }
+    line.push(' ');
+    line.push_str(value);
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shares_the_atomic() {
+        let r = Registry::new();
+        let a = r.counter(
+            "xtt_requests_total",
+            "Requests handled.",
+            &[("endpoint", "transform")],
+        );
+        let b = r.counter(
+            "xtt_requests_total",
+            "Requests handled.",
+            &[("endpoint", "transform")],
+        );
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        let other = r.counter(
+            "xtt_requests_total",
+            "Requests handled.",
+            &[("endpoint", "stats")],
+        );
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_are_programming_errors() {
+        let r = Registry::new();
+        r.counter("xtt_thing", "", &[]);
+        r.gauge("xtt_thing", "", &[]);
+    }
+
+    #[test]
+    fn render_is_valid_exposition_format() {
+        let r = Registry::new();
+        r.counter(
+            "xtt_requests_total",
+            "Requests handled.",
+            &[("endpoint", "transform")],
+        )
+        .add(7);
+        r.gauge("xtt_queue_depth", "Jobs waiting.", &[]).set(2);
+        let h = r.histogram(
+            "xtt_latency_micros",
+            "Request latency.",
+            &[("endpoint", "transform")],
+        );
+        h.record(3);
+        h.record(100);
+        let text = r.render_prometheus();
+        // The same lint CI applies: every line is # HELP, # TYPE, or
+        // `name{labels} value`.
+        for line in text.lines() {
+            if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "bad value in {line:?}"
+            );
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad name in {line:?}"
+            );
+        }
+        assert!(text.contains("# TYPE xtt_requests_total counter\n"));
+        assert!(text.contains("xtt_requests_total{endpoint=\"transform\"} 7\n"));
+        assert!(text.contains("xtt_queue_depth 2\n"));
+        assert!(text.contains("xtt_latency_micros_bucket{endpoint=\"transform\",le=\"3\"} 1\n"));
+        assert!(text.contains("xtt_latency_micros_bucket{endpoint=\"transform\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("xtt_latency_micros_sum{endpoint=\"transform\"} 103\n"));
+        assert!(text.contains("xtt_latency_micros_count{endpoint=\"transform\"} 2\n"));
+        // Families are sorted by name.
+        let lat = text.find("xtt_latency_micros").unwrap();
+        let que = text.find("xtt_queue_depth").unwrap();
+        let req = text.find("xtt_requests_total").unwrap();
+        assert!(lat < que && que < req);
+    }
+
+    #[test]
+    fn gauge_sub_saturates() {
+        let g = Gauge::new();
+        g.add(1);
+        g.sub(5);
+        assert_eq!(g.get(), 0);
+        g.record_max(9);
+        g.record_max(4);
+        assert_eq!(g.get(), 9);
+    }
+}

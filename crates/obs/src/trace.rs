@@ -1,0 +1,226 @@
+//! Sampled per-request pipeline tracing.
+//!
+//! A [`Trace`] stamps stage boundaries as a request flows through the
+//! pipeline (tokenize → encode → guard → evaluate → emit). The engine
+//! sees it only through the [`EvalObserver`] trait, passed as
+//! `Option<&mut dyn EvalObserver>` — `None` on the unsampled path, so
+//! an untraced request never even reads the clock. [`TraceSampler`]
+//! picks 1-in-N requests with a single relaxed `fetch_add`.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant, SystemTime};
+
+/// A pipeline stage boundary, in flow order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stage {
+    /// Raw bytes → parse events / term parse.
+    Tokenize,
+    /// Unranked events → ranked encoding (fc/ns, DTD).
+    Encode,
+    /// Domain-guard validation.
+    Guard,
+    /// Transducer evaluation.
+    Evaluate,
+    /// Output serialization / decode back to XML.
+    Emit,
+}
+
+impl Stage {
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Tokenize => "tokenize",
+            Stage::Encode => "encode",
+            Stage::Guard => "guard",
+            Stage::Evaluate => "eval",
+            Stage::Emit => "emit",
+        }
+    }
+}
+
+/// The hook the engine calls at stage boundaries. `stage(s)` means
+/// "the work for `s` just finished" — implementations charge the time
+/// since the previous stamp to `s`.
+pub trait EvalObserver {
+    fn stage(&mut self, stage: Stage);
+}
+
+impl EvalObserver for Trace {
+    fn stage(&mut self, stage: Stage) {
+        self.stamp(stage.name());
+    }
+}
+
+/// One sampled request's stage breakdown. Stages repeat per document in
+/// a batch request; repeated stamps accumulate into one entry, so the
+/// rendered header stays bounded regardless of batch size.
+pub struct Trace {
+    id: u64,
+    start: Instant,
+    last: Instant,
+    stages: Vec<(&'static str, Duration)>,
+}
+
+impl Trace {
+    pub fn new(id: u64) -> Trace {
+        let now = Instant::now();
+        Trace {
+            id,
+            start: now,
+            last: now,
+            stages: Vec::with_capacity(6),
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The trace id as it appears in `X-Xtt-Trace-Id` and the slow log.
+    pub fn id_hex(&self) -> String {
+        format!("{:016x}", self.id)
+    }
+
+    /// Charges the time since the previous stamp to `name`.
+    pub fn stamp(&mut self, name: &'static str) {
+        let now = Instant::now();
+        let dur = now - self.last;
+        self.last = now;
+        match self.stages.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, total)) => *total += dur,
+            None => self.stages.push((name, dur)),
+        }
+    }
+
+    /// Total wall time since the trace began.
+    pub fn total(&self) -> Duration {
+        self.last - self.start
+    }
+
+    /// The recorded `(stage, accumulated duration)` pairs, in first-seen
+    /// order (which is pipeline order).
+    pub fn stages(&self) -> &[(&'static str, Duration)] {
+        &self.stages
+    }
+
+    /// `Server-Timing`-style header value:
+    /// `tokenize;dur=0.123, guard;dur=0.045, eval;dur=1.200` (ms).
+    pub fn server_timing(&self) -> String {
+        let mut out = String::with_capacity(16 * self.stages.len());
+        for (i, (name, dur)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(name);
+            out.push_str(&format!(";dur={:.3}", dur.as_secs_f64() * 1e3));
+        }
+        out
+    }
+
+    /// `stage=micros` pairs for the structured slow-request log line.
+    pub fn breakdown_micros(&self) -> String {
+        let mut out = String::with_capacity(16 * self.stages.len());
+        for (i, (name, dur)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{name}={}", dur.as_micros()));
+        }
+        out
+    }
+}
+
+/// Picks 1-in-N requests for tracing. `every == 0` disables sampling
+/// entirely; `every == 1` traces everything.
+pub struct TraceSampler {
+    every: u64,
+    seq: AtomicU64,
+    seed: u64,
+}
+
+impl TraceSampler {
+    pub fn new(every: u64) -> TraceSampler {
+        // Seed trace ids from the wall clock so ids from different
+        // server runs don't collide in aggregated logs.
+        let seed = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        TraceSampler {
+            every,
+            seq: AtomicU64::new(0),
+            seed,
+        }
+    }
+
+    /// The configured 1-in-N rate (0 = disabled).
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// One relaxed `fetch_add`; returns a trace id for sampled requests.
+    #[inline]
+    pub fn sample(&self) -> Option<u64> {
+        if self.every == 0 {
+            return None;
+        }
+        let n = self.seq.fetch_add(1, Relaxed);
+        if n % self.every == 0 {
+            Some(splitmix64(self.seed ^ n.wrapping_add(1)))
+        } else {
+            None
+        }
+    }
+}
+
+/// SplitMix64 finalizer — spreads sequential inputs into distinctive ids.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_accumulate_by_stage_name() {
+        let mut t = Trace::new(7);
+        t.stage(Stage::Tokenize);
+        t.stage(Stage::Evaluate);
+        t.stage(Stage::Tokenize);
+        t.stage(Stage::Emit);
+        let names: Vec<&str> = t.stages().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["tokenize", "eval", "emit"]);
+        assert_eq!(t.id_hex().len(), 16);
+        let header = t.server_timing();
+        assert!(header.starts_with("tokenize;dur="), "{header}");
+        assert_eq!(header.matches(";dur=").count(), 3, "{header}");
+        let log = t.breakdown_micros();
+        assert_eq!(log.split(' ').count(), 3, "{log}");
+        assert!(log.starts_with("tokenize="), "{log}");
+    }
+
+    #[test]
+    fn sampler_picks_one_in_n() {
+        let s = TraceSampler::new(3);
+        let picks: Vec<bool> = (0..9).map(|_| s.sample().is_some()).collect();
+        assert_eq!(
+            picks,
+            [true, false, false, true, false, false, true, false, false]
+        );
+        // Sampled ids are distinct.
+        let s = TraceSampler::new(1);
+        let a = s.sample().unwrap();
+        let b = s.sample().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sampler_zero_disables() {
+        let s = TraceSampler::new(0);
+        assert!((0..100).all(|_| s.sample().is_none()));
+        assert_eq!(s.every(), 0);
+    }
+}

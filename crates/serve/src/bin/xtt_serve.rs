@@ -41,6 +41,13 @@ OPTIONS:
   --validate              guarded evaluation by default: out-of-domain
                           documents answer with typed violation paths
                           (per-request override: ?validate=0|1)
+  --trace-sample <N>      trace 1 in N transform requests through the
+                          pipeline (Server-Timing + X-Xtt-Trace-Id
+                          response headers, stage breakdown in the slow
+                          log; 0 disables)                   [default: 0]
+  --slow-ms <ms>          slow-request log threshold: requests slower
+                          than this log a structured line on stderr
+                          (0 disables)                       [default: 1000]
   --preload <names>       comma-separated built-ins to register at boot
                           (flip, library, copy)
   --help                  print this help
@@ -107,6 +114,17 @@ fn parse_args() -> Result<Args, String> {
                     DocFormat::parse(&name).ok_or_else(|| format!("unknown format '{name}'"))?;
             }
             "--validate" => args.opts.engine.validate = true,
+            "--trace-sample" => {
+                args.opts.trace_sample = value("--trace-sample")?
+                    .parse()
+                    .map_err(|_| "bad --trace-sample value".to_owned())?
+            }
+            "--slow-ms" => {
+                let ms: u64 = value("--slow-ms")?
+                    .parse()
+                    .map_err(|_| "bad --slow-ms value".to_owned())?;
+                args.opts.slow_request = std::time::Duration::from_millis(ms);
+            }
             "--preload" => {
                 args.preload = value("--preload")?
                     .split(',')

@@ -34,7 +34,6 @@
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -132,7 +131,7 @@ pub(crate) fn run(shared: &Shared, listener: TcpListener) -> io::Result<()> {
     loop {
         lp.poller.wait(&mut events, Some(TICK))?;
         if !events.is_empty() {
-            shared.stats.epoll_wakeups.fetch_add(1, Ordering::Relaxed);
+            shared.stats.epoll_wakeups.inc();
         }
         if signal::triggered() {
             shared.begin_shutdown();
@@ -167,7 +166,7 @@ impl Loop<'_> {
         loop {
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.shared.stats.accepted.inc();
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
@@ -382,28 +381,23 @@ impl Loop<'_> {
                 token,
                 out,
             } => {
-                self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.requests.inc();
                 if served > 1 {
-                    self.shared
-                        .stats
-                        .reused_requests
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.stats.reused_requests.inc();
                 }
                 match self.shared.queue.push(Job::Request {
                     token,
                     request,
                     served,
                     out,
+                    enqueued: Instant::now(),
                 }) {
                     Ok(()) => {
                         self.shared
                             .stats
                             .queue_depth
-                            .store(self.shared.queue.depth(), Ordering::Relaxed);
-                        self.shared
-                            .stats
-                            .worker_handoffs
-                            .fetch_add(1, Ordering::Relaxed);
+                            .set(self.shared.queue.depth() as u64);
+                        self.shared.stats.worker_handoffs.inc();
                         if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
                             conn.state = ConnState::Processing;
                         }
@@ -416,7 +410,7 @@ impl Loop<'_> {
                             PushError::Full => "queue full, retry later\n",
                             PushError::ShuttingDown => "shutting down\n",
                         };
-                        self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        self.shared.stats.rejected.inc();
                         self.respond_direct(
                             idx,
                             503,
@@ -468,7 +462,14 @@ impl Loop<'_> {
             let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
                 return;
             };
-            if conn.out.len() == 0 {
+            let backlog = conn.out.len();
+            // High-water mark of any connection's output backlog — how
+            // close streamed responses come to the buffer bound.
+            self.shared
+                .stats
+                .outbuf_highwater
+                .record_max(backlog as u64);
+            if backlog == 0 {
                 Ok(Drained::Empty)
             } else {
                 conn.out.drain_to(&mut conn.stream)
@@ -553,14 +554,11 @@ impl Loop<'_> {
                     .queue
                     .push_unbounded(Job::Resume { token, job, out });
                 self.shared.queue.unhold();
-                self.shared
-                    .stats
-                    .worker_handoffs
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.worker_handoffs.inc();
                 self.shared
                     .stats
                     .queue_depth
-                    .store(self.shared.queue.depth(), Ordering::Relaxed);
+                    .set(self.shared.queue.depth() as u64);
                 self.update_interest(idx);
             }
         }
@@ -703,18 +701,12 @@ impl Loop<'_> {
                 Sweep::Keep => {}
                 Sweep::Close { idle } => {
                     if idle {
-                        self.shared
-                            .stats
-                            .closed_idle
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.stats.closed_idle.inc();
                     }
                     self.close(idx);
                 }
                 Sweep::WriteTimeout => {
-                    self.shared
-                        .stats
-                        .write_timeouts
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.stats.write_timeouts.inc();
                     self.close(idx);
                 }
                 Sweep::DrainTick => self.drain_conn(idx),
@@ -735,13 +727,14 @@ impl Loop<'_> {
                 parked += 1;
             }
         }
+        self.shared.stats.connections_open.set(open as u64);
+        self.shared.stats.parked_idle.set(parked as u64);
+        // Mirror the poller's cumulative epoll_wait account: the gap
+        // between wall time and wait time is the loop's busy time.
         self.shared
             .stats
-            .connections_open
-            .store(open, Ordering::Relaxed);
-        self.shared
-            .stats
-            .parked_idle
-            .store(parked, Ordering::Relaxed);
+            .epoll_wait_nanos
+            .set(self.poller.total_wait_nanos());
+        self.shared.stats.epoll_waits.set(self.poller.wait_count());
     }
 }

@@ -28,10 +28,12 @@
 //! GET    /encodings[/{name}]             list / inspect encodings (the
 //!                                        built-in fcns is always there)
 //! DELETE /encodings/{name}               unregister
-//! GET    /healthz                        liveness
+//! GET    /healthz                        liveness (+ started_at/uptime)
 //! GET    /stats                          counters (engine cache, validation,
 //!                                        typecheck, queue, event loop,
 //!                                        latency)
+//! GET    /metrics                        the same counters in Prometheus
+//!                                        text exposition format
 //! POST   /shutdown                       graceful shutdown (drain, then exit)
 //! ```
 //!
@@ -54,12 +56,12 @@
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use xtt_engine::{DocFormat, Engine, EngineOptions, EvalMode};
 use xtt_netio::Waker;
+use xtt_obs::{EvalObserver, Trace, TraceSampler};
 
 use crate::encodings::EncodingRegistry;
 use crate::event_loop;
@@ -98,6 +100,16 @@ pub struct ServeOptions {
     /// boundary and resumes once the event loop has drained the buffer
     /// to a quarter.
     pub stream_buffer: usize,
+    /// Trace one in N transform requests through the evaluation
+    /// pipeline (tokenize/encode/guard/eval/emit stage stamps, surfaced
+    /// as `Server-Timing` + `X-Xtt-Trace-Id` response headers and in the
+    /// slow-request log). `0` disables sampling entirely — the engine
+    /// then sees a `None` observer and pays nothing.
+    pub trace_sample: u64,
+    /// Requests slower than this get a structured `slow-request` line on
+    /// stderr (with the stage breakdown when the request was sampled).
+    /// Zero disables the log.
+    pub slow_request: Duration,
     /// The wrapped engine (cache capacity, default mode/format, batch
     /// workers *inside* one transform request).
     pub engine: EngineOptions,
@@ -114,6 +126,8 @@ impl Default for ServeOptions {
             keep_alive_timeout: Duration::from_secs(5),
             keep_alive_limit: 1000,
             stream_buffer: 256 * 1024,
+            trace_sample: 0,
+            slow_request: Duration::from_secs(1),
             engine: EngineOptions {
                 // A copying transducer turns a 100-byte document into an
                 // exponential output; a server must bound what it will
@@ -135,6 +149,8 @@ pub(crate) enum Job {
         /// limit input.
         served: usize,
         out: Arc<Outbuf>,
+        /// When the event loop pushed the job (queue-wait histogram).
+        enqueued: Instant,
     },
     /// A stream job that yielded to a slow client, resuming now that the
     /// buffer has drained.
@@ -174,6 +190,8 @@ pub(crate) struct StreamJob {
     keep: bool,
     head_written: bool,
     started: Instant,
+    /// Sampled pipeline trace; stages accumulate across yields.
+    trace: Option<Trace>,
 }
 
 /// What routing one request produced.
@@ -191,6 +209,7 @@ pub(crate) struct Shared {
     /// Finished jobs queued for the event loop, paired with a waker kick.
     pub(crate) done: Mutex<Vec<Done>>,
     pub(crate) waker: Waker,
+    pub(crate) sampler: TraceSampler,
     pub(crate) opts: ServeOptions,
 }
 
@@ -264,10 +283,11 @@ impl Server {
                 engine: Engine::shared(opts.engine.clone()),
                 registry: Registry::new(),
                 encodings: EncodingRegistry::new(),
-                stats: ServerStats::default(),
+                stats: ServerStats::new(),
                 queue: WorkQueue::new(opts.queue_capacity),
                 done: Mutex::new(Vec::new()),
                 waker,
+                sampler: TraceSampler::new(opts.trace_sample),
                 opts,
             }),
         })
@@ -322,17 +342,19 @@ impl Server {
 
 fn worker_loop(shared: &Shared) {
     while let Some((job, _guard)) = shared.queue.pop() {
-        shared
-            .stats
-            .queue_depth
-            .store(shared.queue.depth(), Ordering::Relaxed);
+        shared.stats.queue_depth.set(shared.queue.depth() as u64);
         let (token, disposition) = match job {
             Job::Request {
                 token,
                 request,
                 served,
                 out,
+                enqueued,
             } => {
+                shared
+                    .stats
+                    .queue_wait
+                    .record(enqueued.elapsed().as_micros() as u64);
                 let keep = request.keep_alive()
                     && served < shared.opts.keep_alive_limit.max(1)
                     && !shared.queue.is_shutting_down();
@@ -344,7 +366,7 @@ fn worker_loop(shared: &Shared) {
                     Ok(Ok(RouteStep::Yield(job))) => Disposition::Yield { job },
                     Ok(Err(_)) => Disposition::Abort,
                     Err(_) => {
-                        shared.stats.handler_panics.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.handler_panics.inc();
                         let mut buf = Vec::new();
                         let _ = write_response(
                             &mut buf,
@@ -367,7 +389,7 @@ fn worker_loop(shared: &Shared) {
                     Ok(Ok(RouteStep::Yield(job))) => Disposition::Yield { job },
                     Ok(Err(_)) => Disposition::Abort,
                     Err(_) => {
-                        shared.stats.handler_panics.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.handler_panics.inc();
                         Disposition::Abort
                     }
                 };
@@ -408,20 +430,31 @@ fn route(
     };
     let r = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            let r = respond(w, 200, "text/plain", b"ok\n");
-            shared.stats.health.record(started, false);
+            let body = format!(
+                "{{\"ok\":true,\"started_at\":{},\"uptime_seconds\":{}}}\n",
+                shared.stats.started_unix,
+                shared.stats.uptime_seconds(),
+            );
+            let r = respond(w, 200, "application/json", body.as_bytes());
+            shared.stats.health.record(started, 200);
             r
         }
         ("GET", ["stats"]) => {
             let body = shared.stats_json();
             let r = respond(w, 200, "application/json", body.as_bytes());
-            shared.stats.stats.record(started, false);
+            shared.stats.stats.record(started, 200);
+            r
+        }
+        ("GET", ["metrics"]) => {
+            let body = shared.metrics_text();
+            let r = respond(w, 200, "text/plain; version=0.0.4", body.as_bytes());
+            shared.stats.stats.record(started, 200);
             r
         }
         ("GET", ["transducers"]) => {
             let body = shared.registry.list_json();
             let r = respond(w, 200, "application/json", body.as_bytes());
-            shared.stats.transducers.record(started, false);
+            shared.stats.transducers.record(started, 200);
             r
         }
         ("GET", ["transducers", name]) => {
@@ -430,13 +463,13 @@ fn route(
                 None => (404, error_json("unknown transducer")),
             };
             let r = respond(w, status, "application/json", body.as_bytes());
-            shared.stats.transducers.record(started, status >= 400);
+            shared.stats.transducers.record(started, status);
             r
         }
         ("PUT", ["transducers", name]) => {
             let (status, body) = put_transducer(shared, req, name);
             let r = respond(w, status, "application/json", body.as_bytes());
-            shared.stats.transducers.record(started, status >= 400);
+            shared.stats.transducers.record(started, status);
             r
         }
         ("DELETE", ["transducers", name]) => {
@@ -446,13 +479,13 @@ fn route(
                 404
             };
             let r = respond(w, status, "text/plain", b"");
-            shared.stats.transducers.record(started, status >= 400);
+            shared.stats.transducers.record(started, status);
             r
         }
         ("GET", ["encodings"]) => {
             let body = shared.encodings.list_json();
             let r = respond(w, 200, "application/json", body.as_bytes());
-            shared.stats.encodings.record(started, false);
+            shared.stats.encodings.record(started, 200);
             r
         }
         ("GET", ["encodings", name]) => {
@@ -462,13 +495,13 @@ fn route(
                 None => (404, error_json("unknown encoding")),
             };
             let r = respond(w, status, "application/json", body.as_bytes());
-            shared.stats.encodings.record(started, status >= 400);
+            shared.stats.encodings.record(started, status);
             r
         }
         ("PUT", ["encodings", name]) => {
             let (status, body) = put_encoding(shared, req, name);
             let r = respond(w, status, "application/json", body.as_bytes());
-            shared.stats.encodings.record(started, status >= 400);
+            shared.stats.encodings.record(started, status);
             r
         }
         ("DELETE", ["encodings", name]) => {
@@ -478,31 +511,31 @@ fn route(
                 404
             };
             let r = respond(w, status, "text/plain", b"");
-            shared.stats.encodings.record(started, status >= 400);
+            shared.stats.encodings.record(started, status);
             r
         }
         ("POST", ["transform", name]) => return transform(shared, req, name, w, started, keep),
         ("POST", ["typecheck", name]) => {
             let (status, body) = typecheck(shared, req, name);
             let r = respond(w, status, "application/json", body.as_bytes());
-            shared.stats.typecheck.record(started, status >= 400);
+            shared.stats.typecheck.record(started, status);
             r
         }
         ("POST", ["shutdown"]) => {
             let r = respond(w, 200, "text/plain", b"draining\n");
-            shared.stats.other.record(started, false);
+            shared.stats.other.record(started, 200);
             shared.begin_shutdown();
             r
         }
-        (_, ["healthz" | "stats" | "shutdown"])
+        (_, ["healthz" | "stats" | "metrics" | "shutdown"])
         | (_, ["transducers" | "transform" | "typecheck" | "encodings", ..]) => {
             let r = respond(w, 405, "text/plain", b"method not allowed\n");
-            shared.stats.other.record(started, true);
+            shared.stats.other.record(started, 405);
             r
         }
         _ => {
             let r = respond(w, 404, "text/plain", b"no such endpoint\n");
-            shared.stats.other.record(started, true);
+            shared.stats.other.record(started, 404);
             r
         }
     };
@@ -620,7 +653,7 @@ fn transform(
             error_json("unknown transducer").as_bytes(),
             keep,
         );
-        shared.stats.transform.record(started, true);
+        shared.stats.transform.record(started, 404);
         return r.map(|()| RouteStep::Done { keep });
     };
     let mode = match optional(req.query_param("mode"), EvalMode::parse) {
@@ -681,7 +714,7 @@ fn transform(
                 error_json(&e.to_string()).as_bytes(),
                 keep,
             );
-            shared.stats.transform.record(started, true);
+            shared.stats.transform.record(started, 400);
             return r.map(|()| RouteStep::Done { keep });
         }
     };
@@ -690,6 +723,13 @@ fn transform(
     let mut docs: Vec<String> = body.split('\n').map(|l| l.trim().to_owned()).collect();
     if docs.last().is_some_and(String::is_empty) {
         docs.pop();
+    }
+    // One in `trace_sample` transform requests carries a pipeline trace
+    // through the engine; everyone else passes a `None` observer, which
+    // the evaluation paths skip entirely.
+    let mut trace = shared.sampler.sample().map(Trace::new);
+    if trace.is_some() {
+        shared.stats.traces_sampled.inc();
     }
     if mode == EvalMode::Streaming {
         let job = StreamJob {
@@ -703,35 +743,46 @@ fn transform(
             keep,
             head_written: false,
             started,
+            trace,
         };
         return run_stream_job(shared, job, w);
     }
-    let results =
-        shared
-            .engine
-            .transform_batch_with_validation(&entry.dtop, &docs, mode, format, validate);
+    let results = match trace.as_mut() {
+        Some(t) => shared.engine.transform_batch_observed(
+            &entry.dtop,
+            &docs,
+            mode,
+            format,
+            validate,
+            Some(t),
+        ),
+        None => shared.engine.transform_batch_with_validation(
+            &entry.dtop,
+            &docs,
+            mode,
+            format,
+            validate,
+        ),
+    };
     let failed = results.iter().filter(|r| r.is_err()).count();
     let type_errors = results
         .iter()
         .filter(|r| matches!(r, Err(xtt_engine::EngineError::Type(_))))
         .count();
-    shared
-        .stats
-        .documents
-        .fetch_add(results.len() as u64, Ordering::Relaxed);
-    shared
-        .stats
-        .document_errors
-        .fetch_add(failed as u64, Ordering::Relaxed);
-    shared
-        .stats
-        .documents_type_errors
-        .fetch_add(type_errors as u64, Ordering::Relaxed);
+    shared.stats.documents.add(results.len() as u64);
+    shared.stats.document_errors.add(failed as u64);
+    shared.stats.documents_type_errors.add(type_errors as u64);
     let status = if failed == 0 { 200 } else { 207 };
-    let headers = [
+    let mut headers = vec![
         ("X-Xtt-Docs", results.len().to_string()),
         ("X-Xtt-Failed", failed.to_string()),
     ];
+    if let Some(t) = &trace {
+        // The batch is fully evaluated before the head goes out, so the
+        // stage breakdown rides the response itself.
+        headers.push(("X-Xtt-Trace-Id", t.id_hex()));
+        headers.push(("Server-Timing", t.server_timing()));
+    }
     let mut writer = ChunkedWriter::start_conn(&mut *w, status, "text/plain", &headers, keep)?;
     for result in &results {
         let line = match result {
@@ -741,8 +792,36 @@ fn transform(
         writer.chunk(line.as_bytes())?;
     }
     let r = writer.finish();
-    shared.stats.transform.record(started, status >= 400);
+    log_if_slow(
+        shared,
+        status,
+        results.len() as u64,
+        started,
+        trace.as_ref(),
+    );
+    shared.stats.transform.record(started, status);
     r.map(|()| RouteStep::Done { keep })
+}
+
+/// Emits the structured slow-request line for transform requests that
+/// crossed [`ServeOptions::slow_request`]; sampled requests carry their
+/// per-stage breakdown, unsampled ones log `trace=-`.
+fn log_if_slow(shared: &Shared, status: u16, docs: u64, started: Instant, trace: Option<&Trace>) {
+    let threshold = shared.opts.slow_request;
+    if threshold.is_zero() {
+        return;
+    }
+    let elapsed = started.elapsed();
+    if elapsed < threshold {
+        return;
+    }
+    shared.stats.slow_requests.inc();
+    let id = trace.map_or_else(|| "-".to_owned(), Trace::id_hex);
+    let stages = trace.map_or_else(String::new, |t| format!(" {}", t.breakdown_micros()));
+    eprintln!(
+        "xtt-serve slow-request endpoint=transform status={status} docs={docs} total_us={} trace={id}{stages}",
+        elapsed.as_micros(),
+    );
 }
 
 /// Runs (or resumes) a `mode=stream` transform until it finishes, fails,
@@ -756,12 +835,21 @@ fn run_stream_job(
     w.set_deadline(shared.opts.stream_write_deadline);
     match stream_job_step(shared, &mut job, w) {
         Ok(true) => {
-            shared.stats.transform.record(job.started, false);
+            log_if_slow(
+                shared,
+                200,
+                job.docs.len() as u64,
+                job.started,
+                job.trace.as_ref(),
+            );
+            shared.stats.transform.record(job.started, 200);
             Ok(RouteStep::Done { keep: job.keep })
         }
         Ok(false) => Ok(RouteStep::Yield(job)),
         Err(e) => {
-            shared.stats.transform.record(job.started, true);
+            // The response died mid-stream (write deadline, I/O error):
+            // a server-side abort, counted with the 5xx class.
+            shared.stats.transform.record(job.started, 500);
             Err(e)
         }
     }
@@ -785,10 +873,16 @@ fn stream_job_step(
     w: &mut ConnWriter<'_>,
 ) -> io::Result<bool> {
     if !job.head_written {
-        let headers = [
+        let mut headers = vec![
             ("X-Xtt-Docs", job.docs.len().to_string()),
             ("X-Xtt-Streamed", "1".to_owned()),
         ];
+        // The head goes out before any document runs, so a streamed
+        // response can carry the trace id but not the (not yet
+        // measured) stage breakdown — that lands in the slow log.
+        if let Some(t) = &job.trace {
+            headers.push(("X-Xtt-Trace-Id", t.id_hex()));
+        }
         // Head only: dropping the writer (instead of `finish`ing it)
         // leaves the chunked body open, so the job can resume across
         // yields with `ChunkedWriter::resume`.
@@ -803,26 +897,25 @@ fn stream_job_step(
             buf: Vec::new(),
             bytes: 0,
         };
-        match shared.engine.transform_streaming_with(
+        let obs = job.trace.as_mut().map(|t| t as &mut dyn EvalObserver);
+        match shared.engine.transform_streaming_observed(
             &job.entry.dtop,
             doc,
             job.format.clone(),
             job.validate,
             &mut sink,
+            obs,
         ) {
             Ok(out) => {
                 sink.flush()?;
-                shared
-                    .stats
-                    .bytes_flushed_early
-                    .fetch_add(out.bytes_written, Ordering::Relaxed);
+                shared.stats.bytes_flushed_early.add(out.bytes_written);
                 writer.chunk(b"\n")?;
             }
             Err(xtt_engine::EngineError::Write { kind, message }) => {
                 // The failing writer *is* the client connection: nothing
                 // more can be said on it, abort the response.
                 if matches!(kind, io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) {
-                    shared.stats.write_timeouts.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.write_timeouts.inc();
                 }
                 return Err(io::Error::new(kind, message));
             }
@@ -835,10 +928,7 @@ fn stream_job_step(
                 // wire (same bytes as unbuffered emission).
                 sink.flush()?;
                 let flushed = sink.bytes;
-                shared
-                    .stats
-                    .bytes_flushed_early
-                    .fetch_add(flushed, Ordering::Relaxed);
+                shared.stats.bytes_flushed_early.add(flushed);
                 let sep = if flushed > 0 { "\n" } else { "" };
                 writer.chunk(format!("{sep}!error: {e}\n").as_bytes())?;
             }
@@ -847,30 +937,15 @@ fn stream_job_step(
         // Doc-boundary yield: a backed-up client keeps its connection
         // parked in the event loop instead of this worker thread.
         if job.next < job.docs.len() && w.backlog() > w.buffer_capacity() / 2 {
-            shared
-                .stats
-                .slow_client_yields
-                .fetch_add(1, Ordering::Relaxed);
+            shared.stats.slow_client_yields.inc();
             return Ok(false);
         }
     }
     ChunkedWriter::resume(&mut *w).finish()?;
-    shared
-        .stats
-        .docs_streamed
-        .fetch_add(job.docs.len() as u64, Ordering::Relaxed);
-    shared
-        .stats
-        .documents
-        .fetch_add(job.docs.len() as u64, Ordering::Relaxed);
-    shared
-        .stats
-        .document_errors
-        .fetch_add(job.failed, Ordering::Relaxed);
-    shared
-        .stats
-        .documents_type_errors
-        .fetch_add(job.type_errors, Ordering::Relaxed);
+    shared.stats.docs_streamed.add(job.docs.len() as u64);
+    shared.stats.documents.add(job.docs.len() as u64);
+    shared.stats.document_errors.add(job.failed);
+    shared.stats.documents_type_errors.add(job.type_errors);
     Ok(true)
 }
 
@@ -925,17 +1000,14 @@ fn typecheck(shared: &Shared, req: &Request, name: &str) -> (u16, String) {
         Ok(s) => s,
         Err(e) => return (422, error_json(&format!("bad schema: {e}"))),
     };
-    shared.stats.typecheck_runs.fetch_add(1, Ordering::Relaxed);
+    shared.stats.typecheck_runs.inc();
     match xtt_typecheck::output_typecheck(&entry.dtop, None, &schema) {
         xtt_typecheck::TypecheckVerdict::WellTyped => (
             200,
             format!("{{\"name\":\"{}\",\"ok\":true}}\n", escape_json(name)),
         ),
         xtt_typecheck::TypecheckVerdict::Counterexample { input, output } => {
-            shared
-                .stats
-                .typecheck_ill_typed
-                .fetch_add(1, Ordering::Relaxed);
+            shared.stats.typecheck_ill_typed.inc();
             (
                 200,
                 format!(
@@ -984,7 +1056,7 @@ fn bad_param(
         error_json(&format!("bad {param}: {value}")).as_bytes(),
         keep,
     );
-    shared.stats.transform.record(started, true);
+    shared.stats.transform.record(started, 400);
     r.map(|()| RouteStep::Done { keep })
 }
 
@@ -998,6 +1070,21 @@ impl Shared {
             self.encodings.len(),
             self.queue.capacity(),
         )
+    }
+
+    /// The Prometheus text exposition: sync the externally owned values
+    /// into their gauges, then render the registry — the same atomics
+    /// `/stats` reads.
+    fn metrics_text(&self) -> String {
+        self.stats.sync_external(
+            self.engine.cache_stats(),
+            self.engine.validation_stats(),
+            self.engine.skipped_subtrees(),
+            self.registry.len(),
+            self.encodings.len(),
+            self.queue.capacity(),
+        );
+        self.stats.metrics.render_prometheus()
     }
 }
 
