@@ -26,8 +26,8 @@ use xtt_unranked::{UnrankedError, UnrankedEvents, XmlCodec, XmlWriter};
 use crate::compile::{compile, fingerprint, CompileError, CompiledDtop};
 use crate::eval::EvalScratch;
 use crate::stream::{
-    tree_to_xml, EmitStats, GuardedSource, IterEvents, OutputSink, StreamEvaluator, TreeCollector,
-    TreeEventSource, XmlRankedEvents,
+    tree_to_xml, ChainedEvaluator, EmitStats, GuardedSource, IterEvents, OutputSink,
+    StreamEvaluator, TreeCollector, TreeEventSource, XmlRankedEvents,
 };
 
 /// Which evaluator the engine runs.
@@ -209,10 +209,11 @@ struct LruEntry<V> {
     value: V,
 }
 
-/// The one LRU discipline behind both the compiled-transducer cache and
-/// the domain-guard cache: fingerprint + exact-rendering lookup,
-/// least-recently-used eviction on insert.
-struct LruCache<V> {
+/// The one LRU discipline behind the compiled-transducer cache, the
+/// domain-guard cache, and `xtt-pipeline`'s compiled-plan cache:
+/// fingerprint + exact-rendering lookup (a 64-bit collision can never
+/// serve the wrong value), least-recently-used eviction on insert.
+pub struct LruCache<V> {
     entries: Vec<LruEntry<V>>,
     tick: u64,
     hits: u64,
@@ -230,8 +231,26 @@ impl<V> Default for LruCache<V> {
     }
 }
 
+impl<V> LruCache<V> {
+    pub fn new() -> LruCache<V> {
+        LruCache::default()
+    }
+
+    /// Hit/miss/occupancy counters (monotonic over the cache's life).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len(),
+        }
+    }
+}
+
 impl<V: Clone> LruCache<V> {
-    fn get_or_insert_with<E>(
+    /// Returns the cached value for `(fp, rendering)`, building and
+    /// inserting it (evicting the least-recently-used entry at
+    /// `capacity`) on a miss. A failed `build` caches nothing.
+    pub fn get_or_insert_with<E>(
         &mut self,
         fp: u64,
         rendering: String,
@@ -311,6 +330,17 @@ pub struct StreamOutcome {
     pub peak_buffered_frames: usize,
     /// Deleted subtrees fast-forwarded at the tokenizer.
     pub skipped_subtrees: u64,
+}
+
+/// One pre-compiled stage of an executable pipeline chain (built by
+/// `xtt-pipeline`, executed by the [`Engine::transform_batch_chain`] /
+/// [`Engine::transform_streaming_chain`] entry points). Stages carry
+/// their own compiled form — the engine's transducer LRU is not
+/// consulted; the pipeline layer caches whole plans instead.
+#[derive(Clone)]
+pub struct ChainStage {
+    pub dtop: Arc<Dtop>,
+    pub compiled: Arc<CompiledDtop>,
 }
 
 /// A reusable transformation service; see the module docs.
@@ -614,7 +644,7 @@ impl Engine {
             None
         };
         let result = Worker::new().transform_streaming(
-            &compiled,
+            &[&*compiled],
             doc,
             &format,
             guard.as_deref(),
@@ -741,6 +771,172 @@ impl Engine {
             self.record_validation(&results);
         }
         results
+    }
+
+    /// Executes a pre-compiled pipeline chain τₙ ∘ … ∘ τ₁ on one
+    /// document (`stages[0]` runs first). `guard` is the domain guard of
+    /// the **whole chain** — `xtt-pipeline` builds it from the composed
+    /// transducer, with the input schema folded in — so rejection
+    /// surfaces as a positioned [`EngineError::Type`] exactly like
+    /// single-transducer validation. In [`EvalMode::Streaming`] with no
+    /// output bound the stages are fused: stage i's committed output
+    /// events feed stage i+1 without materializing intermediate trees;
+    /// the other modes evaluate stage by stage. The output-node bound
+    /// applies to the **final** stage's output only (the chain's output
+    /// — intermediate sizes are an execution detail the statically
+    /// composed strategy never sees). `stage_events`, when given,
+    /// receives each stage's output event count.
+    pub fn transform_chain(
+        &self,
+        stages: &[ChainStage],
+        doc: &str,
+        mode: EvalMode,
+        format: DocFormat,
+        guard: Option<&CompiledDtta>,
+        stage_events: Option<&dyn Fn(usize, u64)>,
+    ) -> Result<String, EngineError> {
+        let limit = self.opts.max_output_nodes;
+        let result = Worker::new().transform_chain_caught(
+            stages,
+            doc,
+            mode,
+            &format,
+            limit,
+            guard,
+            &self.skips,
+            stage_events,
+        );
+        if guard.is_some() {
+            self.record_validation(std::slice::from_ref(&result));
+        }
+        result
+    }
+
+    /// [`Engine::transform_chain`] over a batch, sharded across the
+    /// worker pool exactly like [`Engine::transform_batch`]: results in
+    /// input order, strictly per-document failure. `stage_events` may be
+    /// called from several worker threads concurrently.
+    pub fn transform_batch_chain(
+        &self,
+        stages: &[ChainStage],
+        docs: &[String],
+        mode: EvalMode,
+        format: DocFormat,
+        guard: Option<&CompiledDtta>,
+        stage_events: Option<&(dyn Fn(usize, u64) + Sync)>,
+    ) -> Vec<Result<String, EngineError>> {
+        let limit = self.opts.max_output_nodes;
+        let workers = effective_workers(self.opts.workers, docs.len());
+        let format = &format;
+        let skips = &self.skips;
+        let results = if workers <= 1 {
+            let mut worker = Worker::new();
+            docs.iter()
+                .map(|d| {
+                    worker.transform_chain_caught(
+                        stages,
+                        d,
+                        mode,
+                        format,
+                        limit,
+                        guard,
+                        skips,
+                        stage_events.map(|cb| cb as &dyn Fn(usize, u64)),
+                    )
+                })
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let chunks: Vec<Vec<(usize, Result<String, EngineError>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            let next = &next;
+                            scope.spawn(move || {
+                                let mut out = Vec::new();
+                                let mut worker = Worker::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= docs.len() {
+                                        break;
+                                    }
+                                    out.push((
+                                        i,
+                                        worker.transform_chain_caught(
+                                            stages,
+                                            &docs[i],
+                                            mode,
+                                            format,
+                                            limit,
+                                            guard,
+                                            skips,
+                                            stage_events.map(|cb| cb as &dyn Fn(usize, u64)),
+                                        ),
+                                    ));
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("engine worker panicked"))
+                        .collect()
+                });
+            let mut results =
+                vec![Err(EngineError::Internal("result was never produced".into())); docs.len()];
+            for chunk in chunks {
+                for (i, r) in chunk {
+                    results[i] = r;
+                }
+            }
+            results
+        };
+        if guard.is_some() {
+            self.record_validation(&results);
+        }
+        results
+    }
+
+    /// Event-driven chain execution: like
+    /// [`Engine::transform_streaming`], but through every stage of a
+    /// pre-compiled pipeline — output **bytes** leave as the final
+    /// stage's prefix commits, and no intermediate tree materializes
+    /// outside buffered (permuting/copying) regions.
+    pub fn transform_streaming_chain(
+        &self,
+        stages: &[ChainStage],
+        doc: &str,
+        format: DocFormat,
+        guard: Option<&CompiledDtta>,
+        out: &mut dyn io::Write,
+        stage_events: Option<&dyn Fn(usize, u64)>,
+    ) -> Result<StreamOutcome, EngineError> {
+        let refs: Vec<&CompiledDtop> = stages.iter().map(|s| &*s.compiled).collect();
+        let mut worker = Worker::new();
+        let result = worker.transform_streaming(
+            &refs,
+            doc,
+            &format,
+            guard,
+            self.opts.max_output_nodes,
+            out,
+            &self.skips,
+            None,
+        );
+        if let (Ok(outcome), Some(cb)) = (&result, stage_events) {
+            if refs.len() > 1 {
+                for (i, st) in worker.chain.stage_stats().enumerate() {
+                    cb(i, st.events_total);
+                }
+            } else {
+                cb(0, outcome.events_total);
+            }
+        }
+        if guard.is_some() {
+            self.record_validation(std::slice::from_ref(&result));
+        }
+        result
     }
 }
 
@@ -1041,11 +1237,30 @@ struct RunOutcome {
     exceeded: bool,
 }
 
+/// The streaming executor behind [`run_stream`]: one evaluator, or a
+/// whole pipeline chain — the guard/cap/verdict plumbing is identical.
+enum ChainExec<'w> {
+    Single(&'w mut StreamEvaluator, &'w CompiledDtop),
+    Chain(&'w mut ChainedEvaluator, &'w [&'w CompiledDtop]),
+}
+
+impl ChainExec<'_> {
+    fn run(
+        &mut self,
+        source: &mut impl TreeEventSource,
+        sink: &mut dyn OutputSink,
+    ) -> io::Result<Option<EmitStats>> {
+        match self {
+            ChainExec::Single(stream, c) => stream.eval_streaming(c, source, sink),
+            ChainExec::Chain(chain, stages) => chain.eval_streaming(stages, source, sink),
+        }
+    }
+}
+
 /// Runs one streaming evaluation with the optional lockstep guard and
 /// the output-node cap composed in.
 fn run_stream<S: TreeEventSource>(
-    stream: &mut StreamEvaluator,
-    compiled: &CompiledDtop,
+    mut exec: ChainExec<'_>,
     guard: Option<&CompiledDtta>,
     source: &mut S,
     sink: &mut dyn OutputSink,
@@ -1060,11 +1275,11 @@ fn run_stream<S: TreeEventSource>(
     let (result, violation) = match guard {
         Some(g) => {
             let mut guarded = GuardedSource::new(g, source);
-            let result = stream.eval_streaming(compiled, &mut guarded, &mut cap);
+            let result = exec.run(&mut guarded, &mut cap);
             let violation = guarded.take_violation();
             (result, violation)
         }
-        None => (stream.eval_streaming(compiled, source, &mut cap), None),
+        None => (exec.run(source, &mut cap), None),
     };
     RunOutcome {
         result,
@@ -1135,6 +1350,7 @@ fn effective_workers(configured: usize, docs: usize) -> usize {
 struct Worker {
     scratch: EvalScratch<xtt_trees::Tree>,
     stream: StreamEvaluator,
+    chain: ChainedEvaluator,
     dag: TreeDag,
     dag_scratch: EvalScratch<DagId>,
 }
@@ -1144,8 +1360,19 @@ impl Worker {
         Worker {
             scratch: EvalScratch::new(),
             stream: StreamEvaluator::new(),
+            chain: ChainedEvaluator::new(),
             dag: TreeDag::new(),
             dag_scratch: EvalScratch::new(),
+        }
+    }
+
+    /// The streaming executor for a stage list: the plain evaluator for
+    /// a single stage (the existing hot path, untouched), the chained
+    /// evaluator for a real pipeline.
+    fn exec<'w>(&'w mut self, stages: &'w [&'w CompiledDtop]) -> ChainExec<'w> {
+        match stages {
+            [single] => ChainExec::Single(&mut self.stream, single),
+            _ => ChainExec::Chain(&mut self.chain, stages),
         }
     }
 
@@ -1347,7 +1574,7 @@ impl Worker {
     #[allow(clippy::too_many_arguments)]
     fn transform_streaming(
         &mut self,
-        compiled: &CompiledDtop,
+        stages: &[&CompiledDtop],
         doc: &str,
         format: &DocFormat,
         guard: Option<&CompiledDtta>,
@@ -1367,14 +1594,7 @@ impl Worker {
                 stamp(obs, Stage::Tokenize);
                 let mut source = IterEvents(input.events());
                 let mut sink = TermSink::new(out);
-                let run = run_stream(
-                    &mut self.stream,
-                    compiled,
-                    guard,
-                    &mut source,
-                    &mut sink,
-                    limit,
-                );
+                let run = run_stream(self.exec(stages), guard, &mut source, &mut sink, limit);
                 let stats = stream_verdict(run, None, None)?;
                 stamp(obs, Stage::Evaluate);
                 Ok(outcome(stats, sink.bytes, 0))
@@ -1382,14 +1602,7 @@ impl Worker {
             DocFormat::Xml => {
                 let mut source = XmlRankedEvents::bounded(doc);
                 let mut sink = RankedXmlSink::new(out);
-                let run = run_stream(
-                    &mut self.stream,
-                    compiled,
-                    guard,
-                    &mut source,
-                    &mut sink,
-                    limit,
-                );
+                let run = run_stream(self.exec(stages), guard, &mut source, &mut sink, limit);
                 let skipped = source.skipped_subtrees();
                 skips.fetch_add(skipped, Ordering::Relaxed);
                 let source_error = source
@@ -1407,14 +1620,7 @@ impl Worker {
                 // collected and serialized when the run completes.
                 let mut source = XmlRankedEvents::bounded(doc).attributes(true);
                 let mut sink = TreeCollector::new();
-                let run = run_stream(
-                    &mut self.stream,
-                    compiled,
-                    guard,
-                    &mut source,
-                    &mut sink,
-                    limit,
-                );
+                let run = run_stream(self.exec(stages), guard, &mut source, &mut sink, limit);
                 let skipped = source.skipped_subtrees();
                 skips.fetch_add(skipped, Ordering::Relaxed);
                 let source_error = source
@@ -1441,14 +1647,7 @@ impl Worker {
             DocFormat::Encoded(codec) => {
                 let mut source = EncodedSource::new(codec.events(doc));
                 let mut sink = EncodedByteSink::new(codec.writer(), out);
-                let run = run_stream(
-                    &mut self.stream,
-                    compiled,
-                    guard,
-                    &mut source,
-                    &mut sink,
-                    limit,
-                );
+                let run = run_stream(self.exec(stages), guard, &mut source, &mut sink, limit);
                 let skipped = source.inner.skipped_subtrees();
                 skips.fetch_add(skipped, Ordering::Relaxed);
                 let source_error = source.error.take().map(encoded_error);
@@ -1565,6 +1764,191 @@ impl Worker {
             EvalMode::TreeWalk => walk_eval(dtop, input),
         }
         .ok_or(EngineError::Undefined)
+    }
+
+    /// [`Worker::transform_chain`] with the same panic isolation as
+    /// [`Worker::transform_caught`].
+    #[allow(clippy::too_many_arguments)]
+    fn transform_chain_caught(
+        &mut self,
+        stages: &[ChainStage],
+        doc: &str,
+        mode: EvalMode,
+        format: &DocFormat,
+        limit: Option<u64>,
+        guard: Option<&CompiledDtta>,
+        skips: &AtomicU64,
+        stage_events: Option<&dyn Fn(usize, u64)>,
+    ) -> Result<String, EngineError> {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.transform_chain(stages, doc, mode, format, limit, guard, skips, stage_events)
+        }));
+        result.unwrap_or_else(|panic| {
+            *self = Worker::new();
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "evaluator panicked".to_owned());
+            Err(EngineError::Internal(msg))
+        })
+    }
+
+    /// Executes a pipeline chain on one document, returning text. See
+    /// [`Engine::transform_chain`] for the mode semantics; the chain
+    /// paths carry no pipeline observer (per-stage event counts go
+    /// through `stage_events` instead).
+    #[allow(clippy::too_many_arguments)]
+    fn transform_chain(
+        &mut self,
+        stages: &[ChainStage],
+        doc: &str,
+        mode: EvalMode,
+        format: &DocFormat,
+        limit: Option<u64>,
+        guard: Option<&CompiledDtta>,
+        skips: &AtomicU64,
+        stage_events: Option<&dyn Fn(usize, u64)>,
+    ) -> Result<String, EngineError> {
+        assert!(
+            !stages.is_empty(),
+            "a pipeline chain has at least one stage"
+        );
+        if mode == EvalMode::Streaming && limit.is_none() {
+            // Fused chained streaming: input events cascade through every
+            // stage; intermediate trees never materialize outside
+            // buffered regions, and deleted subtrees fast-forward the
+            // tokenizer exactly like the single-transducer path.
+            let output = match format {
+                DocFormat::Term => {
+                    let input = parse_tree(doc).map_err(|e| EngineError::Parse(e.to_string()))?;
+                    self.eval_chain_collect(stages, guard, &mut IterEvents(input.events()))?
+                        .ok_or(EngineError::Undefined)?
+                }
+                DocFormat::Xml | DocFormat::XmlAttrs => {
+                    let with_attrs = matches!(format, DocFormat::XmlAttrs);
+                    let mut source = XmlRankedEvents::bounded(doc).attributes(with_attrs);
+                    let result = self.eval_chain_collect(stages, guard, &mut source);
+                    skips.fetch_add(source.skipped_subtrees(), Ordering::Relaxed);
+                    if let Some(e) = source.take_error() {
+                        return Err(EngineError::Parse(e.to_string()));
+                    }
+                    result?.ok_or(EngineError::Undefined)?
+                }
+                DocFormat::Encoded(codec) => {
+                    let mut source = EncodedSource::new(codec.events(doc));
+                    let result = self.eval_chain_collect(stages, guard, &mut source);
+                    skips.fetch_add(source.inner.skipped_subtrees(), Ordering::Relaxed);
+                    if let Some(e) = source.error.take() {
+                        return Err(encoded_error(e));
+                    }
+                    result?.ok_or(EngineError::Undefined)?
+                }
+            };
+            if let Some(cb) = stage_events {
+                for (i, st) in self.chain.stage_stats().enumerate() {
+                    cb(i, st.events_total);
+                }
+            }
+            return render_output(format, &output);
+        }
+        // Materialized path (tree/dag/walk modes, or a configured output
+        // bound): parse the input once, evaluate stage by stage. The
+        // output-node bound pre-flights the **final** stage only — the
+        // chain's output is what the bound protects; intermediate trees
+        // are an execution detail the composed strategy never builds.
+        let input = parse_input(format, doc)?;
+        if let Some(g) = guard {
+            g.check_tree(&input).map_err(EngineError::Type)?;
+        }
+        let mut current = input;
+        for (i, stage) in stages.iter().enumerate() {
+            let last = i + 1 == stages.len();
+            let preflight = self.check_output_bound(
+                &stage.compiled,
+                &current,
+                if last { limit } else { None },
+            )?;
+            current = self.eval_tree(&stage.compiled, &stage.dtop, &current, mode, preflight)?;
+            if let Some(cb) = stage_events {
+                cb(i, 2 * current.size());
+            }
+        }
+        render_output(format, &current)
+    }
+
+    /// Runs the chained streaming evaluator over `source` into a
+    /// collected tree, with the optional chain guard in lockstep (the
+    /// guard cuts the stream at the first violation, so a rejected
+    /// document's tail is never produced upstream).
+    fn eval_chain_collect(
+        &mut self,
+        stages: &[ChainStage],
+        guard: Option<&CompiledDtta>,
+        source: &mut impl TreeEventSource,
+    ) -> Result<Option<xtt_trees::Tree>, EngineError> {
+        let refs: Vec<&CompiledDtop> = stages.iter().map(|s| &*s.compiled).collect();
+        let mut sink = TreeCollector::new();
+        let result = match guard {
+            Some(g) => {
+                let mut guarded = GuardedSource::new(g, source);
+                let result = self.chain.eval_streaming(&refs, &mut guarded, &mut sink);
+                if let Some(v) = guarded.take_violation() {
+                    return Err(EngineError::Type(v));
+                }
+                result
+            }
+            None => self.chain.eval_streaming(&refs, source, &mut sink),
+        };
+        match result {
+            Ok(Some(_)) => Ok(sink.into_tree()),
+            // A TreeCollector never fails a write; Err is unreachable,
+            // and Ok(None) is an out-of-domain input.
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Parses one document into a ranked input tree per the format — the
+/// materialized half of the chain execution paths (the single-transducer
+/// paths keep their fused parse-and-stamp arms).
+fn parse_input(format: &DocFormat, doc: &str) -> Result<xtt_trees::Tree, EngineError> {
+    match format {
+        DocFormat::Term => parse_tree(doc).map_err(|e| EngineError::Parse(e.to_string())),
+        DocFormat::Xml | DocFormat::XmlAttrs => XmlRankedEvents::bounded(doc)
+            .attributes(matches!(format, DocFormat::XmlAttrs))
+            .collect_tree()
+            .map_err(|e| EngineError::Parse(e.to_string())),
+        DocFormat::Encoded(codec) => codec.ranked_tree(doc).map_err(encoded_error),
+    }
+}
+
+/// Serializes an output tree per the format, with the same
+/// serializability checks as the single-transducer paths.
+fn render_output(format: &DocFormat, output: &xtt_trees::Tree) -> Result<String, EngineError> {
+    match format {
+        DocFormat::Term => Ok(output.to_string()),
+        DocFormat::Xml | DocFormat::XmlAttrs => {
+            let with_attrs = matches!(format, DocFormat::XmlAttrs);
+            let serializable = if with_attrs {
+                crate::stream::xml_serializable_attrs(output)
+            } else {
+                crate::stream::xml_serializable(output)
+            };
+            if !serializable {
+                return Err(EngineError::Parse(
+                    "output has inner symbols that are not XML names; use the term format".into(),
+                ));
+            }
+            Ok(if with_attrs {
+                crate::stream::tree_to_xml_attrs(output)
+            } else {
+                tree_to_xml(output)
+            })
+        }
+        DocFormat::Encoded(codec) => codec
+            .decode_tree(output)
+            .map_err(|e| EngineError::Encoding(e.to_string())),
     }
 }
 

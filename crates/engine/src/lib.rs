@@ -40,15 +40,16 @@ pub mod stream;
 
 pub use compile::{compile, fingerprint, CompileError, CompiledDtop, Instr};
 pub use engine::{
-    CacheStats, DocFormat, Engine, EngineError, EngineOptions, EvalMode, StreamOutcome,
-    ValidationStats,
+    CacheStats, ChainStage, DocFormat, Engine, EngineError, EngineOptions, EvalMode, LruCache,
+    StreamOutcome, ValidationStats,
 };
 pub use eval::{DagSink, EvalScratch, Sink, TreeSink};
 pub use stream::{
     ranked_tree_from_xml, ranked_tree_from_xml_bounded, tree_to_xml, tree_to_xml_attrs,
     unknown_symbol, xml_ranked_events, xml_ranked_events_bounded, xml_serializable,
-    xml_serializable_attrs, EmitStats, FnSink, GuardedSource, GuardedXmlError, IterEvents,
-    OutputSink, StreamEvaluator, TreeCollector, TreeEventSource, XmlRankedEvents,
+    xml_serializable_attrs, ChainedEvaluator, EmitStats, Feed, FnSink, GuardedSource,
+    GuardedXmlError, IterEvents, OutputSink, StreamEvaluator, StreamRun, TreeCollector,
+    TreeEventSource, XmlRankedEvents,
 };
 /// Re-exported from `xtt-typecheck`: the typed diagnostic carried by
 /// [`EngineError::Type`] under guarded evaluation.

@@ -268,11 +268,15 @@ impl TreeEventSource for XmlRankedEvents<'_> {
 
 /// Runs a compiled domain guard in lockstep with any
 /// [`TreeEventSource`], cutting the stream at the first violation; the
-/// skip fast path is forwarded (the guard's `∅`-skip state and the
-/// evaluator's empty state set coincide by construction, so a skipped
-/// subtree is one synthetic `Close` to the guard). This is the engine's
-/// guarded streaming front end; `xtt_typecheck::GuardedEvents` remains
-/// the plain-iterator form.
+/// skip fast path is forwarded only when the guard itself is skipping.
+/// For a transducer's own domain guard the `∅`-skip state and the
+/// evaluator's empty state set coincide, so every evaluator skip
+/// forwards; a pipeline's *chain* guard can be stricter than the
+/// composed machine executing it (it checks positions later stages
+/// delete), so a skip the guard does not share is declined and the
+/// events stream through the run instead. This is the engine's guarded
+/// streaming front end; `xtt_typecheck::GuardedEvents` remains the
+/// plain-iterator form.
 pub struct GuardedSource<'g, S> {
     inner: S,
     run: DttaRun<'g>,
@@ -315,11 +319,14 @@ impl<S: TreeEventSource> TreeEventSource for GuardedSource<'_, S> {
     }
 
     fn skip_subtree(&mut self) -> bool {
-        if !self.inner.skip_subtree() {
+        // Decline unless the guard entered a skip state at the Open it
+        // just saw: a chain guard still inspects subtrees the executing
+        // machine deletes, and must see their real events.
+        if !self.run.in_skipped_subtree() || !self.inner.skip_subtree() {
             return false;
         }
-        // The guard saw the Open and is inside its own skip state; one
-        // synthetic Close rebalances it (cannot violate).
+        // One synthetic Close rebalances the skipping guard (cannot
+        // violate).
         let _ = self.run.feed(TreeEvent::Close);
         true
     }
@@ -530,14 +537,18 @@ fn call_count(c: &CompiledDtop, start: u32, end: u32) -> usize {
         .count()
 }
 
-fn emit<S: OutputSink>(sink: &mut S, stats: &mut EmitStats, ev: TreeEvent) -> io::Result<()> {
+fn emit<S: OutputSink + ?Sized>(
+    sink: &mut S,
+    stats: &mut EmitStats,
+    ev: TreeEvent,
+) -> io::Result<()> {
     stats.events_emitted_early += 1;
     stats.events_total += 1;
     sink.event(ev)
 }
 
 /// Flushes a materialized subtree at the current output position.
-fn flush_tree<S: OutputSink>(
+fn flush_tree<S: OutputSink + ?Sized>(
     sink: &mut S,
     stats: &mut EmitStats,
     t: &Tree,
@@ -553,7 +564,7 @@ fn flush_tree<S: OutputSink>(
 
 /// A completed subtree at the live frame's position: close every output
 /// node this finishes.
-fn close_completed<S: OutputSink>(
+fn close_completed<S: OutputSink + ?Sized>(
     lf: &mut LiveFrame,
     sink: &mut S,
     stats: &mut EmitStats,
@@ -572,7 +583,7 @@ fn close_completed<S: OutputSink>(
 
 /// Executes a live frame's rule body from its resume point until the
 /// next call (parking there) or the end of the body.
-fn live_step<S: OutputSink>(
+fn live_step<S: OutputSink + ?Sized>(
     c: &CompiledDtop,
     lf: &mut LiveFrame,
     sink: &mut S,
@@ -604,7 +615,7 @@ fn live_step<S: OutputSink>(
 /// A live-context child's output just completed: resume the enclosing
 /// live frame (the parent on the spine, or the live axiom when the root
 /// itself closed — in which case the run is done).
-fn resume_after_child<S: OutputSink>(
+fn resume_after_child<S: OutputSink + ?Sized>(
     c: &CompiledDtop,
     frames: &mut [SFrame],
     top: &mut Top,
@@ -646,14 +657,367 @@ enum Ctx {
     States(Vec<u16>),
 }
 
-/// Reusable streaming evaluator; create once per worker thread.
-#[derive(Default)]
-pub struct StreamEvaluator {
+/// What a [`StreamRun`] asks of its driver after one input event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Feed {
+    /// Keep feeding events.
+    More,
+    /// The event opened a subtree no state inspects. The run will count
+    /// it out event by event — unless the driver can fast-forward its
+    /// source past the subtree, in which case it calls
+    /// [`StreamRun::fast_forwarded`] and resumes after the matching
+    /// `Close`.
+    SkipOpen,
+    /// The input is outside the domain (or not exactly one well-nested
+    /// tree). The run is dead; every further event returns this too.
+    Rejected,
+    /// The output is complete. Any further event rejects the run (the
+    /// stream would not be exactly one tree).
+    Done,
+}
+
+/// One incremental streaming evaluation: the push-driven core behind
+/// [`StreamEvaluator::eval_streaming`], factored out so a driver that
+/// *receives* events — a pipeline stage fed by an upstream evaluator's
+/// committed output — can run the same coroutine machinery without
+/// owning a pull loop. Feed pre-order input events one at a time;
+/// committed output prefixes flow to the sink the moment they commit.
+pub struct StreamRun {
     frames: Vec<SFrame>,
-    /// Scratch for rule execution (see [`StreamEvaluator::exec_range`]).
+    /// Scratch for rule execution (see [`StreamRun::exec_range`]).
     exec_vals: Vec<Tree>,
     exec_frames: Vec<(Symbol, u32, u32)>,
     states_scratch: Vec<u16>,
+    stats: EmitStats,
+    buffered: usize,
+    skip_depth: usize,
+    root_skipped: bool,
+    root_seen: bool,
+    done: bool,
+    rejected: bool,
+    top: Top,
+}
+
+impl Default for StreamRun {
+    fn default() -> StreamRun {
+        StreamRun {
+            frames: Vec::new(),
+            exec_vals: Vec::new(),
+            exec_frames: Vec::new(),
+            states_scratch: Vec::new(),
+            stats: EmitStats::default(),
+            buffered: 0,
+            skip_depth: 0,
+            root_skipped: false,
+            root_seen: false,
+            done: false,
+            rejected: false,
+            top: Top::Buffered,
+        }
+    }
+}
+
+impl StreamRun {
+    pub fn new() -> StreamRun {
+        StreamRun::default()
+    }
+
+    /// Resets the run for a fresh input and executes the axiom's
+    /// committed prefix (emitted before the first input event when the
+    /// axiom is live).
+    pub fn start<S: OutputSink + ?Sized>(
+        &mut self,
+        c: &CompiledDtop,
+        sink: &mut S,
+    ) -> io::Result<()> {
+        self.frames.clear();
+        self.stats = EmitStats::default();
+        self.buffered = 0;
+        self.skip_depth = 0;
+        self.root_skipped = false;
+        self.root_seen = false;
+        self.done = false;
+        self.rejected = false;
+        let (ax_start, ax_end) = c.axiom_range();
+        self.top = if call_count(c, ax_start, ax_end) == 1 {
+            // Exactly one call (necessarily on the root): the axiom's
+            // prefix is committed before the first input event arrives.
+            let mut lf = LiveFrame::new(ax_start, ax_end);
+            live_step(c, &mut lf, sink, &mut self.stats)?;
+            Top::Live(lf)
+        } else {
+            // A constant axiom (emitted at the end, preserving the
+            // pre-streaming behavior on malformed input) or one that
+            // copies the root.
+            Top::Buffered
+        };
+        Ok(())
+    }
+
+    fn reject(&mut self) -> io::Result<Feed> {
+        self.rejected = true;
+        Ok(Feed::Rejected)
+    }
+
+    /// Feeds one pre-order input event. Must be called between
+    /// [`StreamRun::start`] and [`StreamRun::finish`] with the same
+    /// compiled dtop and sink.
+    pub fn feed<S: OutputSink + ?Sized>(
+        &mut self,
+        c: &CompiledDtop,
+        event: TreeEvent,
+        sink: &mut S,
+    ) -> io::Result<Feed> {
+        if self.rejected {
+            return Ok(Feed::Rejected);
+        }
+        if self.done {
+            return self.reject(); // events after the root closed
+        }
+        if self.skip_depth > 0 {
+            match event {
+                TreeEvent::Open(_) => self.skip_depth += 1,
+                TreeEvent::Close => self.skip_depth -= 1,
+            }
+            return Ok(Feed::More);
+        }
+        match event {
+            TreeEvent::Open(sym) => {
+                let ctx = match self.frames.last_mut() {
+                    Some(parent) => match &mut parent.kind {
+                        FKind::Live(lf) => {
+                            let i = lf.next_child;
+                            lf.next_child += 1;
+                            match lf.pending {
+                                Some((q, child)) if u32::from(child) == i => Ctx::Call(q),
+                                _ => Ctx::Skip,
+                            }
+                        }
+                        FKind::Buffered { child_results } => {
+                            let child = child_results.len();
+                            c.states_for_child(
+                                &parent.states,
+                                parent.sym,
+                                child,
+                                &mut self.states_scratch,
+                            );
+                            Ctx::States(std::mem::take(&mut self.states_scratch))
+                        }
+                    },
+                    None => {
+                        if self.root_seen || self.root_skipped {
+                            return self.reject(); // more than one root
+                        }
+                        self.root_seen = true;
+                        match &self.top {
+                            Top::Live(lf) => match lf.pending {
+                                Some((q, 0)) => Ctx::Call(q),
+                                _ => Ctx::Skip,
+                            },
+                            Top::Buffered => Ctx::States(c.axiom_states().to_vec()),
+                        }
+                    }
+                };
+                match ctx {
+                    Ctx::Skip => {
+                        // A live context calls nothing on this child:
+                        // deleted subtree.
+                        self.skip_depth = 1;
+                        return Ok(Feed::SkipOpen);
+                    }
+                    Ctx::States(states) if states.is_empty() => {
+                        // Deleted subtree (or a constant axiom): no
+                        // state ever inspects it — skip without
+                        // building it, and without tokenizing it when
+                        // the source can fast-forward.
+                        match self.frames.last_mut() {
+                            Some(parent) => match &mut parent.kind {
+                                FKind::Buffered { child_results } => child_results.push(Vec::new()),
+                                FKind::Live(_) => {
+                                    unreachable!("live parents skip without deriving states")
+                                }
+                            },
+                            None => self.root_skipped = true,
+                        }
+                        self.skip_depth = 1;
+                        return Ok(Feed::SkipOpen);
+                    }
+                    Ctx::Call(q) => {
+                        let dense = c.dense_sym(sym);
+                        // Undefined as soon as the live state lacks a rule.
+                        let Some((start, end)) = c.rule_range(q, dense) else {
+                            return self.reject();
+                        };
+                        let kind = if live_shape(c, start, end) {
+                            let mut lf = LiveFrame::new(start, end);
+                            live_step(c, &mut lf, sink, &mut self.stats)?;
+                            FKind::Live(lf)
+                        } else {
+                            self.buffered += 1;
+                            self.stats.peak_buffered_frames =
+                                self.stats.peak_buffered_frames.max(self.buffered);
+                            FKind::Buffered {
+                                child_results: Vec::new(),
+                            }
+                        };
+                        self.frames.push(SFrame {
+                            sym: dense,
+                            states: vec![q],
+                            kind,
+                        });
+                    }
+                    Ctx::States(states) => {
+                        let dense = c.dense_sym(sym);
+                        // Undefined as soon as any live state lacks a rule.
+                        if states.iter().any(|&q| c.rule_range(q, dense).is_none()) {
+                            return self.reject();
+                        }
+                        self.buffered += 1;
+                        self.stats.peak_buffered_frames =
+                            self.stats.peak_buffered_frames.max(self.buffered);
+                        self.frames.push(SFrame {
+                            sym: dense,
+                            states,
+                            kind: FKind::Buffered {
+                                child_results: Vec::new(),
+                            },
+                        });
+                    }
+                }
+            }
+            TreeEvent::Close => {
+                let Some(frame) = self.frames.pop() else {
+                    return self.reject(); // unbalanced close
+                };
+                match frame.kind {
+                    FKind::Live(lf) => {
+                        if lf.pending.is_some() || lf.pos != lf.end {
+                            return self.reject(); // call to a child the node does not have
+                        }
+                        debug_assert!(lf.opens.is_empty());
+                        resume_after_child(
+                            c,
+                            &mut self.frames,
+                            &mut self.top,
+                            sink,
+                            &mut self.stats,
+                            &mut self.done,
+                        )?;
+                    }
+                    FKind::Buffered { child_results } => {
+                        self.buffered -= 1;
+                        let mut results: Vec<(u16, Tree)> = Vec::with_capacity(frame.states.len());
+                        for &q in &frame.states {
+                            let (start, end) = c
+                                .rule_range(q, frame.sym)
+                                .expect("checked when the node opened");
+                            let Some(v) = self.exec_range(c, start, end, &|q2, child| {
+                                lookup(child_results.get(child)?, q2)
+                            }) else {
+                                return self.reject();
+                            };
+                            results.push((q, v));
+                        }
+                        // Where does the materialized result go?
+                        let to_live_parent = match self.frames.last_mut() {
+                            Some(parent) => match &mut parent.kind {
+                                FKind::Buffered { child_results } => {
+                                    child_results.push(std::mem::take(&mut results));
+                                    false
+                                }
+                                FKind::Live(_) => true,
+                            },
+                            None => match &self.top {
+                                Top::Live(_) => true,
+                                Top::Buffered => {
+                                    // Root closed: splice the per-state
+                                    // results into the axiom.
+                                    let (ax_start, ax_end) = c.axiom_range();
+                                    let Some(out) =
+                                        self.exec_range(c, ax_start, ax_end, &|q, child| {
+                                            if child == 0 {
+                                                lookup(&results, q)
+                                            } else {
+                                                None
+                                            }
+                                        })
+                                    else {
+                                        return self.reject();
+                                    };
+                                    flush_tree(sink, &mut self.stats, &out, false)?;
+                                    self.done = true;
+                                    false
+                                }
+                            },
+                        };
+                        if to_live_parent {
+                            // This frame was the pending call child of
+                            // a live context: flush its single result
+                            // and resume the coroutine.
+                            let (_, t) = &results[0];
+                            flush_tree(sink, &mut self.stats, t, true)?;
+                            resume_after_child(
+                                c,
+                                &mut self.frames,
+                                &mut self.top,
+                                sink,
+                                &mut self.stats,
+                                &mut self.done,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(if self.done { Feed::Done } else { Feed::More })
+    }
+
+    /// The driver fast-forwarded its source past the subtree whose
+    /// `Open` just returned [`Feed::SkipOpen`] (descendants *and* the
+    /// matching `Close` consumed at the source).
+    pub fn fast_forwarded(&mut self) {
+        debug_assert_eq!(self.skip_depth, 1);
+        self.skip_depth = 0;
+    }
+
+    /// Ends the input stream: emits a constant axiom if the whole input
+    /// was deleted, and delivers the final verdict — `Some(stats)` on a
+    /// completed run, `None` if the input was rejected or incomplete.
+    pub fn finish<S: OutputSink + ?Sized>(
+        &mut self,
+        c: &CompiledDtop,
+        sink: &mut S,
+    ) -> io::Result<Option<EmitStats>> {
+        if self.rejected {
+            return Ok(None);
+        }
+        if self.done {
+            return Ok(Some(self.stats));
+        }
+        if self.root_skipped && self.skip_depth == 0 {
+            // The whole input was deleted: the axiom calls no state.
+            let (ax_start, ax_end) = c.axiom_range();
+            if let Some(t) = self.exec_range(c, ax_start, ax_end, &|_, _| None) {
+                flush_tree(sink, &mut self.stats, &t, false)?;
+                self.done = true;
+                return Ok(Some(self.stats));
+            }
+        }
+        self.rejected = true;
+        Ok(None) // empty or unterminated stream
+    }
+
+    /// Emission statistics so far (complete once the run is done).
+    pub fn stats(&self) -> EmitStats {
+        self.stats
+    }
+}
+
+/// Reusable streaming evaluator; create once per worker thread. Owns a
+/// [`StreamRun`] and drives it from a [`TreeEventSource`] pull loop.
+#[derive(Default)]
+pub struct StreamEvaluator {
+    run: StreamRun,
 }
 
 impl StreamEvaluator {
@@ -704,246 +1068,25 @@ impl StreamEvaluator {
     /// outside the domain or not exactly one well-nested tree (the sink
     /// may have received a partial prefix by then — inherent to
     /// streaming), and `Err` only when the sink fails.
-    pub fn eval_streaming<S: OutputSink>(
+    pub fn eval_streaming<S: OutputSink + ?Sized>(
         &mut self,
         c: &CompiledDtop,
         source: &mut impl TreeEventSource,
         sink: &mut S,
     ) -> io::Result<Option<EmitStats>> {
-        self.frames.clear();
-        let mut stats = EmitStats::default();
-        let mut buffered = 0usize;
-        let mut skip_depth = 0usize;
-        let mut root_skipped = false;
-        let mut root_seen = false;
-        let mut done = false;
-        let (ax_start, ax_end) = c.axiom_range();
-        let mut top = if call_count(c, ax_start, ax_end) == 1 {
-            // Exactly one call (necessarily on the root): the axiom's
-            // prefix is committed before the first input event arrives.
-            let mut lf = LiveFrame::new(ax_start, ax_end);
-            live_step(c, &mut lf, sink, &mut stats)?;
-            Top::Live(lf)
-        } else {
-            // A constant axiom (emitted at the end, preserving the
-            // pre-streaming behavior on malformed input) or one that
-            // copies the root.
-            Top::Buffered
-        };
+        self.run.start(c, sink)?;
         while let Some(event) = source.next_event() {
-            if done {
-                return Ok(None); // events after the root closed
-            }
-            if skip_depth > 0 {
-                match event {
-                    TreeEvent::Open(_) => skip_depth += 1,
-                    TreeEvent::Close => skip_depth -= 1,
-                }
-                continue;
-            }
-            match event {
-                TreeEvent::Open(sym) => {
-                    let ctx = match self.frames.last_mut() {
-                        Some(parent) => match &mut parent.kind {
-                            FKind::Live(lf) => {
-                                let i = lf.next_child;
-                                lf.next_child += 1;
-                                match lf.pending {
-                                    Some((q, child)) if u32::from(child) == i => Ctx::Call(q),
-                                    _ => Ctx::Skip,
-                                }
-                            }
-                            FKind::Buffered { child_results } => {
-                                let child = child_results.len();
-                                c.states_for_child(
-                                    &parent.states,
-                                    parent.sym,
-                                    child,
-                                    &mut self.states_scratch,
-                                );
-                                Ctx::States(std::mem::take(&mut self.states_scratch))
-                            }
-                        },
-                        None => {
-                            if root_seen || root_skipped {
-                                return Ok(None); // more than one root
-                            }
-                            root_seen = true;
-                            match &top {
-                                Top::Live(lf) => match lf.pending {
-                                    Some((q, 0)) => Ctx::Call(q),
-                                    _ => Ctx::Skip,
-                                },
-                                Top::Buffered => Ctx::States(c.axiom_states().to_vec()),
-                            }
-                        }
-                    };
-                    match ctx {
-                        Ctx::Skip => {
-                            // A live context calls nothing on this child:
-                            // deleted subtree.
-                            if !source.skip_subtree() {
-                                skip_depth = 1;
-                            }
-                        }
-                        Ctx::States(states) if states.is_empty() => {
-                            // Deleted subtree (or a constant axiom): no
-                            // state ever inspects it — skip without
-                            // building it, and without tokenizing it when
-                            // the source can fast-forward.
-                            match self.frames.last_mut() {
-                                Some(parent) => match &mut parent.kind {
-                                    FKind::Buffered { child_results } => {
-                                        child_results.push(Vec::new())
-                                    }
-                                    FKind::Live(_) => {
-                                        unreachable!("live parents skip without deriving states")
-                                    }
-                                },
-                                None => root_skipped = true,
-                            }
-                            if !source.skip_subtree() {
-                                skip_depth = 1;
-                            }
-                        }
-                        Ctx::Call(q) => {
-                            let dense = c.dense_sym(sym);
-                            // Undefined as soon as the live state lacks a rule.
-                            let Some((start, end)) = c.rule_range(q, dense) else {
-                                return Ok(None);
-                            };
-                            let kind = if live_shape(c, start, end) {
-                                let mut lf = LiveFrame::new(start, end);
-                                live_step(c, &mut lf, sink, &mut stats)?;
-                                FKind::Live(lf)
-                            } else {
-                                buffered += 1;
-                                stats.peak_buffered_frames =
-                                    stats.peak_buffered_frames.max(buffered);
-                                FKind::Buffered {
-                                    child_results: Vec::new(),
-                                }
-                            };
-                            self.frames.push(SFrame {
-                                sym: dense,
-                                states: vec![q],
-                                kind,
-                            });
-                        }
-                        Ctx::States(states) => {
-                            let dense = c.dense_sym(sym);
-                            // Undefined as soon as any live state lacks a rule.
-                            if states.iter().any(|&q| c.rule_range(q, dense).is_none()) {
-                                return Ok(None);
-                            }
-                            buffered += 1;
-                            stats.peak_buffered_frames = stats.peak_buffered_frames.max(buffered);
-                            self.frames.push(SFrame {
-                                sym: dense,
-                                states,
-                                kind: FKind::Buffered {
-                                    child_results: Vec::new(),
-                                },
-                            });
-                        }
+            match self.run.feed(c, event, sink)? {
+                Feed::More | Feed::Done => {}
+                Feed::SkipOpen => {
+                    if source.skip_subtree() {
+                        self.run.fast_forwarded();
                     }
                 }
-                TreeEvent::Close => {
-                    let Some(frame) = self.frames.pop() else {
-                        return Ok(None); // unbalanced close
-                    };
-                    match frame.kind {
-                        FKind::Live(lf) => {
-                            if lf.pending.is_some() || lf.pos != lf.end {
-                                return Ok(None); // call to a child the node does not have
-                            }
-                            debug_assert!(lf.opens.is_empty());
-                            resume_after_child(
-                                c,
-                                &mut self.frames,
-                                &mut top,
-                                sink,
-                                &mut stats,
-                                &mut done,
-                            )?;
-                        }
-                        FKind::Buffered { child_results } => {
-                            buffered -= 1;
-                            let mut results: Vec<(u16, Tree)> =
-                                Vec::with_capacity(frame.states.len());
-                            for &q in &frame.states {
-                                let (start, end) = c
-                                    .rule_range(q, frame.sym)
-                                    .expect("checked when the node opened");
-                                let Some(v) = self.exec_range(c, start, end, &|q2, child| {
-                                    lookup(child_results.get(child)?, q2)
-                                }) else {
-                                    return Ok(None);
-                                };
-                                results.push((q, v));
-                            }
-                            // Where does the materialized result go?
-                            let to_live_parent = match self.frames.last_mut() {
-                                Some(parent) => match &mut parent.kind {
-                                    FKind::Buffered { child_results } => {
-                                        child_results.push(std::mem::take(&mut results));
-                                        false
-                                    }
-                                    FKind::Live(_) => true,
-                                },
-                                None => match &top {
-                                    Top::Live(_) => true,
-                                    Top::Buffered => {
-                                        // Root closed: splice the per-state
-                                        // results into the axiom.
-                                        let Some(out) =
-                                            self.exec_range(c, ax_start, ax_end, &|q, child| {
-                                                if child == 0 {
-                                                    lookup(&results, q)
-                                                } else {
-                                                    None
-                                                }
-                                            })
-                                        else {
-                                            return Ok(None);
-                                        };
-                                        flush_tree(sink, &mut stats, &out, false)?;
-                                        done = true;
-                                        false
-                                    }
-                                },
-                            };
-                            if to_live_parent {
-                                // This frame was the pending call child of
-                                // a live context: flush its single result
-                                // and resume the coroutine.
-                                let (_, t) = &results[0];
-                                flush_tree(sink, &mut stats, t, true)?;
-                                resume_after_child(
-                                    c,
-                                    &mut self.frames,
-                                    &mut top,
-                                    sink,
-                                    &mut stats,
-                                    &mut done,
-                                )?;
-                            }
-                        }
-                    }
-                }
+                Feed::Rejected => return Ok(None),
             }
         }
-        if done {
-            return Ok(Some(stats));
-        }
-        if root_skipped && skip_depth == 0 {
-            // The whole input was deleted: the axiom calls no state.
-            if let Some(t) = self.exec_range(c, ax_start, ax_end, &|_, _| None) {
-                flush_tree(sink, &mut stats, &t, false)?;
-                return Ok(Some(stats));
-            }
-        }
-        Ok(None) // empty or unterminated stream
+        self.run.finish(c, sink)
     }
 
     /// Convenience: stream a materialized tree (used by benches and the
@@ -991,7 +1134,9 @@ impl StreamEvaluator {
             None => Ok(result),
         }
     }
+}
 
+impl StreamRun {
     /// Executes the instruction range `[start, end)` with `resolve`
     /// supplying the value of every `⟨q, x_child⟩` call. Iterative; reuses
     /// scratch stacks.
@@ -1025,6 +1170,145 @@ impl StreamEvaluator {
         debug_assert!(self.exec_frames.is_empty());
         debug_assert_eq!(self.exec_vals.len(), 1);
         self.exec_vals.pop()
+    }
+}
+
+/// [`OutputSink`] that queues events — the relay between chained
+/// pipeline stages.
+struct QueueSink<'a>(&'a mut VecDeque<TreeEvent>);
+
+impl OutputSink for QueueSink<'_> {
+    fn event(&mut self, ev: TreeEvent) -> io::Result<()> {
+        self.0.push_back(ev);
+        Ok(())
+    }
+}
+
+/// Chained streaming evaluation of a pipeline τₙ ∘ … ∘ τ₁: stage `i`'s
+/// committed output events feed stage `i+1`'s [`StreamRun`] through a
+/// relay queue, drained downstream-first so intermediate output is
+/// materialized only where a single stage would buffer anyway
+/// (permuting/copying regions). Stage 1 is driven from the real source
+/// and keeps its skip fast path; the final stage writes to the caller's
+/// sink.
+///
+/// Rejection anywhere rejects the chain (`Ok(None)`), exactly like
+/// evaluating the composed transducer: stage `i` rejects at the first
+/// event proving its input — stage `i-1`'s committed output — outside
+/// its domain.
+#[derive(Default)]
+pub struct ChainedEvaluator {
+    runs: Vec<StreamRun>,
+    queues: Vec<VecDeque<TreeEvent>>,
+}
+
+impl ChainedEvaluator {
+    pub fn new() -> ChainedEvaluator {
+        ChainedEvaluator::default()
+    }
+
+    /// Per-stage emission statistics of the most recent run (complete
+    /// after a successful [`ChainedEvaluator::eval_streaming`]).
+    pub fn stage_stats(&self) -> impl Iterator<Item = EmitStats> + '_ {
+        self.runs.iter().map(StreamRun::stats)
+    }
+
+    /// Drains the relay queues, downstream-first (so queued events move
+    /// toward the sink before more are produced); `false` = some stage
+    /// rejected its input.
+    fn pump<S: OutputSink + ?Sized>(
+        &mut self,
+        stages: &[&CompiledDtop],
+        sink: &mut S,
+    ) -> io::Result<bool> {
+        loop {
+            let Some(i) = (0..self.queues.len()).rfind(|&i| !self.queues[i].is_empty()) else {
+                return Ok(true);
+            };
+            let ev = self.queues[i].pop_front().expect("checked nonempty");
+            let stage = i + 1;
+            let verdict = if stage + 1 == stages.len() {
+                self.runs[stage].feed(stages[stage], ev, sink)?
+            } else {
+                let mut relay = QueueSink(&mut self.queues[stage]);
+                self.runs[stage].feed(stages[stage], ev, &mut relay)?
+            };
+            if verdict == Feed::Rejected {
+                return Ok(false);
+            }
+        }
+    }
+
+    /// Streams `source` through every stage (`stages[0]` first). Returns
+    /// the **final** stage's emission stats on success (per-stage stats
+    /// via [`ChainedEvaluator::stage_stats`]), `Ok(None)` when any stage
+    /// rejects, `Err` only when the sink fails.
+    pub fn eval_streaming<S: OutputSink + ?Sized>(
+        &mut self,
+        stages: &[&CompiledDtop],
+        source: &mut impl TreeEventSource,
+        sink: &mut S,
+    ) -> io::Result<Option<EmitStats>> {
+        assert!(!stages.is_empty(), "a pipeline has at least one stage");
+        let n = stages.len();
+        self.runs.resize_with(n, StreamRun::new);
+        self.runs.truncate(n);
+        self.queues.resize_with(n - 1, VecDeque::new);
+        self.queues.truncate(n - 1);
+        for q in &mut self.queues {
+            q.clear();
+        }
+        // Start downstream-first, pumping between: every consumer is
+        // live before an upstream axiom prefix reaches it.
+        for i in (0..n).rev() {
+            if i + 1 == n {
+                self.runs[i].start(stages[i], sink)?;
+            } else {
+                let mut relay = QueueSink(&mut self.queues[i]);
+                self.runs[i].start(stages[i], &mut relay)?;
+            }
+            if !self.pump(stages, sink)? {
+                return Ok(None);
+            }
+        }
+        while let Some(event) = source.next_event() {
+            let verdict = if n == 1 {
+                self.runs[0].feed(stages[0], event, sink)?
+            } else {
+                let mut relay = QueueSink(&mut self.queues[0]);
+                self.runs[0].feed(stages[0], event, &mut relay)?
+            };
+            match verdict {
+                Feed::Rejected => return Ok(None),
+                Feed::SkipOpen => {
+                    if source.skip_subtree() {
+                        self.runs[0].fast_forwarded();
+                    }
+                }
+                Feed::More | Feed::Done => {}
+            }
+            if !self.pump(stages, sink)? {
+                return Ok(None);
+            }
+        }
+        // Finish upstream-first, pumping between: stage i's trailing
+        // output (a constant axiom, a whole-input deletion) cascades
+        // before stage i+1's own end-of-stream verdict.
+        for i in 0..n {
+            let fin = if i + 1 == n {
+                self.runs[i].finish(stages[i], sink)?
+            } else {
+                let mut relay = QueueSink(&mut self.queues[i]);
+                self.runs[i].finish(stages[i], &mut relay)?
+            };
+            if fin.is_none() {
+                return Ok(None);
+            }
+            if !self.pump(stages, sink)? {
+                return Ok(None);
+            }
+        }
+        Ok(Some(self.runs[n - 1].stats()))
     }
 }
 
@@ -1444,6 +1728,69 @@ mod tests {
         assert!(s.next_event().is_none());
         assert!(s.take_error().is_none());
         assert_eq!(s.skipped_subtrees(), 2);
+    }
+
+    #[test]
+    fn chained_stages_match_the_composed_transducer() {
+        // τ₂ ∘ τ₁ executed as a two-stage chain must agree with the
+        // statically composed dtop on the chain's domain (τ₁ fully
+        // defined, then τ₂); outside it the composed product may accept
+        // *more* — it evaluates τ₁ lazily and never checks partiality
+        // under positions τ₂ deletes — which is exactly why pipeline
+        // plans guard with the chain domain, not dom(composed).
+        let library = examples::library().dtop;
+        let pairs = [
+            (examples::flip().dtop, examples::flip().dtop),
+            (library.clone(), xtt_transducer::identity(library.output())),
+        ];
+        for (m1, m2) in pairs {
+            let c1 = compile(&m1).unwrap();
+            let c2 = compile(&m2).unwrap();
+            let composed = xtt_transducer::compose(&m2, &m1).unwrap();
+            let cc = compile(&composed).unwrap();
+            let mut chain = ChainedEvaluator::new();
+            let mut ev = StreamEvaluator::new();
+            for t in enumerate_trees(m1.input(), 120, 8) {
+                let mut sink = TreeCollector::new();
+                let got = chain
+                    .eval_streaming(&[&c1, &c2], &mut IterEvents(t.events()), &mut sink)
+                    .unwrap();
+                match (got, ev.eval_tree(&cc, &t)) {
+                    (Some(_), Some(want)) => {
+                        assert_eq!(sink.into_tree().unwrap(), want, "on {t}");
+                    }
+                    (Some(_), None) => panic!("chain accepted out-of-domain {t}"),
+                    // The chain is allowed to reject where the lazy
+                    // composed product accepts, never the reverse.
+                    (None, _) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_keeps_the_stage_one_skip_fast_path() {
+        // Stage 1 deletes `a`'s first subtree; the chain must still
+        // fast-forward the raw tokenizer past it. Stage 2 is the
+        // identity (flip's own output leaves its domain).
+        let fix = examples::flip();
+        let c = compile(&fix.dtop).unwrap();
+        let id = compile(&xtt_transducer::identity(fix.dtop.output())).unwrap();
+        let mut chain = ChainedEvaluator::new();
+        let xml = "<root><a><junk><x/></junk><a># #</a></a><b># #</b></root>";
+        let mut source = XmlRankedEvents::bounded(xml);
+        let mut sink = TreeCollector::new();
+        let got = chain
+            .eval_streaming(&[&c, &id], &mut source, &mut sink)
+            .unwrap();
+        assert!(got.is_some());
+        assert_eq!(
+            sink.into_tree().unwrap().to_string(),
+            "root(b(#,#),a(#,a(#,#)))"
+        );
+        assert!(source.skipped_subtrees() >= 1, "fast path must engage");
+        assert_eq!(Symbol::lookup("junk"), None, "skipped names never interned");
+        assert_eq!(chain.stage_stats().count(), 2);
     }
 
     #[test]

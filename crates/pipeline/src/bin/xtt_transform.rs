@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use xtt_engine::{tree_to_xml, DocFormat, Engine, EngineOptions, EvalMode};
 use xtt_obs::{EvalObserver, Trace};
+use xtt_pipeline::{plan, StageDef, StrategyChoice};
 use xtt_transducer::{examples, Dtop, DtopBuilder};
 use xtt_trees::{RankedAlphabet, Tree};
 
@@ -27,6 +28,13 @@ USAGE: xtt-transform [OPTIONS]
 
 OPTIONS:
   --example <flip|library|copy|prune>  built-in transducer  [default: flip]
+  --pipeline <t1,t2[,t3]>        run a composition pipeline of built-in
+                                 transducers (τₙ∘…∘τ₁, t1 applied first)
+                                 instead of a single --example; the plan
+                                 chooser picks composed vs chained
+                                 execution (see --pipeline-strategy)
+  --pipeline-strategy <auto|composed|chained>
+                                 override the plan chooser  [default: auto]
   --mode <compiled|stream|dag|walk>  evaluator              [default: compiled]
   --format <term|xml|xml+attrs>  document syntax            [default: term]
                                  (xml+attrs maps attributes into the
@@ -54,6 +62,8 @@ OPTIONS:
 
 struct Args {
     example: String,
+    pipeline: Option<Vec<String>>,
+    pipeline_strategy: StrategyChoice,
     mode: EvalMode,
     format: DocFormat,
     encoding: Option<String>,
@@ -68,6 +78,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         example: "flip".to_owned(),
+        pipeline: None,
+        pipeline_strategy: StrategyChoice::Auto,
         mode: EvalMode::Compiled,
         format: DocFormat::Term,
         encoding: None,
@@ -83,6 +95,24 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--example" => args.example = value("--example")?,
+            "--pipeline" => {
+                let list = value("--pipeline")?;
+                let names: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if names.is_empty() {
+                    return Err("--pipeline needs at least one stage".to_owned());
+                }
+                args.pipeline = Some(names);
+            }
+            "--pipeline-strategy" => {
+                let name = value("--pipeline-strategy")?;
+                args.pipeline_strategy = StrategyChoice::parse(&name)
+                    .ok_or_else(|| format!("unknown strategy '{name}'"))?;
+            }
             "--mode" => {
                 let name = value("--mode")?;
                 args.mode =
@@ -273,6 +303,107 @@ fn stream_output(engine: &Engine, args: &Args, dtop: &Dtop, docs: &[String], in_
     }
 }
 
+/// `--pipeline`: plan the composition (strategy per `--pipeline-strategy`)
+/// and run every document through the chain entry points. The plan line on
+/// stderr shows what the chooser measured and picked.
+fn run_pipeline(engine: &Engine, args: &Args, names: &[String], docs: &[String], in_bytes: usize) {
+    let mut stages = Vec::with_capacity(names.len());
+    for name in names {
+        match example_dtop(name) {
+            Ok(d) => stages.push(StageDef {
+                name: name.clone(),
+                dtop: std::sync::Arc::new(d),
+            }),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let plan = match plan(&stages, None, args.pipeline_strategy) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: planning pipeline: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = &plan.report;
+    eprintln!(
+        "pipeline {}: strategy {}{} (probe {} docs: composed {}ns vs chained {}ns)",
+        names.join(","),
+        report.strategy.as_str(),
+        if report.forced { " [forced]" } else { "" },
+        report.probe_docs,
+        report.composed_probe_ns,
+        report.chained_probe_ns,
+    );
+    let exec = plan.exec_stages();
+    let guard = args.validate.then(|| plan.guard());
+
+    let t0 = Instant::now();
+    let mut failures = 0usize;
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    if args.stream_output {
+        let mut sink: &mut dyn Write = &mut out;
+        let mut null = std::io::sink();
+        if args.quiet {
+            sink = &mut null;
+        }
+        for doc in docs {
+            let mut counted = CountingWriter {
+                inner: &mut sink,
+                bytes: 0,
+            };
+            match engine.transform_streaming_chain(
+                exec,
+                doc,
+                args.format.clone(),
+                guard,
+                &mut counted,
+                None,
+            ) {
+                Ok(_) => writeln!(sink).expect("write stdout"),
+                Err(e) => {
+                    failures += 1;
+                    let sep = if counted.bytes > 0 { "\n" } else { "" };
+                    writeln!(sink, "{sep}!error: {e}").expect("write stdout");
+                }
+            }
+            sink.flush().expect("flush stdout");
+        }
+    } else {
+        let results =
+            engine.transform_batch_chain(exec, docs, args.mode, args.format.clone(), guard, None);
+        for result in &results {
+            match result {
+                Ok(text) => {
+                    if !args.quiet {
+                        writeln!(out, "{text}").expect("write stdout");
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    if !args.quiet {
+                        writeln!(out, "!error: {e}").expect("write stdout");
+                    }
+                }
+            }
+        }
+        out.flush().expect("flush stdout");
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    eprintln!(
+        "{} docs ({} ok, {} failed) in {:.3}s — {:.0} docs/s, {:.2} MB/s in",
+        docs.len(),
+        docs.len() - failures,
+        failures,
+        secs,
+        docs.len() as f64 / secs,
+        in_bytes as f64 / secs / 1e6,
+    );
+}
+
 /// Tracks whether a failing document already flushed a partial prefix.
 struct CountingWriter<'a> {
     inner: &'a mut dyn Write,
@@ -334,6 +465,11 @@ fn main() {
     });
 
     let in_bytes: usize = docs.iter().map(String::len).sum();
+
+    if let Some(names) = args.pipeline.clone() {
+        run_pipeline(&engine, &args, &names, &docs, in_bytes);
+        return;
+    }
 
     if args.stream_output {
         stream_output(&engine, &args, &dtop, &docs, in_bytes);

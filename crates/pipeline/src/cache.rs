@@ -1,0 +1,51 @@
+//! The plan cache: planning runs a product construction, a normalization
+//! fixpoint, and a timing probe — far too much per request. Plans are
+//! cached per pipeline *fingerprint* (stage names + structural
+//! fingerprints + schema + strategy choice), reusing the engine's
+//! collision-checked [`LruCache`], so re-registering a pipeline with an
+//! unchanged definition is free and any change to a stage's rules misses.
+
+use std::sync::{Arc, Mutex};
+
+use xtt_automata::Dtta;
+use xtt_engine::{CacheStats, LruCache};
+
+use crate::plan::{
+    pipeline_fingerprint, pipeline_rendering, plan, Plan, PlanError, StageDef, StrategyChoice,
+};
+
+pub struct PlanCache {
+    inner: Mutex<LruCache<Arc<Plan>>>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(LruCache::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats()
+    }
+
+    /// The cached plan for this exact pipeline, planning on a miss. A
+    /// failed plan caches nothing (the next attempt re-plans).
+    pub fn get_or_plan(
+        &self,
+        stages: &[StageDef],
+        schema: Option<&Dtta>,
+        choice: StrategyChoice,
+    ) -> Result<Arc<Plan>, PlanError> {
+        let rendering = pipeline_rendering(stages, schema, choice);
+        let fp = pipeline_fingerprint(stages, schema, choice);
+        self.inner
+            .lock()
+            .unwrap()
+            .get_or_insert_with(fp, rendering, self.capacity, || {
+                plan(stages, schema, choice).map(Arc::new)
+            })
+    }
+}

@@ -1,0 +1,223 @@
+//! Schema specialization of dtops — the Martens & Neven fixed-input-schema
+//! setting ("On Typechecking Top-Down XML Transformations"): when the
+//! inputs of a transducer are promised to come from a schema language, only
+//! the `(state, symbol)` pairs reachable in the product of the transducer's
+//! state space with the schema automaton can ever fire. Dropping the rest
+//! is dead-rule elimination: the compiled jump table shrinks (fewer states
+//! × fewer live rows) while behavior on schema-valid inputs is untouched.
+//!
+//! Two granularities:
+//!
+//! * [`specialize_to_schema`] — exact product reachability against a DTTA.
+//!   Used for the pipeline's first stage (and for the statically composed
+//!   transducer), whose inputs are schema-constrained directly.
+//! * [`specialize_to_symbols`] — reachability with input symbols restricted
+//!   to a set. Later pipeline stages consume the previous stage's *output*,
+//!   whose exact language is not regular in general (dtops copy); the set
+//!   of symbols a specialized stage can emit is a sound, cheap
+//!   over-approximation that still kills whole alphabet regions.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use xtt_automata::{Dtta, StateId};
+use xtt_transducer::{Dtop, DtopError, QId, Rhs};
+use xtt_trees::Symbol;
+
+/// A specialized transducer plus the bookkeeping the planner reports on.
+pub struct Specialized {
+    pub dtop: Dtop,
+    /// Output symbols any surviving rule or the axiom can emit — an
+    /// over-approximation of the symbols occurring in specialized outputs,
+    /// fed to the next stage's [`specialize_to_symbols`].
+    pub emitted: BTreeSet<Symbol>,
+    /// Rule count before/after, for shrink reporting.
+    pub rules_before: usize,
+    pub rules_after: usize,
+}
+
+/// Restricts `m` to the `(state, symbol)` pairs reachable when inputs are
+/// drawn from `L(schema)`. On every `t ∈ L(schema)`,
+/// `⟦specialized⟧(t) = ⟦m⟧(t)` (including both being undefined); outside
+/// the schema the domain may shrink — the pipeline guard rejects those
+/// inputs before evaluation either way.
+pub fn specialize_to_schema(m: &Dtop, schema: &Dtta) -> Result<Specialized, DtopError> {
+    // BFS over product pairs (transducer state, schema state).
+    let mut seen: HashSet<(QId, StateId)> = HashSet::new();
+    let mut queue: Vec<(QId, StateId)> = Vec::new();
+    for q in m.axiom().called_states() {
+        if seen.insert((q, schema.initial())) {
+            queue.push((q, schema.initial()));
+        }
+    }
+    let mut kept: HashSet<(QId, Symbol)> = HashSet::new();
+    while let Some((q, p)) = queue.pop() {
+        for f in m.enabled_symbols(q) {
+            let Some(child_states) = schema.transition(p, f) else {
+                continue; // schema forbids f here: rule is dead
+            };
+            kept.insert((q, f));
+            let child_states = child_states.to_vec();
+            for (_, q2, child) in m.rule(q, f).expect("enabled").calls() {
+                let pair = (q2, child_states[child]);
+                if seen.insert(pair) {
+                    queue.push(pair);
+                }
+            }
+        }
+    }
+    let live: BTreeSet<QId> = seen.iter().map(|&(q, _)| q).collect();
+    rebuild(m, &live, &kept)
+}
+
+/// Restricts `m` to the `(state, symbol)` pairs reachable when input
+/// symbols are drawn from `allowed`. Sound whenever every input tree's
+/// symbols are a subset of `allowed` — the contract the planner maintains
+/// by feeding each stage the previous stage's `emitted` set.
+pub fn specialize_to_symbols(
+    m: &Dtop,
+    allowed: &BTreeSet<Symbol>,
+) -> Result<Specialized, DtopError> {
+    let mut seen: HashSet<QId> = m.axiom().called_states().into_iter().collect();
+    let mut queue: Vec<QId> = seen.iter().copied().collect();
+    let mut kept: HashSet<(QId, Symbol)> = HashSet::new();
+    while let Some(q) = queue.pop() {
+        for f in m.enabled_symbols(q) {
+            if !allowed.contains(&f) {
+                continue;
+            }
+            kept.insert((q, f));
+            for (_, q2, _) in m.rule(q, f).expect("enabled").calls() {
+                if seen.insert(q2) {
+                    queue.push(q2);
+                }
+            }
+        }
+    }
+    let live: BTreeSet<QId> = seen.into_iter().collect();
+    rebuild(m, &live, &kept)
+}
+
+/// Rebuilds `m` keeping only `live` states (renumbered densely) and `kept`
+/// rules, and collects the emitted-symbol over-approximation.
+fn rebuild(
+    m: &Dtop,
+    live: &BTreeSet<QId>,
+    kept: &HashSet<(QId, Symbol)>,
+) -> Result<Specialized, DtopError> {
+    let mut b = Dtop::builder(m.input().clone(), m.output().clone());
+    let mut renumber: HashMap<QId, QId> = HashMap::new();
+    for &q in live {
+        renumber.insert(q, b.add_state(m.state_name(q)));
+    }
+    // A degenerate schema can kill every state; keep the transducer
+    // well-formed with one dead state for the axiom to point at.
+    if renumber.is_empty() {
+        for q in m.axiom().called_states() {
+            renumber.insert(q, b.add_state(m.state_name(q)));
+        }
+    }
+    let map = |q: QId| renumber[&q];
+    let mut emitted: BTreeSet<Symbol> = BTreeSet::new();
+    collect_out_symbols(m.axiom(), &mut emitted);
+    b.set_axiom(m.axiom().map_states(&mut |q| map(q)));
+    for &q in live {
+        for f in m.enabled_symbols(q) {
+            if !kept.contains(&(q, f)) {
+                continue;
+            }
+            let rhs = m.rule(q, f).expect("enabled");
+            collect_out_symbols(rhs, &mut emitted);
+            b.add_rule(map(q), f, rhs.map_states(&mut |q2| map(q2)))?;
+        }
+    }
+    Ok(Specialized {
+        dtop: b.build()?,
+        emitted,
+        rules_before: m.rule_count(),
+        rules_after: kept.len(),
+    })
+}
+
+fn collect_out_symbols(rhs: &Rhs, out: &mut BTreeSet<Symbol>) {
+    match rhs {
+        Rhs::Call { .. } => {}
+        Rhs::Out(sym, kids) => {
+            out.insert(*sym);
+            for k in kids {
+                collect_out_symbols(k, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtt_automata::{Dtta, DttaBuilder};
+    use xtt_transducer::{eval, examples};
+    use xtt_trees::gen::enumerate_trees;
+
+    /// Schema over flip's input that forbids the `a`-list entirely: the
+    /// root's left child must be `#`, the right child a `b`-list. Under
+    /// it, flip's `q4`-on-`a` rule can never fire.
+    fn empty_a_list_schema() -> Dtta {
+        let fix = examples::flip();
+        let alpha = fix.dtop.input().clone();
+        let sym = |n: &str| {
+            *alpha
+                .symbols()
+                .iter()
+                .find(|s| s.name() == n)
+                .expect("symbol")
+        };
+        let mut b = DttaBuilder::new(alpha.clone());
+        let top = b.add_state("top");
+        let leaf = b.add_state("leaf");
+        let blist = b.add_state("blist");
+        b.set_initial(top);
+        b.add_transition(top, sym("root"), vec![leaf, blist])
+            .unwrap();
+        b.add_transition(leaf, sym("#"), vec![]).unwrap();
+        b.add_transition(blist, sym("b"), vec![leaf, blist])
+            .unwrap();
+        b.add_transition(blist, sym("#"), vec![]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn schema_specialization_preserves_schema_valid_behavior() {
+        let fix = examples::flip();
+        let schema = empty_a_list_schema();
+        let sp = specialize_to_schema(&fix.dtop, &schema).unwrap();
+        assert!(
+            sp.rules_after < sp.rules_before,
+            "expected dead rules: {} -> {}",
+            sp.rules_before,
+            sp.rules_after
+        );
+        for t in enumerate_trees(fix.dtop.input(), 200, 9) {
+            if schema.accepts(&t) {
+                assert_eq!(eval(&sp.dtop, &t), eval(&fix.dtop, &t), "on {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_specialization_is_sound_on_restricted_inputs() {
+        let fix = examples::flip();
+        let alpha = fix.dtop.input().clone();
+        let allowed: BTreeSet<Symbol> = alpha
+            .symbols()
+            .iter()
+            .copied()
+            .filter(|s| s.name() != "b")
+            .collect();
+        let sp = specialize_to_symbols(&fix.dtop, &allowed).unwrap();
+        for t in enumerate_trees(&alpha, 200, 9) {
+            let only_allowed = t.preorder().all(|n| allowed.contains(&n.symbol()));
+            if only_allowed {
+                assert_eq!(eval(&sp.dtop, &t), eval(&fix.dtop, &t), "on {t}");
+            }
+        }
+    }
+}

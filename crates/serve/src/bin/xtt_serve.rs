@@ -46,8 +46,11 @@ OPTIONS:
                           response headers, stage breakdown in the slow
                           log; 0 disables)                   [default: 0]
   --slow-ms <ms>          slow-request log threshold: requests slower
-                          than this log a structured line on stderr
-                          (0 disables)                       [default: 1000]
+                          than this log a structured line on stderr and
+                          into the GET /slow ring (0 disables)
+                                                             [default: 1000]
+  --slow-us <us>          same threshold in microseconds, for smoke
+                          tests that want every request captured
   --preload <names>       comma-separated built-ins to register at boot
                           (flip, library, copy)
   --help                  print this help
@@ -124,6 +127,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --slow-ms value".to_owned())?;
                 args.opts.slow_request = std::time::Duration::from_millis(ms);
+            }
+            "--slow-us" => {
+                let us: u64 = value("--slow-us")?
+                    .parse()
+                    .map_err(|_| "bad --slow-us value".to_owned())?;
+                args.opts.slow_request = std::time::Duration::from_micros(us);
             }
             "--preload" => {
                 args.preload = value("--preload")?

@@ -487,7 +487,9 @@ impl Loop<'_> {
             Close,
             Redispatch,
             Resume {
-                job: StreamJob,
+                // Boxed: a StreamJob is ~200 bytes and the other
+                // variants are empty.
+                job: Box<StreamJob>,
                 token: u64,
                 out: Arc<Outbuf>,
             },
@@ -522,7 +524,7 @@ impl Loop<'_> {
                             Some(job) => {
                                 conn.state = ConnState::Processing;
                                 Next::Resume {
-                                    job,
+                                    job: Box::new(job),
                                     token: token_for(conn.gen, idx),
                                     out: Arc::clone(&conn.out),
                                 }
@@ -550,9 +552,11 @@ impl Loop<'_> {
             Next::Resume { job, token, out } => {
                 // Order matters: enqueue first, then release the hold —
                 // the drain condition must never observe the gap.
-                self.shared
-                    .queue
-                    .push_unbounded(Job::Resume { token, job, out });
+                self.shared.queue.push_unbounded(Job::Resume {
+                    token,
+                    job: *job,
+                    out,
+                });
                 self.shared.queue.unhold();
                 self.shared.stats.worker_handoffs.inc();
                 self.shared

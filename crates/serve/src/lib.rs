@@ -41,6 +41,7 @@ pub mod encodings;
 mod event_loop;
 pub mod http;
 mod outbuf;
+pub mod pipelines;
 pub mod pool;
 pub mod registry;
 pub mod server;
@@ -49,6 +50,7 @@ pub mod stats;
 
 pub use client::{ServeClient, ServeSession};
 pub use encodings::{EncodingEntry, EncodingRegistry};
+pub use pipelines::{PipelineEntry, PipelineRegistry};
 pub use pool::{PushError, WorkQueue};
 pub use registry::{Entry, Registry, RegistryError, Source};
 pub use server::{ServeHandle, ServeOptions, Server};

@@ -28,6 +28,26 @@
 //! GET    /encodings[/{name}]             list / inspect encodings (the
 //!                                        built-in fcns is always there)
 //! DELETE /encodings/{name}               unregister
+//! PUT    /pipelines/{name}               register a pipeline: body is a
+//!                                        comma/newline list of registered
+//!                                        transducer names (τ₁ first);
+//!                                        ?schema={encoding} specializes to
+//!                                        that DTD encoding's domain,
+//!                                        ?strategy=auto|composed|chained
+//!                                        overrides the cost model (422 on
+//!                                        undefined stages or an empty
+//!                                        composition)
+//! GET    /pipelines[/{name}]             list / inspect pipelines (plan
+//!                                        report: strategy, probe timings,
+//!                                        jump-table shrink)
+//! DELETE /pipelines/{name}               unregister
+//! POST   /transform/{name}               also dispatches to pipelines
+//!                                        (any ?mode=, incl. stream; the
+//!                                        plan's guard always validates;
+//!                                        ?strategy= forces composed or
+//!                                        chained per request)
+//! GET    /slow                           recent slow-request lines (JSON
+//!                                        ring, newest last)
 //! GET    /healthz                        liveness (+ started_at/uptime)
 //! GET    /stats                          counters (engine cache, validation,
 //!                                        typecheck, queue, event loop,
@@ -61,12 +81,14 @@ use std::time::{Duration, Instant};
 
 use xtt_engine::{DocFormat, Engine, EngineOptions, EvalMode};
 use xtt_netio::Waker;
-use xtt_obs::{EvalObserver, Trace, TraceSampler};
+use xtt_obs::{EvalObserver, Histogram, Trace, TraceSampler};
+use xtt_pipeline::{StageDef, Strategy, StrategyChoice};
 
 use crate::encodings::EncodingRegistry;
 use crate::event_loop;
 use crate::http::{write_response, write_response_conn, ChunkedWriter, Request};
 use crate::outbuf::{ConnWriter, Outbuf};
+use crate::pipelines::{PipelineEntry, PipelineRegistry};
 use crate::pool::WorkQueue;
 use crate::registry::{self, escape_json, Entry, Registry, Source};
 use crate::stats::ServerStats;
@@ -177,9 +199,33 @@ pub(crate) enum Disposition {
     Yield { job: StreamJob },
 }
 
+/// What a transform request executes: one registered transducer, or a
+/// registered pipeline under a concrete strategy (the plan's pick, or the
+/// request's `?strategy=` override).
+pub(crate) enum StreamTarget {
+    Transducer(Arc<Entry>),
+    Pipeline {
+        entry: Arc<PipelineEntry>,
+        strategy: Strategy,
+        /// Pre-registered `xtt_pipeline_stage_events{stage=…}` handles,
+        /// one per stage, so the per-document callback never touches the
+        /// registry mutex.
+        hists: Vec<Arc<Histogram>>,
+    },
+}
+
+impl StreamTarget {
+    fn name(&self) -> &str {
+        match self {
+            StreamTarget::Transducer(e) => &e.name,
+            StreamTarget::Pipeline { entry, .. } => &entry.name,
+        }
+    }
+}
+
 /// The resumable state of one `mode=stream` transform response.
 pub(crate) struct StreamJob {
-    entry: Arc<Entry>,
+    target: StreamTarget,
     docs: Vec<String>,
     /// Next document index to evaluate.
     next: usize,
@@ -204,6 +250,7 @@ pub(crate) struct Shared {
     pub(crate) engine: Arc<Engine>,
     pub(crate) registry: Registry,
     pub(crate) encodings: EncodingRegistry,
+    pub(crate) pipelines: PipelineRegistry,
     pub(crate) stats: ServerStats,
     pub(crate) queue: WorkQueue<Job>,
     /// Finished jobs queued for the event loop, paired with a waker kick.
@@ -283,6 +330,8 @@ impl Server {
                 engine: Engine::shared(opts.engine.clone()),
                 registry: Registry::new(),
                 encodings: EncodingRegistry::new(),
+                // Plan-cache cardinality tracks the engine's compile LRU.
+                pipelines: PipelineRegistry::new(opts.engine.cache_capacity),
                 stats: ServerStats::new(),
                 queue: WorkQueue::new(opts.queue_capacity),
                 done: Mutex::new(Vec::new()),
@@ -514,6 +563,43 @@ fn route(
             shared.stats.encodings.record(started, status);
             r
         }
+        ("GET", ["pipelines"]) => {
+            let body = shared.pipelines.list_json();
+            let r = respond(w, 200, "application/json", body.as_bytes());
+            shared.stats.pipelines.record(started, 200);
+            r
+        }
+        ("GET", ["pipelines", name]) => {
+            let (status, body) = match shared.pipelines.get(name) {
+                Some(entry) => (200, entry.json()),
+                None => (404, error_json("unknown pipeline")),
+            };
+            let r = respond(w, status, "application/json", body.as_bytes());
+            shared.stats.pipelines.record(started, status);
+            r
+        }
+        ("PUT", ["pipelines", name]) => {
+            let (status, body) = put_pipeline(shared, req, name);
+            let r = respond(w, status, "application/json", body.as_bytes());
+            shared.stats.pipelines.record(started, status);
+            r
+        }
+        ("DELETE", ["pipelines", name]) => {
+            let status = if shared.pipelines.remove(name) {
+                204
+            } else {
+                404
+            };
+            let r = respond(w, status, "text/plain", b"");
+            shared.stats.pipelines.record(started, status);
+            r
+        }
+        ("GET", ["slow"]) => {
+            let body = shared.stats.slow_json();
+            let r = respond(w, 200, "application/json", body.as_bytes());
+            shared.stats.stats.record(started, 200);
+            r
+        }
         ("POST", ["transform", name]) => return transform(shared, req, name, w, started, keep),
         ("POST", ["typecheck", name]) => {
             let (status, body) = typecheck(shared, req, name);
@@ -527,8 +613,8 @@ fn route(
             shared.begin_shutdown();
             r
         }
-        (_, ["healthz" | "stats" | "metrics" | "shutdown"])
-        | (_, ["transducers" | "transform" | "typecheck" | "encodings", ..]) => {
+        (_, ["healthz" | "stats" | "metrics" | "slow" | "shutdown"])
+        | (_, ["transducers" | "transform" | "typecheck" | "encodings" | "pipelines", ..]) => {
             let r = respond(w, 405, "text/plain", b"method not allowed\n");
             shared.stats.other.record(started, 405);
             r
@@ -576,6 +662,88 @@ fn put_encoding(shared: &Shared, req: &Request, name: &str) -> (u16, String) {
     match shared.encodings.upload(name, body, pcdata, style) {
         Ok(entry) => (201, entry.json()),
         Err(e) => (422, error_json(&e.to_string())),
+    }
+}
+
+/// `PUT /pipelines/{name}`: body is the stage list — registered
+/// transducer names separated by commas or newlines, in application order
+/// (τ₁ first). `?schema={encoding}` specializes the stages to an uploaded
+/// DTD encoding's domain automaton; `?strategy=` pins the execution
+/// strategy instead of letting the cost probe decide. Undefined stages,
+/// an empty stage list, and a composition with an empty domain all answer
+/// `422` and register nothing.
+fn put_pipeline(shared: &Shared, req: &Request, name: &str) -> (u16, String) {
+    if !Registry::valid_name(name) {
+        return (
+            400,
+            error_json("pipeline names are [A-Za-z0-9_.-], at most 64 bytes"),
+        );
+    }
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return (400, error_json(&e.to_string())),
+    };
+    let stage_names: Vec<&str> = body
+        .split(['\n', ','])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if stage_names.is_empty() {
+        return (
+            422,
+            error_json("pipeline body must list at least one registered transducer"),
+        );
+    }
+    let mut stages = Vec::with_capacity(stage_names.len());
+    let mut missing = Vec::new();
+    for stage_name in &stage_names {
+        match shared.registry.get(stage_name) {
+            Some(entry) => stages.push(StageDef {
+                name: (*stage_name).to_owned(),
+                dtop: Arc::new(entry.dtop.clone()),
+            }),
+            None => missing.push((*stage_name).to_owned()),
+        }
+    }
+    if !missing.is_empty() {
+        return (
+            422,
+            error_json(&format!("undefined stages: {}", missing.join(", "))),
+        );
+    }
+    let schema = match req.query_param("schema") {
+        None => None,
+        Some("fcns") => {
+            return (
+                422,
+                error_json("the built-in fcns encoding carries no schema; upload a DTD encoding"),
+            )
+        }
+        Some(enc_name) => match shared.encodings.get(enc_name) {
+            Some(entry) => Some((enc_name.to_owned(), entry.encoding.domain())),
+            None => {
+                return (
+                    422,
+                    error_json(&format!("unknown schema encoding '{enc_name}'")),
+                )
+            }
+        },
+    };
+    let choice = match req.query_param("strategy") {
+        None => StrategyChoice::Auto,
+        Some(v) => match StrategyChoice::parse(v) {
+            Some(c) => c,
+            None => {
+                return (
+                    400,
+                    error_json(&format!("bad strategy '{v}' (auto, composed, chained)")),
+                )
+            }
+        },
+    };
+    match shared.pipelines.register(name, stages, schema, choice) {
+        Ok(entry) => (201, entry.json()),
+        Err(e) => (422, error_json(&format!("cannot plan pipeline: {e}"))),
     }
 }
 
@@ -644,17 +812,29 @@ fn transform(
     started: Instant,
     keep: bool,
 ) -> io::Result<RouteStep> {
-    let Some(entry) = shared.registry.get(name) else {
-        let r = write_response_conn(
-            w,
-            404,
-            "application/json",
-            &[],
-            error_json("unknown transducer").as_bytes(),
-            keep,
-        );
-        shared.stats.transform.record(started, 404);
-        return r.map(|()| RouteStep::Done { keep });
+    // Transducers shadow pipelines on name collisions (pipelines are the
+    // newer namespace; give them distinct names).
+    enum Found {
+        Transducer(Arc<Entry>),
+        Pipeline(Arc<PipelineEntry>),
+    }
+    let found = match shared.registry.get(name) {
+        Some(entry) => Found::Transducer(entry),
+        None => match shared.pipelines.get(name) {
+            Some(entry) => Found::Pipeline(entry),
+            None => {
+                let r = write_response_conn(
+                    w,
+                    404,
+                    "application/json",
+                    &[],
+                    error_json("unknown transducer or pipeline").as_bytes(),
+                    keep,
+                );
+                shared.stats.transform.record(started, 404);
+                return r.map(|()| RouteStep::Done { keep });
+            }
+        },
     };
     let mode = match optional(req.query_param("mode"), EvalMode::parse) {
         Ok(m) => m.unwrap_or(shared.opts.engine.mode),
@@ -703,6 +883,12 @@ fn transform(
         Ok(v) => v.unwrap_or(shared.opts.engine.validate),
         Err(v) => return bad_param(shared, w, started, "validate", &v, keep),
     };
+    // `?strategy=` pins a pipeline's execution strategy for this request
+    // (auto = the plan's measured pick). Ignored for plain transducers.
+    let strategy_choice = match optional(req.query_param("strategy"), StrategyChoice::parse) {
+        Ok(c) => c.unwrap_or(StrategyChoice::Auto),
+        Err(v) => return bad_param(shared, w, started, "strategy", &v, keep),
+    };
     let body = match req.body_str() {
         Ok(b) => b,
         Err(e) => {
@@ -731,9 +917,36 @@ fn transform(
     if trace.is_some() {
         shared.stats.traces_sampled.inc();
     }
+    let target = match found {
+        Found::Transducer(entry) => {
+            shared
+                .stats
+                .record_transform_target("transducer", &entry.name);
+            StreamTarget::Transducer(entry)
+        }
+        Found::Pipeline(entry) => {
+            shared
+                .stats
+                .record_transform_target("pipeline", &entry.name);
+            shared.stats.pipeline_transforms.inc();
+            let strategy = match strategy_choice {
+                StrategyChoice::Auto => entry.plan.strategy,
+                StrategyChoice::Composed => Strategy::Composed,
+                StrategyChoice::Chained => Strategy::Chained,
+            };
+            let hists = (0..entry.plan.stages_for(strategy).len())
+                .map(|i| shared.stats.stage_events(i))
+                .collect();
+            StreamTarget::Pipeline {
+                entry,
+                strategy,
+                hists,
+            }
+        }
+    };
     if mode == EvalMode::Streaming {
         let job = StreamJob {
-            entry,
+            target,
             docs,
             next: 0,
             format,
@@ -747,22 +960,42 @@ fn transform(
         };
         return run_stream_job(shared, job, w);
     }
-    let results = match trace.as_mut() {
-        Some(t) => shared.engine.transform_batch_observed(
-            &entry.dtop,
-            &docs,
-            mode,
-            format,
-            validate,
-            Some(t),
-        ),
-        None => shared.engine.transform_batch_with_validation(
-            &entry.dtop,
-            &docs,
-            mode,
-            format,
-            validate,
-        ),
+    let results = match &target {
+        StreamTarget::Transducer(entry) => match trace.as_mut() {
+            Some(t) => shared.engine.transform_batch_observed(
+                &entry.dtop,
+                &docs,
+                mode,
+                format,
+                validate,
+                Some(t),
+            ),
+            None => shared.engine.transform_batch_with_validation(
+                &entry.dtop,
+                &docs,
+                mode,
+                format,
+                validate,
+            ),
+        },
+        // The plan's guard (dom(composition) ∩ schema) always validates a
+        // pipeline request: it is what makes the two strategies reject
+        // identically, so it is not optional the way `?validate=` is.
+        StreamTarget::Pipeline {
+            entry,
+            strategy,
+            hists,
+        } => {
+            let cb = |i: usize, n: u64| hists[i].record(n);
+            shared.engine.transform_batch_chain(
+                entry.plan.stages_for(*strategy),
+                &docs,
+                mode,
+                format,
+                Some(entry.plan.guard()),
+                Some(&cb),
+            )
+        }
     };
     let failed = results.iter().filter(|r| r.is_err()).count();
     let type_errors = results
@@ -794,6 +1027,7 @@ fn transform(
     let r = writer.finish();
     log_if_slow(
         shared,
+        target.name(),
         status,
         results.len() as u64,
         started,
@@ -804,9 +1038,17 @@ fn transform(
 }
 
 /// Emits the structured slow-request line for transform requests that
-/// crossed [`ServeOptions::slow_request`]; sampled requests carry their
+/// crossed [`ServeOptions::slow_request`] — to stderr and into the
+/// bounded ring behind `GET /slow`; sampled requests carry their
 /// per-stage breakdown, unsampled ones log `trace=-`.
-fn log_if_slow(shared: &Shared, status: u16, docs: u64, started: Instant, trace: Option<&Trace>) {
+fn log_if_slow(
+    shared: &Shared,
+    target: &str,
+    status: u16,
+    docs: u64,
+    started: Instant,
+    trace: Option<&Trace>,
+) {
     let threshold = shared.opts.slow_request;
     if threshold.is_zero() {
         return;
@@ -818,10 +1060,12 @@ fn log_if_slow(shared: &Shared, status: u16, docs: u64, started: Instant, trace:
     shared.stats.slow_requests.inc();
     let id = trace.map_or_else(|| "-".to_owned(), Trace::id_hex);
     let stages = trace.map_or_else(String::new, |t| format!(" {}", t.breakdown_micros()));
-    eprintln!(
-        "xtt-serve slow-request endpoint=transform status={status} docs={docs} total_us={} trace={id}{stages}",
+    let line = format!(
+        "xtt-serve slow-request endpoint=transform target={target} status={status} docs={docs} total_us={} trace={id}{stages}",
         elapsed.as_micros(),
     );
+    eprintln!("{line}");
+    shared.stats.push_slow(line);
 }
 
 /// Runs (or resumes) a `mode=stream` transform until it finishes, fails,
@@ -837,6 +1081,7 @@ fn run_stream_job(
         Ok(true) => {
             log_if_slow(
                 shared,
+                job.target.name(),
                 200,
                 job.docs.len() as u64,
                 job.started,
@@ -897,15 +1142,35 @@ fn stream_job_step(
             buf: Vec::new(),
             bytes: 0,
         };
-        let obs = job.trace.as_mut().map(|t| t as &mut dyn EvalObserver);
-        match shared.engine.transform_streaming_observed(
-            &job.entry.dtop,
-            doc,
-            job.format.clone(),
-            job.validate,
-            &mut sink,
-            obs,
-        ) {
+        let result = match &job.target {
+            StreamTarget::Transducer(entry) => {
+                let obs = job.trace.as_mut().map(|t| t as &mut dyn EvalObserver);
+                shared.engine.transform_streaming_observed(
+                    &entry.dtop,
+                    doc,
+                    job.format.clone(),
+                    job.validate,
+                    &mut sink,
+                    obs,
+                )
+            }
+            StreamTarget::Pipeline {
+                entry,
+                strategy,
+                hists,
+            } => {
+                let cb = |i: usize, n: u64| hists[i].record(n);
+                shared.engine.transform_streaming_chain(
+                    entry.plan.stages_for(*strategy),
+                    doc,
+                    job.format.clone(),
+                    Some(entry.plan.guard()),
+                    &mut sink,
+                    Some(&cb),
+                )
+            }
+        };
+        match result {
             Ok(out) => {
                 sink.flush()?;
                 shared.stats.bytes_flushed_early.add(out.bytes_written);
@@ -1068,6 +1333,8 @@ impl Shared {
             self.engine.skipped_subtrees(),
             self.registry.len(),
             self.encodings.len(),
+            self.pipelines.len(),
+            self.pipelines.plan_cache_stats(),
             self.queue.capacity(),
         )
     }
@@ -1082,6 +1349,8 @@ impl Shared {
             self.engine.skipped_subtrees(),
             self.registry.len(),
             self.encodings.len(),
+            self.pipelines.len(),
+            self.pipelines.plan_cache_stats(),
             self.queue.capacity(),
         );
         self.stats.metrics.render_prometheus()

@@ -7,10 +7,20 @@
 //! `/metrics` exposition read the very same atomics, the two endpoints
 //! can never disagree about a shared counter.
 
-use std::sync::Arc;
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use xtt_obs::{Counter, Gauge, Histogram, Registry as MetricsRegistry};
+
+/// How many recent slow-request lines `GET /slow` retains.
+const SLOW_RING_CAP: usize = 64;
+
+/// Distinct `name` label values admitted on the per-target transform
+/// counters before new names collapse into `__other` — a hard bound on
+/// exposition cardinality no matter how many transducers and pipelines
+/// churn through the registries.
+const TARGET_LABEL_CAP: usize = 64;
 
 /// Per-endpoint request/latency handles, labeled `{endpoint="…"}` in the
 /// exposition.
@@ -146,9 +156,17 @@ pub struct ServerStats {
     pub traces_sampled: Arc<Counter>,
     /// Requests that crossed the slow-request threshold (logged).
     pub slow_requests: Arc<Counter>,
+    /// Ring of the most recent slow-request lines, served at `GET /slow`.
+    slow_ring: Mutex<VecDeque<String>>,
+    /// `name` label values already admitted on the per-target counters
+    /// (bounded by [`TARGET_LABEL_CAP`]).
+    target_names: Mutex<HashSet<String>>,
+    /// Transform requests dispatched to a registered pipeline.
+    pub pipeline_transforms: Arc<Counter>,
     pub transform: EndpointStats,
     pub transducers: EndpointStats,
     pub encodings: EndpointStats,
+    pub pipelines: EndpointStats,
     pub typecheck: EndpointStats,
     pub health: EndpointStats,
     pub stats: EndpointStats,
@@ -164,6 +182,10 @@ pub struct ServerStats {
     ext_guards_compiled: Arc<Gauge>,
     ext_transducers: Arc<Gauge>,
     ext_encodings: Arc<Gauge>,
+    ext_pipelines: Arc<Gauge>,
+    ext_plan_cache_hits: Arc<Gauge>,
+    ext_plan_cache_misses: Arc<Gauge>,
+    ext_plan_cache_entries: Arc<Gauge>,
     ext_queue_capacity: Arc<Gauge>,
     ext_uptime_seconds: Arc<Gauge>,
     ext_started_at: Arc<Gauge>,
@@ -276,9 +298,16 @@ impl ServerStats {
                 "xtt_slow_requests_total",
                 "Requests that crossed the slow-request log threshold.",
             ),
+            slow_ring: Mutex::new(VecDeque::with_capacity(SLOW_RING_CAP)),
+            target_names: Mutex::new(HashSet::new()),
+            pipeline_transforms: c(
+                "xtt_pipeline_transforms_total",
+                "Transform requests dispatched to a registered pipeline.",
+            ),
             transform: EndpointStats::new(&reg, "transform"),
             transducers: EndpointStats::new(&reg, "transducers"),
             encodings: EndpointStats::new(&reg, "encodings"),
+            pipelines: EndpointStats::new(&reg, "pipelines"),
             typecheck: EndpointStats::new(&reg, "typecheck"),
             health: EndpointStats::new(&reg, "healthz"),
             stats: EndpointStats::new(&reg, "stats"),
@@ -304,6 +333,16 @@ impl ServerStats {
             ext_guards_compiled: g("xtt_guards_compiled", "Domain guards compiled."),
             ext_transducers: g("xtt_transducers_registered", "Registered transducers."),
             ext_encodings: g("xtt_encodings_registered", "Registered ranked encodings."),
+            ext_pipelines: g("xtt_pipelines_registered", "Registered pipelines."),
+            ext_plan_cache_hits: g("xtt_pipeline_plan_cache_hits", "Pipeline plan-cache hits."),
+            ext_plan_cache_misses: g(
+                "xtt_pipeline_plan_cache_misses",
+                "Pipeline plan-cache misses.",
+            ),
+            ext_plan_cache_entries: g(
+                "xtt_pipeline_plan_cache_entries",
+                "Plans currently in the pipeline plan cache.",
+            ),
             ext_queue_capacity: g("xtt_queue_capacity", "Work-queue backpressure bound."),
             ext_uptime_seconds: g("xtt_uptime_seconds", "Seconds since the server started."),
             ext_started_at: g(
@@ -320,10 +359,76 @@ impl ServerStats {
         self.started.elapsed().as_secs()
     }
 
+    /// Appends a slow-request line to the bounded ring behind `GET /slow`
+    /// (oldest line evicted at capacity).
+    pub fn push_slow(&self, line: String) {
+        let mut ring = self.slow_ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() >= SLOW_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(line);
+    }
+
+    /// The `GET /slow` body: total slow-request count plus the retained
+    /// recent lines, oldest first.
+    pub fn slow_json(&self) -> String {
+        let ring = self.slow_ring.lock().unwrap_or_else(|e| e.into_inner());
+        let lines: Vec<String> = ring
+            .iter()
+            .map(|l| format!("\"{}\"", crate::registry::escape_json(l)))
+            .collect();
+        format!(
+            "{{\"slow_requests\":{},\"capacity\":{},\"recent\":[{}]}}\n",
+            self.slow_requests.get(),
+            SLOW_RING_CAP,
+            lines.join(","),
+        )
+    }
+
+    /// Bumps the per-target transform counter
+    /// `xtt_transform_requests_by_target_total{kind=…,name=…}`. The first
+    /// [`TARGET_LABEL_CAP`] distinct names get their own series; later
+    /// ones collapse into `name="__other"` so registry churn cannot blow
+    /// up the exposition.
+    pub fn record_transform_target(&self, kind: &str, name: &str) {
+        let bounded = {
+            let mut seen = self.target_names.lock().unwrap_or_else(|e| e.into_inner());
+            if seen.contains(name) {
+                true
+            } else if seen.len() < TARGET_LABEL_CAP {
+                seen.insert(name.to_owned());
+                true
+            } else {
+                false
+            }
+        };
+        let label = if bounded { name } else { "__other" };
+        self.metrics
+            .counter(
+                "xtt_transform_requests_by_target_total",
+                "Transform requests by target (kind=transducer|pipeline, name bounded).",
+                &[("kind", kind), ("name", label)],
+            )
+            .inc();
+    }
+
+    /// The per-stage pipeline histogram
+    /// `xtt_pipeline_stage_events{stage="i"}` — input events each pipeline
+    /// stage processed per document. Registration is idempotent;
+    /// cardinality is bounded by the longest registered pipeline.
+    pub fn stage_events(&self, stage: usize) -> Arc<Histogram> {
+        self.metrics.histogram(
+            "xtt_pipeline_stage_events",
+            "Input events processed per pipeline stage per document.",
+            &[("stage", &stage.to_string())],
+        )
+    }
+
     /// Mirrors the values owned elsewhere (engine counters, registry
     /// sizes, queue capacity, uptime) into their gauges. Both `/stats`
     /// and `/metrics` call this with the same getters, so the views stay
     /// in lockstep.
+    #[allow(clippy::too_many_arguments)]
     pub fn sync_external(
         &self,
         cache: xtt_engine::CacheStats,
@@ -331,6 +436,8 @@ impl ServerStats {
         skipped_subtrees: u64,
         transducers: usize,
         encodings: usize,
+        pipelines: usize,
+        plan_cache: xtt_engine::CacheStats,
         capacity: usize,
     ) {
         self.ext_cache_hits.set(cache.hits);
@@ -343,12 +450,17 @@ impl ServerStats {
         self.ext_guards_compiled.set(validation.guards_compiled);
         self.ext_transducers.set(transducers as u64);
         self.ext_encodings.set(encodings as u64);
+        self.ext_pipelines.set(pipelines as u64);
+        self.ext_plan_cache_hits.set(plan_cache.hits);
+        self.ext_plan_cache_misses.set(plan_cache.misses);
+        self.ext_plan_cache_entries.set(plan_cache.entries as u64);
         self.ext_queue_capacity.set(capacity as u64);
         self.ext_uptime_seconds.set(self.uptime_seconds());
     }
 
     /// Renders the `/stats` snapshot, splicing in the engine cache and
     /// validation counters and the live transducer count.
+    #[allow(clippy::too_many_arguments)]
     pub fn json(
         &self,
         cache: xtt_engine::CacheStats,
@@ -356,6 +468,8 @@ impl ServerStats {
         skipped_subtrees: u64,
         transducers: usize,
         encodings: usize,
+        pipelines: usize,
+        plan_cache: xtt_engine::CacheStats,
         capacity: usize,
     ) -> String {
         self.sync_external(
@@ -364,6 +478,8 @@ impl ServerStats {
             skipped_subtrees,
             transducers,
             encodings,
+            pipelines,
+            plan_cache,
             capacity,
         );
         let queue_wait = self.queue_wait.snapshot();
@@ -382,7 +498,8 @@ impl ServerStats {
              \"started_at\":{},\
              \"transducers\":{},\
              \"encodings\":{},\
-             \"endpoints\":{{\"transform\":{},\"transducers\":{},\"encodings\":{},\"typecheck\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}",
+             \"pipelines\":{{\"registered\":{},\"transforms\":{},\"plan_cache_hits\":{},\"plan_cache_misses\":{},\"plan_cache_entries\":{}}},\
+             \"endpoints\":{{\"transform\":{},\"transducers\":{},\"encodings\":{},\"pipelines\":{},\"typecheck\":{},\"healthz\":{},\"stats\":{},\"other\":{}}}}}",
             cache.hits,
             cache.misses,
             cache.entries,
@@ -423,9 +540,15 @@ impl ServerStats {
             self.started_unix,
             transducers,
             encodings,
+            pipelines,
+            self.pipeline_transforms.get(),
+            plan_cache.hits,
+            plan_cache.misses,
+            plan_cache.entries,
             self.transform.json(),
             self.transducers.json(),
             self.encodings.json(),
+            self.pipelines.json(),
             self.typecheck.json(),
             self.health.json(),
             self.stats.json(),

@@ -33,6 +33,7 @@ pub fn compose(m2: &Dtop, m1: &Dtop) -> Result<Dtop, DtopError> {
         builder: DtopBuilder::new(m1.input().clone(), m2.output().clone()),
         pairs: HashMap::new(),
         order: Vec::new(),
+        cur_q1: None,
     };
     // axiom: run m2's axiom; each ⟨q2,x0⟩ runs q2 on m1's axiom.
     let m2_axiom = m2.axiom().clone();
@@ -64,6 +65,7 @@ pub fn compose(m2: &Dtop, m1: &Dtop) -> Result<Dtop, DtopError> {
         let (q2, q1) = composer.order[i];
         let id = composer.pairs[&(q2, q1)];
         i += 1;
+        composer.cur_q1 = Some(q1);
         for f in m1.enabled_symbols(q1) {
             let rhs1 = m1.rule(q1, f).unwrap().clone();
             if let Some(rhs) = composer.run_state_on_rhs(q2, &rhs1)? {
@@ -85,6 +87,9 @@ struct Composer<'a> {
     builder: DtopBuilder,
     pairs: HashMap<(QId, QId), QId>,
     order: Vec<(QId, QId)>,
+    /// The `m1` state whose rules are currently being expanded; `None`
+    /// while expanding the axiom. Only used to position error reports.
+    cur_q1: Option<QId>,
 }
 
 impl<'a> Composer<'a> {
@@ -113,6 +118,20 @@ impl<'a> Composer<'a> {
             }
             Rhs::Out(sym, kids) => {
                 let Some(rule2) = self.m2.rule(q2, *sym) else {
+                    if self.m2.input().rank(*sym).is_none() {
+                        // `m1` emits a symbol `m2` cannot even name: that is
+                        // an alphabet wiring bug, not partiality — report it
+                        // with the offending pair instead of silently
+                        // shrinking the domain to nothing.
+                        return Err(DtopError::Compose {
+                            q2: self.m2.state_name(q2).to_owned(),
+                            q1: self
+                                .cur_q1
+                                .map(|q| self.m1.state_name(q).to_owned())
+                                .unwrap_or_else(|| "axiom".to_owned()),
+                            symbol: *sym,
+                        });
+                    }
                     return Ok(None);
                 };
                 let rule2 = rule2.clone();
@@ -254,6 +273,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn out_of_alphabet_emission_names_the_offending_pair() {
+        // m1 : f(x) → wrap(<q,x1>), a → leaf ... but `wrap`/`leaf` are not
+        // in m2's input alphabet, so m1's range misses m2's domain for a
+        // structural reason compose must report, not swallow.
+        let in_alpha = RankedAlphabet::from_pairs([("f", 1), ("a", 0)]);
+        let mid_alpha = RankedAlphabet::from_pairs([("wrap", 1), ("leaf", 0)]);
+        let mut b1 = DtopBuilder::new(in_alpha, mid_alpha);
+        b1.add_state("p");
+        b1.set_axiom_str("<p,x0>").unwrap();
+        b1.add_rule_str("p", "f", "wrap(<p,x1>)").unwrap();
+        b1.add_rule_str("p", "a", "leaf").unwrap();
+        let m1 = b1.build().unwrap();
+
+        // m2 speaks a disjoint alphabet entirely.
+        let other = RankedAlphabet::from_pairs([("g", 1), ("b", 0)]);
+        let m2 = identity(&other);
+
+        let err = compose(&m2, &m1).unwrap_err();
+        match err {
+            DtopError::Compose {
+                ref q2,
+                ref q1,
+                symbol,
+            } => {
+                assert_eq!(q2, "id");
+                assert_eq!(q1, "p");
+                assert_eq!(symbol.name(), "wrap");
+            }
+            other => panic!("expected positioned Compose error, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("id\u{2218}p"), "unpositioned: {msg}");
+        assert!(msg.contains("wrap"), "symbol missing: {msg}");
+    }
+
+    #[test]
+    fn rigid_axiom_miss_yields_the_empty_transduction() {
+        // A partial m2 with *in-alphabet* gaps whose domain misses m1's
+        // whole range: compose succeeds (partiality is semantics, not an
+        // error) and the result has an empty domain.
+        let fix = examples::flip();
+        let out = fix.dtop.output().clone();
+        let mut b = DtopBuilder::new(out.clone(), out);
+        b.add_state("q");
+        b.set_axiom_str("<q,x0>").unwrap();
+        // `q` only accepts `#`, but flip's outputs are always root(·,·).
+        b.add_rule_str("q", "#", "#").unwrap();
+        let m2 = b.build().unwrap();
+        let composed = compose(&m2, &fix.dtop).unwrap();
+        for t in enumerate_trees(fix.dtop.input(), 60, 7) {
+            assert_eq!(eval(&composed, &t), None, "domain must be empty on {t}");
+        }
+        assert!(xtt_automata::is_empty(&crate::domain::domain_dtta(
+            &composed, None
+        )));
     }
 
     #[test]

@@ -19,9 +19,11 @@ use xtt_automata::{trim, Dtta, DttaBuilder, StateId};
 use crate::dtop::Dtop;
 use crate::rhs::QId;
 
-/// One subset-construction state: the set of transducer states processing
-/// the node, plus the inspection state (if any).
-type SubsetState = (BTreeSet<QId>, Option<StateId>);
+/// One subset-construction state: for each machine run in parallel, the
+/// set of its transducer states processing the node, plus the inspection
+/// state (if any). [`domain_dtta_raw`] runs one machine; the chain
+/// variants run every composed prefix of a pipeline at once.
+type SubsetState = (Vec<BTreeSet<QId>>, Option<StateId>);
 
 /// The untrimmed subset automaton of [`domain_dtta_raw`], with the
 /// bookkeeping a runtime guard needs: `skip_state` is the `∅` subset
@@ -47,20 +49,58 @@ pub fn domain_dtta(m: &Dtop, inspection: Option<&Dtta>) -> Dtta {
 /// its diagnostics. (Trimming would reject earlier: a transition into an
 /// empty-language state is removed, moving the failure up the tree.)
 pub fn domain_dtta_raw(m: &Dtop, inspection: Option<&Dtta>) -> RawDomain {
-    let alphabet = m.input().clone();
+    chain_domain_raw(&[m], inspection)
+}
+
+/// Trimmed DTTA recognizing `⋂ᵢ dom(⟦Mᵢ⟧) ∩ L(inspection)` for machines
+/// sharing one input alphabet. See [`chain_domain_raw`] for why a
+/// pipeline needs the intersection over its composed prefixes.
+pub fn chain_domain_dtta(ms: &[&Dtop], inspection: Option<&Dtta>) -> Dtta {
+    trim(&chain_domain_raw(ms, inspection).dtta)
+}
+
+/// The untrimmed subset automaton of `⋂ᵢ dom(⟦Mᵢ⟧) ∩ L(inspection)`,
+/// running every machine's subset construction in lockstep.
+///
+/// This is the exact domain of a *pipeline chain* when `ms` are the
+/// composed prefixes `C₁ = τ₁, C₂ = τ₂∘τ₁, …`: stage-by-stage execution
+/// needs every intermediate value **fully** defined, while the final
+/// composed product alone evaluates earlier stages lazily — when a later
+/// stage deletes part of an earlier stage's output, `dom(Cₙ)` never
+/// checks the earlier stage's partiality there and can strictly exceed
+/// the chain's domain. Intersecting `dom(Cᵢ)` for every prefix closes
+/// that gap: given `t ∈ ⋂_{i<k} dom(Cᵢ)`, the value `C_{k-1}(t)` is fully
+/// defined, so `t ∈ dom(C_k)` iff `τ_k` is defined on it.
+///
+/// The `∅`-everywhere subset is the skip state: no machine ever inspects
+/// the node (for prefix chains that is exactly where stage 1 deletes, and
+/// later prefixes read subsets of stage 1's positions), so a guard may
+/// accept the whole subtree without looking — matching evaluation.
+pub fn chain_domain_raw(ms: &[&Dtop], inspection: Option<&Dtta>) -> RawDomain {
+    assert!(!ms.is_empty(), "chain domain of zero machines");
+    let alphabet = ms[0].input().clone();
+    for m in ms {
+        assert!(
+            *m.input() == alphabet,
+            "chain domain machines must share one input alphabet"
+        );
+    }
     let mut builder = DttaBuilder::new(alphabet.clone());
     let mut ids: HashMap<SubsetState, StateId> = HashMap::new();
     let mut queue: Vec<SubsetState> = Vec::new();
 
-    let initial_set: BTreeSet<QId> = m.axiom().called_states().into_iter().collect();
-    let initial: SubsetState = (initial_set, inspection.map(Dtta::initial));
-    let id0 = builder.add_state(subset_name(m, inspection, &initial));
+    let initial_sets: Vec<BTreeSet<QId>> = ms
+        .iter()
+        .map(|m| m.axiom().called_states().into_iter().collect())
+        .collect();
+    let initial: SubsetState = (initial_sets, inspection.map(Dtta::initial));
+    let id0 = builder.add_state(subset_name(ms, inspection, &initial));
     ids.insert(initial.clone(), id0);
     queue.push(initial);
 
     while let Some(state) = queue.pop() {
         let id = ids[&state];
-        let (ref qset, insp) = state;
+        let (ref qsets, insp) = state;
         'symbols: for &f in alphabet.symbols() {
             let rank = alphabet.rank(f).unwrap();
             // Inspection must allow f here.
@@ -71,23 +111,30 @@ pub fn domain_dtta_raw(m: &Dtop, inspection: Option<&Dtta>) -> RawDomain {
                 },
                 _ => None,
             };
-            // Every transducer state in the set needs an f-rule.
-            let mut child_sets: Vec<BTreeSet<QId>> = vec![BTreeSet::new(); rank];
-            for &q in qset {
-                let Some(rhs) = m.rule(q, f) else {
-                    continue 'symbols;
-                };
-                for (_, q2, child) in rhs.calls() {
-                    child_sets[child].insert(q2);
+            // Every state of every machine in the set needs an f-rule.
+            let mut child_sets: Vec<Vec<BTreeSet<QId>>> =
+                vec![vec![BTreeSet::new(); rank]; ms.len()];
+            for (k, m) in ms.iter().enumerate() {
+                for &q in &qsets[k] {
+                    let Some(rhs) = m.rule(q, f) else {
+                        continue 'symbols;
+                    };
+                    for (_, q2, child) in rhs.calls() {
+                        child_sets[k][child].insert(q2);
+                    }
                 }
             }
             let mut children = Vec::with_capacity(rank);
-            for (i, set) in child_sets.into_iter().enumerate() {
+            for i in 0..rank {
+                let sets: Vec<BTreeSet<QId>> = child_sets
+                    .iter_mut()
+                    .map(|per_m| std::mem::take(&mut per_m[i]))
+                    .collect();
                 let child_insp = insp_children.map(|cs| cs[i]);
-                let child_state: SubsetState = (set, child_insp);
+                let child_state: SubsetState = (sets, child_insp);
                 let child_id = *ids.entry(child_state.clone()).or_insert_with(|| {
                     queue.push(child_state.clone());
-                    builder.add_state(subset_name(m, inspection, &child_state))
+                    builder.add_state(subset_name(ms, inspection, &child_state))
                 });
                 children.push(child_id);
             }
@@ -100,22 +147,29 @@ pub fn domain_dtta_raw(m: &Dtop, inspection: Option<&Dtta>) -> RawDomain {
             "domain subset construction exceeded 1e6 states"
         );
     }
-    let skip_state = ids.get(&(BTreeSet::new(), None)).copied();
+    let skip_key: SubsetState = (vec![BTreeSet::new(); ms.len()], None);
+    let skip_state = ids.get(&skip_key).copied();
     RawDomain {
         dtta: builder.build().expect("has initial state"),
         skip_state,
     }
 }
 
-fn subset_name(m: &Dtop, inspection: Option<&Dtta>, s: &SubsetState) -> String {
-    let mut name = String::from("{");
-    for (i, q) in s.0.iter().enumerate() {
-        if i > 0 {
-            name.push(',');
+fn subset_name(ms: &[&Dtop], inspection: Option<&Dtta>, s: &SubsetState) -> String {
+    let mut name = String::new();
+    for (k, (m, set)) in ms.iter().zip(&s.0).enumerate() {
+        if k > 0 {
+            name.push('|');
         }
-        name.push_str(m.state_name(*q));
+        name.push('{');
+        for (i, q) in set.iter().enumerate() {
+            if i > 0 {
+                name.push(',');
+            }
+            name.push_str(m.state_name(*q));
+        }
+        name.push('}');
     }
-    name.push('}');
     if let (Some(a), Some(p)) = (inspection, s.1) {
         name.push('@');
         name.push_str(a.state_name(p));

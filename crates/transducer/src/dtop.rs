@@ -32,6 +32,16 @@ pub enum DtopError {
     UnknownState(QId),
     BadStateName(String),
     Parse(String),
+    /// Composition alphabet mismatch, positioned: while building the pair
+    /// state `q2∘q1`, `m1`'s right-hand side emitted `symbol`, which is
+    /// not in `m2`'s input alphabet at all. (An in-alphabet symbol that
+    /// merely lacks a rule is *not* an error — it soundly shrinks the
+    /// composed domain, see `compose`'s module docs.)
+    Compose {
+        q2: String,
+        q1: String,
+        symbol: Symbol,
+    },
 }
 
 impl fmt::Display for DtopError {
@@ -42,6 +52,11 @@ impl fmt::Display for DtopError {
             DtopError::UnknownState(q) => write!(f, "unknown state {q}"),
             DtopError::BadStateName(n) => write!(f, "unknown state name '{n}'"),
             DtopError::Parse(e) => write!(f, "rhs parse error: {e}"),
+            DtopError::Compose { q2, q1, symbol } => write!(
+                f,
+                "composition pair {q2}\u{2218}{q1}: m1 emits '{symbol}', \
+                 which is outside m2's input alphabet"
+            ),
         }
     }
 }

@@ -39,7 +39,7 @@ pub mod rhs;
 pub mod witness;
 
 pub use compose::{compose, identity};
-pub use domain::{domain_dtta, domain_dtta_raw, RawDomain};
+pub use domain::{chain_domain_dtta, chain_domain_raw, domain_dtta, domain_dtta_raw, RawDomain};
 pub use dtop::{Dtop, DtopBuilder, DtopError};
 pub use earliest::{is_earliest, to_earliest, Canonical, NormError};
 pub use equiv::{canonical_form, equivalent, same_canonical};

@@ -24,7 +24,7 @@ use std::fmt;
 use xtt_automata::{Dtta, StateId};
 use xtt_trees::{NodePath, RankedAlphabet, Symbol, Tree};
 
-use xtt_transducer::{domain_dtta_raw, Dtop};
+use xtt_transducer::{domain_dtta_raw, Dtop, RawDomain};
 
 use crate::run::DttaRun;
 
@@ -284,6 +284,28 @@ impl CompiledDtta {
 /// first pre-order node at which evaluation is undefined.
 pub fn domain_guard(m: &Dtop) -> Result<CompiledDtta, TypecheckError> {
     let raw = domain_dtta_raw(m, None);
+    CompiledDtta::build(&raw.dtta, raw.skip_state)
+}
+
+/// Like [`domain_guard`] but with an input schema intersected in: accepts
+/// `dom(⟦M⟧) ∩ L(schema)` and fails at the first pre-order node violating
+/// either. With a schema present there is no `∅` skip state — subtrees the
+/// transducer deletes must still satisfy the schema, so the guard keeps
+/// reading them. `schema == None` degenerates to [`domain_guard`].
+pub fn domain_guard_with_schema(
+    m: &Dtop,
+    schema: Option<&Dtta>,
+) -> Result<CompiledDtta, TypecheckError> {
+    let raw = domain_dtta_raw(m, schema);
+    CompiledDtta::build(&raw.dtta, raw.skip_state)
+}
+
+/// Compiles a fail-fast guard from a prebuilt raw domain automaton —
+/// e.g. [`xtt_transducer::chain_domain_raw`] over a pipeline's composed
+/// prefixes, whose intersection is the exact domain of stage-by-stage
+/// execution (see its docs for why the final composed machine alone
+/// over-accepts when stages delete).
+pub fn guard_from_domain(raw: &RawDomain) -> Result<CompiledDtta, TypecheckError> {
     CompiledDtta::build(&raw.dtta, raw.skip_state)
 }
 

@@ -34,6 +34,9 @@ pub mod compiled;
 pub mod output;
 pub mod run;
 
-pub use compiled::{domain_guard, CompiledDtta, TypeError, TypecheckError};
+pub use compiled::{
+    domain_guard, domain_guard_with_schema, guard_from_domain, CompiledDtta, TypeError,
+    TypecheckError,
+};
 pub use output::{output_typecheck, TypecheckVerdict};
 pub use run::{DttaRun, GuardedEvents};

@@ -68,6 +68,17 @@ impl<'a> DttaRun<'a> {
         self.consumed
     }
 
+    /// Whether the run is inside a subtree it never inspects (a skip
+    /// state, or junk past the root). While true, any balanced event run
+    /// is accepted without looking — so an event-source fast-forward may
+    /// replace the subtree with one synthetic `Close`. While false, the
+    /// run still needs the real events: a guard can be stricter than the
+    /// machine driving it (a pipeline's chain guard inspects positions
+    /// the composed product deletes), so fast paths must check this.
+    pub fn in_skipped_subtree(&self) -> bool {
+        self.skip_depth > 0
+    }
+
     /// Feeds one event; `Err` is the first violation, after which the run
     /// must not be fed further.
     pub fn feed(&mut self, event: TreeEvent) -> Result<(), TypeError> {
